@@ -1,0 +1,84 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"vnettracer/internal/control"
+	"vnettracer/internal/tracedb"
+)
+
+// runCollector serves the collector endpoint until interrupted, printing a
+// summary line per second and optionally appending batches to a JSONL file
+// that vntquery can analyze offline.
+func runCollector(args []string) error {
+	fs := flag.NewFlagSet("collector", flag.ExitOnError)
+	listen := fs.String("listen", ":7701", "address to listen on")
+	out := fs.String("out", "", "append record batches as JSON lines to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	db := tracedb.New()
+	col := control.NewCollector(db)
+	var sink control.RecordSink = col
+	if *out != "" {
+		f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("open -out: %w", err)
+		}
+		defer f.Close()
+		sink = &teeSink{next: col, file: f}
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	srv := control.Serve(ln, nil, sink)
+	defer srv.Close()
+	fmt.Printf("collector listening on %s\n", srv.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	var lastRecords uint64
+	for {
+		select {
+		case <-stop:
+			batches, records, drops := col.Stats()
+			fmt.Printf("\nshutting down: %d batches, %d records, %d ring drops, %d tables\n",
+				batches, records, drops, len(db.Tables()))
+			return nil
+		case <-tick.C:
+			_, records, _ := col.Stats()
+			if records != lastRecords {
+				fmt.Printf("records: %d (+%d), agents: %v\n", records, records-lastRecords, db.Agents())
+				lastRecords = records
+			}
+		}
+	}
+}
+
+// teeSink forwards batches and appends them to a JSONL file.
+type teeSink struct {
+	next control.RecordSink
+	mu   sync.Mutex
+	file *os.File
+}
+
+func (t *teeSink) HandleBatch(b control.RecordBatch) error {
+	if err := t.next.HandleBatch(b); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return writeJSON(t.file, b)
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"vnettracer/internal/control"
+)
+
+// runDispatch reads a control package (JSON) and pushes it to an agent,
+// playing the role of the paper's control data dispatcher frontend.
+func runDispatch(args []string) error {
+	fs := flag.NewFlagSet("dispatch", flag.ExitOnError)
+	agent := fs.String("agent", "", "agent address (host:port)")
+	pkgFile := fs.String("package", "", "control package JSON file (- for stdin)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *agent == "" || *pkgFile == "" {
+		return fmt.Errorf("dispatch: -agent and -package are required")
+	}
+
+	var raw []byte
+	var err error
+	if *pkgFile == "-" {
+		raw, err = io.ReadAll(os.Stdin)
+	} else {
+		raw, err = os.ReadFile(*pkgFile)
+	}
+	if err != nil {
+		return fmt.Errorf("dispatch: read package: %w", err)
+	}
+	var pkg control.ControlPackage
+	if err := json.Unmarshal(raw, &pkg); err != nil {
+		return fmt.Errorf("dispatch: parse package: %w", err)
+	}
+
+	client := control.NewTCPControlClient(*agent)
+	defer client.Close()
+	if err := client.Apply(pkg); err != nil {
+		return err
+	}
+	fmt.Printf("pushed %d install(s), %d uninstall(s) to %s\n",
+		len(pkg.Install), len(pkg.Uninstall), *agent)
+	return nil
+}

@@ -1,0 +1,71 @@
+// Command vnettracer runs the tracer's distributed control plane over TCP,
+// mirroring the paper's deployment: a raw data collector on the master
+// node, an agent daemon per monitored machine, and a control data
+// dispatcher that pushes trace scripts to agents.
+//
+//	vnettracer collector -listen :7701 [-out records.jsonl]
+//	vnettracer agent -name agent0 -listen :7702 -collector 127.0.0.1:7701
+//	vnettracer dispatch -agent 127.0.0.1:7702 -package pkg.json
+//
+// The agent hosts a demo machine (a loopback topology with a steady UDP
+// flow) whose simulated clock is pumped in real time, so scripts pushed by
+// the dispatcher immediately start producing records that flow to the
+// collector.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "collector":
+		err = runCollector(os.Args[2:])
+	case "agent":
+		err = runAgent(os.Args[2:])
+	case "dispatch":
+		err = runDispatch(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "vnettracer: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vnettracer: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  vnettracer collector -listen ADDR [-out FILE]      run the raw data collector
+  vnettracer agent -name NAME -listen ADDR -collector ADDR
+                                                     run an agent with a demo machine
+  vnettracer dispatch -agent ADDR -package FILE      push a control package (JSON)
+
+A control package file looks like:
+  {
+    "install": [{
+      "name": "udp-rx",
+      "tp_id": 1,
+      "attach": {"Kind": 1, "Site": "udp_recvmsg"},
+      "filter": {"proto": 17, "dst_port": 9000},
+      "actions": [1]
+    }],
+    "flush_interval_ns": 100000000
+  }`)
+}
+
+func writeJSON(w *os.File, v any) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(v)
+}

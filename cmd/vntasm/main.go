@@ -1,0 +1,170 @@
+// Command vntasm assembles, verifies, and optionally executes vNetTracer
+// eBPF programs written in the textual assembly of internal/ebpf — the
+// same bytecode the trace-script compiler emits. It is a debugging and
+// teaching aid for the programmability layer.
+//
+//	vntasm -in prog.s                  # assemble + verify, print listing
+//	vntasm -in prog.s -run             # also execute once on a sample ctx
+//	vntasm -in prog.s -run -trace-id 7 -dst-port 9000
+//
+// Programs receive the standard vNetTracer context (see internal/core):
+// a 64-byte structure with the packet's flow fields, trace ID, CPU, and
+// nanosecond timestamp.
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+
+	"vnettracer/internal/core"
+	"vnettracer/internal/ebpf"
+)
+
+func main() {
+	in := flag.String("in", "", "assembly source file (- for stdin)")
+	run := flag.Bool("run", false, "execute once on a sample context")
+	traceID := flag.Uint("trace-id", 1, "sample ctx: trace id")
+	srcIP := flag.Uint("src-ip", 0x0a000001, "sample ctx: source IP")
+	dstIP := flag.Uint("dst-ip", 0x0a000002, "sample ctx: destination IP")
+	srcPort := flag.Uint("src-port", 40000, "sample ctx: source port")
+	dstPort := flag.Uint("dst-port", 9000, "sample ctx: destination port")
+	proto := flag.Uint("proto", 17, "sample ctx: IP protocol")
+	pktLen := flag.Uint("len", 98, "sample ctx: wire length")
+	timeNs := flag.Uint64("time", 123456789, "sample ctx: timestamp ns")
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := readSource(*in)
+	if err != nil {
+		fail(err)
+	}
+
+	// A generic map environment: programs may reference "counters"
+	// (array, 2x u64), "flows" (hash 4->8), and "percpu" (per-CPU, 4 CPUs).
+	counters, err := ebpf.NewArrayMap(8, 2)
+	if err != nil {
+		fail(err)
+	}
+	flows, err := ebpf.NewHashMap(4, 8, 1024)
+	if err != nil {
+		fail(err)
+	}
+	percpu, err := ebpf.NewPerCPUArray(8, 1, 4)
+	if err != nil {
+		fail(err)
+	}
+	named := map[string]ebpf.Map{"counters": counters, "flows": flows, "percpu": percpu}
+
+	insns, maps, err := ebpf.Assemble(string(src), named)
+	if err != nil {
+		fail(err)
+	}
+	prog, err := ebpf.Load(ebpf.ProgramSpec{
+		Name: *in, Type: ebpf.ProgTypeKprobe, Insns: insns, Maps: maps, CtxSize: core.CtxSize,
+	})
+	if err != nil {
+		fail(fmt.Errorf("verifier rejected the program: %w", err))
+	}
+
+	fmt.Printf("verified: %d instructions, %d map(s)\n\n", len(insns), len(maps))
+	for i := 0; i < len(insns); i++ {
+		fmt.Printf("%4d: %s\n", i, insns[i])
+		if insns[i].IsWide() {
+			i++ // skip the second slot of a 64-bit immediate load
+		}
+	}
+
+	if !*run {
+		return
+	}
+	ctx := make([]byte, core.CtxSize)
+	le := binary.LittleEndian
+	le.PutUint32(ctx[core.CtxLen:], uint32(*pktLen))
+	le.PutUint32(ctx[core.CtxSrcIP:], uint32(*srcIP))
+	le.PutUint32(ctx[core.CtxDstIP:], uint32(*dstIP))
+	le.PutUint32(ctx[core.CtxSrcPort:], uint32(*srcPort))
+	le.PutUint32(ctx[core.CtxDstPort:], uint32(*dstPort))
+	le.PutUint32(ctx[core.CtxIPProto:], uint32(*proto))
+	le.PutUint32(ctx[core.CtxTraceID:], uint32(*traceID))
+	le.PutUint64(ctx[core.CtxTimeNs:], *timeNs)
+
+	env := &cliEnv{time: *timeNs}
+	r0, stats, err := prog.Run(ctx, env)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("\nr0 = %d (%#x)\n", int64(r0), r0)
+	fmt.Printf("executed %d instructions, %d helper calls, %d perf bytes\n",
+		stats.Insns, stats.HelperCalls, stats.PerfBytes)
+	for i, rec := range env.perf {
+		fmt.Printf("perf[%d]: % x\n", i, rec)
+	}
+	for _, msg := range env.printk {
+		fmt.Printf("printk: %s\n", msg)
+	}
+	dumpMap := func(name string, m ebpf.Map) {
+		n := 0
+		m.ForEach(func(key, value []byte) {
+			if allZero(value) {
+				return
+			}
+			if n == 0 {
+				fmt.Printf("%s:\n", name)
+			}
+			fmt.Printf("  % x -> % x\n", key, value)
+			n++
+		})
+	}
+	dumpMap("counters", counters)
+	dumpMap("flows", flows)
+	dumpMap("percpu", percpu)
+}
+
+func readSource(path string) ([]byte, error) {
+	if path == "-" {
+		buf := make([]byte, 0, 4096)
+		tmp := make([]byte, 4096)
+		for {
+			n, err := os.Stdin.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				return buf, nil
+			}
+		}
+	}
+	return os.ReadFile(path)
+}
+
+func allZero(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "vntasm: %v\n", err)
+	os.Exit(1)
+}
+
+// cliEnv is a standalone helper environment for one-shot execution.
+type cliEnv struct {
+	time   uint64
+	perf   [][]byte
+	printk []string
+}
+
+func (e *cliEnv) KtimeNs() uint64        { return e.time }
+func (e *cliEnv) SMPProcessorID() uint32 { return 0 }
+func (e *cliEnv) PrandomU32() uint32     { return 0x5eed }
+func (e *cliEnv) PerfEventOutput(data []byte) bool {
+	e.perf = append(e.perf, data)
+	return true
+}
+func (e *cliEnv) TracePrintk(msg string) { e.printk = append(e.printk, msg) }

@@ -1,0 +1,114 @@
+// Command vntquery analyzes a trace dump produced by
+// `vnettracer collector -out records.jsonl`: it loads the record batches
+// into a trace database and computes the paper's metrics between two
+// tracepoints.
+//
+//	vntquery -in records.jsonl                      # list tables
+//	vntquery -in records.jsonl -tp 1                # throughput at tracepoint 1
+//	vntquery -in records.jsonl -from 1 -to 2        # latency/jitter/loss 1 -> 2
+//	vntquery -in records.jsonl -from 1 -to 2 -skew 150000
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"vnettracer/internal/control"
+	"vnettracer/internal/metrics"
+	"vnettracer/internal/tracedb"
+)
+
+func main() {
+	in := flag.String("in", "", "records.jsonl produced by the collector")
+	tp := flag.Uint("tp", 0, "tracepoint for throughput")
+	flows := flag.Bool("flows", false, "with -tp: print per-flow throughput")
+	from := flag.Uint("from", 0, "latency source tracepoint")
+	to := flag.Uint("to", 0, "latency destination tracepoint")
+	skew := flag.Int64("skew", 0, "clock skew (ns) of the destination's node, subtracted from its timestamps")
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*in, uint32(*tp), uint32(*from), uint32(*to), *skew, *flows); err != nil {
+		fmt.Fprintf(os.Stderr, "vntquery: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, tp, from, to uint32, skew int64, flows bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	db := tracedb.New()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lines := 0
+	for sc.Scan() {
+		var batch control.RecordBatch
+		if err := json.Unmarshal(sc.Bytes(), &batch); err != nil {
+			return fmt.Errorf("line %d: %w", lines+1, err)
+		}
+		db.Insert(batch.Records)
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("loaded %d batches\n", lines)
+
+	switch {
+	case from != 0 && to != 0:
+		a, ok := db.Table(from)
+		if !ok {
+			return fmt.Errorf("no table %d", from)
+		}
+		b, ok := db.Table(to)
+		if !ok {
+			return fmt.Errorf("no table %d", to)
+		}
+		if skew != 0 {
+			db.SetSkew(to, skew)
+		}
+		lats := metrics.Latencies(a, b)
+		sum := metrics.Summarize(metrics.Values(lats))
+		lost, rate := metrics.Loss(a, b)
+		lo, hi := metrics.JitterRange(lats)
+		fmt.Printf("latency %d -> %d over %d packets:\n", from, to, sum.Count)
+		fmt.Printf("  mean=%.1fus p50=%.1fus p99=%.1fus p99.9=%.1fus max=%.1fus\n",
+			sum.MeanNs/1e3, float64(sum.P50Ns)/1e3, float64(sum.P99Ns)/1e3,
+			float64(sum.P999Ns)/1e3, float64(sum.MaxNs)/1e3)
+		fmt.Printf("  jitter range: (%.1f, %.1f)us\n", float64(lo)/1e3, float64(hi)/1e3)
+		fmt.Printf("  loss: %d packets (%.2f%%)\n", lost, rate*100)
+	case tp != 0:
+		t, ok := db.Table(tp)
+		if !ok {
+			return fmt.Errorf("no table %d", tp)
+		}
+		if flows {
+			for _, fs := range metrics.PerFlowThroughput(t.All()) {
+				fmt.Printf("  %-40s %6d pkts %10d bytes %10.3f Mbps\n",
+					fs.Flow, fs.Packets, fs.Bytes, fs.ThroughputBps/1e6)
+			}
+			return nil
+		}
+		bps, err := metrics.Throughput(t.All())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("tracepoint %d: %d records, throughput %.3f Mbps\n", tp, t.Len(), bps/1e6)
+	default:
+		for _, id := range db.Tables() {
+			t, _ := db.Table(id)
+			fmt.Printf("  tracepoint %d: %d records, %d distinct packet IDs\n",
+				id, t.Len(), len(t.TraceIDs()))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+// Command clockskew demonstrates vNetTracer's cross-machine clock
+// synchronization (paper Section III-B, Figure 4): two machines with a
+// deliberately skewed CLOCK_MONOTONIC exchange 100 probe packets; trace
+// scripts at both NICs timestamp T1..T4; Cristian's algorithm over the
+// minimum-RTT sample recovers the offset, which then corrects a one-way
+// latency measurement that would otherwise be off by the whole skew.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vnettracer"
+	"vnettracer/internal/clocksync"
+)
+
+func main() {
+	const trueSkew = 7 * vnettracer.Millisecond
+
+	eng := vnettracer.NewEngine(9)
+	ipA := vnettracer.MustParseIP("10.0.0.1")
+	ipB := vnettracer.MustParseIP("10.0.0.2")
+	nodeA := vnettracer.NewNode(eng, vnettracer.NodeConfig{Name: "master", NumCPU: 2, TraceIDs: true, Seed: 1})
+	nodeB := vnettracer.NewNode(eng, vnettracer.NodeConfig{
+		Name: "monitored", NumCPU: 2, TraceIDs: true, Seed: 2, ClockOffsetNs: trueSkew,
+	})
+	mA, err := vnettracer.NewMachine(nodeA, 64*1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mB, err := vnettracer.NewMachine(nodeB, 64*1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// NICs and a 1 Gbps wire with mildly noisy device service times.
+	mkEth := func(node *vnettracer.Node, m *vnettracer.Machine) *vnettracer.NetDev {
+		dev := vnettracer.NewNetDev(eng, vnettracer.NetDevConfig{
+			Name: "eth0", Ifindex: 2,
+			ProcNs: func(*vnettracer.Packet) int64 { return 500 + eng.Rand().Int63n(2000) },
+		})
+		if err := m.RegisterDevice(dev); err != nil {
+			log.Fatal(err)
+		}
+		return dev
+	}
+	ethA, ethB := mkEth(nodeA, mA), mkEth(nodeB, mB)
+	linkAB := vnettracer.NewLink(eng, 1_000_000_000, 15*vnettracer.Microsecond, ethB.Receive)
+	linkBA := vnettracer.NewLink(eng, 1_000_000_000, 15*vnettracer.Microsecond, ethA.Receive)
+	ethA.SetOut(func(p *vnettracer.Packet) {
+		if p.IP.Dst == ipA {
+			nodeA.SoftirqNetRX(p, ethA, nodeA.DeliverLocal)
+		} else {
+			linkAB.Send(p)
+		}
+	})
+	ethB.SetOut(func(p *vnettracer.Packet) {
+		if p.IP.Dst == ipB {
+			nodeB.SoftirqNetRX(p, ethB, nodeB.DeliverLocal)
+		} else {
+			linkBA.Send(p)
+		}
+	})
+	nodeA.Egress = ethA.Receive
+	nodeB.Egress = ethB.Receive
+
+	// Trace scripts at both NIC interfaces: probe packets to port 7, probe
+	// replies to port 40001.
+	session := vnettracer.NewSession()
+	for _, m := range []*vnettracer.Machine{mA, mB} {
+		if _, err := session.AddMachine(m); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fwd := vnettracer.Filter{Proto: vnettracer.ProtoUDP, DstPort: 7}
+	rev := vnettracer.Filter{Proto: vnettracer.ProtoUDP, DstPort: 40001}
+	install := func(machine, label string, f vnettracer.Filter) {
+		if _, err := session.InstallRecord(machine, label,
+			vnettracer.AttachPoint{Kind: vnettracer.AttachDevice, Device: "eth0", Dir: vnettracer.Ingress}, f); err != nil {
+			log.Fatal(err)
+		}
+	}
+	install("master", "t1", fwd)
+	install("monitored", "t2", fwd)
+	install("monitored", "t3", rev)
+	install("master", "t4", rev)
+
+	// Echo server + 100 probes.
+	echoAddr := vnettracer.SockAddr{IP: ipB, Port: 7}
+	var echoSock *vnettracer.Socket
+	echoSock, err = nodeB.Open(vnettracer.ProtoUDP, echoAddr, func(p *vnettracer.Packet) {
+		flow := p.Flow()
+		if _, err := echoSock.SendBytes(vnettracer.SockAddr{IP: flow.Src, Port: flow.SrcPort}, p.Payload); err != nil {
+			log.Fatal(err)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	probe, err := nodeA.Open(vnettracer.ProtoUDP, vnettracer.SockAddr{IP: ipA, Port: 40001}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < clocksync.DefaultSamples; i++ {
+		eng.Schedule(int64(i)*vnettracer.Millisecond, func() {
+			if _, err := probe.Send(echoAddr, 16); err != nil {
+				log.Fatal(err)
+			}
+		})
+	}
+	eng.RunUntilIdle()
+	if err := session.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Build Cristian samples by joining the four tracepoints on sequence.
+	tables := make(map[string]map[uint64]int64)
+	for _, label := range []string{"t1", "t2", "t3", "t4"} {
+		t, err := session.Table(label)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bySeq := make(map[uint64]int64)
+		for _, r := range t.All() {
+			if _, dup := bySeq[r.Seq]; !dup {
+				bySeq[r.Seq] = int64(r.TimeNs)
+			}
+		}
+		tables[label] = bySeq
+	}
+	var samples []clocksync.Sample
+	for seq, t1 := range tables["t1"] {
+		t2, ok2 := tables["t2"][seq]
+		t3, ok3 := tables["t3"][seq]
+		t4, ok4 := tables["t4"][seq]
+		if ok2 && ok3 && ok4 {
+			samples = append(samples, clocksync.Sample{T1: t1, T2: t2, T3: t3, T4: t4})
+		}
+	}
+	est, err := clocksync.EstimateSkew(samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("probes: %d samples, best RTT %.1fus, estimated one-way %.1fus\n",
+		est.Samples, float64(est.BestRTTNs)/1e3, float64(est.OneWayNs)/1e3)
+	fmt.Printf("clock skew: estimated %.6fms, true %.6fms, error %.3fus\n",
+		float64(est.SkewNs)/1e6, float64(trueSkew)/1e6, float64(est.SkewNs-trueSkew)/1e3)
+
+	// Show why it matters: one-way latency with and without correction.
+	t1t, _ := session.Table("t1")
+	t2t, _ := session.Table("t2")
+	raw := vnettracer.Latencies(t1t, t2t)
+	if err := session.SetSkew("t2", est.SkewNs); err != nil {
+		log.Fatal(err)
+	}
+	fixed := vnettracer.Latencies(t1t, t2t)
+	fmt.Printf("one-way latency master->monitored: uncorrected %.1fus, corrected %.1fus\n",
+		meanUs(raw), meanUs(fixed))
+}
+
+func meanUs(samples []vnettracer.LatencySample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range samples {
+		sum += float64(s.Ns)
+	}
+	return sum / float64(len(samples)) / 1e3
+}

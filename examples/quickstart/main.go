@@ -1,0 +1,125 @@
+// Command quickstart traces a UDP flow across two simulated machines with
+// vNetTracer: it builds a two-node topology, installs record scripts at the
+// sender's NIC and the receiver's udp_recvmsg through the control plane,
+// runs a ping-pong workload, and prints per-packet one-way latency computed
+// from the collected trace records joined on the embedded packet IDs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vnettracer"
+)
+
+func main() {
+	eng := vnettracer.NewEngine(42)
+
+	// Two machines connected by a 1 Gbps wire with 20us propagation.
+	ipA := vnettracer.MustParseIP("10.0.0.1")
+	ipB := vnettracer.MustParseIP("10.0.0.2")
+	nodeA := vnettracer.NewNode(eng, vnettracer.NodeConfig{Name: "alpha", NumCPU: 2, TraceIDs: true, Seed: 1})
+	nodeB := vnettracer.NewNode(eng, vnettracer.NodeConfig{Name: "beta", NumCPU: 2, TraceIDs: true, Seed: 2})
+	machineA, err := vnettracer.NewMachine(nodeA, 64*1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	machineB, err := vnettracer.NewMachine(nodeB, 64*1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ethA := vnettracer.NewNetDev(eng, vnettracer.NetDevConfig{Name: "eth0", Ifindex: 2,
+		ProcNs: func(*vnettracer.Packet) int64 { return 800 }})
+	ethB := vnettracer.NewNetDev(eng, vnettracer.NetDevConfig{Name: "eth0", Ifindex: 2,
+		ProcNs: func(*vnettracer.Packet) int64 { return 800 }})
+	if err := machineA.RegisterDevice(ethA); err != nil {
+		log.Fatal(err)
+	}
+	if err := machineB.RegisterDevice(ethB); err != nil {
+		log.Fatal(err)
+	}
+	linkAB := vnettracer.NewLink(eng, 1_000_000_000, 20*vnettracer.Microsecond, ethB.Receive)
+	linkBA := vnettracer.NewLink(eng, 1_000_000_000, 20*vnettracer.Microsecond, ethA.Receive)
+	ethA.SetOut(func(p *vnettracer.Packet) {
+		if p.IP.Dst == ipA {
+			nodeA.SoftirqNetRX(p, ethA, nodeA.DeliverLocal)
+		} else {
+			linkAB.Send(p)
+		}
+	})
+	ethB.SetOut(func(p *vnettracer.Packet) {
+		if p.IP.Dst == ipB {
+			nodeB.SoftirqNetRX(p, ethB, nodeB.DeliverLocal)
+		} else {
+			linkBA.Send(p)
+		}
+	})
+	nodeA.Egress = ethA.Receive
+	nodeB.Egress = ethB.Receive
+
+	// Tracer deployment: dispatcher -> agents -> collector, in process.
+	session := vnettracer.NewSession()
+	for _, m := range []*vnettracer.Machine{machineA, machineB} {
+		if _, err := session.AddMachine(m); err != nil {
+			log.Fatal(err)
+		}
+	}
+	filter := vnettracer.Filter{Proto: vnettracer.ProtoUDP, DstPort: 9000}
+	if _, err := session.InstallRecord("alpha", "tx@alpha-eth0",
+		vnettracer.AttachPoint{Kind: vnettracer.AttachDevice, Device: "eth0", Dir: vnettracer.Ingress},
+		filter); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := session.InstallRecord("beta", "rx@beta-udp",
+		vnettracer.AttachPoint{Kind: vnettracer.AttachKProbe, Site: vnettracer.SiteUDPRecvmsg},
+		filter); err != nil {
+		log.Fatal(err)
+	}
+
+	// Workload: 50 pings, one per millisecond.
+	srvAddr := vnettracer.SockAddr{IP: ipB, Port: 9000}
+	if _, err := nodeB.Open(vnettracer.ProtoUDP, srvAddr, func(*vnettracer.Packet) {}); err != nil {
+		log.Fatal(err)
+	}
+	cli, err := nodeA.Open(vnettracer.ProtoUDP, vnettracer.SockAddr{IP: ipA, Port: 40000}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		eng.Schedule(int64(i)*vnettracer.Millisecond, func() {
+			if _, err := cli.Send(srvAddr, 56); err != nil {
+				log.Fatal(err)
+			}
+		})
+	}
+	eng.RunUntilIdle()
+
+	// Offline collection and analysis.
+	if err := session.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	tx, err := session.Table("tx@alpha-eth0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rx, err := session.Table("rx@beta-udp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	lats := vnettracer.Latencies(tx, rx)
+	sum := vnettracer.Summarize(vnettracer.Values(lats))
+	lost, rate := vnettracer.Loss(tx, rx)
+
+	fmt.Printf("traced %d packets alpha:eth0 -> beta:udp_recvmsg\n", sum.Count)
+	fmt.Printf("one-way latency: mean=%.1fus p50=%.1fus p99=%.1fus max=%.1fus\n",
+		sum.MeanNs/1e3, float64(sum.P50Ns)/1e3, float64(sum.P99Ns)/1e3, float64(sum.MaxNs)/1e3)
+	fmt.Printf("loss: %d packets (%.2f%%)\n", lost, rate*100)
+	for i, l := range lats {
+		if i >= 5 {
+			fmt.Println("  ...")
+			break
+		}
+		fmt.Printf("  packet id=%#08x seq=%d latency=%.1fus\n", l.TraceID, l.Seq, float64(l.Ns)/1e3)
+	}
+}

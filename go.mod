@@ -1,0 +1,3 @@
+module vnettracer
+
+go 1.22

@@ -1,0 +1,186 @@
+package control
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"vnettracer/internal/core"
+	"vnettracer/internal/script"
+	"vnettracer/internal/sim"
+)
+
+// Agent is the per-machine daemon: it applies control packages (compiling
+// specs through the script compiler and the eBPF verifier), periodically
+// drains the kernel ring buffer, and ships batches to the collector. The
+// paper: "the agents are daemon processes, which are woken up once
+// receiving new tracing scripts".
+type Agent struct {
+	name    string
+	machine *core.Machine
+	sink    RecordSink
+	cost    core.CostModel
+
+	mu         sync.Mutex
+	loaded     map[string]*loadedScript
+	flushTimer *sim.Timer
+	flushEvery int64
+	lastDrops  uint64
+
+	// Batches counts flushes that carried at least one record.
+	Batches uint64
+}
+
+type loadedScript struct {
+	compiled *script.Compiled
+	handle   *core.AttachHandle
+}
+
+// NewAgent creates an agent for a machine, shipping records to sink.
+func NewAgent(name string, machine *core.Machine, sink RecordSink) *Agent {
+	return &Agent{
+		name:    name,
+		machine: machine,
+		sink:    sink,
+		cost:    core.DefaultCostModel(),
+		loaded:  make(map[string]*loadedScript),
+	}
+}
+
+// Name returns the agent's identity.
+func (a *Agent) Name() string { return a.name }
+
+// Machine returns the machine under management.
+func (a *Agent) Machine() *core.Machine { return a.machine }
+
+// SetCostModel overrides the eBPF execution cost model (used by overhead
+// ablation benches).
+func (a *Agent) SetCostModel(cm core.CostModel) { a.cost = cm }
+
+// Apply implements ControlClient: uninstalls, then installs, then re-arms
+// flushing. Installation is atomic per script; a failing spec leaves
+// earlier scripts of the same package installed and returns the error.
+func (a *Agent) Apply(pkg ControlPackage) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, name := range pkg.Uninstall {
+		ls, ok := a.loaded[name]
+		if !ok {
+			return fmt.Errorf("control: agent %s: uninstall unknown script %q", a.name, name)
+		}
+		ls.handle.Detach()
+		delete(a.loaded, name)
+	}
+	for _, spec := range pkg.Install {
+		if _, dup := a.loaded[spec.Name]; dup {
+			return fmt.Errorf("control: agent %s: script %q already installed", a.name, spec.Name)
+		}
+		compiled, err := script.Compile(spec)
+		if err != nil {
+			return fmt.Errorf("control: agent %s: %w", a.name, err)
+		}
+		handle, err := a.machine.Attach(compiled.Prog, spec.Attach, a.cost)
+		if err != nil {
+			return fmt.Errorf("control: agent %s: %w", a.name, err)
+		}
+		a.loaded[spec.Name] = &loadedScript{compiled: compiled, handle: handle}
+	}
+	if pkg.FlushIntervalNs > 0 {
+		a.startFlushingLocked(pkg.FlushIntervalNs)
+	}
+	return nil
+}
+
+// Script returns an installed script's compiled form, giving callers
+// access to its maps (counters, CPU histograms).
+func (a *Agent) Script(name string) (*script.Compiled, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ls, ok := a.loaded[name]
+	if !ok {
+		return nil, false
+	}
+	return ls.compiled, true
+}
+
+// Handle returns an installed script's attach handle (runtime stats).
+func (a *Agent) Handle(name string) (*core.AttachHandle, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ls, ok := a.loaded[name]
+	if !ok {
+		return nil, false
+	}
+	return ls.handle, true
+}
+
+// Installed lists installed script names.
+func (a *Agent) Installed() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.loaded))
+	for name := range a.loaded {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Flush drains the ring buffer and ships one batch (also serving as the
+// heartbeat — an empty batch still announces liveness).
+func (a *Agent) Flush() error {
+	if a.sink == nil {
+		return errors.New("control: agent has no sink")
+	}
+	raw := a.machine.Ring.Drain()
+	recs, err := core.UnmarshalRecords(raw)
+	if err != nil {
+		return fmt.Errorf("control: agent %s: corrupt ring: %w", a.name, err)
+	}
+	drops := a.machine.Ring.Drops()
+	batch := RecordBatch{
+		Agent:       a.name,
+		AgentTimeNs: a.machine.Node.Clock.NowNs(),
+		Records:     recs,
+		RingDrops:   drops - a.lastDrops,
+	}
+	a.lastDrops = drops
+	if len(recs) > 0 {
+		a.Batches++
+	}
+	return a.sink.HandleBatch(batch)
+}
+
+// StartFlushing schedules periodic flushes on the machine's simulation
+// engine.
+func (a *Agent) StartFlushing(intervalNs int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.startFlushingLocked(intervalNs)
+}
+
+func (a *Agent) startFlushingLocked(intervalNs int64) {
+	if a.flushTimer != nil {
+		a.flushTimer.Cancel()
+	}
+	a.flushEvery = intervalNs
+	eng := a.machine.Node.Engine()
+	var tick func()
+	tick = func() {
+		if err := a.Flush(); err == nil {
+			a.mu.Lock()
+			a.flushTimer = eng.Schedule(a.flushEvery, tick)
+			a.mu.Unlock()
+		}
+	}
+	a.flushTimer = eng.Schedule(intervalNs, tick)
+}
+
+// StopFlushing cancels the periodic flush.
+func (a *Agent) StopFlushing() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.flushTimer != nil {
+		a.flushTimer.Cancel()
+		a.flushTimer = nil
+	}
+}

@@ -1,0 +1,46 @@
+package control
+
+import (
+	"sync"
+
+	"vnettracer/internal/tracedb"
+)
+
+// Collector is the raw data collector on the master node: it loads record
+// batches into the trace database and tracks agent liveness through the
+// batch heartbeats.
+type Collector struct {
+	db *tracedb.DB
+
+	mu        sync.Mutex
+	batches   uint64
+	records   uint64
+	ringDrops uint64
+}
+
+// NewCollector creates a collector over a trace database.
+func NewCollector(db *tracedb.DB) *Collector {
+	return &Collector{db: db}
+}
+
+// DB returns the backing trace database.
+func (c *Collector) DB() *tracedb.DB { return c.db }
+
+// HandleBatch implements RecordSink.
+func (c *Collector) HandleBatch(b RecordBatch) error {
+	c.db.Insert(b.Records)
+	c.db.Heartbeat(b.Agent, b.AgentTimeNs)
+	c.mu.Lock()
+	c.batches++
+	c.records += uint64(len(b.Records))
+	c.ringDrops += b.RingDrops
+	c.mu.Unlock()
+	return nil
+}
+
+// Stats reports collector totals.
+func (c *Collector) Stats() (batches, records, ringDrops uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.batches, c.records, c.ringDrops
+}

@@ -1,0 +1,92 @@
+package control
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Dispatcher is the control data dispatcher on the master node: it keeps a
+// roster of agents and pushes control packages to them. TPID allocation is
+// centralized here so tracepoint tables never collide across agents.
+type Dispatcher struct {
+	mu      sync.Mutex
+	agents  map[string]ControlClient
+	nextTP  uint32
+	tpNames map[uint32]string
+}
+
+// NewDispatcher returns an empty dispatcher.
+func NewDispatcher() *Dispatcher {
+	return &Dispatcher{
+		agents:  make(map[string]ControlClient),
+		nextTP:  1,
+		tpNames: make(map[uint32]string),
+	}
+}
+
+// Register adds an agent to the roster.
+func (d *Dispatcher) Register(name string, client ControlClient) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.agents[name]; dup {
+		return fmt.Errorf("control: dispatcher: agent %q already registered", name)
+	}
+	d.agents[name] = client
+	return nil
+}
+
+// Agents lists registered agent names.
+func (d *Dispatcher) Agents() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.agents))
+	for name := range d.agents {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AllocTPID reserves a fresh tracepoint ID under the given human-readable
+// name.
+func (d *Dispatcher) AllocTPID(name string) uint32 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id := d.nextTP
+	d.nextTP++
+	d.tpNames[id] = name
+	return id
+}
+
+// TPName resolves a tracepoint ID to its name.
+func (d *Dispatcher) TPName(id uint32) string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.tpNames[id]
+}
+
+// Push ships a control package to one agent.
+func (d *Dispatcher) Push(agent string, pkg ControlPackage) error {
+	d.mu.Lock()
+	client, ok := d.agents[agent]
+	d.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("control: dispatcher: unknown agent %q", agent)
+	}
+	if err := client.Apply(pkg); err != nil {
+		return fmt.Errorf("control: dispatcher: push to %q: %w", agent, err)
+	}
+	return nil
+}
+
+// PushAll ships the same package to every agent, stopping at the first
+// failure.
+func (d *Dispatcher) PushAll(pkg ControlPackage) error {
+	for _, name := range d.Agents() {
+		if err := d.Push(name, pkg); err != nil {
+			return err
+		}
+	}
+	return nil
+}

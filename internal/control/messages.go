@@ -1,0 +1,52 @@
+// Package control implements vNetTracer's control plane (paper Figure 2):
+// the control data dispatcher on the master node that formats user
+// requirements into control packages and ships them to agents; the agent
+// daemons on monitored machines that compile, load, attach, and flush
+// trace scripts; and the raw data collector that gathers records into the
+// trace database and doubles as the agents' heartbeat monitor.
+//
+// The control plane is transport-agnostic: components connect in-process
+// for simulations, or over a length-prefixed JSON TCP protocol
+// (internal/control/tcp.go) for the distributed CLI.
+package control
+
+import (
+	"vnettracer/internal/core"
+	"vnettracer/internal/script"
+)
+
+// ControlPackage is the unit the dispatcher ships to an agent: scripts to
+// install and script names to remove. The paper: "we created highly
+// modularized control package, which includes the tracing rules,
+// tracepoint locations, actions and global configurations".
+type ControlPackage struct {
+	// Install lists trace scripts to compile, load, and attach.
+	Install []script.Spec `json:"install,omitempty"`
+	// Uninstall lists script names to detach and unload.
+	Uninstall []string `json:"uninstall,omitempty"`
+	// FlushIntervalNs, when positive, re-arms the agent's periodic flush.
+	FlushIntervalNs int64 `json:"flush_interval_ns,omitempty"`
+}
+
+// RecordBatch is what agents ship to the collector: drained raw records
+// plus a heartbeat timestamp on the agent's clock.
+type RecordBatch struct {
+	Agent       string        `json:"agent"`
+	AgentTimeNs int64         `json:"agent_time_ns"`
+	Records     []core.Record `json:"records"`
+	// RingDrops reports how many records the kernel buffer rejected since
+	// the last batch, surfacing trace loss under overload.
+	RingDrops uint64 `json:"ring_drops,omitempty"`
+}
+
+// RecordSink consumes record batches (the collector, or a transport to
+// it).
+type RecordSink interface {
+	HandleBatch(b RecordBatch) error
+}
+
+// ControlClient pushes control packages to one agent (directly, or over a
+// transport).
+type ControlClient interface {
+	Apply(pkg ControlPackage) error
+}

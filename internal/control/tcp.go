@@ -1,0 +1,279 @@
+package control
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// maxFrameBytes bounds a single protocol frame (defense against corrupt
+// length prefixes).
+const maxFrameBytes = 16 << 20
+
+// frame types.
+const (
+	frameControl = "control"
+	frameBatch   = "batch"
+	frameOK      = "ok"
+	frameError   = "error"
+)
+
+// envelope is the wire message: a 4-byte big-endian length prefix followed
+// by this structure as JSON.
+type envelope struct {
+	Type    string          `json:"type"`
+	Control *ControlPackage `json:"control,omitempty"`
+	Batch   *RecordBatch    `json:"batch,omitempty"`
+	Error   string          `json:"error,omitempty"`
+}
+
+func writeFrame(w io.Writer, env envelope) error {
+	body, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("control: encode frame: %w", err)
+	}
+	if len(body) > maxFrameBytes {
+		return fmt.Errorf("control: frame too large: %d bytes", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("control: write frame header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("control: write frame body: %w", err)
+	}
+	return nil
+}
+
+func readFrame(r io.Reader) (envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return envelope{}, err // io.EOF passes through for clean close
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrameBytes {
+		return envelope{}, fmt.Errorf("control: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return envelope{}, fmt.Errorf("control: read frame body: %w", err)
+	}
+	var env envelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		return envelope{}, fmt.Errorf("control: decode frame: %w", err)
+	}
+	return env, nil
+}
+
+// Server accepts protocol connections and dispatches frames: control
+// frames to an agent, batch frames to a sink. One Server can play the
+// agent role (agent non-nil), the collector role (sink non-nil), or both.
+type Server struct {
+	ln    net.Listener
+	agent ControlClient
+	sink  RecordSink
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+}
+
+// Serve starts accepting connections on ln. Close the server to stop.
+func Serve(ln net.Listener, agent ControlClient, sink RecordSink) *Server {
+	s := &Server{
+		ln:     ln,
+		agent:  agent,
+		sink:   sink,
+		closed: make(chan struct{}),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops the listener, tears down live connections, and waits for
+// handlers to finish.
+func (s *Server) Close() error {
+	close(s.closed)
+	err := s.ln.Close()
+	s.connMu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.connMu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				continue
+			}
+		}
+		s.connMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.connMu.Lock()
+				delete(s.conns, conn)
+				s.connMu.Unlock()
+				conn.Close()
+			}()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	for {
+		env, err := readFrame(conn)
+		if err != nil {
+			return // EOF or protocol error: drop the connection
+		}
+		reply := envelope{Type: frameOK}
+		switch {
+		case env.Type == frameControl && env.Control != nil:
+			if s.agent == nil {
+				reply = envelope{Type: frameError, Error: "not an agent endpoint"}
+			} else if err := s.agent.Apply(*env.Control); err != nil {
+				reply = envelope{Type: frameError, Error: err.Error()}
+			}
+		case env.Type == frameBatch && env.Batch != nil:
+			if s.sink == nil {
+				reply = envelope{Type: frameError, Error: "not a collector endpoint"}
+			} else if err := s.sink.HandleBatch(*env.Batch); err != nil {
+				reply = envelope{Type: frameError, Error: err.Error()}
+			}
+		default:
+			reply = envelope{Type: frameError, Error: fmt.Sprintf("unknown frame %q", env.Type)}
+		}
+		if err := writeFrame(conn, reply); err != nil {
+			return
+		}
+	}
+}
+
+// RemoteError is an application-level rejection from the far endpoint
+// (e.g. a spec that failed verification on the agent). Transport failures
+// are retried once; remote errors are returned as-is, since repeating the
+// request would only repeat the rejection.
+type RemoteError struct {
+	Msg string
+}
+
+func (e *RemoteError) Error() string { return "control: remote error: " + e.Msg }
+
+// client is a synchronous request/reply connection with lazy dialing and
+// one reconnect attempt per call.
+type client struct {
+	addr string
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (c *client) roundTrip(env envelope) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	err := c.tryLocked(env)
+	if err == nil {
+		return nil
+	}
+	var remote *RemoteError
+	if errors.As(err, &remote) {
+		return err
+	}
+	// Transport failure: reset the connection and retry once.
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	return c.tryLocked(env)
+}
+
+func (c *client) tryLocked(env envelope) error {
+	if c.conn == nil {
+		conn, err := net.Dial("tcp", c.addr)
+		if err != nil {
+			return fmt.Errorf("control: dial %s: %w", c.addr, err)
+		}
+		c.conn = conn
+	}
+	if err := writeFrame(c.conn, env); err != nil {
+		return err
+	}
+	reply, err := readFrame(c.conn)
+	if err != nil {
+		return err
+	}
+	if reply.Type == frameError {
+		return &RemoteError{Msg: reply.Error}
+	}
+	return nil
+}
+
+// Close tears down the connection.
+func (c *client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		err := c.conn.Close()
+		c.conn = nil
+		return err
+	}
+	return nil
+}
+
+// TCPControlClient pushes control packages to a remote agent endpoint.
+type TCPControlClient struct {
+	client
+}
+
+var _ ControlClient = (*TCPControlClient)(nil)
+
+// NewTCPControlClient targets an agent server address.
+func NewTCPControlClient(addr string) *TCPControlClient {
+	return &TCPControlClient{client{addr: addr}}
+}
+
+// Apply implements ControlClient over TCP.
+func (c *TCPControlClient) Apply(pkg ControlPackage) error {
+	return c.roundTrip(envelope{Type: frameControl, Control: &pkg})
+}
+
+// TCPSink ships record batches to a remote collector endpoint.
+type TCPSink struct {
+	client
+}
+
+var _ RecordSink = (*TCPSink)(nil)
+
+// NewTCPSink targets a collector server address.
+func NewTCPSink(addr string) *TCPSink {
+	return &TCPSink{client{addr: addr}}
+}
+
+// HandleBatch implements RecordSink over TCP.
+func (s *TCPSink) HandleBatch(b RecordBatch) error {
+	return s.roundTrip(envelope{Type: frameBatch, Batch: &b})
+}

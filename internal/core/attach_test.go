@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"vnettracer/internal/kernel"
+	"vnettracer/internal/sim"
+	"vnettracer/internal/vnet"
+)
+
+func TestAttachKretprobeFiresOnReturn(t *testing.T) {
+	eng := sim.NewEngine(1)
+	node := kernel.NewNode(eng, kernel.NodeConfig{Name: "m0", NumCPU: 1})
+	m, err := NewMachine(node, 64*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node.Egress = func(p *vnet.Packet) { node.DeliverLocal(p) }
+
+	entry, err := m.Attach(loadMini(t), AttachPoint{Kind: AttachKProbe, Site: kernel.SiteUDPRecvmsg}, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret, err := m.Attach(loadMini(t), AttachPoint{Kind: AttachKretprobe, Site: kernel.SiteUDPRecvmsg}, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := node.Open(vnet.ProtoUDP, kernel.SockAddr{Port: 9000}, func(*vnet.Packet) {}); err != nil {
+		t.Fatal(err)
+	}
+	cli, err := node.Open(vnet.ProtoUDP, kernel.SockAddr{IP: 1, Port: 40000}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Send(kernel.SockAddr{IP: 2, Port: 9000}, 32); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntilIdle()
+
+	if entry.Stats().Invocations != 1 {
+		t.Fatalf("kprobe fired %d times", entry.Stats().Invocations)
+	}
+	if ret.Stats().Invocations != 1 {
+		t.Fatalf("kretprobe fired %d times", ret.Stats().Invocations)
+	}
+	// Two records: entry and return.
+	if m.Ring.Used() != 32 {
+		t.Fatalf("ring holds %d bytes, want 32", m.Ring.Used())
+	}
+}
+
+func TestAttachKretprobeOnSendReturn(t *testing.T) {
+	eng := sim.NewEngine(1)
+	node := kernel.NewNode(eng, kernel.NodeConfig{Name: "m0", NumCPU: 1})
+	m, err := NewMachine(node, 64*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var egressAt, retAt int64 = -1, -1
+	node.Egress = func(*vnet.Packet) { egressAt = eng.Now() }
+	node.Probes.Attach(kernel.RetSite(kernel.SiteUDPSendSkb), func(*kernel.ProbeCtx) int64 {
+		retAt = eng.Now()
+		return 0
+	})
+	_ = m
+	cli, err := node.Open(vnet.ProtoUDP, kernel.SockAddr{IP: 1, Port: 40000}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Send(kernel.SockAddr{IP: 2, Port: 9000}, 32); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntilIdle()
+	if retAt < 0 || egressAt < 0 {
+		t.Fatal("send return probe or egress never happened")
+	}
+	if retAt != egressAt {
+		t.Fatalf("send kretprobe at %d, egress at %d: must coincide", retAt, egressAt)
+	}
+	if retAt == 0 {
+		t.Fatal("send return must fire after the send-path cost, not at call time")
+	}
+}
+
+func TestAttachUprobe(t *testing.T) {
+	eng := sim.NewEngine(1)
+	node := kernel.NewNode(eng, kernel.NodeConfig{Name: "m0", NumCPU: 1})
+	m, err := NewMachine(node, 64*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	site := kernel.UprobeSite("myapp", "handle_request")
+	h, err := m.Attach(loadMini(t), AttachPoint{Kind: AttachUprobe, Site: site}, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The application fires its own probe site.
+	node.Probes.Fire(&kernel.ProbeCtx{Site: site, TimeNs: node.Clock.NowNs()})
+	if h.Stats().Invocations != 1 {
+		t.Fatalf("uprobe fired %d times", h.Stats().Invocations)
+	}
+	if h.Point().String() != site {
+		t.Fatalf("point = %s", h.Point())
+	}
+}
+
+func TestAttachPointStrings(t *testing.T) {
+	tests := []struct {
+		at   AttachPoint
+		want string
+	}{
+		{AttachPoint{Kind: AttachKProbe, Site: "udp_recvmsg"}, "kprobe:udp_recvmsg"},
+		{AttachPoint{Kind: AttachKretprobe, Site: "tcp_recvmsg"}, "kretprobe:tcp_recvmsg"},
+		{AttachPoint{Kind: AttachDevice, Device: "eth0", Dir: vnet.Ingress}, "dev:eth0/ingress"},
+	}
+	for _, tc := range tests {
+		if got := tc.at.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestAttachNeedsSite(t *testing.T) {
+	_, m := newMachine(t)
+	for _, kind := range []AttachKind{AttachKProbe, AttachKretprobe, AttachUprobe} {
+		if _, err := m.Attach(loadMini(t), AttachPoint{Kind: kind}, DefaultCostModel()); err == nil {
+			t.Errorf("kind %d: empty site accepted", kind)
+		}
+	}
+}

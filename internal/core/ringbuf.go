@@ -1,0 +1,94 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Ring buffer size limits. The paper (Section III-C, footnote 1): "the
+// buffer size range is from 32 bytes to 128k-16 bytes" due to kmalloc
+// limits in its kernel module.
+const (
+	MinBufferBytes = 32
+	MaxBufferBytes = 128*1024 - 16
+)
+
+// ErrBufferSize rejects out-of-range buffer sizes.
+var ErrBufferSize = errors.New("core: buffer size out of range")
+
+// RingBuffer is the per-node kernel memory buffer that stages raw trace
+// data between the in-kernel trace programs and the userspace agent
+// (mmap'd to /proc in the paper's implementation, avoiding per-event
+// kernel/user copies). Writes beyond capacity are dropped and counted —
+// losing trace data under overload is preferred over slowing the kernel.
+type RingBuffer struct {
+	mu      sync.Mutex
+	buf     []byte
+	used    int
+	drops   uint64
+	writes  uint64
+	drained uint64
+}
+
+// NewRingBuffer allocates a buffer of the given byte capacity.
+func NewRingBuffer(capacity int) (*RingBuffer, error) {
+	if capacity < MinBufferBytes || capacity > MaxBufferBytes {
+		return nil, fmt.Errorf("%w: %d not in [%d, %d]", ErrBufferSize, capacity, MinBufferBytes, MaxBufferBytes)
+	}
+	return &RingBuffer{buf: make([]byte, capacity)}, nil
+}
+
+// Write appends data, returning false (and counting a drop) when it does
+// not fit. This is the perf_event_output sink.
+func (r *RingBuffer) Write(data []byte) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.used+len(data) > len(r.buf) {
+		r.drops++
+		return false
+	}
+	copy(r.buf[r.used:], data)
+	r.used += len(data)
+	r.writes++
+	return true
+}
+
+// Drain removes and returns all buffered bytes. The agent calls this
+// periodically ("we periodically dump the tracing data from the buffer").
+func (r *RingBuffer) Drain() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.used == 0 {
+		return nil
+	}
+	out := make([]byte, r.used)
+	copy(out, r.buf[:r.used])
+	r.used = 0
+	r.drained++
+	return out
+}
+
+// Used returns the occupied bytes.
+func (r *RingBuffer) Used() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.used
+}
+
+// Cap returns the buffer capacity.
+func (r *RingBuffer) Cap() int { return len(r.buf) }
+
+// Drops returns how many writes were rejected for lack of space.
+func (r *RingBuffer) Drops() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.drops
+}
+
+// Writes returns the number of successful writes.
+func (r *RingBuffer) Writes() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.writes
+}

@@ -1,0 +1,345 @@
+package ebpf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses a textual eBPF program into instructions. The syntax is a
+// small, line-oriented assembly close to kernel verifier output:
+//
+//	; filter UDP packets to port 9000 and record a timestamp
+//	        ldxw  r2, [r1+32]        ; ip_proto
+//	        jne   r2, 17, out
+//	        ldxw  r2, [r1+28]        ; dst_port
+//	        jne   r2, 9000, out
+//	        call  ktime_get_ns
+//	        stxdw [r10-8], r0
+//	out:    mov   r0, 0
+//	        exit
+//
+// Lines may carry `;` or `#` comments. Labels are identifiers followed by a
+// colon, either alone on a line or prefixing an instruction. Map references
+// (`ld_map_fd r1, flows`) resolve through the maps argument; the returned
+// map table lists them in first-use order, matching the LoadMapFD indices
+// in the instruction stream.
+func Assemble(src string, maps map[string]Map) ([]Insn, []Map, error) {
+	a := &assembler{b: NewBuilder(), named: maps}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := a.line(line); err != nil {
+			return nil, nil, fmt.Errorf("ebpf: asm line %d: %w", lineNo+1, err)
+		}
+	}
+	return a.b.Program()
+}
+
+// MustAssemble is Assemble for tests and examples with known-good sources;
+// it panics on error.
+func MustAssemble(src string, maps map[string]Map) ([]Insn, []Map) {
+	insns, table, err := Assemble(src, maps)
+	if err != nil {
+		panic(err)
+	}
+	return insns, table
+}
+
+type assembler struct {
+	b     *Builder
+	named map[string]Map
+}
+
+func stripComment(s string) string {
+	if i := strings.IndexAny(s, ";#"); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func (a *assembler) line(line string) error {
+	// Leading label(s).
+	for {
+		i := strings.Index(line, ":")
+		if i < 0 {
+			break
+		}
+		head := strings.TrimSpace(line[:i])
+		if !isIdent(head) {
+			break
+		}
+		a.b.Label(head)
+		line = strings.TrimSpace(line[i+1:])
+	}
+	if line == "" {
+		return nil
+	}
+	fields := strings.FieldsFunc(line, func(r rune) bool { return r == ' ' || r == '\t' || r == ',' })
+	op := strings.ToLower(fields[0])
+	args := fields[1:]
+	return a.insn(op, args)
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		case r == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+var aluOps = map[string]uint8{
+	"add": ALUAdd, "sub": ALUSub, "mul": ALUMul, "div": ALUDiv,
+	"or": ALUOr, "and": ALUAnd, "lsh": ALULsh, "rsh": ALURsh,
+	"mod": ALUMod, "xor": ALUXor, "mov": ALUMov, "arsh": ALUArsh,
+}
+
+var jmpOps = map[string]uint8{
+	"jeq": JmpEq, "jne": JmpNe, "jgt": JmpGt, "jge": JmpGe,
+	"jlt": JmpLt, "jle": JmpLe, "jsgt": JmpSGt, "jsge": JmpSGe,
+	"jslt": JmpSLt, "jsle": JmpSLe, "jset": JmpSet,
+}
+
+var memSizes = map[string]uint8{"b": SizeB, "h": SizeH, "w": SizeW, "dw": SizeDW}
+
+func (a *assembler) insn(op string, args []string) error {
+	// ALU, with optional "32" suffix.
+	base := strings.TrimSuffix(op, "32")
+	if code, ok := aluOps[base]; ok {
+		class := ClassALU64
+		if strings.HasSuffix(op, "32") {
+			class = ClassALU
+		}
+		if len(args) != 2 {
+			return fmt.Errorf("%s needs 2 operands", op)
+		}
+		dst, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		if src, err := parseReg(args[1]); err == nil {
+			a.b.Emit(Insn{Op: class | SrcX | code, Dst: dst, Src: src})
+			return nil
+		}
+		imm, err := parseImm(args[1])
+		if err != nil {
+			return err
+		}
+		a.b.Emit(Insn{Op: class | SrcK | code, Dst: dst, Imm: imm})
+		return nil
+	}
+	if op == "neg" || op == "neg32" {
+		if len(args) != 1 {
+			return fmt.Errorf("%s needs 1 operand", op)
+		}
+		dst, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		class := ClassALU64
+		if op == "neg32" {
+			class = ClassALU
+		}
+		a.b.Emit(Insn{Op: class | ALUNeg, Dst: dst})
+		return nil
+	}
+
+	// Conditional jumps.
+	if code, ok := jmpOps[base]; ok && !strings.HasSuffix(op, "32") {
+		if len(args) != 3 {
+			return fmt.Errorf("%s needs dst, src|imm, label", op)
+		}
+		dst, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		label := args[2]
+		if src, err := parseReg(args[1]); err == nil {
+			a.b.JumpRegTo(code, dst, src, label)
+			return nil
+		}
+		imm, err := parseImm(args[1])
+		if err != nil {
+			return err
+		}
+		a.b.JumpImmTo(code, dst, imm, label)
+		return nil
+	}
+
+	switch {
+	case op == "ja":
+		if len(args) != 1 {
+			return fmt.Errorf("ja needs a label")
+		}
+		a.b.JaTo(args[0])
+		return nil
+
+	case op == "exit":
+		a.b.ExitInsn()
+		return nil
+
+	case op == "call":
+		if len(args) != 1 {
+			return fmt.Errorf("call needs a helper")
+		}
+		if n, err := strconv.Atoi(args[0]); err == nil {
+			a.b.Call(HelperID(n))
+			return nil
+		}
+		for id, proto := range helperProtos {
+			if proto.name == args[0] {
+				a.b.Call(id)
+				return nil
+			}
+		}
+		return fmt.Errorf("unknown helper %q", args[0])
+
+	case op == "ld_imm64":
+		if len(args) != 2 {
+			return fmt.Errorf("ld_imm64 needs reg, imm")
+		}
+		dst, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		v, err := strconv.ParseInt(args[1], 0, 64)
+		if err != nil {
+			return fmt.Errorf("bad imm64 %q: %v", args[1], err)
+		}
+		a.b.LoadImm64(dst, v)
+		return nil
+
+	case op == "ld_map_fd":
+		if len(args) != 2 {
+			return fmt.Errorf("ld_map_fd needs reg, mapname")
+		}
+		dst, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		m, ok := a.named[args[1]]
+		if !ok {
+			return fmt.Errorf("unknown map %q", args[1])
+		}
+		a.b.LoadMapFD(dst, m)
+		return nil
+
+	case strings.HasPrefix(op, "ldx"):
+		size, ok := memSizes[op[3:]]
+		if !ok || len(args) != 2 {
+			return fmt.Errorf("bad load %q", op)
+		}
+		dst, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		src, off, err := parseMem(args[1])
+		if err != nil {
+			return err
+		}
+		a.b.Load(dst, src, off, size)
+		return nil
+
+	case strings.HasPrefix(op, "stx"):
+		size, ok := memSizes[op[3:]]
+		if !ok || len(args) != 2 {
+			return fmt.Errorf("bad store %q", op)
+		}
+		dst, off, err := parseMem(args[0])
+		if err != nil {
+			return err
+		}
+		src, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		a.b.Store(dst, off, src, size)
+		return nil
+
+	case strings.HasPrefix(op, "st"):
+		size, ok := memSizes[op[2:]]
+		if !ok || len(args) != 2 {
+			return fmt.Errorf("bad store %q", op)
+		}
+		dst, off, err := parseMem(args[0])
+		if err != nil {
+			return err
+		}
+		imm, err := parseImm(args[1])
+		if err != nil {
+			return err
+		}
+		a.b.Emit(StoreImm(dst, off, imm, size))
+		return nil
+	}
+	return fmt.Errorf("unknown mnemonic %q", op)
+}
+
+func parseReg(s string) (Reg, error) {
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'R') {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return Reg(n), nil
+}
+
+func parseImm(s string) (int32, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	if v < -1<<31 || v > 1<<31-1 {
+		return 0, fmt.Errorf("immediate %q exceeds 32 bits (use ld_imm64)", s)
+	}
+	return int32(v), nil
+}
+
+// parseMem parses "[rN+off]" or "[rN-off]" or "[rN]".
+func parseMem(s string) (Reg, int16, error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	sign := int64(1)
+	regPart, offPart := inner, ""
+	if i := strings.IndexAny(inner, "+-"); i > 0 {
+		if inner[i] == '-' {
+			sign = -1
+		}
+		regPart, offPart = inner[:i], inner[i+1:]
+	}
+	reg, err := parseReg(strings.TrimSpace(regPart))
+	if err != nil {
+		return 0, 0, err
+	}
+	var off int64
+	if offPart != "" {
+		off, err = strconv.ParseInt(strings.TrimSpace(offPart), 0, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad offset in %q", s)
+		}
+	}
+	off *= sign
+	if off != int64(int16(off)) {
+		return 0, 0, fmt.Errorf("offset in %q exceeds int16", s)
+	}
+	return reg, int16(off), nil
+}

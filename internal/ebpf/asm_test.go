@@ -1,0 +1,233 @@
+package ebpf
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAssembleAllMnemonics(t *testing.T) {
+	m, err := NewHashMap(4, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `
+	start:
+		mov   r0, 0
+		mov32 r1, 5
+		add   r0, 1
+		sub   r0, r1
+		mul   r0, 2
+		div   r0, 2
+		or    r0, 0x10
+		and   r0, 0xff
+		lsh   r0, 2
+		rsh   r0, 1
+		mod   r0, 7
+		xor   r0, r0
+		arsh  r0, 1
+		neg   r0
+		neg32 r0
+		add32 r0, 1
+		ldxb  r2, [r10-1]
+		ldxh  r2, [r10-2]
+		ldxw  r2, [r10-4]
+		ldxdw r2, [r10-8]
+		stxb  [r10-1], r0
+		stxh  [r10-2], r0
+		stxw  [r10-4], r0
+		stxdw [r10-8], r0
+		stb   [r10-1], 1
+		sth   [r10-2], 2
+		stw   [r10-4], 3
+		stdw  [r10-8], 4
+		jeq   r0, 0, fwd
+	fwd:
+		jne   r0, r2, fwd2
+	fwd2:
+		jgt   r0, 1, out
+		jge   r0, 1, out
+		jlt   r0, 1, out
+		jle   r0, 1, out
+		jsgt  r0, 1, out
+		jsge  r0, 1, out
+		jslt  r0, 1, out
+		jsle  r0, 1, out
+		jset  r0, 1, out
+		ja    out
+	out:
+		ld_imm64  r3, 0x1122334455667788
+		ld_map_fd r1, flows
+		call ktime_get_ns
+		call 8
+		exit
+	`
+	insns, maps, err := Assemble(src, map[string]Map{"flows": m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(maps) != 1 || maps[0] != Map(m) {
+		t.Fatalf("maps = %v", maps)
+	}
+	// Every instruction must render without the fallback formatter.
+	for i, in := range insns {
+		s := in.String()
+		if strings.Contains(s, "insn{") {
+			// Second halves of wide instructions are allowed to fall back.
+			if i > 0 && insns[i-1].IsWide() {
+				continue
+			}
+			t.Errorf("insn %d has no disassembly: %s", i, s)
+		}
+	}
+}
+
+func TestAssembleStoreLoadOrderPreserved(t *testing.T) {
+	// stdw must parse as DW, not W (regression: suffix parsing).
+	insns, _, err := Assemble("stdw [r10-8], 1\nmov r0, 0\nexit", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if insns[0].Op&0x18 != SizeDW {
+		t.Fatalf("stdw parsed as size %#x", insns[0].Op&0x18)
+	}
+	insns, _, err = Assemble("ldxdw r0, [r10-8]\nexit", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if insns[0].Op&0x18 != SizeDW {
+		t.Fatalf("ldxdw parsed as size %#x", insns[0].Op&0x18)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unknown mnemonic", "bogus r0, 1"},
+		{"bad register", "mov r11, 1"},
+		{"bad register name", "mov x0, 1"},
+		{"missing operand", "mov r0"},
+		{"bad immediate", "mov r0, zzz"},
+		{"imm too wide", "mov r0, 0x1ffffffff"},
+		{"bad memory operand", "ldxw r0, r1+4"},
+		{"bad offset", "ldxw r0, [r1+zz]"},
+		{"offset too wide", "ldxw r0, [r1+70000]"},
+		{"unknown helper", "call not_a_helper"},
+		{"unknown map", "ld_map_fd r1, ghost"},
+		{"undefined label", "ja nowhere\nexit"},
+		{"duplicate label", "a: mov r0, 0\na: exit"},
+		{"jump needs label", "jeq r0, 1"},
+		{"bad store", "stq [r10-8], 1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := Assemble(tc.src, nil); err == nil {
+				t.Errorf("assembled %q without error", tc.src)
+			}
+		})
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAssemble did not panic on bad input")
+		}
+	}()
+	MustAssemble("bogus", nil)
+}
+
+func TestCommentsAndLabelsOnOwnLines(t *testing.T) {
+	insns, _, err := Assemble(`
+		; leading comment
+		# hash comment
+		entry:
+		mov r0, 0   ; trailing comment
+		exit
+	`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insns) != 2 {
+		t.Fatalf("insns = %d", len(insns))
+	}
+}
+
+func TestJMP32UnsignedComparison(t *testing.T) {
+	// 0xFFFFFFFF in the low 32 bits: JMP32 jgt treats it as large
+	// unsigned; a 64-bit signed comparison would disagree.
+	p := loadAsm(t, `
+		ld_imm64 r2, 0xffffffff
+		mov r0, 0
+		jeq r2, 0, out      ; never
+		mov r0, 1
+	out:
+		exit
+	`, nil, 8)
+	if got := runProg(t, p, make([]byte, 8), nil); got != 1 {
+		t.Fatalf("r0 = %d", got)
+	}
+}
+
+func TestInsnStringFormats(t *testing.T) {
+	tests := []struct {
+		in   Insn
+		want string
+	}{
+		{Mov64Imm(R1, 5), "mov r1, 5"},
+		{Mov64Reg(R1, R2), "mov r1, r2"},
+		{ALU64Imm(ALUAdd, R3, -1), "add r3, -1"},
+		{Insn{Op: ClassALU | SrcK | ALUAdd, Dst: R3, Imm: 2}, "add32 r3, 2"},
+		{LoadMem(R1, R2, 4, SizeW), "ldxw r1, [r2+4]"},
+		{StoreMem(R10, -8, R3, SizeDW), "stxdw [r10-8], r3"},
+		{StoreImm(R10, -4, 7, SizeB), "stb [r10-4], 7"},
+		{JumpImm(JmpEq, R1, 3, 5), "jeq r1, 3, +5"},
+		{JumpReg(JmpGt, R1, R2, 2), "jgt r1, r2, +2"},
+		{Ja(3), "ja +3"},
+		{Call(HelperKtimeGetNs), "call 5"},
+		{Exit(), "exit"},
+	}
+	for _, tc := range tests {
+		if got := tc.in.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+	pair := LoadMapFD(R1, 2)
+	if got := pair[0].String(); got != "ld_map_fd r1, 2" {
+		t.Errorf("map fd String() = %q", got)
+	}
+	pair = LoadImm64(R1, 7)
+	if !strings.Contains(pair[0].String(), "ld_imm64") {
+		t.Errorf("imm64 String() = %q", pair[0].String())
+	}
+}
+
+func TestHelperNames(t *testing.T) {
+	if HelperName(HelperKtimeGetNs) != "ktime_get_ns" {
+		t.Error("ktime name")
+	}
+	if HelperName(12345) != "" {
+		t.Error("unknown helper has a name")
+	}
+}
+
+func TestProgAndMapTypeStrings(t *testing.T) {
+	for typ, want := range map[ProgType]string{
+		ProgTypeKprobe: "kprobe", ProgTypeKretprobe: "kretprobe",
+		ProgTypeTracepoint: "tracepoint", ProgTypeSocketFilter: "socket_filter",
+		ProgType(99): "progtype(99)",
+	} {
+		if got := typ.String(); got != want {
+			t.Errorf("ProgType(%d) = %q", typ, got)
+		}
+	}
+	for typ, want := range map[MapType]string{
+		MapTypeHash: "hash", MapTypeArray: "array", MapTypePerCPUArray: "percpu_array",
+		MapType(9): "maptype(9)",
+	} {
+		if got := typ.String(); got != want {
+			t.Errorf("MapType(%d) = %q", typ, got)
+		}
+	}
+}

@@ -1,0 +1,340 @@
+// Package ebpf implements a register-accurate model of the extended
+// Berkeley Packet Filter virtual machine that vNetTracer's trace scripts
+// compile to: the instruction set, a static verifier enforcing the same
+// safety rules the paper relies on (program size limit, no back edges,
+// initialized registers, bounded memory access), hash/array/per-CPU maps,
+// the helper-call surface (bpf_ktime_get_ns, map operations,
+// bpf_perf_event_output, ...), an interpreter, a text assembler and a
+// programmatic builder.
+//
+// Trace scripts in this repository are genuinely compiled to this bytecode,
+// verified, and interpreted once per matching packet, so the paper's
+// programmability constraints and per-event costs are structural rather
+// than asserted.
+package ebpf
+
+import "fmt"
+
+// Reg identifies one of the eleven eBPF registers.
+type Reg uint8
+
+// Register assignments follow the kernel ABI: R0 holds return values, R1-R5
+// are helper/function arguments (caller-saved), R6-R9 are callee-saved, and
+// R10 is the read-only frame pointer.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+
+	// NumRegs is the register-file size.
+	NumRegs = 11
+)
+
+// Instruction classes (low three opcode bits).
+const (
+	ClassLD  uint8 = 0x00
+	ClassLDX uint8 = 0x01
+	ClassST  uint8 = 0x02
+	ClassSTX uint8 = 0x03
+	ClassALU uint8 = 0x04
+	ClassJMP uint8 = 0x05
+	// ClassJMP32 compares on the low 32 bits.
+	ClassJMP32 uint8 = 0x06
+	ClassALU64 uint8 = 0x07
+)
+
+// Size field for memory instructions.
+const (
+	SizeW  uint8 = 0x00 // 4 bytes
+	SizeH  uint8 = 0x08 // 2 bytes
+	SizeB  uint8 = 0x10 // 1 byte
+	SizeDW uint8 = 0x18 // 8 bytes
+)
+
+// Mode field for load/store instructions.
+const (
+	ModeIMM uint8 = 0x00
+	ModeMEM uint8 = 0x60
+)
+
+// Source field: K uses the immediate, X uses the source register.
+const (
+	SrcK uint8 = 0x00
+	SrcX uint8 = 0x08
+)
+
+// ALU operations (high four opcode bits).
+const (
+	ALUAdd  uint8 = 0x00
+	ALUSub  uint8 = 0x10
+	ALUMul  uint8 = 0x20
+	ALUDiv  uint8 = 0x30
+	ALUOr   uint8 = 0x40
+	ALUAnd  uint8 = 0x50
+	ALULsh  uint8 = 0x60
+	ALURsh  uint8 = 0x70
+	ALUNeg  uint8 = 0x80
+	ALUMod  uint8 = 0x90
+	ALUXor  uint8 = 0xa0
+	ALUMov  uint8 = 0xb0
+	ALUArsh uint8 = 0xc0
+)
+
+// Jump operations (high four opcode bits).
+const (
+	JmpA    uint8 = 0x00
+	JmpEq   uint8 = 0x10
+	JmpGt   uint8 = 0x20
+	JmpGe   uint8 = 0x30
+	JmpSet  uint8 = 0x40
+	JmpNe   uint8 = 0x50
+	JmpSGt  uint8 = 0x60
+	JmpSGe  uint8 = 0x70
+	JmpCall uint8 = 0x80
+	JmpExit uint8 = 0x90
+	JmpLt   uint8 = 0xa0
+	JmpLe   uint8 = 0xb0
+	JmpSLt  uint8 = 0xc0
+	JmpSLe  uint8 = 0xd0
+)
+
+// PseudoMapFD in the Src field of an LD_DW instruction marks the immediate
+// as a map handle rather than a literal, mirroring BPF_PSEUDO_MAP_FD.
+const PseudoMapFD Reg = 1
+
+// Insn is a single eBPF instruction. A 64-bit immediate load (LdImm64 and
+// LoadMapFD) occupies two instruction slots: the second slot carries the
+// high 32 bits in Imm and must otherwise be zero.
+type Insn struct {
+	Op  uint8
+	Dst Reg
+	Src Reg
+	Off int16
+	Imm int32
+}
+
+// Class returns the instruction class bits.
+func (i Insn) Class() uint8 { return i.Op & 0x07 }
+
+// IsWide reports whether the instruction is the first half of a two-slot
+// 64-bit immediate load.
+func (i Insn) IsWide() bool {
+	return i.Op == ClassLD|ModeIMM|SizeDW
+}
+
+// String renders the instruction approximately in kernel verifier syntax.
+func (i Insn) String() string {
+	switch i.Class() {
+	case ClassALU, ClassALU64:
+		suffix := ""
+		if i.Class() == ClassALU {
+			suffix = "32"
+		}
+		if i.Op&0x08 == SrcX {
+			return fmt.Sprintf("%s%s r%d, r%d", aluName(i.Op&0xf0), suffix, i.Dst, i.Src)
+		}
+		return fmt.Sprintf("%s%s r%d, %d", aluName(i.Op&0xf0), suffix, i.Dst, i.Imm)
+	case ClassJMP, ClassJMP32:
+		op := i.Op & 0xf0
+		switch op {
+		case JmpA:
+			return fmt.Sprintf("ja +%d", i.Off)
+		case JmpCall:
+			return fmt.Sprintf("call %d", i.Imm)
+		case JmpExit:
+			return "exit"
+		}
+		if i.Op&0x08 == SrcX {
+			return fmt.Sprintf("%s r%d, r%d, +%d", jmpName(op), i.Dst, i.Src, i.Off)
+		}
+		return fmt.Sprintf("%s r%d, %d, +%d", jmpName(op), i.Dst, i.Imm, i.Off)
+	case ClassLDX:
+		return fmt.Sprintf("ldx%s r%d, [r%d%+d]", sizeName(i.Op&0x18), i.Dst, i.Src, i.Off)
+	case ClassSTX:
+		return fmt.Sprintf("stx%s [r%d%+d], r%d", sizeName(i.Op&0x18), i.Dst, i.Off, i.Src)
+	case ClassST:
+		return fmt.Sprintf("st%s [r%d%+d], %d", sizeName(i.Op&0x18), i.Dst, i.Off, i.Imm)
+	case ClassLD:
+		if i.IsWide() {
+			if i.Src == PseudoMapFD {
+				return fmt.Sprintf("ld_map_fd r%d, %d", i.Dst, i.Imm)
+			}
+			return fmt.Sprintf("ld_imm64 r%d, %d(lo)", i.Dst, i.Imm)
+		}
+	}
+	return fmt.Sprintf("insn{op=%#x dst=r%d src=r%d off=%d imm=%d}", i.Op, i.Dst, i.Src, i.Off, i.Imm)
+}
+
+func aluName(op uint8) string {
+	switch op {
+	case ALUAdd:
+		return "add"
+	case ALUSub:
+		return "sub"
+	case ALUMul:
+		return "mul"
+	case ALUDiv:
+		return "div"
+	case ALUOr:
+		return "or"
+	case ALUAnd:
+		return "and"
+	case ALULsh:
+		return "lsh"
+	case ALURsh:
+		return "rsh"
+	case ALUNeg:
+		return "neg"
+	case ALUMod:
+		return "mod"
+	case ALUXor:
+		return "xor"
+	case ALUMov:
+		return "mov"
+	case ALUArsh:
+		return "arsh"
+	}
+	return fmt.Sprintf("alu%#x", op)
+}
+
+func jmpName(op uint8) string {
+	switch op {
+	case JmpEq:
+		return "jeq"
+	case JmpGt:
+		return "jgt"
+	case JmpGe:
+		return "jge"
+	case JmpSet:
+		return "jset"
+	case JmpNe:
+		return "jne"
+	case JmpSGt:
+		return "jsgt"
+	case JmpSGe:
+		return "jsge"
+	case JmpLt:
+		return "jlt"
+	case JmpLe:
+		return "jle"
+	case JmpSLt:
+		return "jslt"
+	case JmpSLe:
+		return "jsle"
+	}
+	return fmt.Sprintf("jmp%#x", op)
+}
+
+func sizeName(sz uint8) string {
+	switch sz {
+	case SizeW:
+		return "w"
+	case SizeH:
+		return "h"
+	case SizeB:
+		return "b"
+	case SizeDW:
+		return "dw"
+	}
+	return "?"
+}
+
+// sizeBytes returns the access width in bytes for a size field.
+func sizeBytes(sz uint8) int64 {
+	switch sz {
+	case SizeB:
+		return 1
+	case SizeH:
+		return 2
+	case SizeW:
+		return 4
+	case SizeDW:
+		return 8
+	}
+	return 0
+}
+
+// Convenience constructors, used by the script compiler and tests.
+
+// Mov64Imm loads a 32-bit immediate (sign-extended) into dst.
+func Mov64Imm(dst Reg, imm int32) Insn {
+	return Insn{Op: ClassALU64 | SrcK | ALUMov, Dst: dst, Imm: imm}
+}
+
+// Mov64Reg copies src into dst.
+func Mov64Reg(dst, src Reg) Insn {
+	return Insn{Op: ClassALU64 | SrcX | ALUMov, Dst: dst, Src: src}
+}
+
+// ALU64Imm applies op (e.g. ALUAdd) with an immediate operand.
+func ALU64Imm(op uint8, dst Reg, imm int32) Insn {
+	return Insn{Op: ClassALU64 | SrcK | op, Dst: dst, Imm: imm}
+}
+
+// ALU64Reg applies op with a register operand.
+func ALU64Reg(op uint8, dst, src Reg) Insn {
+	return Insn{Op: ClassALU64 | SrcX | op, Dst: dst, Src: src}
+}
+
+// LoadMem loads size bytes from [src+off] into dst.
+func LoadMem(dst, src Reg, off int16, size uint8) Insn {
+	return Insn{Op: ClassLDX | ModeMEM | size, Dst: dst, Src: src, Off: off}
+}
+
+// StoreMem stores size bytes from src into [dst+off].
+func StoreMem(dst Reg, off int16, src Reg, size uint8) Insn {
+	return Insn{Op: ClassSTX | ModeMEM | size, Dst: dst, Src: src, Off: off}
+}
+
+// StoreImm stores size bytes of imm into [dst+off].
+func StoreImm(dst Reg, off int16, imm int32, size uint8) Insn {
+	return Insn{Op: ClassST | ModeMEM | size, Dst: dst, Imm: imm, Off: off}
+}
+
+// JumpImm compares dst against an immediate and jumps off instructions
+// forward when the condition holds.
+func JumpImm(op uint8, dst Reg, imm int32, off int16) Insn {
+	return Insn{Op: ClassJMP | SrcK | op, Dst: dst, Imm: imm, Off: off}
+}
+
+// JumpReg compares dst against src.
+func JumpReg(op uint8, dst, src Reg, off int16) Insn {
+	return Insn{Op: ClassJMP | SrcX | op, Dst: dst, Src: src, Off: off}
+}
+
+// Ja jumps unconditionally off instructions forward.
+func Ja(off int16) Insn { return Insn{Op: ClassJMP | JmpA, Off: off} }
+
+// Call invokes helper function id.
+func Call(id HelperID) Insn {
+	return Insn{Op: ClassJMP | JmpCall, Imm: int32(id)}
+}
+
+// Exit returns from the program with R0 as the result.
+func Exit() Insn { return Insn{Op: ClassJMP | JmpExit} }
+
+// LoadImm64 produces the two-slot instruction pair loading a full 64-bit
+// immediate into dst.
+func LoadImm64(dst Reg, v int64) [2]Insn {
+	return [2]Insn{
+		{Op: ClassLD | ModeIMM | SizeDW, Dst: dst, Imm: int32(uint32(uint64(v)))},
+		{Imm: int32(uint32(uint64(v) >> 32))},
+	}
+}
+
+// LoadMapFD produces the two-slot pseudo-instruction pair that places map
+// handle fd in dst.
+func LoadMapFD(dst Reg, fd int32) [2]Insn {
+	return [2]Insn{
+		{Op: ClassLD | ModeIMM | SizeDW, Dst: dst, Src: PseudoMapFD, Imm: fd},
+		{},
+	}
+}

@@ -1,0 +1,439 @@
+package ebpf
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// MapType enumerates the supported eBPF map types.
+type MapType int
+
+// Supported map types. The paper's trace scripts use hash maps for per-flow
+// state, arrays for counters and histograms, and per-CPU arrays for
+// softirq/CPU accounting (case study III).
+const (
+	MapTypeHash MapType = iota + 1
+	MapTypeArray
+	MapTypePerCPUArray
+)
+
+func (t MapType) String() string {
+	switch t {
+	case MapTypeHash:
+		return "hash"
+	case MapTypeArray:
+		return "array"
+	case MapTypePerCPUArray:
+		return "percpu_array"
+	}
+	return fmt.Sprintf("maptype(%d)", int(t))
+}
+
+// Update flags, mirroring BPF_ANY / BPF_NOEXIST / BPF_EXIST.
+const (
+	UpdateAny     uint64 = 0
+	UpdateNoExist uint64 = 1
+	UpdateExist   uint64 = 2
+)
+
+// Map errors.
+var (
+	ErrKeySize    = errors.New("ebpf: wrong key size")
+	ErrValueSize  = errors.New("ebpf: wrong value size")
+	ErrMapFull    = errors.New("ebpf: map is full")
+	ErrNoEntry    = errors.New("ebpf: no such entry")
+	ErrEntryExist = errors.New("ebpf: entry already exists")
+	ErrBadFlags   = errors.New("ebpf: invalid update flags")
+	ErrOutOfRange = errors.New("ebpf: array index out of range")
+)
+
+// Map is the interface all map types implement. Lookup returns the map's
+// internal value buffer: writes through the returned slice mutate the map,
+// exactly as writes through a value pointer do in the kernel. All map
+// operations are safe for concurrent use, since trace programs on different
+// simulated CPUs and the userspace agent may touch a map concurrently.
+type Map interface {
+	Type() MapType
+	KeySize() int
+	ValueSize() int
+	MaxEntries() int
+	Lookup(key []byte) ([]byte, bool)
+	Update(key, value []byte, flags uint64) error
+	Delete(key []byte) error
+	// ForEach iterates over a snapshot of entries. The callback receives
+	// copies; mutating them does not affect the map.
+	ForEach(fn func(key, value []byte))
+	// Len returns the number of live entries.
+	Len() int
+}
+
+// HashMap is a fixed-capacity hash map keyed by opaque bytes.
+type HashMap struct {
+	mu         sync.Mutex
+	keySize    int
+	valueSize  int
+	maxEntries int
+	entries    map[string][]byte
+}
+
+var _ Map = (*HashMap)(nil)
+
+// NewHashMap returns a hash map with the given key/value sizes and entry
+// capacity.
+func NewHashMap(keySize, valueSize, maxEntries int) (*HashMap, error) {
+	if keySize <= 0 || valueSize <= 0 || maxEntries <= 0 {
+		return nil, fmt.Errorf("ebpf: invalid hash map geometry key=%d value=%d max=%d",
+			keySize, valueSize, maxEntries)
+	}
+	return &HashMap{
+		keySize:    keySize,
+		valueSize:  valueSize,
+		maxEntries: maxEntries,
+		entries:    make(map[string][]byte, maxEntries),
+	}, nil
+}
+
+// Type implements Map.
+func (m *HashMap) Type() MapType { return MapTypeHash }
+
+// KeySize implements Map.
+func (m *HashMap) KeySize() int { return m.keySize }
+
+// ValueSize implements Map.
+func (m *HashMap) ValueSize() int { return m.valueSize }
+
+// MaxEntries implements Map.
+func (m *HashMap) MaxEntries() int { return m.maxEntries }
+
+// Len implements Map.
+func (m *HashMap) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
+// Lookup implements Map.
+func (m *HashMap) Lookup(key []byte) ([]byte, bool) {
+	if len(key) != m.keySize {
+		return nil, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, ok := m.entries[string(key)]
+	return v, ok
+}
+
+// Update implements Map.
+func (m *HashMap) Update(key, value []byte, flags uint64) error {
+	if len(key) != m.keySize {
+		return fmt.Errorf("%w: got %d want %d", ErrKeySize, len(key), m.keySize)
+	}
+	if len(value) != m.valueSize {
+		return fmt.Errorf("%w: got %d want %d", ErrValueSize, len(value), m.valueSize)
+	}
+	if flags > UpdateExist {
+		return ErrBadFlags
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := string(key)
+	existing, ok := m.entries[k]
+	switch flags {
+	case UpdateNoExist:
+		if ok {
+			return ErrEntryExist
+		}
+	case UpdateExist:
+		if !ok {
+			return ErrNoEntry
+		}
+	}
+	if ok {
+		copy(existing, value)
+		return nil
+	}
+	if len(m.entries) >= m.maxEntries {
+		return ErrMapFull
+	}
+	buf := make([]byte, m.valueSize)
+	copy(buf, value)
+	m.entries[k] = buf
+	return nil
+}
+
+// Delete implements Map.
+func (m *HashMap) Delete(key []byte) error {
+	if len(key) != m.keySize {
+		return fmt.Errorf("%w: got %d want %d", ErrKeySize, len(key), m.keySize)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := string(key)
+	if _, ok := m.entries[k]; !ok {
+		return ErrNoEntry
+	}
+	delete(m.entries, k)
+	return nil
+}
+
+// ForEach implements Map.
+func (m *HashMap) ForEach(fn func(key, value []byte)) {
+	m.mu.Lock()
+	snapshot := make(map[string][]byte, len(m.entries))
+	for k, v := range m.entries {
+		c := make([]byte, len(v))
+		copy(c, v)
+		snapshot[k] = c
+	}
+	m.mu.Unlock()
+	for k, v := range snapshot {
+		fn([]byte(k), v)
+	}
+}
+
+// ArrayMap is a fixed-size array of values indexed by a 4-byte
+// little-endian key. All slots exist from creation, as in the kernel.
+type ArrayMap struct {
+	mu        sync.Mutex
+	valueSize int
+	values    [][]byte
+}
+
+var _ Map = (*ArrayMap)(nil)
+
+// NewArrayMap returns an array map with maxEntries preallocated slots.
+func NewArrayMap(valueSize, maxEntries int) (*ArrayMap, error) {
+	if valueSize <= 0 || maxEntries <= 0 {
+		return nil, fmt.Errorf("ebpf: invalid array map geometry value=%d max=%d", valueSize, maxEntries)
+	}
+	values := make([][]byte, maxEntries)
+	for i := range values {
+		values[i] = make([]byte, valueSize)
+	}
+	return &ArrayMap{valueSize: valueSize, values: values}, nil
+}
+
+// Type implements Map.
+func (m *ArrayMap) Type() MapType { return MapTypeArray }
+
+// KeySize implements Map. Array maps always use 4-byte keys.
+func (m *ArrayMap) KeySize() int { return 4 }
+
+// ValueSize implements Map.
+func (m *ArrayMap) ValueSize() int { return m.valueSize }
+
+// MaxEntries implements Map.
+func (m *ArrayMap) MaxEntries() int { return len(m.values) }
+
+// Len implements Map. Every slot of an array map is always live.
+func (m *ArrayMap) Len() int { return len(m.values) }
+
+func (m *ArrayMap) index(key []byte) (int, bool) {
+	if len(key) != 4 {
+		return 0, false
+	}
+	idx := int(uint32(key[0]) | uint32(key[1])<<8 | uint32(key[2])<<16 | uint32(key[3])<<24)
+	if idx < 0 || idx >= len(m.values) {
+		return 0, false
+	}
+	return idx, true
+}
+
+// Lookup implements Map.
+func (m *ArrayMap) Lookup(key []byte) ([]byte, bool) {
+	idx, ok := m.index(key)
+	if !ok {
+		return nil, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.values[idx], true
+}
+
+// Update implements Map.
+func (m *ArrayMap) Update(key, value []byte, flags uint64) error {
+	if len(value) != m.valueSize {
+		return fmt.Errorf("%w: got %d want %d", ErrValueSize, len(value), m.valueSize)
+	}
+	if flags == UpdateNoExist {
+		// Array entries always exist.
+		return ErrEntryExist
+	}
+	if flags > UpdateExist {
+		return ErrBadFlags
+	}
+	idx, ok := m.index(key)
+	if !ok {
+		return ErrOutOfRange
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	copy(m.values[idx], value)
+	return nil
+}
+
+// Delete implements Map. Array map entries cannot be deleted.
+func (m *ArrayMap) Delete(key []byte) error {
+	if _, ok := m.index(key); !ok {
+		return ErrOutOfRange
+	}
+	return errors.New("ebpf: array map entries cannot be deleted")
+}
+
+// ForEach implements Map.
+func (m *ArrayMap) ForEach(fn func(key, value []byte)) {
+	m.mu.Lock()
+	snapshot := make([][]byte, len(m.values))
+	for i, v := range m.values {
+		c := make([]byte, len(v))
+		copy(c, v)
+		snapshot[i] = c
+	}
+	m.mu.Unlock()
+	for i, v := range snapshot {
+		key := []byte{byte(i), byte(i >> 8), byte(i >> 16), byte(i >> 24)}
+		fn(key, v)
+	}
+}
+
+// PerCPUArray stores one value slot per (index, cpu) pair. Programs access
+// the slot for the CPU they execute on; userspace reads all CPUs' slots.
+type PerCPUArray struct {
+	mu        sync.Mutex
+	valueSize int
+	numCPU    int
+	// values[idx][cpu]
+	values [][][]byte
+	// cur selects the CPU whose slot Lookup returns; the interpreter sets
+	// it to the executing CPU before each run.
+	cur int
+}
+
+var _ Map = (*PerCPUArray)(nil)
+
+// NewPerCPUArray returns a per-CPU array with maxEntries slots replicated
+// across numCPU CPUs.
+func NewPerCPUArray(valueSize, maxEntries, numCPU int) (*PerCPUArray, error) {
+	if valueSize <= 0 || maxEntries <= 0 || numCPU <= 0 {
+		return nil, fmt.Errorf("ebpf: invalid percpu array geometry value=%d max=%d cpus=%d",
+			valueSize, maxEntries, numCPU)
+	}
+	values := make([][][]byte, maxEntries)
+	for i := range values {
+		values[i] = make([][]byte, numCPU)
+		for c := range values[i] {
+			values[i][c] = make([]byte, valueSize)
+		}
+	}
+	return &PerCPUArray{valueSize: valueSize, numCPU: numCPU, values: values}, nil
+}
+
+// Type implements Map.
+func (m *PerCPUArray) Type() MapType { return MapTypePerCPUArray }
+
+// KeySize implements Map.
+func (m *PerCPUArray) KeySize() int { return 4 }
+
+// ValueSize implements Map.
+func (m *PerCPUArray) ValueSize() int { return m.valueSize }
+
+// MaxEntries implements Map.
+func (m *PerCPUArray) MaxEntries() int { return len(m.values) }
+
+// Len implements Map.
+func (m *PerCPUArray) Len() int { return len(m.values) }
+
+// NumCPU returns the number of per-entry CPU slots.
+func (m *PerCPUArray) NumCPU() int { return m.numCPU }
+
+// SetCurrentCPU selects which CPU's slot subsequent Lookup calls return.
+// The interpreter calls this with the executing CPU id.
+func (m *PerCPUArray) SetCurrentCPU(cpu int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if cpu >= 0 && cpu < m.numCPU {
+		m.cur = cpu
+	}
+}
+
+func (m *PerCPUArray) index(key []byte) (int, bool) {
+	if len(key) != 4 {
+		return 0, false
+	}
+	idx := int(uint32(key[0]) | uint32(key[1])<<8 | uint32(key[2])<<16 | uint32(key[3])<<24)
+	if idx < 0 || idx >= len(m.values) {
+		return 0, false
+	}
+	return idx, true
+}
+
+// Lookup implements Map, returning the current CPU's slot.
+func (m *PerCPUArray) Lookup(key []byte) ([]byte, bool) {
+	idx, ok := m.index(key)
+	if !ok {
+		return nil, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.values[idx][m.cur], true
+}
+
+// LookupCPU returns the slot for a specific CPU; used by userspace readers.
+func (m *PerCPUArray) LookupCPU(key []byte, cpu int) ([]byte, bool) {
+	idx, ok := m.index(key)
+	if !ok || cpu < 0 || cpu >= m.numCPU {
+		return nil, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]byte, m.valueSize)
+	copy(out, m.values[idx][cpu])
+	return out, true
+}
+
+// Update implements Map, writing the current CPU's slot.
+func (m *PerCPUArray) Update(key, value []byte, flags uint64) error {
+	if len(value) != m.valueSize {
+		return fmt.Errorf("%w: got %d want %d", ErrValueSize, len(value), m.valueSize)
+	}
+	if flags == UpdateNoExist {
+		return ErrEntryExist
+	}
+	if flags > UpdateExist {
+		return ErrBadFlags
+	}
+	idx, ok := m.index(key)
+	if !ok {
+		return ErrOutOfRange
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	copy(m.values[idx][m.cur], value)
+	return nil
+}
+
+// Delete implements Map.
+func (m *PerCPUArray) Delete(key []byte) error {
+	if _, ok := m.index(key); !ok {
+		return ErrOutOfRange
+	}
+	return errors.New("ebpf: percpu array entries cannot be deleted")
+}
+
+// ForEach implements Map, visiting the current CPU's slots.
+func (m *PerCPUArray) ForEach(fn func(key, value []byte)) {
+	m.mu.Lock()
+	cur := m.cur
+	snapshot := make([][]byte, len(m.values))
+	for i := range m.values {
+		c := make([]byte, m.valueSize)
+		copy(c, m.values[i][cur])
+		snapshot[i] = c
+	}
+	m.mu.Unlock()
+	for i, v := range snapshot {
+		key := []byte{byte(i), byte(i >> 8), byte(i >> 16), byte(i >> 24)}
+		fn(key, v)
+	}
+}

@@ -1,0 +1,138 @@
+package ebpf
+
+import (
+	"fmt"
+)
+
+// ProgType declares where a program may attach; it mirrors the paper's
+// Section III-B attach surface (kprobes, kretprobes, kernel tracepoints,
+// network devices / raw sockets).
+type ProgType int
+
+// Program types.
+const (
+	ProgTypeKprobe ProgType = iota + 1
+	ProgTypeKretprobe
+	ProgTypeTracepoint
+	ProgTypeSocketFilter
+)
+
+func (t ProgType) String() string {
+	switch t {
+	case ProgTypeKprobe:
+		return "kprobe"
+	case ProgTypeKretprobe:
+		return "kretprobe"
+	case ProgTypeTracepoint:
+		return "tracepoint"
+	case ProgTypeSocketFilter:
+		return "socket_filter"
+	}
+	return fmt.Sprintf("progtype(%d)", int(t))
+}
+
+// ProgramSpec is the unverified description of an eBPF program: its
+// instructions, the maps its LoadMapFD pseudo-instructions reference by
+// index, and the size of the context structure it will receive.
+type ProgramSpec struct {
+	Name    string
+	Type    ProgType
+	Insns   []Insn
+	Maps    []Map
+	CtxSize int
+}
+
+// Program is a verified, executable program. Obtain one via Load. Programs
+// execute through threaded code compiled at load time (the JIT analogue);
+// RunInterpreted keeps the plain interpreter available for differential
+// testing and ablation.
+type Program struct {
+	name    string
+	typ     ProgType
+	insns   []Insn
+	maps    []Map
+	ctxSize int
+	steps   []step
+}
+
+// Load verifies the spec and returns an executable program. Instruction
+// and map slices are copied, so later mutation of the spec does not affect
+// the loaded program.
+func Load(spec ProgramSpec) (*Program, error) {
+	if spec.CtxSize <= 0 {
+		return nil, fmt.Errorf("ebpf: load %q: context size must be positive, got %d", spec.Name, spec.CtxSize)
+	}
+	insns := make([]Insn, len(spec.Insns))
+	copy(insns, spec.Insns)
+	maps := make([]Map, len(spec.Maps))
+	copy(maps, spec.Maps)
+	if err := Verify(insns, maps, spec.CtxSize); err != nil {
+		return nil, fmt.Errorf("ebpf: load %q: %w", spec.Name, err)
+	}
+	steps, err := compile(insns)
+	if err != nil {
+		return nil, fmt.Errorf("ebpf: load %q: jit: %w", spec.Name, err)
+	}
+	return &Program{
+		name:    spec.Name,
+		typ:     spec.Type,
+		insns:   insns,
+		maps:    maps,
+		ctxSize: spec.CtxSize,
+		steps:   steps,
+	}, nil
+}
+
+// Name returns the program name.
+func (p *Program) Name() string { return p.name }
+
+// Type returns the attach type.
+func (p *Program) Type() ProgType { return p.typ }
+
+// Len returns the instruction count.
+func (p *Program) Len() int { return len(p.insns) }
+
+// Maps returns the program's map table. The slice is a copy; the maps
+// themselves are shared, which is how userspace reads program state.
+func (p *Program) Maps() []Map {
+	out := make([]Map, len(p.maps))
+	copy(out, p.maps)
+	return out
+}
+
+// CtxSize returns the expected context size in bytes.
+func (p *Program) CtxSize() int { return p.ctxSize }
+
+// Run executes the program's threaded code over ctx with env supplying
+// helpers. It returns the program's R0 and execution statistics. ctx must
+// be exactly CtxSize bytes.
+func (p *Program) Run(ctx []byte, env Env) (uint64, ExecStats, error) {
+	if p == nil || len(p.insns) == 0 {
+		return 0, ExecStats{}, ErrNotLoaded
+	}
+	if len(ctx) != p.ctxSize {
+		return 0, ExecStats{}, fmt.Errorf("ebpf: run %q: ctx is %d bytes, want %d", p.name, len(ctx), p.ctxSize)
+	}
+	r0, stats, err := runCompiled(p.steps, p.maps, ctx, env)
+	if err != nil {
+		return 0, stats, fmt.Errorf("ebpf: run %q: %w", p.name, err)
+	}
+	return r0, stats, nil
+}
+
+// RunInterpreted executes the program through the plain instruction
+// interpreter. Results are identical to Run; this exists for differential
+// testing and for benchmarking the JIT's benefit.
+func (p *Program) RunInterpreted(ctx []byte, env Env) (uint64, ExecStats, error) {
+	if p == nil || len(p.insns) == 0 {
+		return 0, ExecStats{}, ErrNotLoaded
+	}
+	if len(ctx) != p.ctxSize {
+		return 0, ExecStats{}, fmt.Errorf("ebpf: run %q: ctx is %d bytes, want %d", p.name, len(ctx), p.ctxSize)
+	}
+	r0, stats, err := run(p.insns, p.maps, ctx, env)
+	if err != nil {
+		return 0, stats, fmt.Errorf("ebpf: run %q: %w", p.name, err)
+	}
+	return r0, stats, nil
+}

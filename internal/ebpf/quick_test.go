@@ -1,0 +1,240 @@
+package ebpf
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestVerifierSoundness is the core safety property: any program the
+// verifier accepts must execute without runtime memory faults or budget
+// overruns, for arbitrary context contents. Random programs are drawn from
+// an instruction alphabet rich enough that a useful fraction verifies.
+func TestVerifierSoundness(t *testing.T) {
+	const ctxSize = 64
+	rng := rand.New(rand.NewSource(1))
+	m, err := NewHashMap(4, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maps := []Map{m}
+
+	accepted, tried := 0, 0
+	for tried < 20000 && accepted < 500 {
+		tried++
+		insns := randomProgram(rng)
+		if err := Verify(insns, maps, ctxSize); err != nil {
+			continue
+		}
+		accepted++
+		ctx := make([]byte, ctxSize)
+		rng.Read(ctx)
+		env := &testEnv{time: rng.Uint64()}
+		_, _, err := run(insns, maps, ctx, env)
+		if err != nil {
+			t.Fatalf("verified program faulted: %v\nprogram:\n%s", err, dump(insns))
+		}
+	}
+	if accepted < 50 {
+		t.Fatalf("only %d/%d random programs verified; generator too weak for the property to bite", accepted, tried)
+	}
+}
+
+func dump(insns []Insn) string {
+	var b bytes.Buffer
+	for i, in := range insns {
+		b.WriteString(in.String())
+		b.WriteByte('\n')
+		_ = i
+	}
+	return b.String()
+}
+
+// randomProgram emits 3-20 random instructions followed by mov r0,0; exit.
+func randomProgram(rng *rand.Rand) []Insn {
+	n := 3 + rng.Intn(18)
+	insns := make([]Insn, 0, n+2)
+	regs := []Reg{R0, R1, R2, R3, R4, R5, R6, R7, R8, R9}
+	for i := 0; i < n; i++ {
+		switch rng.Intn(8) {
+		case 0, 1: // mov imm
+			insns = append(insns, Mov64Imm(regs[rng.Intn(len(regs))], int32(rng.Uint32())))
+		case 2: // alu imm
+			ops := []uint8{ALUAdd, ALUSub, ALUMul, ALUOr, ALUAnd, ALUXor}
+			insns = append(insns, ALU64Imm(ops[rng.Intn(len(ops))], regs[rng.Intn(len(regs))], int32(rng.Uint32())))
+		case 3: // alu reg
+			ops := []uint8{ALUAdd, ALUSub, ALUMul, ALUOr, ALUXor}
+			insns = append(insns, ALU64Reg(ops[rng.Intn(len(ops))], regs[rng.Intn(len(regs))], regs[rng.Intn(len(regs))]))
+		case 4: // ctx load
+			off := int16(rng.Intn(80)) // sometimes OOB: verifier should catch
+			insns = append(insns, LoadMem(regs[rng.Intn(len(regs))], R1, off, SizeW))
+		case 5: // stack store+load
+			off := int16(-8 * (1 + rng.Intn(70))) // sometimes below -512
+			r := regs[rng.Intn(len(regs))]
+			insns = append(insns, StoreMem(R10, off, r, SizeDW), LoadMem(r, R10, off, SizeDW))
+		case 6: // forward branch
+			off := int16(rng.Intn(4))
+			ops := []uint8{JmpEq, JmpNe, JmpGt, JmpLt}
+			insns = append(insns, JumpImm(ops[rng.Intn(len(ops))], regs[rng.Intn(len(regs))], int32(rng.Intn(16)), off))
+		case 7: // helper call
+			ids := []HelperID{HelperKtimeGetNs, HelperGetSmpProcessorID, HelperGetPrandomU32}
+			insns = append(insns, Call(ids[rng.Intn(len(ids))]))
+		}
+	}
+	insns = append(insns, Mov64Imm(R0, 0), Exit())
+	return insns
+}
+
+func TestHashMapQuickSemantics(t *testing.T) {
+	m, err := NewHashMap(4, 8, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Model: a Go map of 4-byte keys to 8-byte values.
+	model := make(map[string][]byte)
+	f := func(key [4]byte, val [8]byte, op uint8) bool {
+		k, v := key[:], val[:]
+		switch op % 3 {
+		case 0:
+			if err := m.Update(k, v, UpdateAny); err != nil {
+				return len(model) >= 1024
+			}
+			c := make([]byte, 8)
+			copy(c, v)
+			model[string(k)] = c
+		case 1:
+			got, ok := m.Lookup(k)
+			want, wantOK := model[string(k)]
+			if ok != wantOK {
+				return false
+			}
+			if ok && !bytes.Equal(got, want) {
+				return false
+			}
+		case 2:
+			err := m.Delete(k)
+			_, existed := model[string(k)]
+			if existed != (err == nil) {
+				return false
+			}
+			delete(model, string(k))
+		}
+		return m.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashMapUpdateFlags(t *testing.T) {
+	m, err := NewHashMap(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := []byte{1, 2, 3, 4}
+	v := []byte{9, 9, 9, 9}
+	if err := m.Update(k, v, UpdateExist); !errors.Is(err, ErrNoEntry) {
+		t.Fatalf("UpdateExist on missing key: %v", err)
+	}
+	if err := m.Update(k, v, UpdateNoExist); err != nil {
+		t.Fatalf("UpdateNoExist on missing key: %v", err)
+	}
+	if err := m.Update(k, v, UpdateNoExist); !errors.Is(err, ErrEntryExist) {
+		t.Fatalf("UpdateNoExist on present key: %v", err)
+	}
+	if err := m.Update(k, v, UpdateExist); err != nil {
+		t.Fatalf("UpdateExist on present key: %v", err)
+	}
+	if err := m.Update(k, v, 99); !errors.Is(err, ErrBadFlags) {
+		t.Fatalf("bad flags: %v", err)
+	}
+}
+
+func TestHashMapCapacity(t *testing.T) {
+	m, err := NewHashMap(4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := []byte{0, 0, 0, 0}
+	if err := m.Update([]byte{1, 0, 0, 0}, v, UpdateAny); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update([]byte{2, 0, 0, 0}, v, UpdateAny); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update([]byte{3, 0, 0, 0}, v, UpdateAny); !errors.Is(err, ErrMapFull) {
+		t.Fatalf("third insert: %v, want ErrMapFull", err)
+	}
+	// Overwriting an existing key still works at capacity.
+	if err := m.Update([]byte{1, 0, 0, 0}, []byte{7, 7, 7, 7}, UpdateAny); err != nil {
+		t.Fatalf("overwrite at capacity: %v", err)
+	}
+}
+
+func TestHashMapSizeValidation(t *testing.T) {
+	m, err := NewHashMap(4, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update([]byte{1}, make([]byte, 8), UpdateAny); !errors.Is(err, ErrKeySize) {
+		t.Fatalf("short key: %v", err)
+	}
+	if err := m.Update(make([]byte, 4), make([]byte, 3), UpdateAny); !errors.Is(err, ErrValueSize) {
+		t.Fatalf("short value: %v", err)
+	}
+	if _, ok := m.Lookup([]byte{1}); ok {
+		t.Fatal("lookup with wrong key size succeeded")
+	}
+}
+
+func TestArrayMapBounds(t *testing.T) {
+	m, err := NewArrayMap(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Lookup([]byte{4, 0, 0, 0}); ok {
+		t.Fatal("lookup past max entries succeeded")
+	}
+	if err := m.Update([]byte{4, 0, 0, 0}, make([]byte, 8), UpdateAny); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("update OOB: %v", err)
+	}
+	if _, ok := m.Lookup([]byte{3, 0, 0, 0}); !ok {
+		t.Fatal("all slots should pre-exist")
+	}
+	if m.Len() != 4 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestArrayMapLookupAliasesStorage(t *testing.T) {
+	m, err := NewArrayMap(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := []byte{0, 0, 0, 0}
+	v, _ := m.Lookup(key)
+	v[0] = 0xAA // in-place mutation, as through an eBPF value pointer
+	v2, _ := m.Lookup(key)
+	if v2[0] != 0xAA {
+		t.Fatal("lookup did not alias map storage")
+	}
+}
+
+func TestForEachIsSnapshot(t *testing.T) {
+	m, err := NewHashMap(4, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update([]byte{1, 0, 0, 0}, []byte{5, 0, 0, 0}, UpdateAny); err != nil {
+		t.Fatal(err)
+	}
+	m.ForEach(func(key, value []byte) {
+		value[0] = 99 // must not write through
+	})
+	v, _ := m.Lookup([]byte{1, 0, 0, 0})
+	if v[0] != 5 {
+		t.Fatal("ForEach leaked internal storage")
+	}
+}

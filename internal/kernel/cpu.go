@@ -1,0 +1,63 @@
+// Package kernel simulates the per-node Linux kernel surface vNetTracer
+// instruments: CPUs executing softirqs, NET_RX steering (IRQ affinity and
+// RPS), kprobe/tracepoint attach sites on kernel functions, and the
+// TCP/UDP socket send/receive paths including the paper's trace-ID
+// insertion (tcp_options_write / udp_send_skb) and removal
+// (pskb_trim_rcsum) points.
+package kernel
+
+import (
+	"vnettracer/internal/sim"
+)
+
+// CPU is a single simulated processor: a FIFO server that executes work
+// items back to back. Saturating a CPU is how the container-overlay
+// bottleneck of case study III emerges.
+type CPU struct {
+	ID  int
+	eng *sim.Engine
+
+	busyUntil int64
+	busyNs    int64 // cumulative busy time
+	pending   int
+	// SoftirqCount counts NET_RX softirq executions on this CPU (ground
+	// truth; the traced figure comes from eBPF per-CPU maps).
+	SoftirqCount uint64
+}
+
+// NewCPU creates a CPU bound to the engine.
+func NewCPU(eng *sim.Engine, id int) *CPU {
+	return &CPU{ID: id, eng: eng}
+}
+
+// Idle reports whether the CPU has no queued work at the current time.
+func (c *CPU) Idle() bool { return c.busyUntil <= c.eng.Now() }
+
+// BusyNs returns cumulative busy nanoseconds, for utilization accounting.
+func (c *CPU) BusyNs() int64 { return c.busyNs }
+
+// Pending returns the number of queued-but-unfinished work items, the
+// analogue of the per-CPU input backlog.
+func (c *CPU) Pending() int { return c.pending }
+
+// Exec enqueues a work item costing costNs and runs fn when it completes.
+// Work on one CPU serializes; the completion time is the CPU's availability
+// plus cost.
+func (c *CPU) Exec(costNs int64, fn func()) {
+	if costNs < 0 {
+		costNs = 0
+	}
+	now := c.eng.Now()
+	start := now
+	if c.busyUntil > start {
+		start = c.busyUntil
+	}
+	done := start + costNs
+	c.busyUntil = done
+	c.busyNs += costNs
+	c.pending++
+	c.eng.Schedule(done-now, func() {
+		c.pending--
+		fn()
+	})
+}

@@ -1,0 +1,160 @@
+package kernel
+
+import (
+	"testing"
+
+	"vnettracer/internal/sim"
+	"vnettracer/internal/vnet"
+)
+
+func napiPkt(sport uint16) *vnet.Packet {
+	return &vnet.Packet{
+		IP:  vnet.IPv4Header{Protocol: vnet.ProtoUDP, Src: 1, Dst: 2},
+		UDP: &vnet.UDPHeader{SrcPort: sport, DstPort: 53},
+	}
+}
+
+func napiDev(eng *sim.Engine) *vnet.NetDev {
+	return vnet.NewNetDev(eng, vnet.NetDevConfig{Name: "eth0", Ifindex: 2})
+}
+
+func TestNAPICoalescesWithinBudget(t *testing.T) {
+	eng, n := newTestNode(t, NodeConfig{NumCPU: 1})
+	dev := napiDev(eng)
+	done := 0
+	// First packet opens a poll; the next arrive while the CPU is busy
+	// and coalesce: only one softirq (one net_rx_action) for the batch.
+	for i := 0; i < 5; i++ {
+		n.SoftirqNetRXNAPI(napiPkt(100), dev, 8, func(*vnet.Packet) { done++ })
+	}
+	eng.RunUntilIdle()
+	if done != 5 {
+		t.Fatalf("delivered %d", done)
+	}
+	if n.SoftirqTotal != 1 {
+		t.Fatalf("softirqs = %d, want 1 (coalesced batch)", n.SoftirqTotal)
+	}
+}
+
+func TestNAPIBudgetStartsNewSoftirq(t *testing.T) {
+	eng, n := newTestNode(t, NodeConfig{NumCPU: 1})
+	dev := napiDev(eng)
+	for i := 0; i < 10; i++ {
+		n.SoftirqNetRXNAPI(napiPkt(100), dev, 4, func(*vnet.Packet) {})
+	}
+	eng.RunUntilIdle()
+	// 10 packets with budget 4: ceil(10/4) = 3 polls.
+	if n.SoftirqTotal != 3 {
+		t.Fatalf("softirqs = %d, want 3", n.SoftirqTotal)
+	}
+}
+
+func TestNAPIIdleCPUStartsFreshPoll(t *testing.T) {
+	eng, n := newTestNode(t, NodeConfig{NumCPU: 1})
+	dev := napiDev(eng)
+	n.SoftirqNetRXNAPI(napiPkt(100), dev, 8, func(*vnet.Packet) {})
+	eng.RunUntilIdle() // batch drains, CPU idles
+	n.SoftirqNetRXNAPI(napiPkt(100), dev, 8, func(*vnet.Packet) {})
+	eng.RunUntilIdle()
+	if n.SoftirqTotal != 2 {
+		t.Fatalf("softirqs = %d, want 2 (idle gap breaks the batch)", n.SoftirqTotal)
+	}
+}
+
+func TestNAPIProbeFiresPerPollNotPerPacket(t *testing.T) {
+	eng, n := newTestNode(t, NodeConfig{NumCPU: 1})
+	dev := napiDev(eng)
+	polls := 0
+	n.Probes.Attach(SiteNetRxAction, func(*ProbeCtx) int64 { polls++; return 0 })
+	steers := 0
+	n.Probes.Attach(SiteGetRPSCPU, func(*ProbeCtx) int64 { steers++; return 0 })
+	for i := 0; i < 6; i++ {
+		n.SoftirqNetRXNAPI(napiPkt(100), dev, 8, func(*vnet.Packet) {})
+	}
+	eng.RunUntilIdle()
+	if polls != 1 {
+		t.Fatalf("net_rx_action fired %d times, want 1 per poll", polls)
+	}
+	if steers != 6 {
+		t.Fatalf("get_rps_cpu fired %d times, want once per packet", steers)
+	}
+}
+
+func TestNAPIBudgetOneFallsBack(t *testing.T) {
+	eng, n := newTestNode(t, NodeConfig{NumCPU: 1})
+	dev := napiDev(eng)
+	for i := 0; i < 3; i++ {
+		n.SoftirqNetRXNAPI(napiPkt(100), dev, 1, func(*vnet.Packet) {})
+	}
+	eng.RunUntilIdle()
+	if n.SoftirqTotal != 3 {
+		t.Fatalf("softirqs = %d, want 3 (budget 1 disables batching)", n.SoftirqTotal)
+	}
+}
+
+func TestSoftirqExtraCostCharged(t *testing.T) {
+	eng, n := newTestNode(t, NodeConfig{NumCPU: 1})
+	costs := n.Costs()
+	var at int64
+	n.SoftirqNetRXExtra(napiPkt(1), nil, 7000, func(*vnet.Packet) { at = eng.Now() })
+	eng.RunUntilIdle()
+	want := costs.SoftirqBase + costs.KsoftirqdWake + 7000
+	if at != want {
+		t.Fatalf("completion = %d, want %d", at, want)
+	}
+}
+
+func TestBacklogDropsUnderOverload(t *testing.T) {
+	eng, n := newTestNode(t, NodeConfig{NumCPU: 1, MaxBacklog: 10})
+	delivered := 0
+	for i := 0; i < 100; i++ {
+		n.SoftirqNetRX(napiPkt(100), nil, func(*vnet.Packet) { delivered++ })
+	}
+	eng.RunUntilIdle()
+	if n.BacklogDrops != 90 {
+		t.Fatalf("BacklogDrops = %d, want 90", n.BacklogDrops)
+	}
+	if delivered != 10 {
+		t.Fatalf("delivered = %d, want 10", delivered)
+	}
+}
+
+func TestBacklogAppliesToNAPIToo(t *testing.T) {
+	eng, n := newTestNode(t, NodeConfig{NumCPU: 1, MaxBacklog: 5})
+	dev := napiDev(eng)
+	for i := 0; i < 50; i++ {
+		n.SoftirqNetRXNAPI(napiPkt(100), dev, 8, func(*vnet.Packet) {})
+	}
+	eng.RunUntilIdle()
+	if n.BacklogDrops == 0 {
+		t.Fatal("NAPI path ignored the backlog bound")
+	}
+}
+
+func TestVXLANSteeredByOuterFlow(t *testing.T) {
+	// Before decapsulation the kernel hashes the outer tuple; the inner
+	// flow must not influence steering (the RPS limitation of case study
+	// III).
+	eng, n := newTestNode(t, NodeConfig{NumCPU: 8, RPS: true})
+	inner1 := &vnet.Packet{IP: vnet.IPv4Header{Protocol: vnet.ProtoTCP, Src: 11, Dst: 22}, TCP: &vnet.TCPHeader{SrcPort: 1, DstPort: 2}}
+	inner2 := &vnet.Packet{IP: vnet.IPv4Header{Protocol: vnet.ProtoTCP, Src: 33, Dst: 44}, TCP: &vnet.TCPHeader{SrcPort: 3, DstPort: 4}}
+	mkOuter := func(inner *vnet.Packet) *vnet.Packet {
+		return &vnet.Packet{
+			IP:    vnet.IPv4Header{Protocol: vnet.ProtoUDP, Src: 100, Dst: 200},
+			UDP:   &vnet.UDPHeader{SrcPort: 48879, DstPort: 4789},
+			VXLAN: &vnet.VXLANHeader{VNI: 1},
+			Inner: inner,
+		}
+	}
+	var cpus []int
+	n.Probes.Attach(SiteGetRPSCPU, func(ctx *ProbeCtx) int64 {
+		cpus = append(cpus, ctx.CPU)
+		return 0
+	})
+	n.SoftirqNetRX(mkOuter(inner1), nil, func(*vnet.Packet) {})
+	n.SoftirqNetRX(mkOuter(inner2), nil, func(*vnet.Packet) {})
+	eng.RunUntilIdle()
+	if len(cpus) != 2 || cpus[0] != cpus[1] {
+		t.Fatalf("same outer tuple steered to different CPUs: %v", cpus)
+	}
+}

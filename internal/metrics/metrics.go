@@ -1,0 +1,225 @@
+// Package metrics computes the network performance metrics of the paper's
+// Section III-D from collected trace records: per-flow throughput, latency
+// between tracepoints (joined on packet ID, skew-corrected), jitter,
+// packet loss, and the decomposition of end-to-end latency along a path of
+// tracepoints.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"vnettracer/internal/core"
+	"vnettracer/internal/tracedb"
+)
+
+// ErrNoData marks an empty input set.
+var ErrNoData = errors.New("metrics: no data")
+
+// TraceIDBytes is the size of the embedded packet ID, which the paper's
+// throughput formula subtracts from each packet (S_i - S_ID).
+const TraceIDBytes = 4
+
+// Throughput computes bits per second over the records of one tracepoint:
+// sum(S_i - S_ID) / (T_N - T_1). Records must come from a single
+// tracepoint; they are sorted by timestamp internally.
+func Throughput(recs []core.Record) (float64, error) {
+	if len(recs) < 2 {
+		return 0, fmt.Errorf("%w: need >= 2 records, have %d", ErrNoData, len(recs))
+	}
+	sorted := make([]core.Record, len(recs))
+	copy(sorted, recs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].TimeNs < sorted[j].TimeNs })
+	var bytes uint64
+	for _, r := range sorted {
+		if r.Len > TraceIDBytes {
+			bytes += uint64(r.Len) - TraceIDBytes
+		}
+	}
+	span := sorted[len(sorted)-1].TimeNs - sorted[0].TimeNs
+	if span == 0 {
+		return 0, fmt.Errorf("%w: zero time span", ErrNoData)
+	}
+	return float64(bytes) * 8 * 1e9 / float64(span), nil
+}
+
+// LatencySample is one per-packet latency measurement between two
+// tracepoints.
+type LatencySample struct {
+	TraceID uint32
+	Seq     uint64
+	Ns      int64
+}
+
+// Latencies joins two tracepoint tables on packet ID and returns per-packet
+// latency from a to b: t_b - t_a (timestamps already skew-aligned by the
+// tables). Packets missing from either side are skipped (they feed the
+// loss metric instead).
+func Latencies(a, b *tracedb.Table) []LatencySample {
+	var out []LatencySample
+	for _, id := range a.TraceIDs() {
+		if id == 0 {
+			continue // untraced packets cannot be joined
+		}
+		ra, ok := a.FirstByTraceID(id)
+		if !ok {
+			continue
+		}
+		rb, ok := b.FirstByTraceID(id)
+		if !ok {
+			continue
+		}
+		out = append(out, LatencySample{
+			TraceID: id,
+			Seq:     ra.Seq,
+			Ns:      int64(rb.TimeNs) - int64(ra.TimeNs),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Values extracts the nanosecond latencies from samples.
+func Values(samples []LatencySample) []int64 {
+	out := make([]int64, len(samples))
+	for i, s := range samples {
+		out[i] = s.Ns
+	}
+	return out
+}
+
+// Jitter returns consecutive latency differences ΔT_{i+1} - ΔT_i, ordered
+// by packet sequence.
+func Jitter(samples []LatencySample) []int64 {
+	if len(samples) < 2 {
+		return nil
+	}
+	out := make([]int64, 0, len(samples)-1)
+	for i := 1; i < len(samples); i++ {
+		out = append(out, samples[i].Ns-samples[i-1].Ns)
+	}
+	return out
+}
+
+// JitterRange returns the minimum and maximum jitter, the form the paper
+// reports ("the range of jitter ... was only (-7.2us, 9.2us)").
+func JitterRange(samples []LatencySample) (minNs, maxNs int64) {
+	j := Jitter(samples)
+	if len(j) == 0 {
+		return 0, 0
+	}
+	minNs, maxNs = j[0], j[0]
+	for _, v := range j[1:] {
+		if v < minNs {
+			minNs = v
+		}
+		if v > maxNs {
+			maxNs = v
+		}
+	}
+	return minNs, maxNs
+}
+
+// Loss computes packet loss between two tracepoints: N_loss = N_i - N_j
+// and R_loss = N_loss / N_i, over distinct packet IDs.
+func Loss(a, b *tracedb.Table) (lost int64, rate float64) {
+	ni := int64(len(a.TraceIDs()))
+	nj := int64(len(b.TraceIDs()))
+	lost = ni - nj
+	if ni > 0 {
+		rate = float64(lost) / float64(ni)
+	}
+	return lost, rate
+}
+
+// Segment is one hop of a latency decomposition.
+type Segment struct {
+	From string
+	To   string
+	// PerPacket holds each joined packet's latency in this segment.
+	PerPacket []LatencySample
+}
+
+// MeanNs returns the segment's mean latency.
+func (s *Segment) MeanNs() float64 { return Mean(Values(s.PerPacket)) }
+
+// Decompose splits end-to-end latency across consecutive tracepoint
+// tables, the paper's "decomposition of end-to-end latency" (Figures 9a
+// and 11).
+func Decompose(stages []*tracedb.Table) ([]Segment, error) {
+	if len(stages) < 2 {
+		return nil, fmt.Errorf("%w: need >= 2 stages", ErrNoData)
+	}
+	out := make([]Segment, 0, len(stages)-1)
+	for i := 1; i < len(stages); i++ {
+		out = append(out, Segment{
+			From:      stages[i-1].Name,
+			To:        stages[i].Name,
+			PerPacket: Latencies(stages[i-1], stages[i]),
+		})
+	}
+	return out, nil
+}
+
+// Mean returns the arithmetic mean of vals, 0 when empty.
+func Mean(vals []int64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += float64(v)
+	}
+	return sum / float64(len(vals))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using
+// nearest-rank on a sorted copy.
+func Percentile(vals []int64, p float64) int64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sorted := make([]int64, len(vals))
+	copy(sorted, vals)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted))-1e-9)) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Summary bundles the latency statistics the paper's figures report.
+type Summary struct {
+	Count  int
+	MeanNs float64
+	P50Ns  int64
+	P99Ns  int64
+	P999Ns int64
+	MaxNs  int64
+}
+
+// Summarize computes a Summary over latency values.
+func Summarize(vals []int64) Summary {
+	s := Summary{Count: len(vals)}
+	if len(vals) == 0 {
+		return s
+	}
+	s.MeanNs = Mean(vals)
+	s.P50Ns = Percentile(vals, 50)
+	s.P99Ns = Percentile(vals, 99)
+	s.P999Ns = Percentile(vals, 99.9)
+	s.MaxNs = Percentile(vals, 100)
+	return s
+}

@@ -1,0 +1,155 @@
+// Package overlay models a multi-host container overlay network in the
+// style of Docker's default overlay driver: VXLAN tunnel endpoints (VTEPs)
+// that encapsulate container traffic, container-side bridges (docker0) and
+// veth pairs, and an etcd-like replicated key-value store holding overlay
+// membership (which host owns which container IP), as in the paper's case
+// study III testbed.
+package overlay
+
+import (
+	"strings"
+	"sync"
+)
+
+// Event is a change notification from the store.
+type Event struct {
+	Key     string
+	Value   string
+	Rev     int64
+	Deleted bool
+}
+
+// Store is a minimal etcd-style KV store: revisioned puts, prefix watches,
+// and compare-and-swap. It is safe for concurrent use. A single Store
+// instance stands in for the replicated cluster; its consistency guarantees
+// (single revision order) match what the overlay control plane needs.
+type Store struct {
+	mu      sync.Mutex
+	rev     int64
+	data    map[string]entry
+	watches map[int]*watch
+	nextID  int
+}
+
+type entry struct {
+	value string
+	rev   int64
+}
+
+type watch struct {
+	prefix string
+	fn     func(Event)
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		data:    make(map[string]entry),
+		watches: make(map[int]*watch),
+	}
+}
+
+// Put stores value under key and returns the new revision.
+func (s *Store) Put(key, value string) int64 {
+	s.mu.Lock()
+	s.rev++
+	rev := s.rev
+	s.data[key] = entry{value: value, rev: rev}
+	fns := s.matchingWatches(key)
+	s.mu.Unlock()
+	for _, fn := range fns {
+		fn(Event{Key: key, Value: value, Rev: rev})
+	}
+	return rev
+}
+
+// Get returns the value and revision for key.
+func (s *Store) Get(key string) (value string, rev int64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.data[key]
+	return e.value, e.rev, ok
+}
+
+// Delete removes key, reporting whether it existed.
+func (s *Store) Delete(key string) bool {
+	s.mu.Lock()
+	_, ok := s.data[key]
+	if !ok {
+		s.mu.Unlock()
+		return false
+	}
+	s.rev++
+	rev := s.rev
+	delete(s.data, key)
+	fns := s.matchingWatches(key)
+	s.mu.Unlock()
+	for _, fn := range fns {
+		fn(Event{Key: key, Rev: rev, Deleted: true})
+	}
+	return true
+}
+
+// CAS updates key to newValue only if its current value is oldValue.
+func (s *Store) CAS(key, oldValue, newValue string) bool {
+	s.mu.Lock()
+	e, ok := s.data[key]
+	if !ok || e.value != oldValue {
+		s.mu.Unlock()
+		return false
+	}
+	s.rev++
+	rev := s.rev
+	s.data[key] = entry{value: newValue, rev: rev}
+	fns := s.matchingWatches(key)
+	s.mu.Unlock()
+	for _, fn := range fns {
+		fn(Event{Key: key, Value: newValue, Rev: rev})
+	}
+	return true
+}
+
+// List returns all key/value pairs under prefix.
+func (s *Store) List(prefix string) map[string]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]string)
+	for k, e := range s.data {
+		if strings.HasPrefix(k, prefix) {
+			out[k] = e.value
+		}
+	}
+	return out
+}
+
+// Watch invokes fn for every subsequent change under prefix, returning a
+// cancel function. Callbacks run synchronously with the mutation.
+func (s *Store) Watch(prefix string, fn func(Event)) (cancel func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.nextID
+	s.nextID++
+	s.watches[id] = &watch{prefix: prefix, fn: fn}
+	return func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		delete(s.watches, id)
+	}
+}
+
+// Rev returns the store's current revision.
+func (s *Store) Rev() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rev
+}
+
+func (s *Store) matchingWatches(key string) []func(Event) {
+	var fns []func(Event)
+	for _, w := range s.watches {
+		if strings.HasPrefix(key, w.prefix) {
+			fns = append(fns, w.fn)
+		}
+	}
+	return fns
+}

@@ -1,0 +1,214 @@
+package ovs
+
+import (
+	"testing"
+
+	"vnettracer/internal/sim"
+	"vnettracer/internal/vnet"
+)
+
+func pkt(src, dst vnet.IPv4, sport, dport uint16) *vnet.Packet {
+	return &vnet.Packet{
+		IP:  vnet.IPv4Header{Protocol: vnet.ProtoUDP, Src: src, Dst: dst, TTL: 64},
+		UDP: &vnet.UDPHeader{SrcPort: sport, DstPort: dport},
+		Eth: vnet.EthernetHeader{EtherType: vnet.EtherTypeIPv4},
+	}
+}
+
+func newBridge(t *testing.T, cfg Config) (*sim.Engine, *Bridge) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	return eng, New(eng, cfg)
+}
+
+func TestBridgeSwitchesByRoute(t *testing.T) {
+	eng, b := newBridge(t, DefaultConfig("br0"))
+	in, err := b.AddPort("vnet0", 1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := b.AddPort("vnet2", 2, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []*vnet.Packet
+	out.SetOut(func(p *vnet.Packet) { got = append(got, p) })
+	if err := b.AddRoute(3, "vnet2"); err != nil {
+		t.Fatal(err)
+	}
+	in.In.Receive(pkt(1, 3, 1000, 2000))
+	eng.RunUntilIdle()
+	if len(got) != 1 {
+		t.Fatalf("delivered %d, want 1", len(got))
+	}
+	if b.Stats().Switched != 1 {
+		t.Fatalf("stats = %+v", b.Stats())
+	}
+}
+
+func TestBridgeDuplicatePortRejected(t *testing.T) {
+	_, b := newBridge(t, DefaultConfig("br0"))
+	if _, err := b.AddPort("vnet0", 1, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddPort("vnet0", 2, nil, nil); err == nil {
+		t.Fatal("duplicate port accepted")
+	}
+}
+
+func TestBridgeRouteToUnknownPortRejected(t *testing.T) {
+	_, b := newBridge(t, DefaultConfig("br0"))
+	if err := b.AddRoute(1, "nope"); err == nil {
+		t.Fatal("route to unknown port accepted")
+	}
+}
+
+func TestBridgeNoRouteDrops(t *testing.T) {
+	eng, b := newBridge(t, DefaultConfig("br0"))
+	in, _ := b.AddPort("vnet0", 1, nil, nil)
+	in.In.Receive(pkt(1, 99, 1000, 2000))
+	eng.RunUntilIdle()
+	if b.Stats().DroppedNoRoute != 1 {
+		t.Fatalf("stats = %+v", b.Stats())
+	}
+}
+
+func TestFlowCacheMissOnlyOnFirstPacket(t *testing.T) {
+	eng, b := newBridge(t, DefaultConfig("br0"))
+	in, _ := b.AddPort("vnet0", 1, nil, nil)
+	out, _ := b.AddPort("vnet2", 2, nil, nil)
+	out.SetOut(func(*vnet.Packet) {})
+	b.AddRoute(3, "vnet2")
+	for i := 0; i < 10; i++ {
+		in.In.Receive(pkt(1, 3, 1000, 2000))
+	}
+	eng.RunUntilIdle()
+	if b.Stats().FlowMisses != 1 {
+		t.Fatalf("FlowMisses = %d, want 1", b.Stats().FlowMisses)
+	}
+	// A different flow misses again.
+	in.In.Receive(pkt(1, 3, 1001, 2000))
+	eng.RunUntilIdle()
+	if b.Stats().FlowMisses != 2 {
+		t.Fatalf("FlowMisses = %d, want 2", b.Stats().FlowMisses)
+	}
+}
+
+func TestCrossPortSwitchingPenalty(t *testing.T) {
+	// Same total packet count, one port vs alternating ports: the
+	// alternating case must take longer (Case II vs Case III).
+	run := func(alternate bool) int64 {
+		cfg := DefaultConfig("br0")
+		cfg.FlowMissNs = 0 // isolate the port-switch effect
+		eng, b := newBridge(t, cfg)
+		in0, _ := b.AddPort("vnet0", 1, nil, nil)
+		in1, _ := b.AddPort("vnet1", 2, nil, nil)
+		out, _ := b.AddPort("vnet2", 3, nil, nil)
+		var last int64
+		out.SetOut(func(*vnet.Packet) { last = eng.Now() })
+		b.AddRoute(3, "vnet2")
+		for i := 0; i < 100; i++ {
+			src := in0
+			sport := uint16(1000)
+			if alternate && i%2 == 1 {
+				src = in1
+				sport = 1001
+			}
+			src.In.Receive(pkt(1, 3, sport, 2000))
+		}
+		eng.RunUntilIdle()
+		return last
+	}
+	single := run(false)
+	alternating := run(true)
+	if alternating <= single {
+		t.Fatalf("alternating ports (%d ns) not slower than single port (%d ns)", alternating, single)
+	}
+}
+
+func TestIngressPolicingDropsExcess(t *testing.T) {
+	eng, b := newBridge(t, DefaultConfig("br0"))
+	// Tiny policer: a couple of packets pass, the rest drop at ingress.
+	in, _ := b.AddPort("vnet0", 1, vnet.NewTokenBucket(100, 2), nil)
+	out, _ := b.AddPort("vnet2", 2, nil, nil)
+	delivered := 0
+	out.SetOut(func(*vnet.Packet) { delivered++ })
+	b.AddRoute(3, "vnet2")
+	for i := 0; i < 50; i++ {
+		p := pkt(1, 3, 1000, 2000)
+		p.Payload = make([]byte, 100)
+		in.In.Receive(p)
+	}
+	eng.RunUntilIdle()
+	if in.In.Stats().DroppedPolice == 0 {
+		t.Fatal("policer never dropped")
+	}
+	if delivered == 0 {
+		t.Fatal("policer dropped everything including the burst")
+	}
+	if uint64(delivered)+in.In.Stats().DroppedPolice != 50 {
+		t.Fatalf("accounting: delivered=%d dropped=%d", delivered, in.In.Stats().DroppedPolice)
+	}
+}
+
+func TestFabricQueueOverflow(t *testing.T) {
+	cfg := DefaultConfig("br0")
+	cfg.FabricQueueCap = 4
+	cfg.FabricBaseNs = 1000000 // slow fabric
+	eng, b := newBridge(t, cfg)
+	in, _ := b.AddPort("vnet0", 1, nil, nil)
+	out, _ := b.AddPort("vnet2", 2, nil, nil)
+	out.SetOut(func(*vnet.Packet) {})
+	b.AddRoute(3, "vnet2")
+	for i := 0; i < 50; i++ {
+		in.In.Receive(pkt(1, 3, 1000, 2000))
+	}
+	eng.RunUntilIdle()
+	if b.Stats().DroppedFabric == 0 {
+		t.Fatal("fabric queue never overflowed")
+	}
+}
+
+func TestQueueingDelayGrowsWithLoad(t *testing.T) {
+	// Measure the last-packet completion time at two load levels; the
+	// saturated case must show superlinear growth in per-packet delay.
+	run := func(n int) int64 {
+		cfg := DefaultConfig("br0")
+		cfg.FlowMissNs = 0
+		eng, b := newBridge(t, cfg)
+		in, _ := b.AddPort("vnet0", 1, nil, nil)
+		out, _ := b.AddPort("vnet2", 2, nil, nil)
+		var last int64
+		out.SetOut(func(*vnet.Packet) { last = eng.Now() })
+		b.AddRoute(3, "vnet2")
+		for i := 0; i < n; i++ {
+			in.In.Receive(pkt(1, 3, 1000, 2000))
+		}
+		eng.RunUntilIdle()
+		return last
+	}
+	t10 := run(10)
+	t100 := run(100)
+	if t100 < t10*9 {
+		t.Fatalf("no queueing: t10=%d t100=%d", t10, t100)
+	}
+}
+
+func TestTraceHookAttachAtPort(t *testing.T) {
+	eng, b := newBridge(t, DefaultConfig("br0"))
+	in, _ := b.AddPort("vnet0", 1, nil, nil)
+	out, _ := b.AddPort("vnet2", 2, nil, nil)
+	out.SetOut(func(*vnet.Packet) {})
+	b.AddRoute(3, "vnet2")
+	seen := 0
+	detach := in.In.AttachHook(vnet.Ingress, func(p *vnet.Packet, d vnet.Direction) int64 {
+		seen++
+		return 0
+	})
+	defer detach()
+	in.In.Receive(pkt(1, 3, 1000, 2000))
+	eng.RunUntilIdle()
+	if seen != 1 {
+		t.Fatalf("hook saw %d packets", seen)
+	}
+}

@@ -1,0 +1,331 @@
+// Package script compiles vNetTracer trace specifications — filter rules
+// plus actions, as the user writes them in configuration files — into eBPF
+// bytecode that loads through the verifier and runs in the in-kernel VM.
+// This is the paper's programmability layer: "users provide information
+// such as ethernet type, source IP, destination port, etc. to generate the
+// filter rules".
+package script
+
+import (
+	"fmt"
+
+	"vnettracer/internal/core"
+	"vnettracer/internal/ebpf"
+	"vnettracer/internal/vnet"
+)
+
+// Action is one tracing action executed when a packet matches the filter.
+type Action int
+
+// Supported actions.
+const (
+	// ActionRecord emits a 48-byte trace record (packet ID, tracepoint,
+	// nanosecond timestamp, length, flow) to the kernel buffer — the
+	// paper's "record the current system time in nanosecond".
+	ActionRecord Action = iota + 1
+	// ActionCount maintains packet and byte counters in an array map.
+	ActionCount
+	// ActionCPUHist counts invocations per CPU in a per-CPU map (case
+	// study III's softirq distribution measurement).
+	ActionCPUHist
+)
+
+func (a Action) String() string {
+	switch a {
+	case ActionRecord:
+		return "record"
+	case ActionCount:
+		return "count"
+	case ActionCPUHist:
+		return "cpuhist"
+	}
+	return fmt.Sprintf("action(%d)", int(a))
+}
+
+// Filter matches packets. Zero-valued fields match anything, following the
+// paper's configuration-file semantics.
+type Filter struct {
+	SrcIP      vnet.IPv4 `json:"src_ip,omitempty"`
+	DstIP      vnet.IPv4 `json:"dst_ip,omitempty"`
+	SrcPort    uint16    `json:"src_port,omitempty"`
+	DstPort    uint16    `json:"dst_port,omitempty"`
+	Proto      uint8     `json:"proto,omitempty"`
+	TracedOnly bool      `json:"traced_only,omitempty"`
+}
+
+// Spec is a complete trace-script specification: where to attach, what to
+// match, and what to do.
+type Spec struct {
+	Name   string           `json:"name"`
+	TPID   uint32           `json:"tp_id"`
+	Attach core.AttachPoint `json:"attach"`
+	Filter Filter           `json:"filter"`
+	Actions []Action        `json:"actions"`
+	// NumCPU sizes the per-CPU histogram map; defaults to 64.
+	NumCPU int `json:"num_cpu,omitempty"`
+}
+
+// Compiled is a loaded trace script with handles to its maps for userspace
+// readout.
+type Compiled struct {
+	Spec Spec
+	Prog *ebpf.Program
+	// Counters is non-nil when ActionCount is present: slot 0 = packets,
+	// slot 1 = bytes.
+	Counters *ebpf.ArrayMap
+	// CPUHist is non-nil when ActionCPUHist is present: slot 0 counts per
+	// CPU.
+	CPUHist *ebpf.PerCPUArray
+}
+
+// Counter map slots.
+const (
+	SlotPackets = 0
+	SlotBytes   = 1
+)
+
+// CompileToInsns compiles the spec to raw instructions and a map table
+// without loading (verification happens in Compile / ebpf.Load). Exposed
+// for verifier benchmarking and inspection tools.
+func CompileToInsns(spec Spec) ([]ebpf.Insn, []ebpf.Map, error) {
+	c, b, err := build(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	_ = c
+	return b.Program()
+}
+
+// Compile builds, verifies and loads the spec's eBPF program.
+func Compile(spec Spec) (*Compiled, error) {
+	c, b, err := build(spec)
+	if err != nil {
+		return nil, err
+	}
+	insns, maps, err := b.Program()
+	if err != nil {
+		return nil, fmt.Errorf("script: %q: %w", spec.Name, err)
+	}
+	prog, err := ebpf.Load(ebpf.ProgramSpec{
+		Name:    spec.Name,
+		Type:    attachProgType(spec.Attach),
+		Insns:   insns,
+		Maps:    maps,
+		CtxSize: core.CtxSize,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("script: %q: %w", spec.Name, err)
+	}
+	c.Prog = prog
+	return c, nil
+}
+
+// build emits the spec's bytecode into a fresh builder.
+func build(spec Spec) (*Compiled, *ebpf.Builder, error) {
+	if len(spec.Actions) == 0 {
+		return nil, nil, fmt.Errorf("script: %q: no actions", spec.Name)
+	}
+	if spec.NumCPU <= 0 {
+		spec.NumCPU = 64
+	}
+
+	c := &Compiled{Spec: spec}
+	b := ebpf.NewBuilder()
+
+	// r6 holds the context across helper calls.
+	b.Mov(ebpf.R6, ebpf.R1)
+
+	emitFilter(b, spec.Filter)
+
+	for _, a := range spec.Actions {
+		switch a {
+		case ActionRecord:
+			emitRecord(b, spec.TPID)
+		case ActionCount:
+			if c.Counters == nil {
+				m, err := ebpf.NewArrayMap(8, 2)
+				if err != nil {
+					return nil, nil, fmt.Errorf("script: %q: %w", spec.Name, err)
+				}
+				c.Counters = m
+			}
+			emitCount(b, c.Counters)
+		case ActionCPUHist:
+			if c.CPUHist == nil {
+				m, err := ebpf.NewPerCPUArray(8, 1, spec.NumCPU)
+				if err != nil {
+					return nil, nil, fmt.Errorf("script: %q: %w", spec.Name, err)
+				}
+				c.CPUHist = m
+			}
+			emitIncrMap(b, c.CPUHist, "cpuhit")
+		default:
+			return nil, nil, fmt.Errorf("script: %q: unknown action %d", spec.Name, a)
+		}
+	}
+
+	// Matched: r0 = 1.
+	b.MovImm(ebpf.R0, 1).ExitInsn()
+	// Filtered out: r0 = 0.
+	b.Label("out").MovImm(ebpf.R0, 0).ExitInsn()
+	return c, b, nil
+}
+
+func attachProgType(at core.AttachPoint) ebpf.ProgType {
+	switch at.Kind {
+	case core.AttachKProbe, core.AttachUprobe:
+		return ebpf.ProgTypeKprobe
+	case core.AttachKretprobe:
+		return ebpf.ProgTypeKretprobe
+	}
+	return ebpf.ProgTypeSocketFilter
+}
+
+// emitFilter emits comparisons that fall through on match and jump to
+// "out" on mismatch. JMP32 comparisons keep high-bit IPs matchable.
+func emitFilter(b *ebpf.Builder, f Filter) {
+	check := func(off int16, want uint32) {
+		b.Load(ebpf.R2, ebpf.R6, off, ebpf.SizeW)
+		b.Jump32ImmTo(ebpf.JmpNe, ebpf.R2, int32(want), "out")
+	}
+	if f.Proto != 0 {
+		check(core.CtxIPProto, uint32(f.Proto))
+	}
+	if f.SrcIP != 0 {
+		check(core.CtxSrcIP, uint32(f.SrcIP))
+	}
+	if f.DstIP != 0 {
+		check(core.CtxDstIP, uint32(f.DstIP))
+	}
+	if f.SrcPort != 0 {
+		check(core.CtxSrcPort, uint32(f.SrcPort))
+	}
+	if f.DstPort != 0 {
+		check(core.CtxDstPort, uint32(f.DstPort))
+	}
+	if f.TracedOnly {
+		b.Load(ebpf.R2, ebpf.R6, core.CtxTraceID, ebpf.SizeW)
+		b.Jump32ImmTo(ebpf.JmpEq, ebpf.R2, 0, "out")
+	}
+}
+
+// emitRecord assembles the 48-byte record on the stack at r10-48 and emits
+// it through perf_event_output. Offsets match core.Record's wire format.
+func emitRecord(b *ebpf.Builder, tpid uint32) {
+	const base = -int16(core.RecordSize)
+	copyW := func(ctxOff, recOff int16) {
+		b.Load(ebpf.R2, ebpf.R6, ctxOff, ebpf.SizeW)
+		b.Store(ebpf.R10, base+recOff, ebpf.R2, ebpf.SizeW)
+	}
+	copyDW := func(ctxOff, recOff int16) {
+		b.Load(ebpf.R2, ebpf.R6, ctxOff, ebpf.SizeDW)
+		b.Store(ebpf.R10, base+recOff, ebpf.R2, ebpf.SizeDW)
+	}
+	copyW(core.CtxTraceID, 0)
+	b.MovImm(ebpf.R2, int32(tpid))
+	b.Store(ebpf.R10, base+4, ebpf.R2, ebpf.SizeW)
+	copyDW(core.CtxTimeNs, 8)
+	copyW(core.CtxLen, 16)
+	copyW(core.CtxCPU, 20)
+	copyDW(core.CtxSeq, 24)
+	copyW(core.CtxSrcIP, 32)
+	copyW(core.CtxDstIP, 36)
+	// Ports are stored as u16 in the record but u32 in the context.
+	b.Load(ebpf.R2, ebpf.R6, core.CtxSrcPort, ebpf.SizeW)
+	b.Store(ebpf.R10, base+40, ebpf.R2, ebpf.SizeH)
+	b.Load(ebpf.R2, ebpf.R6, core.CtxDstPort, ebpf.SizeW)
+	b.Store(ebpf.R10, base+42, ebpf.R2, ebpf.SizeH)
+	b.Load(ebpf.R2, ebpf.R6, core.CtxIPProto, ebpf.SizeW)
+	b.Store(ebpf.R10, base+44, ebpf.R2, ebpf.SizeB)
+	b.Load(ebpf.R2, ebpf.R6, core.CtxDir, ebpf.SizeW)
+	b.Store(ebpf.R10, base+45, ebpf.R2, ebpf.SizeB)
+	// Zero the 2 padding bytes so records are deterministic.
+	b.Emit(ebpf.StoreImm(ebpf.R10, base+46, 0, ebpf.SizeH))
+
+	b.Mov(ebpf.R1, ebpf.R6)
+	b.MovImm(ebpf.R2, 0)
+	b.Mov(ebpf.R3, ebpf.R10)
+	b.ALUImm(ebpf.ALUAdd, ebpf.R3, int32(base))
+	b.MovImm(ebpf.R4, core.RecordSize)
+	b.Call(ebpf.HelperPerfEventOutput)
+}
+
+// emitCount increments the packet counter (slot 0) and adds the packet
+// length to the byte counter (slot 1).
+func emitCount(b *ebpf.Builder, m ebpf.Map) {
+	// Packets: counters[0]++.
+	lbl := fmt.Sprintf("skip_pkt_%d", b.Len())
+	b.Emit(ebpf.StoreImm(ebpf.R10, -4, SlotPackets, ebpf.SizeW))
+	b.LoadMapFD(ebpf.R1, m)
+	b.Mov(ebpf.R2, ebpf.R10)
+	b.ALUImm(ebpf.ALUAdd, ebpf.R2, -4)
+	b.Call(ebpf.HelperMapLookupElem)
+	b.JumpImmTo(ebpf.JmpEq, ebpf.R0, 0, lbl)
+	b.Load(ebpf.R2, ebpf.R0, 0, ebpf.SizeDW)
+	b.ALUImm(ebpf.ALUAdd, ebpf.R2, 1)
+	b.Store(ebpf.R0, 0, ebpf.R2, ebpf.SizeDW)
+	b.Label(lbl)
+
+	// Bytes: counters[1] += ctx.len.
+	lbl2 := fmt.Sprintf("skip_bytes_%d", b.Len())
+	b.Emit(ebpf.StoreImm(ebpf.R10, -4, SlotBytes, ebpf.SizeW))
+	b.LoadMapFD(ebpf.R1, m)
+	b.Mov(ebpf.R2, ebpf.R10)
+	b.ALUImm(ebpf.ALUAdd, ebpf.R2, -4)
+	b.Call(ebpf.HelperMapLookupElem)
+	b.JumpImmTo(ebpf.JmpEq, ebpf.R0, 0, lbl2)
+	b.Load(ebpf.R2, ebpf.R0, 0, ebpf.SizeDW)
+	b.Load(ebpf.R3, ebpf.R6, core.CtxLen, ebpf.SizeW)
+	b.ALUReg(ebpf.ALUAdd, ebpf.R2, ebpf.R3)
+	b.Store(ebpf.R0, 0, ebpf.R2, ebpf.SizeDW)
+	b.Label(lbl2)
+}
+
+// emitIncrMap increments slot 0 of m (the executing CPU's replica for
+// per-CPU maps).
+func emitIncrMap(b *ebpf.Builder, m ebpf.Map, tag string) {
+	lbl := fmt.Sprintf("skip_%s_%d", tag, b.Len())
+	b.Emit(ebpf.StoreImm(ebpf.R10, -4, 0, ebpf.SizeW))
+	b.LoadMapFD(ebpf.R1, m)
+	b.Mov(ebpf.R2, ebpf.R10)
+	b.ALUImm(ebpf.ALUAdd, ebpf.R2, -4)
+	b.Call(ebpf.HelperMapLookupElem)
+	b.JumpImmTo(ebpf.JmpEq, ebpf.R0, 0, lbl)
+	b.Load(ebpf.R2, ebpf.R0, 0, ebpf.SizeDW)
+	b.ALUImm(ebpf.ALUAdd, ebpf.R2, 1)
+	b.Store(ebpf.R0, 0, ebpf.R2, ebpf.SizeDW)
+	b.Label(lbl)
+}
+
+// ReadCounter reads a counter slot from a compiled script's array map.
+func (c *Compiled) ReadCounter(slot int) (uint64, bool) {
+	if c.Counters == nil {
+		return 0, false
+	}
+	key := []byte{byte(slot), 0, 0, 0}
+	v, ok := c.Counters.Lookup(key)
+	if !ok || len(v) < 8 {
+		return 0, false
+	}
+	return leU64(v), true
+}
+
+// ReadCPUHist returns per-CPU invocation counts.
+func (c *Compiled) ReadCPUHist() []uint64 {
+	if c.CPUHist == nil {
+		return nil
+	}
+	out := make([]uint64, c.CPUHist.NumCPU())
+	key := []byte{0, 0, 0, 0}
+	for cpu := range out {
+		if v, ok := c.CPUHist.LookupCPU(key, cpu); ok {
+			out[cpu] = leU64(v)
+		}
+	}
+	return out
+}
+
+func leU64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}

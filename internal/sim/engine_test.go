@@ -1,0 +1,263 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine(1)
+	var order []int64
+	e.Schedule(300, func() { order = append(order, 300) })
+	e.Schedule(100, func() { order = append(order, 100) })
+	e.Schedule(200, func() { order = append(order, 200) })
+	if got := e.RunUntilIdle(); got != 3 {
+		t.Fatalf("processed %d events, want 3", got)
+	}
+	want := []int64{100, 200, 300}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 300 {
+		t.Errorf("Now() = %d, want 300", e.Now())
+	}
+}
+
+func TestEngineSameTimestampFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(50, func() { order = append(order, i) })
+	}
+	e.RunUntilIdle()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-timestamp events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineRunHorizon(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	e.Schedule(100, func() { fired++ })
+	e.Schedule(200, func() { fired++ })
+	e.Schedule(301, func() { fired++ })
+
+	if n := e.Run(200); n != 2 {
+		t.Fatalf("Run(200) processed %d, want 2", n)
+	}
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+	if e.Now() != 200 {
+		t.Fatalf("Now() = %d, want 200", e.Now())
+	}
+	// Remaining event still runs on next call.
+	if n := e.Run(1000); n != 1 {
+		t.Fatalf("Run(1000) processed %d, want 1", n)
+	}
+	if e.Now() != 1000 {
+		t.Fatalf("clock should advance to empty-queue horizon, got %d", e.Now())
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	var times []int64
+	e.Schedule(10, func() {
+		times = append(times, e.Now())
+		e.Schedule(5, func() { times = append(times, e.Now()) })
+	})
+	e.RunUntilIdle()
+	if len(times) != 2 || times[0] != 10 || times[1] != 15 {
+		t.Fatalf("times = %v, want [10 15]", times)
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	tm := e.Schedule(10, func() { fired = true })
+	if !tm.Pending() {
+		t.Fatal("timer should be pending before run")
+	}
+	if !tm.Cancel() {
+		t.Fatal("first Cancel should report true")
+	}
+	if tm.Cancel() {
+		t.Fatal("second Cancel should report false")
+	}
+	e.RunUntilIdle()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestTimerCancelAfterFire(t *testing.T) {
+	e := NewEngine(1)
+	tm := e.Schedule(10, func() {})
+	e.RunUntilIdle()
+	if tm.Pending() {
+		t.Fatal("fired timer should not be pending")
+	}
+	if tm.Cancel() {
+		t.Fatal("Cancel after fire should report false")
+	}
+}
+
+func TestAtRejectsPast(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(100, func() {})
+	e.RunUntilIdle()
+	if _, err := e.At(50, func() {}); err == nil {
+		t.Fatal("At in the past should error")
+	}
+}
+
+func TestNegativeDelayClampsToNow(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(100, func() {
+		var at int64 = -1
+		e.Schedule(-50, func() { at = e.Now() })
+		e.RunUntilIdle()
+		if at != 100 {
+			t.Errorf("negative delay fired at %d, want 100", at)
+		}
+	})
+	e.RunUntilIdle()
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(int64(i)*10, func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.RunUntilIdle()
+	if count != 3 {
+		t.Fatalf("count = %d after Stop, want 3", count)
+	}
+	// Resume.
+	e.RunUntilIdle()
+	if count != 10 {
+		t.Fatalf("count = %d after resume, want 10", count)
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func(seed int64) []int64 {
+		e := NewEngine(seed)
+		d := NewDist(e)
+		var out []int64
+		var step func()
+		step = func() {
+			out = append(out, e.Now())
+			if len(out) < 50 {
+				e.Schedule(d.Exp(1000), step)
+			}
+		}
+		e.Schedule(0, step)
+		e.RunUntilIdle()
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestClockSkewAndDrift(t *testing.T) {
+	e := NewEngine(1)
+	c := NewClock(e, 5*Second, 1000) // 5s offset, 1 us gained per second
+	e.Schedule(10*Second, func() {})
+	e.RunUntilIdle()
+	got := c.NowNs()
+	want := 5*Second + 10*Second + 10*Microsecond
+	if got != want {
+		t.Fatalf("NowNs() = %d, want %d", got, want)
+	}
+	if c.OffsetNs() != 5*Second {
+		t.Fatalf("OffsetNs() = %d", c.OffsetNs())
+	}
+}
+
+func TestClockMonotonic(t *testing.T) {
+	e := NewEngine(7)
+	c := NewClock(e, 123, -5000)
+	prev := c.NowNs()
+	for i := 1; i <= 100; i++ {
+		e.Schedule(int64(i)*Millisecond, func() {})
+	}
+	for {
+		if n := e.Run(e.Now() + Millisecond); n == 0 && e.Now() >= 100*Millisecond {
+			break
+		}
+		now := c.NowNs()
+		if now < prev {
+			t.Fatalf("clock went backwards: %d -> %d", prev, now)
+		}
+		prev = now
+	}
+}
+
+func TestDistProperties(t *testing.T) {
+	e := NewEngine(3)
+	d := NewDist(e)
+	if err := quick.Check(func(mean uint16) bool {
+		v := d.Exp(int64(mean))
+		return v >= 0
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(func(lo, hi uint16) bool {
+		l, h := int64(lo), int64(hi)
+		v := d.Uniform(l, h)
+		if h <= l {
+			return v == l
+		}
+		return v >= l && v < h
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if v := d.Pareto(100, 1.5); v < 100 || v > 100*1000 {
+			t.Fatalf("Pareto out of bounds: %d", v)
+		}
+		if v := d.Normal(1000, 200); v < 0 {
+			t.Fatalf("Normal returned negative: %d", v)
+		}
+	}
+}
+
+func TestDistMeans(t *testing.T) {
+	e := NewEngine(11)
+	d := NewDist(e)
+	const n = 200000
+	var sum int64
+	for i := 0; i < n; i++ {
+		sum += d.Exp(1000)
+	}
+	mean := float64(sum) / n
+	if mean < 950 || mean > 1050 {
+		t.Errorf("Exp(1000) sample mean = %.1f, want ~1000", mean)
+	}
+	sum = 0
+	for i := 0; i < n; i++ {
+		sum += d.Uniform(0, 1000)
+	}
+	mean = float64(sum) / n
+	if mean < 480 || mean > 520 {
+		t.Errorf("Uniform(0,1000) sample mean = %.1f, want ~500", mean)
+	}
+}

@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Dist draws samples from common service/inter-arrival distributions used
+// by the device and scheduler models. All draws come from the engine's
+// seeded source, keeping experiments reproducible.
+type Dist struct {
+	rng *rand.Rand
+}
+
+// NewDist wraps an engine's random source.
+func NewDist(e *Engine) Dist { return Dist{rng: e.Rand()} }
+
+// Exp returns an exponentially distributed duration with the given mean,
+// in nanoseconds. Mean must be positive; non-positive means return zero.
+func (d Dist) Exp(meanNs int64) int64 {
+	if meanNs <= 0 {
+		return 0
+	}
+	return int64(d.rng.ExpFloat64() * float64(meanNs))
+}
+
+// Uniform returns a duration uniformly distributed in [lo, hi).
+func (d Dist) Uniform(lo, hi int64) int64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + d.rng.Int63n(hi-lo)
+}
+
+// Normal returns a normally distributed duration clamped at zero.
+func (d Dist) Normal(meanNs, stddevNs int64) int64 {
+	v := float64(meanNs) + d.rng.NormFloat64()*float64(stddevNs)
+	if v < 0 {
+		return 0
+	}
+	return int64(v)
+}
+
+// Pareto returns a bounded Pareto-distributed duration with the given scale
+// (minimum) and shape alpha. Heavy-tailed processing times drive realistic
+// tail latency in the device models.
+func (d Dist) Pareto(scaleNs int64, alpha float64) int64 {
+	if scaleNs <= 0 || alpha <= 0 {
+		return 0
+	}
+	u := d.rng.Float64()
+	for u == 0 {
+		u = d.rng.Float64()
+	}
+	v := float64(scaleNs) / math.Pow(u, 1/alpha)
+	// Clamp to 1000x scale to keep the event horizon finite.
+	if maxV := float64(scaleNs) * 1000; v > maxV {
+		v = maxV
+	}
+	return int64(v)
+}

@@ -1,0 +1,99 @@
+package testbed
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig12bOverlayThroughputCollapse(t *testing.T) {
+	res, err := RunContainerThroughput(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("TCP vm=%.2fG cont=%.2fG (%.1f%%); UDP vm=%.2fG cont=%.2fG (%.1f%%)",
+		res.VMTCPBps/1e9, res.ContTCPBps/1e9, res.TCPRatioPct,
+		res.VMUDPBps/1e9, res.ContUDPBps/1e9, res.UDPRatioPct)
+	// Paper: "the Netperf TCP and UDP throughput between containers were
+	// just 16.8% and 22.9% of that between VMs". Require the collapse band.
+	if res.TCPRatioPct < 10 || res.TCPRatioPct > 35 {
+		t.Errorf("container TCP = %.1f%% of VM, want ~16.8%%", res.TCPRatioPct)
+	}
+	if res.UDPRatioPct < 10 || res.UDPRatioPct > 35 {
+		t.Errorf("container UDP = %.1f%% of VM, want ~22.9%%", res.UDPRatioPct)
+	}
+	if res.VMTCPBps < 1e9 {
+		t.Errorf("VM TCP baseline %.2fG implausibly low", res.VMTCPBps/1e9)
+	}
+}
+
+func TestFig13aSoftirqRateAndDistribution(t *testing.T) {
+	res, err := RunSoftirqDistribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("rate vm=%.0f/s cont=%.0f/s ratio=%.2f; top share vm=%.3f cont=%.3f",
+		res.VMRatePerSec, res.ContRatePerSec, res.RateRatio, res.VMTopShare, res.ContTopShare)
+	// Paper: "the execution rate of net_rx_action in containers is 4.54
+	// times of that in VMs" — despite far lower throughput.
+	if res.RateRatio < 3 || res.RateRatio > 9 {
+		t.Errorf("softirq rate ratio = %.2f, want ~4.54", res.RateRatio)
+	}
+	if res.ContBps >= res.VMBps {
+		t.Error("container throughput should be far below VM throughput")
+	}
+	// Paper: softirqs are concentrated on few cores: "99.7% and 62.9% of
+	// the net_rx_action is executed on [one CPU] in VMs and containers".
+	if res.VMTopShare < 0.95 {
+		t.Errorf("VM dominant CPU share = %.3f, want ~0.997", res.VMTopShare)
+	}
+	if res.ContTopShare < 0.5 || res.ContTopShare > 0.9 {
+		t.Errorf("container dominant CPU share = %.3f, want ~0.629", res.ContTopShare)
+	}
+	// RPS cannot spread a single connection across all cores: at most 2 of
+	// 4 CPUs see softirqs (outer and inner flow hashes).
+	busy := 0
+	for _, s := range res.ContShare {
+		if s > 0.01 {
+			busy++
+		}
+	}
+	if busy > 2 {
+		t.Errorf("container softirqs spread over %d CPUs; RPS should not help one connection", busy)
+	}
+}
+
+func TestFig13bDataPathDepth(t *testing.T) {
+	res, err := RunPathTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("vm path (%d): %v", len(res.VMPath), res.VMPath)
+	t.Logf("container path (%d): %v", len(res.ContainerPath), res.ContainerPath)
+	// Paper: "the data path in container networks is far more complex than
+	// that in VMs".
+	if len(res.ContainerPath) < 3*len(res.VMPath) {
+		t.Errorf("container path %d hops vs VM %d: not 'far more complex'",
+			len(res.ContainerPath), len(res.VMPath))
+	}
+	// The container path must traverse the overlay devices on both sides,
+	// in order: veth -> docker0 -> vxlan -> eth0 on the sender, the
+	// reverse on the receiver.
+	want := []string{
+		"veth684a1d9@vm1", "docker0@vm1", "vxlan0@vm1", "eth0@vm1",
+		"eth0@vm2", "vxlan0@vm2", "docker0@vm2", "veth684a1d9@vm2",
+	}
+	if len(res.ContainerPath) != len(want) {
+		t.Fatalf("container path = %v, want %v", res.ContainerPath, want)
+	}
+	for i := range want {
+		if res.ContainerPath[i] != want[i] {
+			t.Fatalf("container path = %v, want %v", res.ContainerPath, want)
+		}
+	}
+	// The VM path never touches overlay devices.
+	for _, hop := range res.VMPath {
+		if strings.Contains(hop, "vxlan") || strings.Contains(hop, "docker") || strings.Contains(hop, "veth") {
+			t.Errorf("VM path crosses overlay device %s", hop)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package testbed
+
+import (
+	"testing"
+
+	"vnettracer/internal/core"
+	"vnettracer/internal/kernel"
+	"vnettracer/internal/script"
+	"vnettracer/internal/sim"
+)
+
+func TestTracingAddMachineDuplicate(t *testing.T) {
+	eng := sim.NewEngine(1)
+	node := kernel.NewNode(eng, kernel.NodeConfig{Name: "m"})
+	m := newMachine(node)
+	tr := NewTracing()
+	if _, err := tr.AddMachine(m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.AddMachine(m); err == nil {
+		t.Fatal("duplicate machine accepted")
+	}
+	if _, ok := tr.Agent("m"); !ok {
+		t.Fatal("agent not registered")
+	}
+	if _, ok := tr.Agent("ghost"); ok {
+		t.Fatal("phantom agent")
+	}
+}
+
+func TestTracingInstallAndTable(t *testing.T) {
+	eng := sim.NewEngine(1)
+	node := kernel.NewNode(eng, kernel.NodeConfig{Name: "m"})
+	m := newMachine(node)
+	tr := NewTracing()
+	if _, err := tr.AddMachine(m); err != nil {
+		t.Fatal(err)
+	}
+	tpid, err := tr.InstallRecord("m", "probe", core.AttachPoint{Kind: core.AttachKProbe, Site: "x"}, script.Filter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tpid == 0 {
+		t.Fatal("no TPID allocated")
+	}
+	if _, err := tr.Table("probe"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Table("ghost"); err == nil {
+		t.Fatal("phantom table")
+	}
+	// Install to unknown machine fails.
+	if _, err := tr.InstallRecord("ghost", "p2", core.AttachPoint{Kind: core.AttachKProbe, Site: "x"}, script.Filter{}); err == nil {
+		t.Fatal("install to unknown machine accepted")
+	}
+}
+
+func TestTracingMustTablePanicsOnUnknown(t *testing.T) {
+	tr := NewTracing()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustTable did not panic")
+		}
+	}()
+	tr.MustTable("ghost")
+}
+
+func TestNewLatencyStats(t *testing.T) {
+	ns := make([]int64, 1000)
+	for i := range ns {
+		ns[i] = int64(i+1) * 1000 // 1..1000 us
+	}
+	s := NewLatencyStats(ns)
+	if s.Count != 1000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.MeanUs != 500.5 {
+		t.Fatalf("mean = %f", s.MeanUs)
+	}
+	if s.P50Us != 500 || s.P999Us != 999 || s.MaxUs != 1000 {
+		t.Fatalf("percentiles = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+	empty := NewLatencyStats(nil)
+	if empty.Count != 0 || empty.MeanUs != 0 {
+		t.Fatalf("empty stats = %+v", empty)
+	}
+}
+
+func TestCaseLabels(t *testing.T) {
+	tests := []struct {
+		cfg  OVSCaseConfig
+		want string
+	}{
+		{OVSCaseConfig{}, "Case I"},
+		{OVSCaseConfig{IperfVM0: 1}, "Case II"},
+		{OVSCaseConfig{IperfVM0: 3}, "Case II+"},
+		{OVSCaseConfig{IperfVM0: 1, ExtraVMs: 1}, "Case III"},
+		{OVSCaseConfig{IperfVM0: 1, ExtraVMs: 3}, "Case III+"},
+	}
+	for _, tc := range tests {
+		if got := caseLabel(tc.cfg); got != tc.want {
+			t.Errorf("caseLabel(%+v) = %q, want %q", tc.cfg, got, tc.want)
+		}
+	}
+}
+
+func TestXenLabels(t *testing.T) {
+	if got := xenLabel(XenConfig{}); got != "baseline (I/O VM alone)" {
+		t.Errorf("label = %q", got)
+	}
+	if got := xenLabel(XenConfig{Consolidated: true, RatelimitUs: 1000}); got != "consolidated, ratelimit=1000us" {
+		t.Errorf("label = %q", got)
+	}
+	if got := xenLabel(XenConfig{Consolidated: true}); got != "consolidated, ratelimit=0" {
+		t.Errorf("label = %q", got)
+	}
+}

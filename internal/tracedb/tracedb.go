@@ -1,0 +1,201 @@
+// Package tracedb is the trace database the raw-data collector loads
+// records into — the offline store the paper implements with InfluxDB: one
+// table per tracepoint, records indexed by packet (trace) ID, plus the
+// collector's agent-heartbeat ledger.
+package tracedb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"vnettracer/internal/core"
+)
+
+// DB is an in-memory trace database. It is safe for concurrent use; the
+// collector inserts while analyses query.
+type DB struct {
+	mu         sync.RWMutex
+	tables     map[uint32]*Table
+	heartbeats map[string]int64
+}
+
+// Table holds all records from one tracepoint.
+type Table struct {
+	TPID uint32
+	Name string
+	// NodeSkewNs is the estimated clock offset of the node hosting this
+	// tracepoint relative to the master (Cristian's algorithm); analyses
+	// subtract it during timestamp alignment.
+	NodeSkewNs int64
+
+	recs      []core.Record
+	byTraceID map[uint32][]int
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{
+		tables:     make(map[uint32]*Table),
+		heartbeats: make(map[string]int64),
+	}
+}
+
+// CreateTable registers a tracepoint table. Creating an existing table is
+// an error (tracepoint IDs must be unique per experiment).
+func (db *DB) CreateTable(tpid uint32, name string) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.tables[tpid]; dup {
+		return nil, fmt.Errorf("tracedb: table %d already exists", tpid)
+	}
+	t := &Table{TPID: tpid, Name: name, byTraceID: make(map[uint32][]int)}
+	db.tables[tpid] = t
+	return t, nil
+}
+
+// Insert routes records to their tracepoint tables, creating tables on
+// demand for unknown tracepoints.
+func (db *DB) Insert(recs []core.Record) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, r := range recs {
+		t, ok := db.tables[r.TPID]
+		if !ok {
+			t = &Table{TPID: r.TPID, Name: fmt.Sprintf("tp%d", r.TPID), byTraceID: make(map[uint32][]int)}
+			db.tables[r.TPID] = t
+		}
+		t.byTraceID[r.TraceID] = append(t.byTraceID[r.TraceID], len(t.recs))
+		t.recs = append(t.recs, r)
+	}
+}
+
+// Table returns the table for a tracepoint.
+func (db *DB) Table(tpid uint32) (*Table, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[tpid]
+	return t, ok
+}
+
+// Tables lists all tracepoint IDs in ascending order.
+func (db *DB) Tables() []uint32 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]uint32, 0, len(db.tables))
+	for id := range db.tables {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SetSkew records the clock offset correction for a tracepoint's node.
+func (db *DB) SetSkew(tpid uint32, skewNs int64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if t, ok := db.tables[tpid]; ok {
+		t.NodeSkewNs = skewNs
+	}
+}
+
+// Heartbeat records that an agent reported in at time nowNs. The collector
+// doubles as the health monitor (paper Section III-C: "it also acts as a
+// heartbeat monitor").
+func (db *DB) Heartbeat(agent string, nowNs int64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.heartbeats[agent] = nowNs
+}
+
+// DeadAgents lists agents not heard from within timeout of nowNs.
+func (db *DB) DeadAgents(nowNs, timeoutNs int64) []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []string
+	for agent, last := range db.heartbeats {
+		if nowNs-last > timeoutNs {
+			out = append(out, agent)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Agents lists all agents that ever heartbeated.
+func (db *DB) Agents() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.heartbeats))
+	for a := range db.heartbeats {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the record count.
+func (t *Table) Len() int { return len(t.recs) }
+
+// All returns a copy of every record in insertion order.
+func (t *Table) All() []core.Record {
+	out := make([]core.Record, len(t.recs))
+	copy(out, t.recs)
+	return out
+}
+
+// AlignedAll returns all records with timestamps corrected by the node
+// skew ("timestamp alignment for the clock skew", Section III-C).
+func (t *Table) AlignedAll() []core.Record {
+	out := t.All()
+	for i := range out {
+		out[i].TimeNs = uint64(int64(out[i].TimeNs) - t.NodeSkewNs)
+	}
+	return out
+}
+
+// ByTraceID returns all records for one packet ID.
+func (t *Table) ByTraceID(id uint32) []core.Record {
+	idxs := t.byTraceID[id]
+	out := make([]core.Record, len(idxs))
+	for i, idx := range idxs {
+		out[i] = t.recs[idx]
+	}
+	return out
+}
+
+// FirstByTraceID returns the first record for a packet ID, with timestamp
+// alignment applied.
+func (t *Table) FirstByTraceID(id uint32) (core.Record, bool) {
+	idxs := t.byTraceID[id]
+	if len(idxs) == 0 {
+		return core.Record{}, false
+	}
+	r := t.recs[idxs[0]]
+	r.TimeNs = uint64(int64(r.TimeNs) - t.NodeSkewNs)
+	return r, true
+}
+
+// TraceIDs returns the distinct packet IDs seen at this tracepoint.
+func (t *Table) TraceIDs() []uint32 {
+	out := make([]uint32, 0, len(t.byTraceID))
+	for id := range t.byTraceID {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Incomplete reports trace IDs seen at this table but missing from other —
+// the "identifying incomplete records" data-cleaning step, and the raw
+// material of the packet-loss metric.
+func (t *Table) Incomplete(other *Table) []uint32 {
+	var out []uint32
+	for id := range t.byTraceID {
+		if _, ok := other.byTraceID[id]; !ok {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,132 @@
+package tracedb
+
+import (
+	"testing"
+
+	"vnettracer/internal/core"
+)
+
+func rec(tpid, traceID uint32, t uint64) core.Record {
+	return core.Record{TPID: tpid, TraceID: traceID, TimeNs: t}
+}
+
+func TestCreateTableAndDuplicate(t *testing.T) {
+	db := New()
+	if _, err := db.CreateTable(1, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable(1, "b"); err == nil {
+		t.Fatal("duplicate table accepted")
+	}
+}
+
+func TestInsertRoutesByTPID(t *testing.T) {
+	db := New()
+	db.CreateTable(1, "ingress")
+	db.CreateTable(2, "egress")
+	db.Insert([]core.Record{rec(1, 10, 100), rec(2, 10, 200), rec(1, 11, 150)})
+	t1, _ := db.Table(1)
+	t2, _ := db.Table(2)
+	if t1.Len() != 2 || t2.Len() != 1 {
+		t.Fatalf("lens = %d %d", t1.Len(), t2.Len())
+	}
+}
+
+func TestInsertAutoCreatesTable(t *testing.T) {
+	db := New()
+	db.Insert([]core.Record{rec(9, 1, 1)})
+	tbl, ok := db.Table(9)
+	if !ok || tbl.Len() != 1 {
+		t.Fatal("auto-created table missing")
+	}
+	if got := db.Tables(); len(got) != 1 || got[0] != 9 {
+		t.Fatalf("Tables = %v", got)
+	}
+}
+
+func TestByTraceIDIndex(t *testing.T) {
+	db := New()
+	db.CreateTable(1, "t")
+	db.Insert([]core.Record{rec(1, 5, 10), rec(1, 6, 20), rec(1, 5, 30)})
+	tbl, _ := db.Table(1)
+	got := tbl.ByTraceID(5)
+	if len(got) != 2 || got[0].TimeNs != 10 || got[1].TimeNs != 30 {
+		t.Fatalf("ByTraceID = %+v", got)
+	}
+	first, ok := tbl.FirstByTraceID(5)
+	if !ok || first.TimeNs != 10 {
+		t.Fatalf("First = %+v ok=%v", first, ok)
+	}
+	if _, ok := tbl.FirstByTraceID(99); ok {
+		t.Fatal("missing id found")
+	}
+	ids := tbl.TraceIDs()
+	if len(ids) != 2 || ids[0] != 5 || ids[1] != 6 {
+		t.Fatalf("TraceIDs = %v", ids)
+	}
+}
+
+func TestSkewAlignment(t *testing.T) {
+	db := New()
+	db.CreateTable(1, "remote")
+	db.Insert([]core.Record{rec(1, 5, 1000)})
+	db.SetSkew(1, 300)
+	tbl, _ := db.Table(1)
+	first, _ := tbl.FirstByTraceID(5)
+	if first.TimeNs != 700 {
+		t.Fatalf("aligned time = %d, want 700", first.TimeNs)
+	}
+	all := tbl.AlignedAll()
+	if all[0].TimeNs != 700 {
+		t.Fatalf("AlignedAll = %d", all[0].TimeNs)
+	}
+	// Raw data unchanged.
+	if tbl.All()[0].TimeNs != 1000 {
+		t.Fatal("All() must return raw timestamps")
+	}
+}
+
+func TestIncomplete(t *testing.T) {
+	db := New()
+	db.CreateTable(1, "a")
+	db.CreateTable(2, "b")
+	db.Insert([]core.Record{rec(1, 10, 1), rec(1, 11, 2), rec(1, 12, 3), rec(2, 10, 4), rec(2, 12, 5)})
+	a, _ := db.Table(1)
+	b, _ := db.Table(2)
+	missing := a.Incomplete(b)
+	if len(missing) != 1 || missing[0] != 11 {
+		t.Fatalf("Incomplete = %v", missing)
+	}
+	if got := b.Incomplete(a); len(got) != 0 {
+		t.Fatalf("reverse Incomplete = %v", got)
+	}
+}
+
+func TestHeartbeatsAndDeadAgents(t *testing.T) {
+	db := New()
+	db.Heartbeat("agent-1", 1000)
+	db.Heartbeat("agent-2", 8000)
+	dead := db.DeadAgents(10000, 3000)
+	if len(dead) != 1 || dead[0] != "agent-1" {
+		t.Fatalf("dead = %v", dead)
+	}
+	db.Heartbeat("agent-1", 9000)
+	if got := db.DeadAgents(10000, 3000); len(got) != 0 {
+		t.Fatalf("dead after refresh = %v", got)
+	}
+	if got := db.Agents(); len(got) != 2 {
+		t.Fatalf("agents = %v", got)
+	}
+}
+
+func TestAllReturnsCopy(t *testing.T) {
+	db := New()
+	db.CreateTable(1, "t")
+	db.Insert([]core.Record{rec(1, 5, 10)})
+	tbl, _ := db.Table(1)
+	all := tbl.All()
+	all[0].TimeNs = 999
+	if tbl.All()[0].TimeNs != 10 {
+		t.Fatal("All() exposed internal storage")
+	}
+}

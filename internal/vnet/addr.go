@@ -1,0 +1,62 @@
+// Package vnet models the data plane of a virtualized network: packets with
+// byte-accurate Ethernet/IPv4/TCP/UDP/VXLAN headers, queueing network
+// devices with attachable trace hooks, links with bandwidth and propagation
+// delay, and token-bucket policers. Higher layers (internal/kernel,
+// internal/ovs, internal/overlay, internal/hyper) compose these primitives
+// into hosts, switches, and hypervisors.
+package vnet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// IPv4 is an IPv4 address in host byte order (a.b.c.d => a<<24 | ... | d).
+type IPv4 uint32
+
+// ParseIPv4 parses dotted-quad notation.
+func ParseIPv4(s string) (IPv4, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("vnet: bad IPv4 %q", s)
+	}
+	var ip uint32
+	for _, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 || n > 255 {
+			return 0, fmt.Errorf("vnet: bad IPv4 %q", s)
+		}
+		ip = ip<<8 | uint32(n)
+	}
+	return IPv4(ip), nil
+}
+
+// MustParseIPv4 parses dotted-quad notation, panicking on malformed input.
+// Intended for constants in tests and topology builders.
+func MustParseIPv4(s string) IPv4 {
+	ip, err := ParseIPv4(s)
+	if err != nil {
+		panic(err)
+	}
+	return ip
+}
+
+// String renders dotted-quad notation.
+func (ip IPv4) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+// MAC is a 48-bit Ethernet address.
+type MAC [6]byte
+
+// String renders colon-separated hex.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// MACFromInt derives a locally administered MAC from a small integer,
+// convenient for topology builders.
+func MACFromInt(n uint32) MAC {
+	return MAC{0x02, 0x00, byte(n >> 24), byte(n >> 16), byte(n >> 8), byte(n)}
+}

@@ -1,0 +1,296 @@
+package vnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Protocol numbers and header geometry.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+
+	ProtoTCP uint8 = 6
+	ProtoUDP uint8 = 17
+
+	EthHeaderLen   = 14
+	IPv4HeaderLen  = 20
+	TCPBaseLen     = 20
+	UDPHeaderLen   = 8
+	VXLANHeaderLen = 8
+
+	// VXLANOverhead is the full outer encapsulation added by a VXLAN
+	// tunnel: outer Ethernet + outer IPv4 + outer UDP + VXLAN header.
+	VXLANOverhead = EthHeaderLen + IPv4HeaderLen + UDPHeaderLen + VXLANHeaderLen
+
+	// TCPOptionTraceID is the experimental TCP option kind vNetTracer uses
+	// to carry the 32-bit packet trace ID (paper Section III-B: "a 4-byte
+	// space in the options of the TCP header").
+	TCPOptionTraceID uint8 = 253
+	// TCPOptionTraceIDLen is the option length: kind + len + 4-byte ID.
+	TCPOptionTraceIDLen = 6
+)
+
+// Unmarshal errors.
+var (
+	ErrShortBuffer = errors.New("vnet: buffer too short")
+	ErrBadHeader   = errors.New("vnet: malformed header")
+)
+
+// EthernetHeader is a DIX Ethernet II header.
+type EthernetHeader struct {
+	Dst       MAC
+	Src       MAC
+	EtherType uint16
+}
+
+// Marshal appends the wire form to b.
+func (h *EthernetHeader) Marshal(b []byte) []byte {
+	b = append(b, h.Dst[:]...)
+	b = append(b, h.Src[:]...)
+	return binary.BigEndian.AppendUint16(b, h.EtherType)
+}
+
+// Unmarshal parses the wire form, returning the number of bytes consumed.
+func (h *EthernetHeader) Unmarshal(b []byte) (int, error) {
+	if len(b) < EthHeaderLen {
+		return 0, fmt.Errorf("%w: ethernet: %d bytes", ErrShortBuffer, len(b))
+	}
+	copy(h.Dst[:], b[0:6])
+	copy(h.Src[:], b[6:12])
+	h.EtherType = binary.BigEndian.Uint16(b[12:14])
+	return EthHeaderLen, nil
+}
+
+// IPv4Header is a fixed-size (no options) IPv4 header.
+type IPv4Header struct {
+	TOS      uint8
+	TotalLen uint16
+	ID       uint16
+	TTL      uint8
+	Protocol uint8
+	Checksum uint16
+	Src      IPv4
+	Dst      IPv4
+}
+
+// Marshal appends the wire form to b, computing the header checksum.
+func (h *IPv4Header) Marshal(b []byte) []byte {
+	start := len(b)
+	b = append(b, 0x45, h.TOS) // version 4, IHL 5
+	b = binary.BigEndian.AppendUint16(b, h.TotalLen)
+	b = binary.BigEndian.AppendUint16(b, h.ID)
+	b = binary.BigEndian.AppendUint16(b, 0) // flags+fragment offset
+	b = append(b, h.TTL, h.Protocol)
+	b = binary.BigEndian.AppendUint16(b, 0) // checksum placeholder
+	b = binary.BigEndian.AppendUint32(b, uint32(h.Src))
+	b = binary.BigEndian.AppendUint32(b, uint32(h.Dst))
+	sum := ipChecksum(b[start : start+IPv4HeaderLen])
+	binary.BigEndian.PutUint16(b[start+10:start+12], sum)
+	return b
+}
+
+// Unmarshal parses the wire form and validates the checksum.
+func (h *IPv4Header) Unmarshal(b []byte) (int, error) {
+	if len(b) < IPv4HeaderLen {
+		return 0, fmt.Errorf("%w: ipv4: %d bytes", ErrShortBuffer, len(b))
+	}
+	if b[0]>>4 != 4 {
+		return 0, fmt.Errorf("%w: not IPv4", ErrBadHeader)
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen || len(b) < ihl {
+		return 0, fmt.Errorf("%w: bad IHL %d", ErrBadHeader, ihl)
+	}
+	if ipChecksum(b[:ihl]) != 0 {
+		return 0, fmt.Errorf("%w: bad IPv4 checksum", ErrBadHeader)
+	}
+	h.TOS = b[1]
+	h.TotalLen = binary.BigEndian.Uint16(b[2:4])
+	h.ID = binary.BigEndian.Uint16(b[4:6])
+	h.TTL = b[8]
+	h.Protocol = b[9]
+	h.Checksum = binary.BigEndian.Uint16(b[10:12])
+	h.Src = IPv4(binary.BigEndian.Uint32(b[12:16]))
+	h.Dst = IPv4(binary.BigEndian.Uint32(b[16:20]))
+	return ihl, nil
+}
+
+// ipChecksum computes the RFC 1071 ones-complement sum of b; over a header
+// whose checksum field is filled in, a correct header sums to zero.
+func ipChecksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// TCPOption is a single TCP option TLV. OptionEndOfList and OptionNop have
+// no payload.
+type TCPOption struct {
+	Kind uint8
+	Data []byte
+}
+
+// TCPHeader is a TCP header with options. Sequence bookkeeping beyond what
+// the simulation needs (seq/ack/window) is carried verbatim.
+type TCPHeader struct {
+	SrcPort uint16
+	DstPort uint16
+	Seq     uint32
+	Ack     uint32
+	Flags   uint8
+	Window  uint16
+	Options []TCPOption
+}
+
+// TCP flag bits.
+const (
+	TCPFlagFIN uint8 = 1 << 0
+	TCPFlagSYN uint8 = 1 << 1
+	TCPFlagRST uint8 = 1 << 2
+	TCPFlagPSH uint8 = 1 << 3
+	TCPFlagACK uint8 = 1 << 4
+)
+
+// HeaderLen returns the encoded header length including padded options.
+func (h *TCPHeader) HeaderLen() int {
+	optLen := 0
+	for _, o := range h.Options {
+		optLen += 2 + len(o.Data)
+	}
+	// Pad to a 4-byte boundary.
+	return TCPBaseLen + (optLen+3)/4*4
+}
+
+// Marshal appends the wire form to b.
+func (h *TCPHeader) Marshal(b []byte) []byte {
+	hl := h.HeaderLen()
+	b = binary.BigEndian.AppendUint16(b, h.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, h.DstPort)
+	b = binary.BigEndian.AppendUint32(b, h.Seq)
+	b = binary.BigEndian.AppendUint32(b, h.Ack)
+	b = append(b, uint8(hl/4)<<4, h.Flags)
+	b = binary.BigEndian.AppendUint16(b, h.Window)
+	b = binary.BigEndian.AppendUint32(b, 0) // checksum+urgent: unused in sim
+	optBytes := 0
+	for _, o := range h.Options {
+		b = append(b, o.Kind, uint8(2+len(o.Data)))
+		b = append(b, o.Data...)
+		optBytes += 2 + len(o.Data)
+	}
+	for ; optBytes%4 != 0; optBytes++ {
+		b = append(b, 1) // NOP padding
+	}
+	return b
+}
+
+// Unmarshal parses the wire form, returning bytes consumed.
+func (h *TCPHeader) Unmarshal(b []byte) (int, error) {
+	if len(b) < TCPBaseLen {
+		return 0, fmt.Errorf("%w: tcp: %d bytes", ErrShortBuffer, len(b))
+	}
+	h.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	h.DstPort = binary.BigEndian.Uint16(b[2:4])
+	h.Seq = binary.BigEndian.Uint32(b[4:8])
+	h.Ack = binary.BigEndian.Uint32(b[8:12])
+	hl := int(b[12]>>4) * 4
+	if hl < TCPBaseLen || len(b) < hl {
+		return 0, fmt.Errorf("%w: tcp data offset %d", ErrBadHeader, hl)
+	}
+	h.Flags = b[13]
+	h.Window = binary.BigEndian.Uint16(b[14:16])
+	h.Options = nil
+	opts := b[TCPBaseLen:hl]
+	for i := 0; i < len(opts); {
+		kind := opts[i]
+		switch kind {
+		case 0: // end of list
+			i = len(opts)
+		case 1: // NOP
+			i++
+		default:
+			if i+1 >= len(opts) {
+				return 0, fmt.Errorf("%w: truncated tcp option", ErrBadHeader)
+			}
+			olen := int(opts[i+1])
+			if olen < 2 || i+olen > len(opts) {
+				return 0, fmt.Errorf("%w: tcp option kind %d len %d", ErrBadHeader, kind, olen)
+			}
+			data := make([]byte, olen-2)
+			copy(data, opts[i+2:i+olen])
+			h.Options = append(h.Options, TCPOption{Kind: kind, Data: data})
+			i += olen
+		}
+	}
+	return hl, nil
+}
+
+// FindOption returns the first option with the given kind.
+func (h *TCPHeader) FindOption(kind uint8) (TCPOption, bool) {
+	for _, o := range h.Options {
+		if o.Kind == kind {
+			return o, true
+		}
+	}
+	return TCPOption{}, false
+}
+
+// UDPHeader is a UDP header.
+type UDPHeader struct {
+	SrcPort uint16
+	DstPort uint16
+	Length  uint16 // header + payload
+}
+
+// Marshal appends the wire form to b.
+func (h *UDPHeader) Marshal(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, h.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, h.DstPort)
+	b = binary.BigEndian.AppendUint16(b, h.Length)
+	return binary.BigEndian.AppendUint16(b, 0) // checksum unused in sim
+}
+
+// Unmarshal parses the wire form, returning bytes consumed.
+func (h *UDPHeader) Unmarshal(b []byte) (int, error) {
+	if len(b) < UDPHeaderLen {
+		return 0, fmt.Errorf("%w: udp: %d bytes", ErrShortBuffer, len(b))
+	}
+	h.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	h.DstPort = binary.BigEndian.Uint16(b[2:4])
+	h.Length = binary.BigEndian.Uint16(b[4:6])
+	if h.Length < UDPHeaderLen {
+		return 0, fmt.Errorf("%w: udp length %d", ErrBadHeader, h.Length)
+	}
+	return UDPHeaderLen, nil
+}
+
+// VXLANHeader is the 8-byte VXLAN header (RFC 7348).
+type VXLANHeader struct {
+	VNI uint32 // 24-bit VXLAN network identifier
+}
+
+// Marshal appends the wire form to b.
+func (h *VXLANHeader) Marshal(b []byte) []byte {
+	b = append(b, 0x08, 0, 0, 0) // flags: I bit set
+	return binary.BigEndian.AppendUint32(b, h.VNI<<8)
+}
+
+// Unmarshal parses the wire form, returning bytes consumed.
+func (h *VXLANHeader) Unmarshal(b []byte) (int, error) {
+	if len(b) < VXLANHeaderLen {
+		return 0, fmt.Errorf("%w: vxlan: %d bytes", ErrShortBuffer, len(b))
+	}
+	if b[0]&0x08 == 0 {
+		return 0, fmt.Errorf("%w: vxlan I flag clear", ErrBadHeader)
+	}
+	h.VNI = binary.BigEndian.Uint32(b[4:8]) >> 8
+	return VXLANHeaderLen, nil
+}

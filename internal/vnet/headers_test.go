@@ -1,0 +1,179 @@
+package vnet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseIPv4(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    IPv4
+		wantErr bool
+	}{
+		{"10.0.0.1", 0x0a000001, false},
+		{"255.255.255.255", 0xffffffff, false},
+		{"0.0.0.0", 0, false},
+		{"192.168.1.17", 0xc0a80111, false},
+		{"256.0.0.1", 0, true},
+		{"1.2.3", 0, true},
+		{"1.2.3.4.5", 0, true},
+		{"a.b.c.d", 0, true},
+		{"", 0, true},
+	}
+	for _, tc := range tests {
+		got, err := ParseIPv4(tc.in)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("ParseIPv4(%q) err = %v, wantErr %v", tc.in, err, tc.wantErr)
+			continue
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("ParseIPv4(%q) = %#x, want %#x", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestIPv4RoundTripString(t *testing.T) {
+	f := func(raw uint32) bool {
+		ip := IPv4(raw)
+		back, err := ParseIPv4(ip.String())
+		return err == nil && back == ip
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEthernetRoundTrip(t *testing.T) {
+	h := EthernetHeader{Dst: MACFromInt(1), Src: MACFromInt(2), EtherType: EtherTypeIPv4}
+	b := h.Marshal(nil)
+	if len(b) != EthHeaderLen {
+		t.Fatalf("len = %d", len(b))
+	}
+	var got EthernetHeader
+	n, err := got.Unmarshal(b)
+	if err != nil || n != EthHeaderLen {
+		t.Fatalf("unmarshal: n=%d err=%v", n, err)
+	}
+	if got != h {
+		t.Fatalf("round trip: got %+v want %+v", got, h)
+	}
+}
+
+func TestIPv4HeaderRoundTripAndChecksum(t *testing.T) {
+	h := IPv4Header{
+		TOS: 0x10, TotalLen: 1500, ID: 42, TTL: 64,
+		Protocol: ProtoTCP,
+		Src:      MustParseIPv4("10.0.0.1"),
+		Dst:      MustParseIPv4("10.0.0.2"),
+	}
+	b := h.Marshal(nil)
+	var got IPv4Header
+	if _, err := got.Unmarshal(b); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got.Src != h.Src || got.Dst != h.Dst || got.Protocol != h.Protocol ||
+		got.TotalLen != h.TotalLen || got.TTL != h.TTL || got.ID != h.ID {
+		t.Fatalf("round trip: got %+v want %+v", got, h)
+	}
+	// Corrupt a byte: checksum must catch it.
+	b[16] ^= 0xff
+	if _, err := got.Unmarshal(b); err == nil {
+		t.Fatal("corrupted header accepted")
+	}
+}
+
+func TestTCPHeaderRoundTripWithOptions(t *testing.T) {
+	h := TCPHeader{
+		SrcPort: 443, DstPort: 55555,
+		Seq: 0x12345678, Ack: 0x9abcdef0,
+		Flags: TCPFlagACK | TCPFlagPSH, Window: 65535,
+		Options: []TCPOption{
+			{Kind: TCPOptionTraceID, Data: []byte{0xde, 0xad, 0xbe, 0xef}},
+		},
+	}
+	b := h.Marshal(nil)
+	if len(b) != h.HeaderLen() {
+		t.Fatalf("marshal len %d != HeaderLen %d", len(b), h.HeaderLen())
+	}
+	if h.HeaderLen()%4 != 0 {
+		t.Fatalf("HeaderLen %d not 4-byte aligned", h.HeaderLen())
+	}
+	var got TCPHeader
+	n, err := got.Unmarshal(b)
+	if err != nil || n != h.HeaderLen() {
+		t.Fatalf("unmarshal: n=%d err=%v", n, err)
+	}
+	if got.SrcPort != h.SrcPort || got.DstPort != h.DstPort || got.Seq != h.Seq ||
+		got.Ack != h.Ack || got.Flags != h.Flags || got.Window != h.Window {
+		t.Fatalf("fields: got %+v", got)
+	}
+	opt, ok := got.FindOption(TCPOptionTraceID)
+	if !ok || !bytes.Equal(opt.Data, []byte{0xde, 0xad, 0xbe, 0xef}) {
+		t.Fatalf("trace option: %+v ok=%v", opt, ok)
+	}
+}
+
+func TestTCPHeaderNoOptions(t *testing.T) {
+	h := TCPHeader{SrcPort: 1, DstPort: 2}
+	if h.HeaderLen() != TCPBaseLen {
+		t.Fatalf("HeaderLen = %d", h.HeaderLen())
+	}
+	b := h.Marshal(nil)
+	var got TCPHeader
+	if _, err := got.Unmarshal(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got.FindOption(TCPOptionTraceID); ok {
+		t.Fatal("phantom option")
+	}
+}
+
+func TestUDPHeaderRoundTrip(t *testing.T) {
+	h := UDPHeader{SrcPort: 53, DstPort: 33333, Length: 520}
+	b := h.Marshal(nil)
+	var got UDPHeader
+	n, err := got.Unmarshal(b)
+	if err != nil || n != UDPHeaderLen {
+		t.Fatalf("unmarshal: n=%d err=%v", n, err)
+	}
+	if got != h {
+		t.Fatalf("round trip: %+v != %+v", got, h)
+	}
+}
+
+func TestVXLANHeaderRoundTrip(t *testing.T) {
+	h := VXLANHeader{VNI: 0x00abcdef}
+	b := h.Marshal(nil)
+	var got VXLANHeader
+	if _, err := got.Unmarshal(b); err != nil {
+		t.Fatal(err)
+	}
+	if got.VNI != h.VNI {
+		t.Fatalf("VNI = %#x, want %#x", got.VNI, h.VNI)
+	}
+}
+
+func TestShortBuffers(t *testing.T) {
+	var e EthernetHeader
+	if _, err := e.Unmarshal(make([]byte, 5)); err == nil {
+		t.Error("short ethernet accepted")
+	}
+	var ip IPv4Header
+	if _, err := ip.Unmarshal(make([]byte, 10)); err == nil {
+		t.Error("short ipv4 accepted")
+	}
+	var tcp TCPHeader
+	if _, err := tcp.Unmarshal(make([]byte, 10)); err == nil {
+		t.Error("short tcp accepted")
+	}
+	var udp UDPHeader
+	if _, err := udp.Unmarshal(make([]byte, 3)); err == nil {
+		t.Error("short udp accepted")
+	}
+	var vx VXLANHeader
+	if _, err := vx.Unmarshal(make([]byte, 3)); err == nil {
+		t.Error("short vxlan accepted")
+	}
+}

@@ -1,0 +1,282 @@
+package vnet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// FiveTuple identifies a flow. vNetTracer's filter rules match on these
+// fields (paper Section III-A: "the containerized application source IP,
+// destination IP, source port, destination port").
+type FiveTuple struct {
+	Src     IPv4
+	Dst     IPv4
+	SrcPort uint16
+	DstPort uint16
+	Proto   uint8
+}
+
+// String renders "proto src:sport->dst:dport".
+func (f FiveTuple) String() string {
+	proto := "?"
+	switch f.Proto {
+	case ProtoTCP:
+		proto = "tcp"
+	case ProtoUDP:
+		proto = "udp"
+	}
+	return fmt.Sprintf("%s %s:%d->%s:%d", proto, f.Src, f.SrcPort, f.Dst, f.DstPort)
+}
+
+// Reverse returns the tuple of the opposite direction.
+func (f FiveTuple) Reverse() FiveTuple {
+	return FiveTuple{Src: f.Dst, Dst: f.Src, SrcPort: f.DstPort, DstPort: f.SrcPort, Proto: f.Proto}
+}
+
+// Packet is a parsed network packet travelling through the simulated data
+// plane. Exactly one of TCP/UDP is set for a plain packet. A VXLAN
+// encapsulated packet has Proto == ProtoUDP, a VXLAN header, and the inner
+// packet in Inner; its byte length accounts for the full outer stack.
+type Packet struct {
+	Eth EthernetHeader
+	IP  IPv4Header
+	TCP *TCPHeader
+	UDP *UDPHeader
+
+	// VXLAN is non-nil on encapsulated packets, with Inner carrying the
+	// original frame.
+	VXLAN *VXLANHeader
+	Inner *Packet
+
+	// Payload is the transport payload (empty for encapsulated packets;
+	// the inner packet is the payload).
+	Payload []byte
+
+	// Seq is a monotonically increasing per-flow sequence number assigned
+	// by the sending stack; it models the paper's "packet number".
+	Seq uint64
+
+	// TraceID is the 32-bit trace identifier carried in the packet bytes
+	// (TCP option / UDP trailer). Zero means untraced. It is mirrored
+	// here after insertion so hooks need not re-parse bytes, but the
+	// authoritative copy lives in the serialized form.
+	TraceID uint32
+
+	// SentAt is the sender stack timestamp (engine time) for ground-truth
+	// validation; traced metrics must use eBPF timestamps instead.
+	SentAt int64
+}
+
+// Flow returns the packet's five-tuple. For encapsulated packets it
+// describes the outer flow.
+func (p *Packet) Flow() FiveTuple {
+	ft := FiveTuple{Src: p.IP.Src, Dst: p.IP.Dst, Proto: p.IP.Protocol}
+	switch {
+	case p.TCP != nil:
+		ft.SrcPort, ft.DstPort = p.TCP.SrcPort, p.TCP.DstPort
+	case p.UDP != nil:
+		ft.SrcPort, ft.DstPort = p.UDP.SrcPort, p.UDP.DstPort
+	}
+	return ft
+}
+
+// InnerFlow returns the innermost five-tuple (the application flow even
+// under VXLAN encapsulation).
+func (p *Packet) InnerFlow() FiveTuple {
+	if p.Inner != nil {
+		return p.Inner.InnerFlow()
+	}
+	return p.Flow()
+}
+
+// InnerTraceID returns the innermost packet's trace ID.
+func (p *Packet) InnerTraceID() uint32 {
+	if p.Inner != nil {
+		return p.Inner.InnerTraceID()
+	}
+	return p.TraceID
+}
+
+// TransportLen returns the transport header length in bytes.
+func (p *Packet) TransportLen() int {
+	switch {
+	case p.TCP != nil:
+		return p.TCP.HeaderLen()
+	case p.UDP != nil:
+		return UDPHeaderLen
+	}
+	return 0
+}
+
+// WireLen returns the full frame length in bytes, including any VXLAN
+// encapsulation of an inner packet.
+func (p *Packet) WireLen() int {
+	n := EthHeaderLen + IPv4HeaderLen + p.TransportLen() + len(p.Payload)
+	if p.VXLAN != nil && p.Inner != nil {
+		n += VXLANHeaderLen + p.Inner.WireLen()
+	}
+	return n
+}
+
+// Clone deep-copies the packet, payload and headers included.
+func (p *Packet) Clone() *Packet {
+	c := *p
+	if p.TCP != nil {
+		tcp := *p.TCP
+		tcp.Options = make([]TCPOption, len(p.TCP.Options))
+		for i, o := range p.TCP.Options {
+			data := make([]byte, len(o.Data))
+			copy(data, o.Data)
+			tcp.Options[i] = TCPOption{Kind: o.Kind, Data: data}
+		}
+		c.TCP = &tcp
+	}
+	if p.UDP != nil {
+		udp := *p.UDP
+		c.UDP = &udp
+	}
+	if p.VXLAN != nil {
+		vx := *p.VXLAN
+		c.VXLAN = &vx
+	}
+	if p.Inner != nil {
+		c.Inner = p.Inner.Clone()
+	}
+	c.Payload = make([]byte, len(p.Payload))
+	copy(c.Payload, p.Payload)
+	return &c
+}
+
+// Marshal serializes the packet to wire bytes.
+func (p *Packet) Marshal() ([]byte, error) {
+	var b []byte
+	b = p.Eth.Marshal(b)
+	ip := p.IP
+	ip.TotalLen = uint16(p.WireLen() - EthHeaderLen)
+	b = ip.Marshal(b)
+	switch {
+	case p.TCP != nil:
+		b = p.TCP.Marshal(b)
+		b = append(b, p.Payload...)
+	case p.UDP != nil:
+		udp := *p.UDP
+		if p.VXLAN != nil && p.Inner != nil {
+			inner, err := p.Inner.Marshal()
+			if err != nil {
+				return nil, fmt.Errorf("vnet: marshal inner: %w", err)
+			}
+			udp.Length = uint16(UDPHeaderLen + VXLANHeaderLen + len(inner))
+			b = udp.Marshal(b)
+			b = p.VXLAN.Marshal(b)
+			b = append(b, inner...)
+		} else {
+			udp.Length = uint16(UDPHeaderLen + len(p.Payload))
+			b = udp.Marshal(b)
+			b = append(b, p.Payload...)
+		}
+	default:
+		return nil, fmt.Errorf("%w: packet has no transport header", ErrBadHeader)
+	}
+	return b, nil
+}
+
+// UnmarshalPacket parses wire bytes into a packet, recursing into VXLAN
+// encapsulation when the outer UDP destination port matches vxlanPort
+// (pass 0 to disable encapsulation detection).
+func UnmarshalPacket(b []byte, vxlanPort uint16) (*Packet, error) {
+	p := &Packet{}
+	n, err := p.Eth.Unmarshal(b)
+	if err != nil {
+		return nil, err
+	}
+	b = b[n:]
+	if p.Eth.EtherType != EtherTypeIPv4 {
+		return nil, fmt.Errorf("%w: ethertype %#04x", ErrBadHeader, p.Eth.EtherType)
+	}
+	n, err = p.IP.Unmarshal(b)
+	if err != nil {
+		return nil, err
+	}
+	b = b[n:]
+	switch p.IP.Protocol {
+	case ProtoTCP:
+		p.TCP = &TCPHeader{}
+		n, err = p.TCP.Unmarshal(b)
+		if err != nil {
+			return nil, err
+		}
+		p.Payload = append([]byte(nil), b[n:]...)
+		if opt, ok := p.TCP.FindOption(TCPOptionTraceID); ok && len(opt.Data) == 4 {
+			p.TraceID = binary.BigEndian.Uint32(opt.Data)
+		}
+	case ProtoUDP:
+		p.UDP = &UDPHeader{}
+		n, err = p.UDP.Unmarshal(b)
+		if err != nil {
+			return nil, err
+		}
+		rest := b[n:]
+		if vxlanPort != 0 && p.UDP.DstPort == vxlanPort {
+			p.VXLAN = &VXLANHeader{}
+			vn, err := p.VXLAN.Unmarshal(rest)
+			if err != nil {
+				return nil, err
+			}
+			inner, err := UnmarshalPacket(rest[vn:], vxlanPort)
+			if err != nil {
+				return nil, fmt.Errorf("vnet: unmarshal inner: %w", err)
+			}
+			p.Inner = inner
+		} else {
+			p.Payload = append([]byte(nil), rest...)
+		}
+	default:
+		return nil, fmt.Errorf("%w: ip protocol %d", ErrBadHeader, p.IP.Protocol)
+	}
+	return p, nil
+}
+
+// SetTCPTraceID embeds a trace ID as a TCP option, replacing any existing
+// trace option. This is the paper's tcp_options_write path.
+func (p *Packet) SetTCPTraceID(id uint32) error {
+	if p.TCP == nil {
+		return fmt.Errorf("%w: not a TCP packet", ErrBadHeader)
+	}
+	data := make([]byte, 4)
+	binary.BigEndian.PutUint32(data, id)
+	for i := range p.TCP.Options {
+		if p.TCP.Options[i].Kind == TCPOptionTraceID {
+			p.TCP.Options[i].Data = data
+			p.TraceID = id
+			return nil
+		}
+	}
+	p.TCP.Options = append(p.TCP.Options, TCPOption{Kind: TCPOptionTraceID, Data: data})
+	p.TraceID = id
+	return nil
+}
+
+// PutUDPTraceID appends a 4-byte trace ID to the UDP payload, modelling the
+// paper's __skb_put() at the sender.
+func (p *Packet) PutUDPTraceID(id uint32) error {
+	if p.UDP == nil {
+		return fmt.Errorf("%w: not a UDP packet", ErrBadHeader)
+	}
+	p.Payload = binary.BigEndian.AppendUint32(p.Payload, id)
+	p.TraceID = id
+	return nil
+}
+
+// TrimUDPTraceID removes the trailing 4-byte trace ID from the UDP payload,
+// modelling pskb_trim_rcsum() at the receiver, and returns it.
+func (p *Packet) TrimUDPTraceID() (uint32, error) {
+	if p.UDP == nil {
+		return 0, fmt.Errorf("%w: not a UDP packet", ErrBadHeader)
+	}
+	if len(p.Payload) < 4 {
+		return 0, fmt.Errorf("%w: payload too short for trace ID", ErrShortBuffer)
+	}
+	id := binary.BigEndian.Uint32(p.Payload[len(p.Payload)-4:])
+	p.Payload = p.Payload[:len(p.Payload)-4]
+	return id, nil
+}

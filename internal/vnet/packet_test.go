@@ -1,0 +1,240 @@
+package vnet
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// makeUDP builds a simple UDP packet for tests.
+func makeUDP(payloadLen int) *Packet {
+	return &Packet{
+		Eth: EthernetHeader{Dst: MACFromInt(2), Src: MACFromInt(1), EtherType: EtherTypeIPv4},
+		IP: IPv4Header{
+			TTL: 64, Protocol: ProtoUDP,
+			Src: MustParseIPv4("10.0.0.1"), Dst: MustParseIPv4("10.0.0.2"),
+		},
+		UDP:     &UDPHeader{SrcPort: 5001, DstPort: 9000},
+		Payload: bytes.Repeat([]byte{0xab}, payloadLen),
+	}
+}
+
+func makeTCP(payloadLen int) *Packet {
+	return &Packet{
+		Eth: EthernetHeader{Dst: MACFromInt(2), Src: MACFromInt(1), EtherType: EtherTypeIPv4},
+		IP: IPv4Header{
+			TTL: 64, Protocol: ProtoTCP,
+			Src: MustParseIPv4("10.0.0.1"), Dst: MustParseIPv4("10.0.0.2"),
+		},
+		TCP:     &TCPHeader{SrcPort: 33000, DstPort: 80, Flags: TCPFlagACK},
+		Payload: bytes.Repeat([]byte{0xcd}, payloadLen),
+	}
+}
+
+func TestPacketMarshalRoundTripUDP(t *testing.T) {
+	p := makeUDP(56)
+	b, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != p.WireLen() {
+		t.Fatalf("marshal len %d != WireLen %d", len(b), p.WireLen())
+	}
+	got, err := UnmarshalPacket(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Flow() != p.Flow() {
+		t.Fatalf("flow: %v != %v", got.Flow(), p.Flow())
+	}
+	if !bytes.Equal(got.Payload, p.Payload) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestPacketMarshalRoundTripTCPWithTraceID(t *testing.T) {
+	p := makeTCP(100)
+	if err := p.SetTCPTraceID(0xfeedface); err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalPacket(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != 0xfeedface {
+		t.Fatalf("TraceID = %#x after parse", got.TraceID)
+	}
+	if !bytes.Equal(got.Payload, p.Payload) {
+		t.Fatal("payload corrupted by trace option")
+	}
+}
+
+func TestSetTCPTraceIDReplacesExisting(t *testing.T) {
+	p := makeTCP(0)
+	if err := p.SetTCPTraceID(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetTCPTraceID(2); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, o := range p.TCP.Options {
+		if o.Kind == TCPOptionTraceID {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("trace options = %d, want 1", count)
+	}
+	if p.TraceID != 2 {
+		t.Fatalf("TraceID = %d", p.TraceID)
+	}
+}
+
+func TestSetTCPTraceIDOnUDPFails(t *testing.T) {
+	p := makeUDP(10)
+	if err := p.SetTCPTraceID(1); err == nil {
+		t.Fatal("SetTCPTraceID on UDP packet succeeded")
+	}
+}
+
+func TestUDPTraceIDPutTrim(t *testing.T) {
+	p := makeUDP(56)
+	origLen := len(p.Payload)
+	if err := p.PutUDPTraceID(0xdeadbeef); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Payload) != origLen+4 {
+		t.Fatalf("payload len = %d, want %d", len(p.Payload), origLen+4)
+	}
+	id, err := p.TrimUDPTraceID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 0xdeadbeef {
+		t.Fatalf("trimmed id = %#x", id)
+	}
+	if len(p.Payload) != origLen {
+		t.Fatalf("payload len after trim = %d, want %d (application transparency)", len(p.Payload), origLen)
+	}
+}
+
+func TestTrimUDPTraceIDShortPayload(t *testing.T) {
+	p := makeUDP(2)
+	if _, err := p.TrimUDPTraceID(); err == nil {
+		t.Fatal("trim on short payload succeeded")
+	}
+}
+
+func TestVXLANEncapRoundTrip(t *testing.T) {
+	inner := makeUDP(56)
+	inner.PutUDPTraceID(0x1234abcd)
+	outer := &Packet{
+		Eth: EthernetHeader{Dst: MACFromInt(20), Src: MACFromInt(10), EtherType: EtherTypeIPv4},
+		IP: IPv4Header{
+			TTL: 64, Protocol: ProtoUDP,
+			Src: MustParseIPv4("192.168.0.1"), Dst: MustParseIPv4("192.168.0.2"),
+		},
+		UDP:   &UDPHeader{SrcPort: 48879, DstPort: 4789},
+		VXLAN: &VXLANHeader{VNI: 42},
+		Inner: inner,
+	}
+	if outer.WireLen() != inner.WireLen()+VXLANOverhead {
+		t.Fatalf("WireLen %d != inner %d + overhead %d", outer.WireLen(), inner.WireLen(), VXLANOverhead)
+	}
+	b, err := outer.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != outer.WireLen() {
+		t.Fatalf("marshal len %d != WireLen %d", len(b), outer.WireLen())
+	}
+	got, err := UnmarshalPacket(b, 4789)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Inner == nil {
+		t.Fatal("inner packet not parsed")
+	}
+	if got.VXLAN.VNI != 42 {
+		t.Fatalf("VNI = %d", got.VXLAN.VNI)
+	}
+	if got.InnerFlow() != inner.Flow() {
+		t.Fatalf("inner flow %v != %v", got.InnerFlow(), inner.Flow())
+	}
+	// The inner trace ID survives encapsulation as the payload trailer.
+	if id, err := got.Inner.TrimUDPTraceID(); err != nil || id != 0x1234abcd {
+		t.Fatalf("inner trace id = %#x err=%v", id, err)
+	}
+}
+
+func TestPacketClone(t *testing.T) {
+	p := makeTCP(10)
+	p.SetTCPTraceID(7)
+	c := p.Clone()
+	c.Payload[0] = 0xFF
+	c.TCP.Options[0].Data[0] = 0xFF
+	c.IP.Src = 0
+	if p.Payload[0] == 0xFF || p.TCP.Options[0].Data[0] == 0xFF || p.IP.Src == 0 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestFiveTupleReverse(t *testing.T) {
+	f := FiveTuple{Src: 1, Dst: 2, SrcPort: 3, DstPort: 4, Proto: ProtoTCP}
+	r := f.Reverse()
+	if r.Src != 2 || r.Dst != 1 || r.SrcPort != 4 || r.DstPort != 3 {
+		t.Fatalf("reverse = %+v", r)
+	}
+	if r.Reverse() != f {
+		t.Fatal("double reverse is not identity")
+	}
+}
+
+func TestPacketMarshalFuzzRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		var p *Packet
+		if rng.Intn(2) == 0 {
+			p = makeUDP(rng.Intn(1400))
+		} else {
+			p = makeTCP(rng.Intn(1400))
+			if rng.Intn(2) == 0 {
+				p.SetTCPTraceID(rng.Uint32())
+			}
+		}
+		p.IP.Src = IPv4(rng.Uint32())
+		p.IP.Dst = IPv4(rng.Uint32())
+		b, err := p.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := UnmarshalPacket(b, 0)
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		if got.Flow() != p.Flow() {
+			t.Fatalf("iter %d: flow mismatch", i)
+		}
+		if !bytes.Equal(got.Payload, p.Payload) {
+			t.Fatalf("iter %d: payload mismatch", i)
+		}
+		if got.TraceID != p.TraceID {
+			t.Fatalf("iter %d: trace id %#x != %#x", i, got.TraceID, p.TraceID)
+		}
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 2000; i++ {
+		b := make([]byte, rng.Intn(100))
+		rng.Read(b)
+		// Must never panic; errors are fine.
+		_, _ = UnmarshalPacket(b, 4789)
+	}
+}

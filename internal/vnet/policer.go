@@ -1,0 +1,128 @@
+package vnet
+
+import "vnettracer/internal/sim"
+
+// TokenBucket is a classic policer: packets claiming more tokens than the
+// bucket holds are dropped. It models OVS ingress policing
+// (ingress_policing_rate / ingress_policing_burst), the mitigation the
+// paper applies in case study I.
+type TokenBucket struct {
+	rateBitsPerSec int64
+	burstBits      int64
+	tokens         float64
+	lastNs         int64
+}
+
+// NewTokenBucket creates a policer with rate in kilobits per second and
+// burst in kilobits, matching the units of OVS's configuration knobs.
+func NewTokenBucket(rateKbps, burstKb int64) *TokenBucket {
+	return &TokenBucket{
+		rateBitsPerSec: rateKbps * 1000,
+		burstBits:      burstKb * 1000,
+		tokens:         float64(burstKb * 1000),
+	}
+}
+
+// Allow reports whether a transmission of bits may proceed at time nowNs,
+// consuming tokens if so.
+func (t *TokenBucket) Allow(bits int64, nowNs int64) bool {
+	t.refill(nowNs)
+	if t.tokens < float64(bits) {
+		return false
+	}
+	t.tokens -= float64(bits)
+	return true
+}
+
+func (t *TokenBucket) refill(nowNs int64) {
+	if nowNs <= t.lastNs {
+		return
+	}
+	dt := nowNs - t.lastNs
+	t.lastNs = nowNs
+	t.tokens += float64(t.rateBitsPerSec) * float64(dt) / float64(sim.Second)
+	if max := float64(t.burstBits); t.tokens > max {
+		t.tokens = max
+	}
+}
+
+// HTB implements a two-level Hierarchy Token Bucket shaper: a parent with
+// an aggregate rate and child classes with assured rates and ceilings.
+// Children may borrow parent bandwidth up to their ceiling. Unlike a
+// policer, a shaper delays packets instead of dropping them. The paper
+// notes HTB QoS at the OVS virtual port had "similar effect" to policing.
+type HTB struct {
+	// virtual finish time of the parent in ns.
+	parentRate int64
+	parentNext int64
+}
+
+// NewHTB creates a shaper hierarchy with the given aggregate rate in
+// kilobits per second.
+func NewHTB(parentRateKbps int64) *HTB {
+	return &HTB{parentRate: parentRateKbps * 1000}
+}
+
+// NewClass adds a child class with an assured rate and a ceiling, both in
+// kilobits per second. Ceil of 0 means the class may borrow up to the full
+// parent rate.
+func (h *HTB) NewClass(rateKbps, ceilKbps int64) *HTBClass {
+	if ceilKbps <= 0 {
+		ceilKbps = h.parentRate / 1000
+	}
+	return &HTBClass{
+		htb:  h,
+		rate: rateKbps * 1000,
+		ceil: ceilKbps * 1000,
+	}
+}
+
+// HTBClass is one child class of an HTB hierarchy.
+type HTBClass struct {
+	htb *HTB
+	// rates in bits per second.
+	rate int64
+	ceil int64
+	// virtual next-free times.
+	rateNext int64
+	ceilNext int64
+}
+
+// Delay returns how long a transmission of bits must wait at nowNs to
+// conform, and advances the class and parent schedules. Zero means the
+// packet may go immediately.
+func (c *HTBClass) Delay(bits int64, nowNs int64) int64 {
+	txAssured := bits * int64(sim.Second) / c.rate
+
+	// Within the assured rate: no parent involvement.
+	if c.rateNext <= nowNs {
+		c.rateNext = nowNs + txAssured
+		advance(&c.ceilNext, nowNs, bits, c.ceil)
+		advance(&c.htb.parentNext, nowNs, bits, c.htb.parentRate)
+		return 0
+	}
+
+	// Borrowing: limited by both the ceiling and the parent aggregate.
+	release := c.ceilNext
+	if c.htb.parentNext > release {
+		release = c.htb.parentNext
+	}
+	if release < nowNs {
+		release = nowNs
+	}
+	delay := release - nowNs
+	c.rateNext += txAssured
+	advance(&c.ceilNext, release, bits, c.ceil)
+	advance(&c.htb.parentNext, release, bits, c.htb.parentRate)
+	return delay
+}
+
+// advance pushes a virtual next-free time forward by the serialization
+// time of bits at rate, starting no earlier than nowNs.
+func advance(next *int64, nowNs, bits, rate int64) {
+	start := *next
+	if start < nowNs {
+		start = nowNs
+	}
+	*next = start + bits*int64(sim.Second)/rate
+}

@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"fmt"
+
+	"vnettracer/internal/kernel"
+	"vnettracer/internal/sim"
+	"vnettracer/internal/vnet"
+)
+
+// IPerfServer counts received bytes at a UDP sink and reports achieved
+// throughput.
+type IPerfServer struct {
+	sock *kernel.Socket
+
+	Packets uint64
+	Bytes   uint64
+	firstNs int64
+	lastNs  int64
+}
+
+// StartIPerfServer binds a counting sink.
+func StartIPerfServer(n *kernel.Node, local kernel.SockAddr) (*IPerfServer, error) {
+	s := &IPerfServer{firstNs: -1}
+	sock, err := n.Open(vnet.ProtoUDP, local, func(p *vnet.Packet) {
+		now := n.Engine().Now()
+		if s.firstNs < 0 {
+			s.firstNs = now
+		}
+		s.lastNs = now
+		s.Packets++
+		s.Bytes += uint64(len(p.Payload))
+	})
+	if err != nil {
+		return nil, fmt.Errorf("workload: iperf server: %w", err)
+	}
+	s.sock = sock
+	return s, nil
+}
+
+// ThroughputBps returns the achieved application-level throughput.
+func (s *IPerfServer) ThroughputBps() float64 {
+	if s.Packets < 2 || s.lastNs <= s.firstNs {
+		return 0
+	}
+	return float64(s.Bytes) * 8 * float64(sim.Second) / float64(s.lastNs-s.firstNs)
+}
+
+// IPerfClient sends fixed-size UDP datagrams at a target bit rate.
+type IPerfClient struct {
+	node *kernel.Node
+	sock *kernel.Socket
+	dst  kernel.SockAddr
+	size int
+
+	Sent uint64
+}
+
+// NewIPerfClient binds a client socket sending size-byte datagrams.
+func NewIPerfClient(n *kernel.Node, local, dst kernel.SockAddr, size int) (*IPerfClient, error) {
+	c := &IPerfClient{node: n, dst: dst, size: size}
+	sock, err := n.Open(vnet.ProtoUDP, local, nil)
+	if err != nil {
+		return nil, fmt.Errorf("workload: iperf client: %w", err)
+	}
+	c.sock = sock
+	return c, nil
+}
+
+// RunRate schedules transmission at rateBps for durationNs, starting now.
+// Inter-packet gaps carry ±20% jitter from the node's seeded random
+// stream: real senders are never perfectly periodic, and exact periodicity
+// resonates pathologically with queue service times.
+func (c *IPerfClient) RunRate(rateBps int64, durationNs int64) {
+	if rateBps <= 0 {
+		return
+	}
+	interval := int64(c.size) * 8 * int64(sim.Second) / rateBps
+	if interval <= 0 {
+		interval = 1
+	}
+	rng := c.node.Rand()
+	eng := c.node.Engine()
+	var tick func()
+	start := eng.Now()
+	tick = func() {
+		if eng.Now()-start >= durationNs {
+			return
+		}
+		if _, err := c.sock.Send(c.dst, c.size); err == nil {
+			c.Sent++
+		}
+		gap := interval + rng.Int63n(interval*2/5+1) - interval/5
+		if gap <= 0 {
+			gap = 1
+		}
+		eng.Schedule(gap, tick)
+	}
+	eng.Schedule(0, tick)
+}

@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"vnettracer/internal/kernel"
+	"vnettracer/internal/sim"
+	"vnettracer/internal/vnet"
+)
+
+// NetperfServer is a TCP_STREAM sink: it counts received segment bytes and
+// acknowledges each segment so the sender's window advances.
+type NetperfServer struct {
+	sock *kernel.Socket
+
+	Segments uint64
+	Bytes    uint64
+	firstNs  int64
+	lastNs   int64
+}
+
+// ackSize is the wire payload of an acknowledgment segment.
+const ackSize = 8
+
+// StartNetperfServer binds the sink.
+func StartNetperfServer(n *kernel.Node, local kernel.SockAddr) (*NetperfServer, error) {
+	s := &NetperfServer{firstNs: -1}
+	sock, err := n.Open(vnet.ProtoTCP, local, func(p *vnet.Packet) {
+		now := n.Engine().Now()
+		if s.firstNs < 0 {
+			s.firstNs = now
+		}
+		s.lastNs = now
+		s.Segments++
+		s.Bytes += uint64(len(p.Payload))
+		// Acknowledge: echo the segment sequence number.
+		flow := p.Flow()
+		ack := make([]byte, ackSize)
+		binary.LittleEndian.PutUint64(ack, p.Seq)
+		s.sock.SendBytes(kernel.SockAddr{IP: flow.Src, Port: flow.SrcPort}, ack)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("workload: netperf server: %w", err)
+	}
+	s.sock = sock
+	return s, nil
+}
+
+// ThroughputBps reports goodput over the receive interval.
+func (s *NetperfServer) ThroughputBps() float64 {
+	if s.Segments < 2 || s.lastNs <= s.firstNs {
+		return 0
+	}
+	return float64(s.Bytes) * 8 * float64(sim.Second) / float64(s.lastNs-s.firstNs)
+}
+
+// NetperfClient drives a TCP_STREAM bulk transfer with a fixed window of
+// unacknowledged segments: each acknowledgment releases the next segment,
+// so throughput adapts to path capacity and round-trip time like a real
+// TCP sender in steady state.
+type NetperfClient struct {
+	node    *kernel.Node
+	sock    *kernel.Socket
+	dst     kernel.SockAddr
+	segSize int
+	window  int
+
+	inFlight int
+	total    int
+	sent     int
+
+	Acked uint64
+	// Done is invoked once every segment is acknowledged.
+	Done func()
+}
+
+// NewNetperfClient binds a client sending segSize-byte segments with the
+// given window.
+func NewNetperfClient(n *kernel.Node, local, dst kernel.SockAddr, segSize, window int) (*NetperfClient, error) {
+	if segSize <= 0 || window <= 0 {
+		return nil, fmt.Errorf("workload: netperf: bad segSize=%d window=%d", segSize, window)
+	}
+	c := &NetperfClient{node: n, dst: dst, segSize: segSize, window: window}
+	sock, err := n.Open(vnet.ProtoTCP, local, c.onAck)
+	if err != nil {
+		return nil, fmt.Errorf("workload: netperf client: %w", err)
+	}
+	c.sock = sock
+	return c, nil
+}
+
+func (c *NetperfClient) onAck(p *vnet.Packet) {
+	if len(p.Payload) < ackSize {
+		return
+	}
+	c.Acked++
+	c.inFlight--
+	if c.sent < c.total {
+		c.sendOne()
+	} else if c.inFlight == 0 && c.Done != nil {
+		c.Done()
+	}
+}
+
+// Run transfers total segments starting now.
+func (c *NetperfClient) Run(total int) {
+	c.total = total
+	burst := c.window
+	if burst > total {
+		burst = total
+	}
+	for i := 0; i < burst; i++ {
+		c.sendOne()
+	}
+}
+
+func (c *NetperfClient) sendOne() {
+	if _, err := c.sock.Send(c.dst, c.segSize); err == nil {
+		c.sent++
+		c.inFlight++
+	}
+}

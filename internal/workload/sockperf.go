@@ -1,0 +1,141 @@
+// Package workload implements the traffic generators the paper evaluates
+// with: Sockperf (UDP ping-pong latency), iPerf (rate-controlled or
+// saturating streams), Netperf TCP_STREAM (windowed bulk transfer), and a
+// CloudSuite Data Caching style memcached client/server.
+//
+// Workloads run on kernel.Node sockets, so every packet they produce flows
+// through the simulated stacks and devices — and therefore past every
+// attached trace script.
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"vnettracer/internal/kernel"
+	"vnettracer/internal/vnet"
+)
+
+// SockperfServer echoes every UDP request back to its sender, as the
+// sockperf ping-pong server does.
+type SockperfServer struct {
+	sock *kernel.Socket
+	// Echoed counts replies sent.
+	Echoed uint64
+}
+
+// StartSockperfServer binds the echo server. Each echo fires the
+// application-level uprobe site "uprobe:sockperf:echo".
+func StartSockperfServer(n *kernel.Node, local kernel.SockAddr) (*SockperfServer, error) {
+	s := &SockperfServer{}
+	sock, err := n.Open(vnet.ProtoUDP, local, func(p *vnet.Packet) {
+		n.Probes.Fire(&kernel.ProbeCtx{
+			Site: kernel.UprobeSite("sockperf", "echo"), Pkt: p, TimeNs: n.Clock.NowNs(),
+		})
+		flow := p.Flow()
+		reply := kernel.SockAddr{IP: flow.Src, Port: flow.SrcPort}
+		if _, err := s.sock.SendBytes(reply, p.Payload); err == nil {
+			s.Echoed++
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("workload: sockperf server: %w", err)
+	}
+	s.sock = sock
+	return s, nil
+}
+
+// SockperfClient sends fixed-size UDP pings at a fixed interval and records
+// application-level round-trip times, reporting latency as RTT/2 exactly as
+// sockperf's ping-pong mode does.
+type SockperfClient struct {
+	node     *kernel.Node
+	sock     *kernel.Socket
+	dst      kernel.SockAddr
+	size     int
+	interval int64
+
+	pending map[uint64]int64
+	nextSeq uint64
+
+	// RTTs holds one round-trip time per answered ping, in send order.
+	RTTs []int64
+	// Sent and Received count pings.
+	Sent     uint64
+	Received uint64
+}
+
+// NewSockperfClient binds a client socket. size must be at least 8 bytes
+// (the ping sequence number rides in the payload, as sockperf embeds its
+// own metadata).
+func NewSockperfClient(n *kernel.Node, local, dst kernel.SockAddr, size int, intervalNs int64) (*SockperfClient, error) {
+	if size < 8 {
+		return nil, fmt.Errorf("workload: sockperf payload %d < 8", size)
+	}
+	c := &SockperfClient{
+		node:     n,
+		dst:      dst,
+		size:     size,
+		interval: intervalNs,
+		pending:  make(map[uint64]int64),
+	}
+	sock, err := n.Open(vnet.ProtoUDP, local, c.onReply)
+	if err != nil {
+		return nil, fmt.Errorf("workload: sockperf client: %w", err)
+	}
+	c.sock = sock
+	return c, nil
+}
+
+func (c *SockperfClient) onReply(p *vnet.Packet) {
+	c.node.Probes.Fire(&kernel.ProbeCtx{
+		Site: kernel.UprobeSite("sockperf", "recv_reply"), Pkt: p, TimeNs: c.node.Clock.NowNs(),
+	})
+	if len(p.Payload) < 8 {
+		return
+	}
+	seq := binary.LittleEndian.Uint64(p.Payload)
+	sent, ok := c.pending[seq]
+	if !ok {
+		return
+	}
+	delete(c.pending, seq)
+	c.Received++
+	c.RTTs = append(c.RTTs, c.node.Engine().Now()-sent)
+}
+
+// Run schedules count pings starting now.
+func (c *SockperfClient) Run(count int) {
+	eng := c.node.Engine()
+	for i := 0; i < count; i++ {
+		at := int64(i) * c.interval
+		eng.Schedule(at, c.sendOne)
+	}
+}
+
+func (c *SockperfClient) sendOne() {
+	payload := make([]byte, c.size)
+	binary.LittleEndian.PutUint64(payload, c.nextSeq)
+	c.pending[c.nextSeq] = c.node.Engine().Now()
+	c.nextSeq++
+	if _, err := c.sock.SendBytes(c.dst, payload); err == nil {
+		c.Sent++
+	}
+}
+
+// Latencies returns one-way latencies (RTT/2), sockperf's reported metric.
+func (c *SockperfClient) Latencies() []int64 {
+	out := make([]int64, len(c.RTTs))
+	for i, r := range c.RTTs {
+		out[i] = r / 2
+	}
+	return out
+}
+
+// LossRate reports the fraction of unanswered pings.
+func (c *SockperfClient) LossRate() float64 {
+	if c.Sent == 0 {
+		return 0
+	}
+	return float64(c.Sent-c.Received) / float64(c.Sent)
+}

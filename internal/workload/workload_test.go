@@ -1,0 +1,204 @@
+package workload
+
+import (
+	"testing"
+
+	"vnettracer/internal/kernel"
+	"vnettracer/internal/sim"
+	"vnettracer/internal/vnet"
+)
+
+// twoNodes wires two nodes back to back through links with the given
+// bandwidth and delay.
+func twoNodes(t *testing.T, bps, delayNs int64) (*sim.Engine, *kernel.Node, *kernel.Node) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	a := kernel.NewNode(eng, kernel.NodeConfig{Name: "a", NumCPU: 2, Seed: 1})
+	b := kernel.NewNode(eng, kernel.NodeConfig{Name: "b", NumCPU: 2, Seed: 2})
+	ab := vnet.NewLink(eng, bps, delayNs, func(p *vnet.Packet) { b.DeliverLocal(p) })
+	ba := vnet.NewLink(eng, bps, delayNs, func(p *vnet.Packet) { a.DeliverLocal(p) })
+	a.Egress = ab.Send
+	b.Egress = ba.Send
+	return eng, a, b
+}
+
+const (
+	ipA = vnet.IPv4(0x0a000001)
+	ipB = vnet.IPv4(0x0a000002)
+)
+
+func TestSockperfPingPong(t *testing.T) {
+	eng, a, b := twoNodes(t, 1_000_000_000, 10*int64(sim.Microsecond))
+	if _, err := StartSockperfServer(b, kernel.SockAddr{IP: ipB, Port: 11111}); err != nil {
+		t.Fatal(err)
+	}
+	cli, err := NewSockperfClient(a, kernel.SockAddr{IP: ipA, Port: 40000},
+		kernel.SockAddr{IP: ipB, Port: 11111}, 56, int64(sim.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.Run(100)
+	eng.Run(200 * int64(sim.Millisecond))
+	if cli.Sent != 100 || cli.Received != 100 {
+		t.Fatalf("sent=%d received=%d", cli.Sent, cli.Received)
+	}
+	if cli.LossRate() != 0 {
+		t.Fatalf("loss = %f", cli.LossRate())
+	}
+	lats := cli.Latencies()
+	if len(lats) != 100 {
+		t.Fatalf("latencies = %d", len(lats))
+	}
+	// One-way >= propagation + stack costs.
+	for _, l := range lats {
+		if l < 10*int64(sim.Microsecond) {
+			t.Fatalf("latency %dns below propagation delay", l)
+		}
+	}
+}
+
+func TestSockperfMinPayload(t *testing.T) {
+	eng, a, _ := twoNodes(t, 0, 0)
+	_ = eng
+	if _, err := NewSockperfClient(a, kernel.SockAddr{IP: ipA, Port: 40000},
+		kernel.SockAddr{IP: ipB, Port: 1}, 4, 1); err == nil {
+		t.Fatal("payload below 8 bytes accepted")
+	}
+}
+
+func TestIPerfRateControl(t *testing.T) {
+	eng, a, b := twoNodes(t, 10_000_000_000, 1000)
+	srv, err := StartIPerfServer(b, kernel.SockAddr{IP: ipB, Port: 5001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := NewIPerfClient(a, kernel.SockAddr{IP: ipA, Port: 40001}, kernel.SockAddr{IP: ipB, Port: 5001}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rate = 100_000_000 // 100 Mbps
+	cli.RunRate(rate, int64(sim.Second))
+	eng.Run(2 * int64(sim.Second))
+	got := srv.ThroughputBps()
+	if got < rate*85/100 || got > rate*115/100 {
+		t.Fatalf("throughput = %.0f, want ~%d", got, rate)
+	}
+}
+
+func TestIPerfBoundedByLink(t *testing.T) {
+	// Client pushes 100 Mbps into a 10 Mbps link; the server cannot see
+	// more than the wire allows (packets queue in the link serializer).
+	eng, a, b := twoNodes(t, 10_000_000, 1000)
+	srv, err := StartIPerfServer(b, kernel.SockAddr{IP: ipB, Port: 5001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := NewIPerfClient(a, kernel.SockAddr{IP: ipA, Port: 40001}, kernel.SockAddr{IP: ipB, Port: 5001}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.RunRate(100_000_000, int64(sim.Second)/10)
+	eng.RunUntilIdle()
+	got := srv.ThroughputBps()
+	if got > 12_000_000 {
+		t.Fatalf("throughput %.0f exceeds link capacity", got)
+	}
+}
+
+func TestNetperfWindowedTransfer(t *testing.T) {
+	eng, a, b := twoNodes(t, 1_000_000_000, 50*int64(sim.Microsecond))
+	srv, err := StartNetperfServer(b, kernel.SockAddr{IP: ipB, Port: 12865})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := NewNetperfClient(a, kernel.SockAddr{IP: ipA, Port: 40002},
+		kernel.SockAddr{IP: ipB, Port: 12865}, 1448, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	cli.Done = func() { done = true }
+	cli.Run(500)
+	eng.Run(10 * int64(sim.Second))
+	if !done {
+		t.Fatalf("transfer incomplete: acked=%d", cli.Acked)
+	}
+	if srv.Segments != 500 || cli.Acked != 500 {
+		t.Fatalf("segments=%d acked=%d", srv.Segments, cli.Acked)
+	}
+	if srv.ThroughputBps() <= 0 {
+		t.Fatal("no throughput measured")
+	}
+}
+
+func TestNetperfThroughputScalesWithWindow(t *testing.T) {
+	run := func(window int) float64 {
+		eng, a, b := twoNodes(t, 10_000_000_000, 100*int64(sim.Microsecond))
+		srv, err := StartNetperfServer(b, kernel.SockAddr{IP: ipB, Port: 12865})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli, err := NewNetperfClient(a, kernel.SockAddr{IP: ipA, Port: 40002},
+			kernel.SockAddr{IP: ipB, Port: 12865}, 1448, window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli.Run(2000)
+		eng.Run(20 * int64(sim.Second))
+		return srv.ThroughputBps()
+	}
+	small := run(1)
+	large := run(64)
+	if large < small*4 {
+		t.Fatalf("window scaling: w=1 %.0f vs w=64 %.0f", small, large)
+	}
+}
+
+func TestNetperfRejectsBadParams(t *testing.T) {
+	_, a, _ := twoNodes(t, 0, 0)
+	if _, err := NewNetperfClient(a, kernel.SockAddr{IP: ipA, Port: 1}, kernel.SockAddr{}, 0, 5); err == nil {
+		t.Fatal("zero segment size accepted")
+	}
+	if _, err := NewNetperfClient(a, kernel.SockAddr{IP: ipA, Port: 2}, kernel.SockAddr{}, 100, 0); err == nil {
+		t.Fatal("zero window accepted")
+	}
+}
+
+func TestMemcachedMixAndLatency(t *testing.T) {
+	eng, a, b := twoNodes(t, 1_000_000_000, 20*int64(sim.Microsecond))
+	srv, err := StartMemcachedServer(b, kernel.SockAddr{IP: ipB, Port: 11211}, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := NewMemcachedClient(a, ipA, 42000, 20, kernel.SockAddr{IP: ipB, Port: 11211}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.Run(5000, int64(sim.Second))
+	eng.Run(2 * int64(sim.Second))
+	if cli.Issued != 5000 {
+		t.Fatalf("issued = %d", cli.Issued)
+	}
+	if cli.Answered != cli.Issued {
+		t.Fatalf("answered %d of %d", cli.Answered, cli.Issued)
+	}
+	// 4:1 GET/SET mix.
+	if srv.Gets != 4000 || srv.Sets != 1000 {
+		t.Fatalf("gets=%d sets=%d, want 4000/1000", srv.Gets, srv.Sets)
+	}
+	if len(cli.Latencies) != 5000 {
+		t.Fatalf("latencies = %d", len(cli.Latencies))
+	}
+	for _, l := range cli.Latencies {
+		if l < 40*int64(sim.Microsecond) {
+			t.Fatalf("latency %dns below 2x propagation", l)
+		}
+	}
+}
+
+func TestMemcachedBadConfig(t *testing.T) {
+	_, a, _ := twoNodes(t, 0, 0)
+	if _, err := NewMemcachedClient(a, ipA, 1000, 0, kernel.SockAddr{}, 4); err == nil {
+		t.Fatal("zero conns accepted")
+	}
+}

@@ -1,0 +1,167 @@
+package vnettracer
+
+import (
+	"fmt"
+
+	"vnettracer/internal/control"
+	"vnettracer/internal/metrics"
+	"vnettracer/internal/tracedb"
+)
+
+// Session is a complete in-process tracer deployment: a dispatcher, a
+// collector over a fresh trace database, and one agent per monitored
+// machine. It is the programmatic equivalent of running the vnettracer
+// CLI's dispatcher, agents, and collector against a set of machines.
+type Session struct {
+	db         *tracedb.DB
+	collector  *control.Collector
+	dispatcher *control.Dispatcher
+	agents     map[string]*control.Agent
+	labels     map[string]uint32
+}
+
+// NewSession creates an empty session.
+func NewSession() *Session {
+	db := tracedb.New()
+	return &Session{
+		db:         db,
+		collector:  control.NewCollector(db),
+		dispatcher: control.NewDispatcher(),
+		agents:     make(map[string]*control.Agent),
+		labels:     make(map[string]uint32),
+	}
+}
+
+// DB returns the session's trace database.
+func (s *Session) DB() *DB { return s.db }
+
+// Dispatcher returns the session's control dispatcher.
+func (s *Session) Dispatcher() *Dispatcher { return s.dispatcher }
+
+// Collector returns the session's raw data collector.
+func (s *Session) Collector() *Collector { return s.collector }
+
+// AddMachine registers a machine under a new agent named after its node.
+func (s *Session) AddMachine(m *Machine) (*Agent, error) {
+	name := m.Node.Name
+	if _, dup := s.agents[name]; dup {
+		return nil, fmt.Errorf("vnettracer: machine %q already in session", name)
+	}
+	agent := control.NewAgent(name, m, s.collector)
+	if err := s.dispatcher.Register(name, agent); err != nil {
+		return nil, err
+	}
+	s.agents[name] = agent
+	return agent, nil
+}
+
+// Agent returns a machine's agent by node name.
+func (s *Session) Agent(machine string) (*Agent, bool) {
+	a, ok := s.agents[machine]
+	return a, ok
+}
+
+// Install pushes a full trace spec to a machine's agent, allocating a TPID
+// if the spec has none and creating the record table when the spec records.
+// It returns the spec's TPID.
+func (s *Session) Install(machine string, spec TraceSpec) (uint32, error) {
+	if spec.TPID == 0 {
+		spec.TPID = s.dispatcher.AllocTPID(spec.Name)
+	}
+	s.labels[spec.Name] = spec.TPID
+	for _, a := range spec.Actions {
+		if a == ActionRecord {
+			if _, err := s.db.CreateTable(spec.TPID, spec.Name); err != nil {
+				return 0, err
+			}
+			break
+		}
+	}
+	if err := s.dispatcher.Push(machine, ControlPackage{Install: []TraceSpec{spec}}); err != nil {
+		return 0, err
+	}
+	return spec.TPID, nil
+}
+
+// InstallRecord is shorthand for installing a record-action script under a
+// label.
+func (s *Session) InstallRecord(machine, label string, at AttachPoint, filter Filter) (uint32, error) {
+	return s.Install(machine, TraceSpec{
+		Name:    label,
+		Attach:  at,
+		Filter:  filter,
+		Actions: []Action{ActionRecord},
+	})
+}
+
+// Uninstall removes a script from a machine at runtime.
+func (s *Session) Uninstall(machine, label string) error {
+	return s.dispatcher.Push(machine, ControlPackage{Uninstall: []string{label}})
+}
+
+// StartFlushing arms periodic ring-buffer flushes on every agent.
+func (s *Session) StartFlushing(intervalNs int64) {
+	for _, a := range s.agents {
+		a.StartFlushing(intervalNs)
+	}
+}
+
+// Flush drains every agent's ring buffer to the collector.
+func (s *Session) Flush() error {
+	for _, a := range s.agents {
+		if err := a.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Table returns the record table behind a script label.
+func (s *Session) Table(label string) (*Table, error) {
+	tpid, ok := s.labels[label]
+	if !ok {
+		return nil, fmt.Errorf("vnettracer: unknown script label %q", label)
+	}
+	t, ok := s.db.Table(tpid)
+	if !ok {
+		return nil, fmt.Errorf("vnettracer: no table for %q", label)
+	}
+	return t, nil
+}
+
+// SetSkew records a clock-offset correction (e.g. from Cristian's
+// algorithm) for a label's tracepoint; subsequent analyses align its
+// timestamps.
+func (s *Session) SetSkew(label string, skewNs int64) error {
+	tpid, ok := s.labels[label]
+	if !ok {
+		return fmt.Errorf("vnettracer: unknown script label %q", label)
+	}
+	s.db.SetSkew(tpid, skewNs)
+	return nil
+}
+
+// Decompose splits end-to-end latency across a path of script labels,
+// returning one segment per consecutive pair (the paper's latency
+// decomposition). Tables are skew-aligned before joining.
+func (s *Session) Decompose(labels ...string) ([]metrics.Segment, error) {
+	tables := make([]*Table, 0, len(labels))
+	for _, l := range labels {
+		t, err := s.Table(l)
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, t)
+	}
+	return metrics.Decompose(tables)
+}
+
+// Script returns an installed script's compiled form (for reading its
+// counter and histogram maps).
+func (s *Session) Script(machine, label string) (*Compiled, bool) {
+	a, ok := s.agents[machine]
+	if !ok {
+		return nil, false
+	}
+	return a.Script(label)
+}

@@ -1,0 +1,277 @@
+package vnettracer
+
+import (
+	"testing"
+)
+
+// buildLoopbackMachine wires a one-node loopback topology through a traced
+// device, exercising the full public API surface.
+func buildLoopbackMachine(t *testing.T, eng *Engine) (*Machine, *NetDev) {
+	t.Helper()
+	node := NewNode(eng, NodeConfig{Name: "m0", NumCPU: 2, TraceIDs: true})
+	machine, err := NewMachine(node, 64*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := NewNetDev(eng, NetDevConfig{
+		Name:    "lo0",
+		Ifindex: 1,
+		ProcNs:  func(*Packet) int64 { return 1000 },
+		Out:     node.DeliverLocal,
+	})
+	if err := machine.RegisterDevice(dev); err != nil {
+		t.Fatal(err)
+	}
+	node.Egress = dev.Receive
+	return machine, dev
+}
+
+func TestSessionEndToEnd(t *testing.T) {
+	eng := NewEngine(1)
+	machine, _ := buildLoopbackMachine(t, eng)
+	node := machine.Node
+
+	s := NewSession()
+	if _, err := s.AddMachine(machine); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddMachine(machine); err == nil {
+		t.Fatal("duplicate machine accepted")
+	}
+
+	filter := Filter{Proto: ProtoUDP, DstPort: 9000}
+	if _, err := s.InstallRecord("m0", "dev-rx",
+		AttachPoint{Kind: AttachDevice, Device: "lo0", Dir: Ingress}, filter); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.InstallRecord("m0", "sock-rx",
+		AttachPoint{Kind: AttachKProbe, Site: SiteUDPRecvmsg}, filter); err != nil {
+		t.Fatal(err)
+	}
+
+	// Workload: 100 UDP packets through the loopback device.
+	srvAddr := SockAddr{IP: MustParseIP("10.0.0.1"), Port: 9000}
+	received := 0
+	if _, err := node.Open(ProtoUDP, srvAddr, func(*Packet) { received++ }); err != nil {
+		t.Fatal(err)
+	}
+	cli, err := node.Open(ProtoUDP, SockAddr{IP: MustParseIP("10.0.0.1"), Port: 40000}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		eng.Schedule(int64(i)*Millisecond, func() {
+			if _, err := cli.Send(srvAddr, 100); err != nil {
+				t.Errorf("send: %v", err)
+			}
+		})
+	}
+	eng.RunUntilIdle()
+	if received != 100 {
+		t.Fatalf("received %d", received)
+	}
+
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	devT, err := s.Table("dev-rx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sockT, err := s.Table("sock-rx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if devT.Len() != 100 || sockT.Len() != 100 {
+		t.Fatalf("tables: dev=%d sock=%d", devT.Len(), sockT.Len())
+	}
+
+	// Latency dev -> socket is positive for every packet.
+	lats := Latencies(devT, sockT)
+	if len(lats) != 100 {
+		t.Fatalf("joined %d", len(lats))
+	}
+	for _, l := range lats {
+		if l.Ns <= 0 {
+			t.Fatalf("non-positive latency %d", l.Ns)
+		}
+	}
+	sum := Summarize(Values(lats))
+	if sum.Count != 100 || sum.MeanNs <= 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if j := Jitter(lats); len(j) != 99 {
+		t.Fatalf("jitter count = %d", len(j))
+	}
+	if lost, rate := Loss(devT, sockT); lost != 0 || rate != 0 {
+		t.Fatalf("loss = %d (%f)", lost, rate)
+	}
+	if tput, err := Throughput(devT.All()); err != nil || tput <= 0 {
+		t.Fatalf("throughput = %f err=%v", tput, err)
+	}
+}
+
+func TestSessionRuntimeReconfiguration(t *testing.T) {
+	eng := NewEngine(2)
+	machine, _ := buildLoopbackMachine(t, eng)
+	node := machine.Node
+	s := NewSession()
+	if _, err := s.AddMachine(machine); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.InstallRecord("m0", "rx",
+		AttachPoint{Kind: AttachKProbe, Site: SiteUDPRecvmsg}, Filter{}); err != nil {
+		t.Fatal(err)
+	}
+	srvAddr := SockAddr{IP: MustParseIP("10.0.0.1"), Port: 9000}
+	if _, err := node.Open(ProtoUDP, srvAddr, func(*Packet) {}); err != nil {
+		t.Fatal(err)
+	}
+	cli, err := node.Open(ProtoUDP, SockAddr{IP: MustParseIP("10.0.0.1"), Port: 40001}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	send := func() {
+		if _, err := cli.Send(srvAddr, 50); err != nil {
+			t.Fatal(err)
+		}
+		eng.RunUntilIdle()
+	}
+	send()
+	// Reconfigure at runtime: remove the script, traffic continues untraced.
+	if err := s.Uninstall("m0", "rx"); err != nil {
+		t.Fatal(err)
+	}
+	send()
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := s.Table("rx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("records = %d, want 1 (uninstall must stop tracing)", tbl.Len())
+	}
+}
+
+func TestSessionCounterScripts(t *testing.T) {
+	eng := NewEngine(3)
+	machine, _ := buildLoopbackMachine(t, eng)
+	node := machine.Node
+	s := NewSession()
+	if _, err := s.AddMachine(machine); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Install("m0", TraceSpec{
+		Name:    "counters",
+		Attach:  AttachPoint{Kind: AttachKProbe, Site: SiteUDPRecvmsg},
+		Actions: []Action{ActionCount, ActionCPUHist},
+		NumCPU:  2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srvAddr := SockAddr{IP: MustParseIP("10.0.0.1"), Port: 9000}
+	if _, err := node.Open(ProtoUDP, srvAddr, func(*Packet) {}); err != nil {
+		t.Fatal(err)
+	}
+	cli, err := node.Open(ProtoUDP, SockAddr{IP: MustParseIP("10.0.0.1"), Port: 40001}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		cli.Send(srvAddr, 64)
+	}
+	eng.RunUntilIdle()
+
+	compiled, ok := s.Script("m0", "counters")
+	if !ok {
+		t.Fatal("script not found")
+	}
+	pkts, ok := compiled.ReadCounter(0)
+	if !ok || pkts != 7 {
+		t.Fatalf("packets = %d ok=%v", pkts, ok)
+	}
+	hist := compiled.ReadCPUHist()
+	var total uint64
+	for _, h := range hist {
+		total += h
+	}
+	if total != 7 {
+		t.Fatalf("cpu hist total = %d", total)
+	}
+}
+
+func TestSessionSkewAlignment(t *testing.T) {
+	eng := NewEngine(4)
+	machine, _ := buildLoopbackMachine(t, eng)
+	s := NewSession()
+	if _, err := s.AddMachine(machine); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.InstallRecord("m0", "rx",
+		AttachPoint{Kind: AttachKProbe, Site: SiteUDPRecvmsg}, Filter{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetSkew("rx", 500); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetSkew("nope", 1); err == nil {
+		t.Fatal("SetSkew on unknown label accepted")
+	}
+}
+
+func TestSessionDecompose(t *testing.T) {
+	eng := NewEngine(5)
+	machine, _ := buildLoopbackMachine(t, eng)
+	node := machine.Node
+	s := NewSession()
+	if _, err := s.AddMachine(machine); err != nil {
+		t.Fatal(err)
+	}
+	at1 := AttachPoint{Kind: AttachDevice, Device: "lo0", Dir: Ingress}
+	at2 := AttachPoint{Kind: AttachKProbe, Site: SiteUDPRecvmsg}
+	at3 := AttachPoint{Kind: AttachKretprobe, Site: SiteUDPRecvmsg}
+	for label, at := range map[string]AttachPoint{"dev": at1, "recv": at2, "recv-ret": at3} {
+		if _, err := s.InstallRecord("m0", label, at, Filter{Proto: ProtoUDP, DstPort: 9000}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srvAddr := SockAddr{IP: MustParseIP("10.0.0.1"), Port: 9000}
+	if _, err := node.Open(ProtoUDP, srvAddr, func(*Packet) {}); err != nil {
+		t.Fatal(err)
+	}
+	cli, err := node.Open(ProtoUDP, SockAddr{IP: MustParseIP("10.0.0.1"), Port: 40000}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		eng.Schedule(int64(i)*Millisecond, func() { cli.Send(srvAddr, 64) })
+	}
+	eng.RunUntilIdle()
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := s.Decompose("dev", "recv", "recv-ret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 {
+		t.Fatalf("segments = %d", len(segs))
+	}
+	for _, seg := range segs {
+		if len(seg.PerPacket) != 20 {
+			t.Fatalf("segment %s->%s joined %d packets", seg.From, seg.To, len(seg.PerPacket))
+		}
+		if seg.MeanNs() <= 0 {
+			t.Fatalf("segment %s->%s mean %.1f", seg.From, seg.To, seg.MeanNs())
+		}
+	}
+	if _, err := s.Decompose("dev"); err == nil {
+		t.Fatal("single-stage decomposition accepted")
+	}
+	if _, err := s.Decompose("dev", "ghost"); err == nil {
+		t.Fatal("unknown label accepted")
+	}
+}
