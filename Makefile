@@ -1,0 +1,24 @@
+GO ?= go
+
+# Tier-1 gate: what CI and the roadmap require to stay green.
+.PHONY: tier1
+tier1:
+	$(GO) build ./...
+	$(GO) test ./...
+
+.PHONY: vet
+vet:
+	$(GO) vet ./...
+
+# Race-detector pass over the concurrent record path (store, control
+# plane, metrics run against live tables).
+.PHONY: race
+race:
+	$(GO) test -race ./internal/tracedb ./internal/control ./internal/metrics
+
+.PHONY: check
+check: tier1 vet race
+
+.PHONY: bench-wire
+bench-wire:
+	$(GO) test -run NONE -bench 'BenchmarkBatchWireEncoding|BenchmarkCollectorIngest' .

@@ -10,13 +10,115 @@ import (
 	"fmt"
 	"testing"
 
+	"sync/atomic"
+
+	"vnettracer/internal/control"
 	"vnettracer/internal/core"
 	"vnettracer/internal/hyper"
 	"vnettracer/internal/kernel"
 	"vnettracer/internal/script"
 	"vnettracer/internal/sim"
+	"vnettracer/internal/tracedb"
 	"vnettracer/internal/vnet"
 )
+
+// benchBatch builds a record batch like an agent flush produces.
+func benchBatch(n int, tables uint32) control.RecordBatch {
+	recs := make([]core.Record, n)
+	for i := range recs {
+		recs[i] = core.Record{
+			TraceID: uint32(i + 1), TPID: uint32(i)%tables + 1,
+			TimeNs: uint64(1000 * i), Len: 100, CPU: uint32(i % 4),
+			Seq: uint64(i), SrcIP: 0x0a000001, DstIP: 0x0a000002,
+			SrcPort: 40000, DstPort: 9000, Proto: 17, Dir: 1,
+		}
+	}
+	return control.RecordBatch{Agent: "agent0", AgentTimeNs: 123456789, Records: recs, RingDrops: 3}
+}
+
+// BenchmarkBatchWireEncoding compares the legacy v1 JSON batch framing
+// with the v2 binary framing — encode+decode cost and bytes per record on
+// the wire. The binary frame is the fixed 48-byte record layout behind a
+// 24-byte header, so it must land at or under 52 bytes/record amortized.
+func BenchmarkBatchWireEncoding(b *testing.B) {
+	const recordsPerBatch = 256
+	batch := benchBatch(recordsPerBatch, 4)
+	codecs := []struct {
+		name   string
+		encode func(*control.RecordBatch) ([]byte, error)
+	}{
+		{"json-v1", control.EncodeBatchFrameJSON},
+		{"binary-v2", control.EncodeBatchFrame},
+	}
+	for _, tc := range codecs {
+		b.Run(tc.name, func(b *testing.B) {
+			var wire int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				body, err := tc.encode(&batch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := control.DecodeBatchFrame(body); err != nil {
+					b.Fatal(err)
+				}
+				wire = 4 + len(body) // transport length prefix + body
+			}
+			b.ReportMetric(float64(wire)/recordsPerBatch, "wire-bytes/record")
+		})
+	}
+}
+
+// BenchmarkCollectorIngest measures the sharded store's ingest path over
+// batches spread across several tracepoint tables: one transport
+// goroutine inserting inline, many inserting concurrently (per-table
+// locks — the sharding win), and the bounded queue drained by workers
+// (drops under overload are reported, not hidden).
+func BenchmarkCollectorIngest(b *testing.B) {
+	const recordsPerBatch = 128
+	batch := benchBatch(recordsPerBatch, 8)
+
+	b.Run("inline-1producer", func(b *testing.B) {
+		col := control.NewCollector(tracedb.New())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			col.HandleBatch(batch)
+		}
+	})
+
+	b.Run("inline-parallel", func(b *testing.B) {
+		// Each producer traces a disjoint set of tracepoints, so per-table
+		// locks let their inserts proceed without serializing — the case
+		// the old single DB mutex forced into lockstep.
+		col := control.NewCollector(tracedb.New())
+		var producer atomic.Uint32
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			p := producer.Add(1)
+			mine := benchBatch(recordsPerBatch, 8)
+			for i := range mine.Records {
+				mine.Records[i].TPID += p * 100
+			}
+			for pb.Next() {
+				col.HandleBatch(mine)
+			}
+		})
+	})
+
+	b.Run("queued-workers4", func(b *testing.B) {
+		col := control.NewCollector(tracedb.New())
+		col.StartIngest(4, 4096)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			col.HandleBatch(batch)
+		}
+		col.StopIngest()
+		b.StopTimer()
+		batches, _, _ := col.Stats()
+		_, dropped := col.IngestStats()
+		b.ReportMetric(float64(batches)/float64(batches+dropped)*100, "ingested-%")
+	})
+}
 
 // BenchmarkAblationSchedulerPolicy reports the mean vCPU wake-to-run delay
 // for an I/O VM sharing a core with a CPU hog under each policy — the

@@ -21,12 +21,18 @@ func runCollector(args []string) error {
 	fs := flag.NewFlagSet("collector", flag.ExitOnError)
 	listen := fs.String("listen", ":7701", "address to listen on")
 	out := fs.String("out", "", "append record batches as JSON lines to this file")
+	workers := fs.Int("workers", 4, "ingest worker goroutines")
+	queue := fs.Int("queue", 1024, "ingest queue depth (full queue drops batches)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	db := tracedb.New()
 	col := control.NewCollector(db)
+	// Move DB inserts off the transport goroutines onto the bounded
+	// ingest queue; a full queue drops batches rather than stalling agents.
+	col.StartIngest(*workers, *queue)
+	defer col.StopIngest()
 	var sink control.RecordSink = col
 	if *out != "" {
 		f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -53,14 +59,18 @@ func runCollector(args []string) error {
 	for {
 		select {
 		case <-stop:
+			col.StopIngest() // drain queued batches before reporting
 			batches, records, drops := col.Stats()
-			fmt.Printf("\nshutting down: %d batches, %d records, %d ring drops, %d tables\n",
-				batches, records, drops, len(db.Tables()))
+			_, dropped := col.IngestStats()
+			fmt.Printf("\nshutting down: %d batches, %d records, %d ring drops, %d dropped batches, %d tables\n",
+				batches, records, drops, dropped, len(db.Tables()))
 			return nil
 		case <-tick.C:
 			_, records, _ := col.Stats()
 			if records != lastRecords {
-				fmt.Printf("records: %d (+%d), agents: %v\n", records, records-lastRecords, db.Agents())
+				depth, dropped := col.IngestStats()
+				fmt.Printf("records: %d (+%d), queue: %d, dropped batches: %d, agents: %v\n",
+					records, records-lastRecords, depth, dropped, db.Agents())
 				lastRecords = records
 			}
 		}

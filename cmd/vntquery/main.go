@@ -92,13 +92,13 @@ func run(path string, tp, from, to uint32, skew int64, flows bool) error {
 			return fmt.Errorf("no table %d", tp)
 		}
 		if flows {
-			for _, fs := range metrics.PerFlowThroughput(t.All()) {
+			for _, fs := range metrics.PerFlowThroughputOf(t) {
 				fmt.Printf("  %-40s %6d pkts %10d bytes %10.3f Mbps\n",
 					fs.Flow, fs.Packets, fs.Bytes, fs.ThroughputBps/1e6)
 			}
 			return nil
 		}
-		bps, err := metrics.Throughput(t.All())
+		bps, err := metrics.ThroughputOf(t)
 		if err != nil {
 			return err
 		}
@@ -107,7 +107,7 @@ func run(path string, tp, from, to uint32, skew int64, flows bool) error {
 		for _, id := range db.Tables() {
 			t, _ := db.Table(id)
 			fmt.Printf("  tracepoint %d: %d records, %d distinct packet IDs\n",
-				id, t.Len(), len(t.TraceIDs()))
+				id, t.Len(), t.NumTraceIDs())
 		}
 	}
 	return nil

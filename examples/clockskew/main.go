@@ -121,11 +121,12 @@ func main() {
 			log.Fatal(err)
 		}
 		bySeq := make(map[uint64]int64)
-		for _, r := range t.All() {
+		t.Scan(func(r vnettracer.Record) bool {
 			if _, dup := bySeq[r.Seq]; !dup {
 				bySeq[r.Seq] = int64(r.TimeNs)
 			}
-		}
+			return true
+		})
 		tables[label] = bySeq
 	}
 	var samples []clocksync.Sample

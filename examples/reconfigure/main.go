@@ -110,7 +110,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nphase 1 captured %d flow-A records (~100 expected at 1 kpps x 100ms)\n", tblA.Len())
-	for _, fs := range vnettracer.PerFlowThroughput(tblA.All()) {
+	for _, fs := range vnettracer.PerFlowThroughputOf(tblA) {
 		fmt.Printf("  %-40s %5d pkts %8.3f Mbps\n", fs.Flow, fs.Packets, fs.ThroughputBps/1e6)
 	}
 

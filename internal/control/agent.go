@@ -21,11 +21,13 @@ type Agent struct {
 	sink    RecordSink
 	cost    core.CostModel
 
-	mu         sync.Mutex
-	loaded     map[string]*loadedScript
-	flushTimer *sim.Timer
-	flushEvery int64
-	lastDrops  uint64
+	mu           sync.Mutex
+	loaded       map[string]*loadedScript
+	flushTimer   *sim.Timer
+	flushEvery   int64
+	lastDrops    uint64
+	flushErrs    uint64
+	lastFlushErr error
 
 	// Batches counts flushes that carried at least one record.
 	Batches uint64
@@ -137,6 +139,7 @@ func (a *Agent) Flush() error {
 		return fmt.Errorf("control: agent %s: corrupt ring: %w", a.name, err)
 	}
 	drops := a.machine.Ring.Drops()
+	a.mu.Lock()
 	batch := RecordBatch{
 		Agent:       a.name,
 		AgentTimeNs: a.machine.Node.Clock.NowNs(),
@@ -147,7 +150,18 @@ func (a *Agent) Flush() error {
 	if len(recs) > 0 {
 		a.Batches++
 	}
+	a.mu.Unlock()
 	return a.sink.HandleBatch(batch)
+}
+
+// FlushErrors reports how many periodic flushes failed and the most recent
+// failure (nil if the last flush succeeded). Failed flushes no longer stop
+// the flush loop — a transient collector outage must not silence the
+// heartbeat forever.
+func (a *Agent) FlushErrors() (uint64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.flushErrs, a.lastFlushErr
 }
 
 // StartFlushing schedules periodic flushes on the machine's simulation
@@ -166,11 +180,18 @@ func (a *Agent) startFlushingLocked(intervalNs int64) {
 	eng := a.machine.Node.Engine()
 	var tick func()
 	tick = func() {
-		if err := a.Flush(); err == nil {
-			a.mu.Lock()
-			a.flushTimer = eng.Schedule(a.flushEvery, tick)
-			a.mu.Unlock()
+		err := a.Flush()
+		a.mu.Lock()
+		if err != nil {
+			// Keep flushing anyway: the flush doubles as the heartbeat, and
+			// a dead loop would make the collector wrongly declare this
+			// agent dead after one transient sink failure. Surface the
+			// error through FlushErrors instead.
+			a.flushErrs++
 		}
+		a.lastFlushErr = err
+		a.flushTimer = eng.Schedule(a.flushEvery, tick)
+		a.mu.Unlock()
 	}
 	a.flushTimer = eng.Schedule(intervalNs, tick)
 }

@@ -1,0 +1,68 @@
+package control
+
+import (
+	"errors"
+	"testing"
+
+	"vnettracer/internal/kernel"
+	"vnettracer/internal/script"
+	"vnettracer/internal/sim"
+)
+
+// flakySink fails the first failures batches, then delegates.
+type flakySink struct {
+	next     RecordSink
+	failures int
+	calls    int
+}
+
+func (s *flakySink) HandleBatch(b RecordBatch) error {
+	s.calls++
+	if s.calls <= s.failures {
+		return errors.New("collector unreachable")
+	}
+	return s.next.HandleBatch(b)
+}
+
+// TestAgentFlushLoopSurvivesSinkErrors is the regression for the flush
+// loop silently dying on the first Flush error: the loop used to
+// reschedule only on success, so one transient collector outage stopped
+// heartbeats forever and the agent was wrongly declared dead.
+func TestAgentFlushLoopSurvivesSinkErrors(t *testing.T) {
+	r := newRig(t)
+	flaky := &flakySink{next: r.collector, failures: 3}
+	agent := NewAgent("agent-0", r.machine, flaky)
+	if err := agent.Apply(ControlPackage{
+		Install:         []script.Spec{recordSpec("s1", 1, kernel.SiteUDPRecvmsg)},
+		FlushIntervalNs: int64(sim.Millisecond),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		at := int64(i) * int64(sim.Millisecond)
+		id := uint32(i + 1)
+		r.eng.Schedule(at, func() { firePacket(r, kernel.SiteUDPRecvmsg, id) })
+	}
+	r.eng.Run(20 * int64(sim.Millisecond))
+
+	if flaky.calls <= flaky.failures {
+		t.Fatalf("flush loop died after %d calls (first error killed it)", flaky.calls)
+	}
+	errs, last := agent.FlushErrors()
+	if errs != uint64(flaky.failures) {
+		t.Fatalf("FlushErrors = %d, want %d", errs, flaky.failures)
+	}
+	if last != nil {
+		t.Fatalf("last flush error = %v, want nil after recovery", last)
+	}
+	// Records fired during the outage were lost with their failed batches,
+	// but the loop recovered: later packets made it to the collector and
+	// the heartbeat resumed.
+	tbl, ok := r.db.Table(1)
+	if !ok || tbl.Len() == 0 {
+		t.Fatal("no records collected after sink recovered")
+	}
+	if agents := r.db.Agents(); len(agents) != 1 {
+		t.Fatalf("heartbeat never resumed: agents = %v", agents)
+	}
+}

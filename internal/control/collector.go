@@ -9,25 +9,65 @@ import (
 // Collector is the raw data collector on the master node: it loads record
 // batches into the trace database and tracks agent liveness through the
 // batch heartbeats.
+//
+// By default HandleBatch inserts synchronously — the right mode for the
+// single-threaded simulation, where tests expect records to be queryable
+// the moment Flush returns. For the distributed deployment, StartIngest
+// moves DB work off the transport goroutines onto a bounded queue drained
+// by worker goroutines; when the queue is full the batch is dropped and
+// counted (backpressure is visible in IngestStats, and trace loss is
+// already a first-class concept via ring drops).
 type Collector struct {
 	db *tracedb.DB
 
-	mu        sync.Mutex
-	batches   uint64
-	records   uint64
-	ringDrops uint64
+	mu             sync.Mutex
+	batches        uint64
+	records        uint64
+	ringDrops      uint64
+	droppedBatches uint64
+	queue          chan RecordBatch
+	wg             sync.WaitGroup
+
+	// ingestFn is what workers run per batch; tests override it to model a
+	// slow store.
+	ingestFn func(RecordBatch)
 }
 
 // NewCollector creates a collector over a trace database.
 func NewCollector(db *tracedb.DB) *Collector {
-	return &Collector{db: db}
+	c := &Collector{db: db}
+	c.ingestFn = c.ingest
+	return c
 }
 
 // DB returns the backing trace database.
 func (c *Collector) DB() *tracedb.DB { return c.db }
 
-// HandleBatch implements RecordSink.
+// HandleBatch implements RecordSink. With ingest workers running it
+// enqueues and returns immediately (dropping the batch if the queue is
+// full); otherwise it inserts inline.
 func (c *Collector) HandleBatch(b RecordBatch) error {
+	c.mu.Lock()
+	q := c.queue
+	if q != nil {
+		// Non-blocking send under c.mu: StopIngest nils c.queue under the
+		// same lock before closing the channel, so this can never send on
+		// a closed channel.
+		select {
+		case q <- b:
+		default:
+			c.droppedBatches++
+		}
+		c.mu.Unlock()
+		return nil
+	}
+	c.mu.Unlock()
+	c.ingest(b)
+	return nil
+}
+
+// ingest loads one batch into the trace database and updates totals.
+func (c *Collector) ingest(b RecordBatch) {
 	c.db.Insert(b.Records)
 	c.db.Heartbeat(b.Agent, b.AgentTimeNs)
 	c.mu.Lock()
@@ -35,12 +75,66 @@ func (c *Collector) HandleBatch(b RecordBatch) error {
 	c.records += uint64(len(b.Records))
 	c.ringDrops += b.RingDrops
 	c.mu.Unlock()
-	return nil
 }
 
-// Stats reports collector totals.
+// StartIngest switches the collector to asynchronous ingest: HandleBatch
+// enqueues onto a queue of the given depth, drained by workers goroutines.
+// Calling it while ingest is already running is a no-op.
+func (c *Collector) StartIngest(workers, depth int) {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	c.mu.Lock()
+	if c.queue != nil {
+		c.mu.Unlock()
+		return
+	}
+	q := make(chan RecordBatch, depth)
+	c.queue = q
+	c.mu.Unlock()
+	c.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer c.wg.Done()
+			for b := range q {
+				c.ingestFn(b)
+			}
+		}()
+	}
+}
+
+// StopIngest drains the queue, stops the workers, and reverts HandleBatch
+// to synchronous inserts. Every batch accepted before StopIngest is in the
+// database when it returns.
+func (c *Collector) StopIngest() {
+	c.mu.Lock()
+	q := c.queue
+	c.queue = nil
+	c.mu.Unlock()
+	if q == nil {
+		return
+	}
+	close(q)
+	c.wg.Wait()
+}
+
+// Stats reports collector totals over ingested batches.
 func (c *Collector) Stats() (batches, records, ringDrops uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.batches, c.records, c.ringDrops
+}
+
+// IngestStats reports ingest backpressure: the current queue depth and the
+// total batches dropped because the queue was full.
+func (c *Collector) IngestStats() (queueDepth int, droppedBatches uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.queue != nil {
+		queueDepth = len(c.queue)
+	}
+	return queueDepth, c.droppedBatches
 }

@@ -22,8 +22,11 @@ const (
 	frameError   = "error"
 )
 
-// envelope is the wire message: a 4-byte big-endian length prefix followed
-// by this structure as JSON.
+// envelope is the JSON wire message: a 4-byte big-endian length prefix
+// followed by this structure. Control packages, replies, and legacy (v1)
+// record batches travel as envelopes; v2 record batches travel as binary
+// bodies under the same length prefix (wire.go), distinguished by their
+// first byte.
 type envelope struct {
 	Type    string          `json:"type"`
 	Control *ControlPackage `json:"control,omitempty"`
@@ -31,11 +34,8 @@ type envelope struct {
 	Error   string          `json:"error,omitempty"`
 }
 
-func writeFrame(w io.Writer, env envelope) error {
-	body, err := json.Marshal(env)
-	if err != nil {
-		return fmt.Errorf("control: encode frame: %w", err)
-	}
+// writeBody frames a raw body with the 4-byte length prefix.
+func writeBody(w io.Writer, body []byte) error {
 	if len(body) > maxFrameBytes {
 		return fmt.Errorf("control: frame too large: %d bytes", len(body))
 	}
@@ -50,18 +50,35 @@ func writeFrame(w io.Writer, env envelope) error {
 	return nil
 }
 
-func readFrame(r io.Reader) (envelope, error) {
+func writeFrame(w io.Writer, env envelope) error {
+	body, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("control: encode frame: %w", err)
+	}
+	return writeBody(w, body)
+}
+
+// readBody reads one length-prefixed frame body, JSON or binary.
+func readBody(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return envelope{}, err // io.EOF passes through for clean close
+		return nil, err // io.EOF passes through for clean close
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > maxFrameBytes {
-		return envelope{}, fmt.Errorf("control: frame of %d bytes exceeds limit", n)
+		return nil, fmt.Errorf("control: frame of %d bytes exceeds limit", n)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
-		return envelope{}, fmt.Errorf("control: read frame body: %w", err)
+		return nil, fmt.Errorf("control: read frame body: %w", err)
+	}
+	return body, nil
+}
+
+func readFrame(r io.Reader) (envelope, error) {
+	body, err := readBody(r)
+	if err != nil {
+		return envelope{}, err
 	}
 	var env envelope
 	if err := json.Unmarshal(body, &env); err != nil {
@@ -147,31 +164,55 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) handle(conn net.Conn) {
 	for {
-		env, err := readFrame(conn)
+		body, err := readBody(conn)
 		if err != nil {
 			return // EOF or protocol error: drop the connection
 		}
-		reply := envelope{Type: frameOK}
-		switch {
-		case env.Type == frameControl && env.Control != nil:
-			if s.agent == nil {
-				reply = envelope{Type: frameError, Error: "not an agent endpoint"}
-			} else if err := s.agent.Apply(*env.Control); err != nil {
-				reply = envelope{Type: frameError, Error: err.Error()}
-			}
-		case env.Type == frameBatch && env.Batch != nil:
-			if s.sink == nil {
-				reply = envelope{Type: frameError, Error: "not a collector endpoint"}
-			} else if err := s.sink.HandleBatch(*env.Batch); err != nil {
-				reply = envelope{Type: frameError, Error: err.Error()}
-			}
-		default:
-			reply = envelope{Type: frameError, Error: fmt.Sprintf("unknown frame %q", env.Type)}
-		}
-		if err := writeFrame(conn, reply); err != nil {
+		if err := writeFrame(conn, s.dispatch(body)); err != nil {
 			return
 		}
 	}
+}
+
+// dispatch routes one frame body. Binary batch bodies (first byte
+// batchMagic) go straight to the sink; everything else is a JSON envelope.
+func (s *Server) dispatch(body []byte) envelope {
+	if len(body) > 0 && body[0] == batchMagic {
+		if s.sink == nil {
+			return envelope{Type: frameError, Error: "not a collector endpoint"}
+		}
+		batch, err := DecodeBatchFrame(body)
+		if err != nil {
+			return envelope{Type: frameError, Error: err.Error()}
+		}
+		if err := s.sink.HandleBatch(batch); err != nil {
+			return envelope{Type: frameError, Error: err.Error()}
+		}
+		return envelope{Type: frameOK}
+	}
+	var env envelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		return envelope{Type: frameError, Error: fmt.Sprintf("decode frame: %v", err)}
+	}
+	switch {
+	case env.Type == frameControl && env.Control != nil:
+		if s.agent == nil {
+			return envelope{Type: frameError, Error: "not an agent endpoint"}
+		}
+		if err := s.agent.Apply(*env.Control); err != nil {
+			return envelope{Type: frameError, Error: err.Error()}
+		}
+	case env.Type == frameBatch && env.Batch != nil:
+		if s.sink == nil {
+			return envelope{Type: frameError, Error: "not a collector endpoint"}
+		}
+		if err := s.sink.HandleBatch(*env.Batch); err != nil {
+			return envelope{Type: frameError, Error: err.Error()}
+		}
+	default:
+		return envelope{Type: frameError, Error: fmt.Sprintf("unknown frame %q", env.Type)}
+	}
+	return envelope{Type: frameOK}
 }
 
 // RemoteError is an application-level rejection from the far endpoint
@@ -192,10 +233,10 @@ type client struct {
 	conn net.Conn
 }
 
-func (c *client) roundTrip(env envelope) error {
+func (c *client) roundTrip(body []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	err := c.tryLocked(env)
+	err := c.tryLocked(body)
 	if err == nil {
 		return nil
 	}
@@ -208,10 +249,10 @@ func (c *client) roundTrip(env envelope) error {
 		c.conn.Close()
 		c.conn = nil
 	}
-	return c.tryLocked(env)
+	return c.tryLocked(body)
 }
 
-func (c *client) tryLocked(env envelope) error {
+func (c *client) tryLocked(body []byte) error {
 	if c.conn == nil {
 		conn, err := net.Dial("tcp", c.addr)
 		if err != nil {
@@ -219,7 +260,7 @@ func (c *client) tryLocked(env envelope) error {
 		}
 		c.conn = conn
 	}
-	if err := writeFrame(c.conn, env); err != nil {
+	if err := writeBody(c.conn, body); err != nil {
 		return err
 	}
 	reply, err := readFrame(c.conn)
@@ -258,22 +299,40 @@ func NewTCPControlClient(addr string) *TCPControlClient {
 
 // Apply implements ControlClient over TCP.
 func (c *TCPControlClient) Apply(pkg ControlPackage) error {
-	return c.roundTrip(envelope{Type: frameControl, Control: &pkg})
+	body, err := json.Marshal(envelope{Type: frameControl, Control: &pkg})
+	if err != nil {
+		return fmt.Errorf("control: encode frame: %w", err)
+	}
+	return c.roundTrip(body)
 }
 
-// TCPSink ships record batches to a remote collector endpoint.
+// TCPSink ships record batches to a remote collector endpoint using the v2
+// binary batch frame. Set LegacyJSON to emit v1 JSON envelopes instead
+// (e.g. against a pre-v2 collector).
 type TCPSink struct {
 	client
+	// LegacyJSON forces v1 JSON batch envelopes. Set before first use.
+	LegacyJSON bool
 }
 
 var _ RecordSink = (*TCPSink)(nil)
 
 // NewTCPSink targets a collector server address.
 func NewTCPSink(addr string) *TCPSink {
-	return &TCPSink{client{addr: addr}}
+	return &TCPSink{client: client{addr: addr}}
 }
 
 // HandleBatch implements RecordSink over TCP.
 func (s *TCPSink) HandleBatch(b RecordBatch) error {
-	return s.roundTrip(envelope{Type: frameBatch, Batch: &b})
+	var body []byte
+	var err error
+	if s.LegacyJSON {
+		body, err = EncodeBatchFrameJSON(&b)
+	} else {
+		body, err = EncodeBatchFrame(&b)
+	}
+	if err != nil {
+		return err
+	}
+	return s.roundTrip(body)
 }

@@ -1,0 +1,290 @@
+package control
+
+import (
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+
+	"vnettracer/internal/core"
+	"vnettracer/internal/tracedb"
+)
+
+func wireBatch(n int) RecordBatch {
+	var recs []core.Record
+	if n > 0 {
+		recs = make([]core.Record, n)
+	}
+	for i := range recs {
+		recs[i] = core.Record{
+			TraceID: uint32(i + 1), TPID: uint32(i%3 + 1),
+			TimeNs: uint64(1000 * i), Len: 100, CPU: uint32(i % 4),
+			Seq: uint64(i), SrcIP: 0x0a000001, DstIP: 0x0a000002,
+			SrcPort: 40000, DstPort: 9000, Proto: 17, Dir: 1,
+		}
+	}
+	return RecordBatch{Agent: "agent0", AgentTimeNs: 123456789, Records: recs, RingDrops: 7}
+}
+
+// TestBatchFrameRoundTrip proves binary and JSON batch frames decode to
+// identical RecordBatch values through the collector's single decode path.
+func TestBatchFrameRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 64} {
+		want := wireBatch(n)
+
+		bin, err := EncodeBatchFrame(&want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotBin, err := DecodeBatchFrame(bin)
+		if err != nil {
+			t.Fatalf("n=%d: decode binary: %v", n, err)
+		}
+		if !reflect.DeepEqual(gotBin, want) {
+			t.Fatalf("n=%d: binary round trip = %+v, want %+v", n, gotBin, want)
+		}
+
+		jsonBody, err := EncodeBatchFrameJSON(&want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotJSON, err := DecodeBatchFrame(jsonBody)
+		if err != nil {
+			t.Fatalf("n=%d: decode JSON: %v", n, err)
+		}
+		if !reflect.DeepEqual(gotJSON, gotBin) {
+			t.Fatalf("n=%d: JSON and binary decode differ: %+v vs %+v", n, gotJSON, gotBin)
+		}
+	}
+}
+
+// TestBatchFrameBytesPerRecord verifies the acceptance bound: a batch
+// frame carries records at <= 52 bytes/record on the wire (48-byte record
+// plus amortized header and length prefix).
+func TestBatchFrameBytesPerRecord(t *testing.T) {
+	const n = 64
+	b := wireBatch(n)
+	body, err := EncodeBatchFrame(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := 4 + len(body) // transport length prefix + frame body
+	if perRec := float64(wire) / n; perRec > 52 {
+		t.Fatalf("binary frame = %.1f bytes/record, want <= 52", perRec)
+	}
+	jsonBody, _ := EncodeBatchFrameJSON(&b)
+	if len(jsonBody) < 3*len(body) {
+		t.Fatalf("expected JSON framing to inflate records >= 3x (binary %d B, JSON %d B)", len(body), len(jsonBody))
+	}
+}
+
+// TestBatchFrameVersionNegotiation covers the version-handling paths: a
+// future binary version is rejected, truncated/corrupt binary frames are
+// rejected, and the legacy JSON envelope is still accepted.
+func TestBatchFrameVersionNegotiation(t *testing.T) {
+	b := wireBatch(2)
+	body, err := EncodeBatchFrame(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	future := append([]byte(nil), body...)
+	future[1] = batchWireV2 + 1
+	if _, err := DecodeBatchFrame(future); err == nil {
+		t.Fatal("future wire version accepted")
+	}
+
+	if _, err := DecodeBatchFrame(body[:len(body)-1]); err == nil {
+		t.Fatal("truncated binary frame accepted")
+	}
+	if _, err := DecodeBatchFrame([]byte{batchMagic, batchWireV2}); err == nil {
+		t.Fatal("header-only binary frame accepted")
+	}
+	if _, err := DecodeBatchFrame(nil); err == nil {
+		t.Fatal("empty frame accepted")
+	}
+	if _, err := DecodeBatchFrame([]byte(`{"type":"control"}`)); err == nil {
+		t.Fatal("non-batch JSON envelope accepted as batch")
+	}
+
+	legacy, err := EncodeBatchFrameJSON(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBatchFrame(legacy)
+	if err != nil {
+		t.Fatalf("legacy JSON rejected: %v", err)
+	}
+	if got.Agent != b.Agent || len(got.Records) != len(b.Records) {
+		t.Fatalf("legacy decode = %+v", got)
+	}
+}
+
+// TestTCPBinaryAndLegacySinksAgree ships the same batch over TCP with the
+// v2 binary framing and the v1 JSON framing and checks the collector sees
+// identical data either way.
+func TestTCPBinaryAndLegacySinksAgree(t *testing.T) {
+	run := func(legacy bool) (uint64, uint64, uint64, []core.Record) {
+		db := tracedb.New()
+		col := NewCollector(db)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := Serve(ln, nil, col)
+		defer srv.Close()
+		sink := NewTCPSink(srv.Addr().String())
+		sink.LegacyJSON = legacy
+		defer sink.Close()
+		if err := sink.HandleBatch(wireBatch(16)); err != nil {
+			t.Fatal(err)
+		}
+		batches, records, drops := col.Stats()
+		tbl, ok := db.Table(1)
+		if !ok {
+			t.Fatal("table 1 missing")
+		}
+		return batches, records, drops, tbl.All()
+	}
+	b1, r1, d1, recs1 := run(false)
+	b2, r2, d2, recs2 := run(true)
+	if b1 != b2 || r1 != r2 || d1 != d2 || !reflect.DeepEqual(recs1, recs2) {
+		t.Fatalf("binary (%d,%d,%d) and legacy (%d,%d,%d) transports diverge", b1, r1, d1, b2, r2, d2)
+	}
+}
+
+// TestCollectorAsyncIngest checks the bounded-queue path: batches land in
+// the DB after StopIngest drains, and overflow is counted, not blocking.
+func TestCollectorAsyncIngest(t *testing.T) {
+	db := tracedb.New()
+	col := NewCollector(db)
+	col.StartIngest(4, 256)
+	var wg sync.WaitGroup
+	const senders, perSender = 8, 50
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				col.HandleBatch(RecordBatch{
+					Agent:       "a",
+					AgentTimeNs: int64(i),
+					Records:     []core.Record{{TPID: uint32(s%4 + 1), TraceID: uint32(s*perSender + i + 1)}},
+				})
+			}
+		}(s)
+	}
+	wg.Wait()
+	col.StopIngest()
+	batches, records, _ := col.Stats()
+	_, dropped := col.IngestStats()
+	if batches+dropped != senders*perSender {
+		t.Fatalf("batches %d + dropped %d != sent %d", batches, dropped, senders*perSender)
+	}
+	if records != batches {
+		t.Fatalf("records = %d, want %d (one per ingested batch)", records, batches)
+	}
+	// After StopIngest, HandleBatch is synchronous again.
+	col.HandleBatch(RecordBatch{Agent: "a", Records: []core.Record{{TPID: 9, TraceID: 1}}})
+	if tbl, ok := db.Table(9); !ok || tbl.Len() != 1 {
+		t.Fatal("synchronous ingest after StopIngest failed")
+	}
+}
+
+// TestCollectorIngestBackpressure jams the single worker on a slow store
+// and overflows the depth-1 queue: drops must be counted, never blocking
+// the transport goroutine. With the worker holding at most one batch and
+// the queue one more, three sends guarantee at least one drop without any
+// timing assumption.
+func TestCollectorIngestBackpressure(t *testing.T) {
+	blocker := make(chan struct{})
+	db := tracedb.New()
+	col := NewCollector(db)
+	inner := col.ingestFn
+	col.ingestFn = func(b RecordBatch) {
+		<-blocker // slow store
+		inner(b)
+	}
+	col.StartIngest(1, 1)
+	const sent = 3
+	for i := 0; i < sent; i++ {
+		col.HandleBatch(RecordBatch{Agent: "a", AgentTimeNs: int64(i)})
+	}
+	_, dropped := col.IngestStats()
+	if dropped == 0 {
+		t.Fatal("full queue dropped nothing")
+	}
+	close(blocker)
+	col.StopIngest()
+	batches, _, _ := col.Stats()
+	_, dropped = col.IngestStats()
+	if batches+dropped != sent {
+		t.Fatalf("batches %d + dropped %d != sent %d", batches, dropped, sent)
+	}
+}
+
+// TestConcurrentBatchesRace inserts batches from many goroutines over TCP
+// and in-process simultaneously while analyses scan the tables — the
+// -race regression for the record path.
+func TestConcurrentBatchesRace(t *testing.T) {
+	db := tracedb.New()
+	col := NewCollector(db)
+	col.StartIngest(4, 1024)
+	defer col.StopIngest()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, nil, col)
+	defer srv.Close()
+
+	var senders sync.WaitGroup
+	// TCP writers.
+	for w := 0; w < 2; w++ {
+		senders.Add(1)
+		go func() {
+			defer senders.Done()
+			sink := NewTCPSink(srv.Addr().String())
+			defer sink.Close()
+			for i := 0; i < 50; i++ {
+				if err := sink.HandleBatch(wireBatch(8)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	// In-process writers.
+	for w := 0; w < 2; w++ {
+		senders.Add(1)
+		go func() {
+			defer senders.Done()
+			for i := 0; i < 50; i++ {
+				col.HandleBatch(wireBatch(8))
+			}
+		}()
+	}
+	// Reader: scan and query while inserts run.
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, id := range db.Tables() {
+				tbl, _ := db.Table(id)
+				tbl.Scan(func(core.Record) bool { return true })
+				tbl.Len()
+				tbl.TraceIDs()
+			}
+		}
+	}()
+	senders.Wait()
+	close(stop)
+	<-readerDone
+}

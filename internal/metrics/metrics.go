@@ -22,27 +22,69 @@ var ErrNoData = errors.New("metrics: no data")
 // throughput formula subtracts from each packet (S_i - S_ID).
 const TraceIDBytes = 4
 
-// Throughput computes bits per second over the records of one tracepoint:
-// sum(S_i - S_ID) / (T_N - T_1). Records must come from a single
-// tracepoint; they are sorted by timestamp internally.
-func Throughput(recs []core.Record) (float64, error) {
-	if len(recs) < 2 {
-		return 0, fmt.Errorf("%w: need >= 2 records, have %d", ErrNoData, len(recs))
+// RecordSource streams records one pass at a time; Scan calls fn for each
+// record until fn returns false. *tracedb.Table satisfies it directly
+// (and its ScanAligned can be adapted with SourceFunc), so analyses run
+// against live tables without materializing a full copy.
+type RecordSource interface {
+	Scan(fn func(core.Record) bool)
+}
+
+// SourceFunc adapts a scan function to a RecordSource, e.g.
+// SourceFunc(table.ScanAligned).
+type SourceFunc func(fn func(core.Record) bool)
+
+// Scan implements RecordSource.
+func (f SourceFunc) Scan(fn func(core.Record) bool) { f(fn) }
+
+// Records adapts an in-memory slice to a RecordSource.
+type Records []core.Record
+
+// Scan implements RecordSource.
+func (rs Records) Scan(fn func(core.Record) bool) {
+	for _, r := range rs {
+		if !fn(r) {
+			return
+		}
 	}
-	sorted := make([]core.Record, len(recs))
-	copy(sorted, recs)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].TimeNs < sorted[j].TimeNs })
+}
+
+// ThroughputOf computes bits per second over one tracepoint's record
+// stream: sum(S_i - S_ID) / (T_N - T_1), in a single pass (only the
+// earliest and latest timestamps matter, not the order in between).
+func ThroughputOf(src RecordSource) (float64, error) {
+	var n int
 	var bytes uint64
-	for _, r := range sorted {
+	var minT, maxT uint64
+	src.Scan(func(r core.Record) bool {
+		if n == 0 {
+			minT, maxT = r.TimeNs, r.TimeNs
+		} else {
+			if r.TimeNs < minT {
+				minT = r.TimeNs
+			}
+			if r.TimeNs > maxT {
+				maxT = r.TimeNs
+			}
+		}
+		n++
 		if r.Len > TraceIDBytes {
 			bytes += uint64(r.Len) - TraceIDBytes
 		}
+		return true
+	})
+	if n < 2 {
+		return 0, fmt.Errorf("%w: need >= 2 records, have %d", ErrNoData, n)
 	}
-	span := sorted[len(sorted)-1].TimeNs - sorted[0].TimeNs
-	if span == 0 {
+	if maxT == minT {
 		return 0, fmt.Errorf("%w: zero time span", ErrNoData)
 	}
-	return float64(bytes) * 8 * 1e9 / float64(span), nil
+	return float64(bytes) * 8 * 1e9 / float64(maxT-minT), nil
+}
+
+// Throughput computes throughput over an in-memory record slice.
+func Throughput(recs []core.Record) (float64, error) {
+	return ThroughputOf(Records(recs))
 }
 
 // LatencySample is one per-packet latency measurement between two
@@ -125,8 +167,8 @@ func JitterRange(samples []LatencySample) (minNs, maxNs int64) {
 // Loss computes packet loss between two tracepoints: N_loss = N_i - N_j
 // and R_loss = N_loss / N_i, over distinct packet IDs.
 func Loss(a, b *tracedb.Table) (lost int64, rate float64) {
-	ni := int64(len(a.TraceIDs()))
-	nj := int64(len(b.TraceIDs()))
+	ni := int64(a.NumTraceIDs())
+	nj := int64(b.NumTraceIDs())
 	lost = ni - nj
 	if ni > 0 {
 		rate = float64(lost) / float64(ni)

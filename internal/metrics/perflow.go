@@ -49,34 +49,37 @@ type FlowStats struct {
 	LastNs        uint64
 }
 
-// PerFlowThroughput groups one tracepoint's records by flow and computes
-// per-flow throughput. Flows with a single record have zero throughput
-// (no interval).
-func PerFlowThroughput(recs []core.Record) []FlowStats {
-	groups := make(map[FlowKey][]core.Record)
-	for _, r := range recs {
+// PerFlowThroughputOf streams one tracepoint's records, grouping by flow
+// and computing per-flow throughput in a single pass — only the running
+// aggregates are kept per flow, never the records themselves. Flows with a
+// single record have zero throughput (no interval).
+func PerFlowThroughputOf(src RecordSource) []FlowStats {
+	groups := make(map[FlowKey]*FlowStats)
+	src.Scan(func(r core.Record) bool {
 		k := keyOf(r)
-		groups[k] = append(groups[k], r)
-	}
-	out := make([]FlowStats, 0, len(groups))
-	for k, rs := range groups {
-		fs := FlowStats{Flow: k, Packets: len(rs)}
-		fs.FirstNs, fs.LastNs = rs[0].TimeNs, rs[0].TimeNs
-		for _, r := range rs {
-			if r.Len > TraceIDBytes {
-				fs.Bytes += uint64(r.Len) - TraceIDBytes
-			}
-			if r.TimeNs < fs.FirstNs {
-				fs.FirstNs = r.TimeNs
-			}
-			if r.TimeNs > fs.LastNs {
-				fs.LastNs = r.TimeNs
-			}
+		fs, ok := groups[k]
+		if !ok {
+			fs = &FlowStats{Flow: k, FirstNs: r.TimeNs, LastNs: r.TimeNs}
+			groups[k] = fs
 		}
+		fs.Packets++
+		if r.Len > TraceIDBytes {
+			fs.Bytes += uint64(r.Len) - TraceIDBytes
+		}
+		if r.TimeNs < fs.FirstNs {
+			fs.FirstNs = r.TimeNs
+		}
+		if r.TimeNs > fs.LastNs {
+			fs.LastNs = r.TimeNs
+		}
+		return true
+	})
+	out := make([]FlowStats, 0, len(groups))
+	for _, fs := range groups {
 		if span := fs.LastNs - fs.FirstNs; span > 0 {
 			fs.ThroughputBps = float64(fs.Bytes) * 8 * 1e9 / float64(span)
 		}
-		out = append(out, fs)
+		out = append(out, *fs)
 	}
 	// Deterministic order: by descending bytes, then by flow string.
 	sort.Slice(out, func(i, j int) bool {
@@ -88,15 +91,23 @@ func PerFlowThroughput(recs []core.Record) []FlowStats {
 	return out
 }
 
-// InterArrivals returns consecutive packet arrival gaps at one tracepoint,
-// sorted by timestamp — the paper's "packet arrival time" raw metric.
-func InterArrivals(recs []core.Record) []int64 {
-	if len(recs) < 2 {
+// PerFlowThroughput computes per-flow throughput over an in-memory slice.
+func PerFlowThroughput(recs []core.Record) []FlowStats {
+	return PerFlowThroughputOf(Records(recs))
+}
+
+// InterArrivalsOf returns consecutive packet arrival gaps at one
+// tracepoint, sorted by timestamp — the paper's "packet arrival time" raw
+// metric. Only the 8-byte timestamps are materialized from the stream, not
+// full records.
+func InterArrivalsOf(src RecordSource) []int64 {
+	var ts []uint64
+	src.Scan(func(r core.Record) bool {
+		ts = append(ts, r.TimeNs)
+		return true
+	})
+	if len(ts) < 2 {
 		return nil
-	}
-	ts := make([]uint64, len(recs))
-	for i, r := range recs {
-		ts[i] = r.TimeNs
 	}
 	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
 	out := make([]int64, 0, len(ts)-1)
@@ -104,4 +115,9 @@ func InterArrivals(recs []core.Record) []int64 {
 		out = append(out, int64(ts[i]-ts[i-1]))
 	}
 	return out
+}
+
+// InterArrivals returns arrival gaps over an in-memory record slice.
+func InterArrivals(recs []core.Record) []int64 {
+	return InterArrivalsOf(Records(recs))
 }

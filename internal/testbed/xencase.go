@@ -343,11 +343,12 @@ func RunXenCase(cfg XenConfig) (XenResult, error) {
 func estimateSkewFromTables(t1, t2, t3, t4 *tracedb.Table) (clocksync.Estimate, error) {
 	bySeq := func(t *tracedb.Table) map[uint64]int64 {
 		out := make(map[uint64]int64)
-		for _, r := range t.All() {
+		t.Scan(func(r core.Record) bool {
 			if _, dup := out[r.Seq]; !dup {
 				out[r.Seq] = int64(r.TimeNs)
 			}
-		}
+			return true
+		})
 		return out
 	}
 	m1, m2, m3, m4 := bySeq(t1), bySeq(t2), bySeq(t3), bySeq(t4)

@@ -2,6 +2,12 @@
 // records into — the offline store the paper implements with InfluxDB: one
 // table per tracepoint, records indexed by packet (trace) ID, plus the
 // collector's agent-heartbeat ledger.
+//
+// The store is sharded for the ingest path: the DB-level lock guards only
+// the table directory, each Table carries its own RWMutex, and the
+// heartbeat ledger has a separate lock, so concurrent agents inserting
+// into different tracepoints never serialize against each other or
+// against analyses reading other tables.
 package tracedb
 
 import (
@@ -15,20 +21,26 @@ import (
 // DB is an in-memory trace database. It is safe for concurrent use; the
 // collector inserts while analyses query.
 type DB struct {
-	mu         sync.RWMutex
-	tables     map[uint32]*Table
+	// mu guards only the table directory; record data is guarded by each
+	// table's own lock.
+	mu     sync.RWMutex
+	tables map[uint32]*Table
+
+	hbMu       sync.Mutex
 	heartbeats map[string]int64
 }
 
-// Table holds all records from one tracepoint.
+// Table holds all records from one tracepoint. All methods are safe for
+// concurrent use with DB.Insert.
 type Table struct {
 	TPID uint32
 	Name string
-	// NodeSkewNs is the estimated clock offset of the node hosting this
+
+	mu sync.RWMutex
+	// skewNs is the estimated clock offset of the node hosting this
 	// tracepoint relative to the master (Cristian's algorithm); analyses
 	// subtract it during timestamp alignment.
-	NodeSkewNs int64
-
+	skewNs    int64
 	recs      []core.Record
 	byTraceID map[uint32][]int
 }
@@ -55,19 +67,35 @@ func (db *DB) CreateTable(tpid uint32, name string) (*Table, error) {
 }
 
 // Insert routes records to their tracepoint tables, creating tables on
-// demand for unknown tracepoints.
+// demand for unknown tracepoints. Records usually arrive grouped by
+// tracepoint, so runs of the same TPID are appended under one table lock.
 func (db *DB) Insert(recs []core.Record) {
+	for i := 0; i < len(recs); {
+		j := i + 1
+		for j < len(recs) && recs[j].TPID == recs[i].TPID {
+			j++
+		}
+		db.table(recs[i].TPID).append(recs[i:j])
+		i = j
+	}
+}
+
+// table returns the table for tpid, creating it if needed.
+func (db *DB) table(tpid uint32) *Table {
+	db.mu.RLock()
+	t, ok := db.tables[tpid]
+	db.mu.RUnlock()
+	if ok {
+		return t
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	for _, r := range recs {
-		t, ok := db.tables[r.TPID]
-		if !ok {
-			t = &Table{TPID: r.TPID, Name: fmt.Sprintf("tp%d", r.TPID), byTraceID: make(map[uint32][]int)}
-			db.tables[r.TPID] = t
-		}
-		t.byTraceID[r.TraceID] = append(t.byTraceID[r.TraceID], len(t.recs))
-		t.recs = append(t.recs, r)
+	if t, ok := db.tables[tpid]; ok {
+		return t
 	}
+	t = &Table{TPID: tpid, Name: fmt.Sprintf("tp%d", tpid), byTraceID: make(map[uint32][]int)}
+	db.tables[tpid] = t
+	return t
 }
 
 // Table returns the table for a tracepoint.
@@ -92,10 +120,10 @@ func (db *DB) Tables() []uint32 {
 
 // SetSkew records the clock offset correction for a tracepoint's node.
 func (db *DB) SetSkew(tpid uint32, skewNs int64) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if t, ok := db.tables[tpid]; ok {
-		t.NodeSkewNs = skewNs
+	if t, ok := db.Table(tpid); ok {
+		t.mu.Lock()
+		t.skewNs = skewNs
+		t.mu.Unlock()
 	}
 }
 
@@ -103,15 +131,15 @@ func (db *DB) SetSkew(tpid uint32, skewNs int64) {
 // doubles as the health monitor (paper Section III-C: "it also acts as a
 // heartbeat monitor").
 func (db *DB) Heartbeat(agent string, nowNs int64) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.hbMu.Lock()
+	defer db.hbMu.Unlock()
 	db.heartbeats[agent] = nowNs
 }
 
 // DeadAgents lists agents not heard from within timeout of nowNs.
 func (db *DB) DeadAgents(nowNs, timeoutNs int64) []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.hbMu.Lock()
+	defer db.hbMu.Unlock()
 	var out []string
 	for agent, last := range db.heartbeats {
 		if nowNs-last > timeoutNs {
@@ -124,8 +152,8 @@ func (db *DB) DeadAgents(nowNs, timeoutNs int64) []string {
 
 // Agents lists all agents that ever heartbeated.
 func (db *DB) Agents() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.hbMu.Lock()
+	defer db.hbMu.Unlock()
 	out := make([]string, 0, len(db.heartbeats))
 	for a := range db.heartbeats {
 		out = append(out, a)
@@ -134,28 +162,92 @@ func (db *DB) Agents() []string {
 	return out
 }
 
-// Len returns the record count.
-func (t *Table) Len() int { return len(t.recs) }
+// append adds a run of records (all with this table's TPID) under the
+// table lock.
+func (t *Table) append(recs []core.Record) {
+	t.mu.Lock()
+	for _, r := range recs {
+		t.byTraceID[r.TraceID] = append(t.byTraceID[r.TraceID], len(t.recs))
+		t.recs = append(t.recs, r)
+	}
+	t.mu.Unlock()
+}
 
-// All returns a copy of every record in insertion order.
+// Skew returns the clock offset correction applied during alignment.
+func (t *Table) Skew() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.skewNs
+}
+
+// Len returns the record count.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.recs)
+}
+
+// snapshot returns the current record prefix and skew without copying.
+// Records are append-only and never mutated in place, so the returned
+// slice header stays valid and immutable even while inserts continue.
+func (t *Table) snapshot() ([]core.Record, int64) {
+	t.mu.RLock()
+	recs, skew := t.recs, t.skewNs
+	t.mu.RUnlock()
+	return recs, skew
+}
+
+// Scan streams every record in insertion order until fn returns false. It
+// takes a zero-copy snapshot under the lock and iterates outside it, so
+// long analyses never block inserts; records inserted after Scan starts
+// are not visited.
+func (t *Table) Scan(fn func(core.Record) bool) {
+	recs, _ := t.snapshot()
+	for _, r := range recs {
+		if !fn(r) {
+			return
+		}
+	}
+}
+
+// ScanAligned streams every record with timestamps corrected by the node
+// skew ("timestamp alignment for the clock skew", Section III-C), until fn
+// returns false.
+func (t *Table) ScanAligned(fn func(core.Record) bool) {
+	recs, skew := t.snapshot()
+	for _, r := range recs {
+		r.TimeNs = uint64(int64(r.TimeNs) - skew)
+		if !fn(r) {
+			return
+		}
+	}
+}
+
+// All returns a copy of every record in insertion order. Prefer Scan for
+// one-pass analyses; All materializes the whole table.
 func (t *Table) All() []core.Record {
-	out := make([]core.Record, len(t.recs))
-	copy(out, t.recs)
+	recs, _ := t.snapshot()
+	out := make([]core.Record, len(recs))
+	copy(out, recs)
 	return out
 }
 
 // AlignedAll returns all records with timestamps corrected by the node
-// skew ("timestamp alignment for the clock skew", Section III-C).
+// skew. Prefer ScanAligned for one-pass analyses.
 func (t *Table) AlignedAll() []core.Record {
-	out := t.All()
+	recs, skew := t.snapshot()
+	out := make([]core.Record, len(recs))
+	copy(out, recs)
 	for i := range out {
-		out[i].TimeNs = uint64(int64(out[i].TimeNs) - t.NodeSkewNs)
+		out[i].TimeNs = uint64(int64(out[i].TimeNs) - skew)
 	}
 	return out
 }
 
 // ByTraceID returns all records for one packet ID.
 func (t *Table) ByTraceID(id uint32) []core.Record {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	idxs := t.byTraceID[id]
 	out := make([]core.Record, len(idxs))
 	for i, idx := range idxs {
@@ -167,35 +259,51 @@ func (t *Table) ByTraceID(id uint32) []core.Record {
 // FirstByTraceID returns the first record for a packet ID, with timestamp
 // alignment applied.
 func (t *Table) FirstByTraceID(id uint32) (core.Record, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	idxs := t.byTraceID[id]
 	if len(idxs) == 0 {
 		return core.Record{}, false
 	}
 	r := t.recs[idxs[0]]
-	r.TimeNs = uint64(int64(r.TimeNs) - t.NodeSkewNs)
+	r.TimeNs = uint64(int64(r.TimeNs) - t.skewNs)
 	return r, true
 }
 
 // TraceIDs returns the distinct packet IDs seen at this tracepoint.
 func (t *Table) TraceIDs() []uint32 {
+	t.mu.RLock()
 	out := make([]uint32, 0, len(t.byTraceID))
 	for id := range t.byTraceID {
 		out = append(out, id)
 	}
+	t.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
+// NumTraceIDs returns the count of distinct packet IDs without building
+// the sorted slice.
+func (t *Table) NumTraceIDs() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.byTraceID)
+}
+
 // Incomplete reports trace IDs seen at this table but missing from other —
 // the "identifying incomplete records" data-cleaning step, and the raw
-// material of the packet-loss metric.
+// material of the packet-loss metric. The two tables are locked one at a
+// time (never nested), so Incomplete(a,b) and Incomplete(b,a) can run
+// concurrently with inserts on both.
 func (t *Table) Incomplete(other *Table) []uint32 {
+	ids := t.TraceIDs()
+	other.mu.RLock()
+	defer other.mu.RUnlock()
 	var out []uint32
-	for id := range t.byTraceID {
+	for _, id := range ids {
 		if _, ok := other.byTraceID[id]; !ok {
 			out = append(out, id)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return out // TraceIDs is sorted, so out is too
 }

@@ -129,6 +129,38 @@ func (s *Session) Table(label string) (*Table, error) {
 	return t, nil
 }
 
+// ScanTable streams a label's records in insertion order without copying
+// the table; fn returns false to stop early. Inserts arriving concurrently
+// are not blocked and not visited.
+func (s *Session) ScanTable(label string, fn func(Record) bool) error {
+	t, err := s.Table(label)
+	if err != nil {
+		return err
+	}
+	t.Scan(fn)
+	return nil
+}
+
+// Throughput computes one-pass throughput over a label's table (the
+// paper's sum(S_i - S_ID) / (T_N - T_1)).
+func (s *Session) Throughput(label string) (float64, error) {
+	t, err := s.Table(label)
+	if err != nil {
+		return 0, err
+	}
+	return metrics.ThroughputOf(t)
+}
+
+// PerFlowThroughput computes one-pass per-flow throughput over a label's
+// table.
+func (s *Session) PerFlowThroughput(label string) ([]metrics.FlowStats, error) {
+	t, err := s.Table(label)
+	if err != nil {
+		return nil, err
+	}
+	return metrics.PerFlowThroughputOf(t), nil
+}
+
 // SetSkew records a clock-offset correction (e.g. from Cristian's
 // algorithm) for a label's tracepoint; subsequent analyses align its
 // timestamps.

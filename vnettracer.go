@@ -127,6 +127,11 @@ type (
 	FlowStats = metrics.FlowStats
 	// Segment is one hop of a latency decomposition.
 	Segment = metrics.Segment
+	// RecordSource streams records for one-pass analyses; *Table satisfies
+	// it via Scan.
+	RecordSource = metrics.RecordSource
+	// RecordBatch is what agents ship to the collector.
+	RecordBatch = control.RecordBatch
 )
 
 // Attach kinds and probe sites.
@@ -237,3 +242,17 @@ func PerFlowThroughput(recs []Record) []FlowStats { return metrics.PerFlowThroug
 
 // InterArrivals returns consecutive packet arrival gaps at a tracepoint.
 func InterArrivals(recs []Record) []int64 { return metrics.InterArrivals(recs) }
+
+// Streaming variants: one-pass analyses over a live table (or any
+// RecordSource) without materializing a full record copy.
+
+// ThroughputOf computes one-pass throughput over a record stream.
+func ThroughputOf(src RecordSource) (float64, error) { return metrics.ThroughputOf(src) }
+
+// PerFlowThroughputOf computes one-pass per-flow throughput over a record
+// stream.
+func PerFlowThroughputOf(src RecordSource) []FlowStats { return metrics.PerFlowThroughputOf(src) }
+
+// InterArrivalsOf returns consecutive packet arrival gaps over a record
+// stream.
+func InterArrivalsOf(src RecordSource) []int64 { return metrics.InterArrivalsOf(src) }
