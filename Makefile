@@ -16,8 +16,15 @@ vet:
 race:
 	$(GO) test -race ./internal/tracedb ./internal/control ./internal/metrics
 
+# Fault-injection pass over delivery semantics: flaky collector, lost
+# acknowledgements, connection kill before reply, collector restart, and
+# spool eviction — all under the race detector.
+.PHONY: faults
+faults:
+	$(GO) test -race -run 'TestFault' ./internal/control
+
 .PHONY: check
-check: tier1 vet race
+check: tier1 vet race faults
 
 .PHONY: bench-wire
 bench-wire:

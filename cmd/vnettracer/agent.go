@@ -94,7 +94,12 @@ func runAgent(args []string) error {
 		case <-stop:
 			mu.Lock()
 			err := agent.Flush()
+			st := agent.SpoolStats()
 			mu.Unlock()
+			if st.Batches > 0 || st.EvictedRecords > 0 {
+				fmt.Fprintf(os.Stderr, "spool at shutdown: %d batches / %d records undelivered, %d records evicted\n",
+					st.Batches, st.Records, st.EvictedRecords)
+			}
 			fmt.Println("\nagent shutting down")
 			return err
 		case <-tick.C:
@@ -103,7 +108,9 @@ func runAgent(args []string) error {
 			flushErr := agent.Flush()
 			mu.Unlock()
 			if flushErr != nil {
-				fmt.Fprintf(os.Stderr, "flush: %v (collector down?)\n", flushErr)
+				st := agent.SpoolStats()
+				fmt.Fprintf(os.Stderr, "flush: %v (collector down? %d records spooled in %d B, %d evicted)\n",
+					flushErr, st.Records, st.Bytes, st.EvictedRecords)
 			}
 		}
 	}

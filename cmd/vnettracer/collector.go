@@ -62,15 +62,17 @@ func runCollector(args []string) error {
 			col.StopIngest() // drain queued batches before reporting
 			batches, records, drops := col.Stats()
 			_, dropped := col.IngestStats()
-			fmt.Printf("\nshutting down: %d batches, %d records, %d ring drops, %d dropped batches, %d tables\n",
-				batches, records, drops, dropped, len(db.Tables()))
+			dupB, dupR, missing := col.DeliveryStats()
+			fmt.Printf("\nshutting down: %d batches, %d records, %d ring drops, %d dropped batches, %d dup batches (%d records), %d missing batches, %d tables\n",
+				batches, records, drops, dropped, dupB, dupR, missing, len(db.Tables()))
 			return nil
 		case <-tick.C:
 			_, records, _ := col.Stats()
 			if records != lastRecords {
 				depth, dropped := col.IngestStats()
-				fmt.Printf("records: %d (+%d), queue: %d, dropped batches: %d, agents: %v\n",
-					records, records-lastRecords, depth, dropped, db.Agents())
+				dupB, _, missing := col.DeliveryStats()
+				fmt.Printf("records: %d (+%d), queue: %d, dropped batches: %d, dups: %d, missing: %d, agents: %v\n",
+					records, records-lastRecords, depth, dropped, dupB, missing, db.Agents())
 				lastRecords = records
 			}
 		}

@@ -119,19 +119,31 @@ func (d DriftEstimate) CorrectNs(clientNs int64) int64 {
 	return d.OffsetAtT0Ns + int64(d.DriftPPB*float64(clientNs-d.T0Ns)/1e9)
 }
 
-// EstimateDrift fits offset and drift over samples spread in time. At
-// least two samples with distinct T1 are required; with tightly clustered
-// samples the drift term is unreliable and an error is returned.
+// EstimateDrift fits offset and drift over samples spread in time.
+// Samples claiming more server processing than the whole round trip are
+// skipped, exactly as EstimateSkew skips them — a single such garbage
+// sample has a wildly negative one-way estimate and poisons the
+// least-squares fit. At least two usable samples with distinct T1 are
+// required; with tightly clustered samples the drift term is unreliable
+// and an error is returned. Samples in the result counts usable samples.
 func EstimateDrift(samples []Sample) (DriftEstimate, error) {
 	if len(samples) < 2 {
 		return DriftEstimate{}, fmt.Errorf("%w: need >= 2 samples for drift", ErrNoSamples)
 	}
-	t0 := samples[0].T1
+	var t0 int64
 	var n float64
 	var sumX, sumY, sumXX, sumXY float64
 	for i, s := range samples {
 		if s.T4 < s.T1 || s.T3 < s.T2 {
 			return DriftEstimate{}, fmt.Errorf("%w: sample %d", ErrBadSample, i)
+		}
+		if s.Processing() > s.RTT() {
+			// Server claims more processing than the whole round trip:
+			// clocks are fine but the sample is useless; skip it.
+			continue
+		}
+		if n == 0 {
+			t0 = s.T1
 		}
 		oneWay := (s.RTT() - s.Processing()) / 2
 		offset := float64(s.T2 - (s.T1 + oneWay))
@@ -141,6 +153,9 @@ func EstimateDrift(samples []Sample) (DriftEstimate, error) {
 		sumY += offset
 		sumXX += x * x
 		sumXY += x * offset
+	}
+	if n < 2 {
+		return DriftEstimate{}, fmt.Errorf("%w: fewer than 2 usable samples for drift", ErrNoSamples)
 	}
 	den := n*sumXX - sumX*sumX
 	if den == 0 {
@@ -152,6 +167,6 @@ func EstimateDrift(samples []Sample) (DriftEstimate, error) {
 		OffsetAtT0Ns: int64(a),
 		T0Ns:         t0,
 		DriftPPB:     b * 1e9,
-		Samples:      len(samples),
+		Samples:      int(n),
 	}, nil
 }

@@ -195,3 +195,62 @@ func abs64(v int64) int64 {
 	}
 	return v
 }
+
+// TestEstimateDriftSkipsGarbageSamples is the regression for EstimateDrift
+// feeding samples with Processing() > RTT() into the least-squares fit:
+// EstimateSkew always skipped them, but the drift fit did not, so one
+// garbage sample (a wildly negative one-way estimate) poisoned the slope.
+func TestEstimateDriftSkipsGarbageSamples(t *testing.T) {
+	const offset = 1_000_000
+	const driftPPB = 2000.0
+	mk := func(t1 int64) Sample {
+		serverAhead := offset + int64(driftPPB*float64(t1)/1e9)
+		return Sample{
+			T1: t1,
+			T2: t1 + 100 + serverAhead,
+			T3: t1 + 150 + serverAhead,
+			T4: t1 + 250,
+		}
+	}
+	var samples []Sample
+	for i := int64(0); i < 100; i++ {
+		samples = append(samples, mk(i*10_000_000_000))
+	}
+	// One garbage sample mid-trace: the server claims 10ms of processing
+	// inside a 250ns round trip (e.g. a scheduling stall between the two
+	// server timestamps). Causality holds, so it is not rejected — it must
+	// be skipped.
+	garbage := samples[50]
+	garbage.T3 = garbage.T2 + 10_000_000
+	samples[50] = garbage
+
+	est, err := EstimateDrift(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Samples != 99 {
+		t.Fatalf("usable samples = %d, want 99", est.Samples)
+	}
+	if est.DriftPPB < driftPPB-50 || est.DriftPPB > driftPPB+50 {
+		t.Fatalf("drift = %.1f ppb poisoned by garbage sample, want ~%.0f", est.DriftPPB, driftPPB)
+	}
+	if est.OffsetAtT0Ns < offset-1000 || est.OffsetAtT0Ns > offset+1000 {
+		t.Fatalf("offset = %d, want ~%d", est.OffsetAtT0Ns, offset)
+	}
+}
+
+// TestEstimateDriftTooFewUsableSamples: filtering must error out when
+// fewer than two usable samples remain, matching EstimateSkew's behavior
+// instead of fitting a line through garbage.
+func TestEstimateDriftTooFewUsableSamples(t *testing.T) {
+	good := Sample{T1: 0, T2: 1100, T3: 1150, T4: 250}
+	bad := Sample{T1: 10_000, T2: 11_100, T3: 11_100 + 10_000_000, T4: 10_250}
+	if _, err := EstimateDrift([]Sample{good, bad}); !errors.Is(err, ErrNoSamples) {
+		t.Fatalf("one usable sample: err = %v, want ErrNoSamples", err)
+	}
+	bad2 := bad
+	bad2.T1, bad2.T4 = 20_000, 20_250
+	if _, err := EstimateDrift([]Sample{bad, bad2}); !errors.Is(err, ErrNoSamples) {
+		t.Fatalf("all garbage: err = %v, want ErrNoSamples", err)
+	}
+}

@@ -10,11 +10,31 @@ import (
 	"vnettracer/internal/sim"
 )
 
+// DefaultSpoolBytes bounds the in-agent delivery spool: records drained
+// from the ring whose batch could not be shipped wait here for retry. The
+// default holds several full ring buffers (~21k records), so a transient
+// collector outage costs latency, not data.
+const DefaultSpoolBytes = 1 << 20
+
+// maxBackoffTicks caps the exponential retry backoff, in flush intervals:
+// after repeated ship failures the agent skips at most this many periodic
+// flush ticks between attempts, bounding both the retry pressure on a
+// struggling collector and the heartbeat silence it self-inflicts.
+const maxBackoffTicks = 8
+
 // Agent is the per-machine daemon: it applies control packages (compiling
 // specs through the script compiler and the eBPF verifier), periodically
 // drains the kernel ring buffer, and ships batches to the collector. The
 // paper: "the agents are daemon processes, which are woken up once
 // receiving new tracing scripts".
+//
+// Delivery is lossless up to a bounded spool: a drained batch that fails
+// to ship is re-queued and retried (oldest first, with exponential
+// backoff across flush ticks) until it is delivered or evicted to make
+// room for newer data. Every data-carrying batch gets a monotonically
+// increasing sequence number so the collector can drop transport-level
+// re-sends — together: no loss while the spool has capacity, and no
+// duplicates ever.
 type Agent struct {
 	name    string
 	machine *core.Machine
@@ -29,8 +49,58 @@ type Agent struct {
 	flushErrs    uint64
 	lastFlushErr error
 
+	// flushMu serializes the drain-and-ship section: concurrent Flush
+	// calls (manual + timer tick) must not interleave Ring.Drain with the
+	// Drops/lastDrops window, or drop deltas get mis-attributed and spool
+	// order breaks.
+	flushMu sync.Mutex
+
+	// spool state (guarded by mu; only mutated under flushMu).
+	spool          []spooledBatch
+	spoolBytes     int
+	spoolLimit     int
+	nextSeq        uint64
+	evictedBatches uint64
+	evictedRecords uint64
+	retries        uint64
+	carryDrops     uint64
+	backoffSkips   int // remaining flush ticks to skip before retrying
+	backoffNext    int // skip count after the next failure
+
 	// Batches counts flushes that carried at least one record.
 	Batches uint64
+}
+
+// spooledBatch is one drained-but-unshipped batch awaiting delivery. It
+// keeps its original drain timestamp and sequence number across retries
+// so the collector's ledger sees a stable identity.
+type spooledBatch struct {
+	seq      uint64
+	timeNs   int64
+	drops    uint64
+	recs     []core.Record
+	attempts int
+}
+
+// SpoolStats reports the agent-side delivery state: what is waiting for
+// retry and what was confirmed lost to the bounded spool.
+type SpoolStats struct {
+	// Batches and Records count spooled batches not yet delivered.
+	Batches int
+	Records int
+	// Bytes is the spooled record payload; Limit is the eviction bound.
+	Bytes int
+	Limit int
+	// EvictedBatches/EvictedRecords count data evicted when the spool
+	// overflowed — the agent's confirmed-loss counter (these sequence
+	// numbers will surface as gaps in the collector's ledger).
+	EvictedBatches uint64
+	EvictedRecords uint64
+	// Retries counts ship attempts of batches that had already failed at
+	// least once.
+	Retries uint64
+	// NextSeq is the next unassigned batch sequence number.
+	NextSeq uint64
 }
 
 type loadedScript struct {
@@ -41,11 +111,14 @@ type loadedScript struct {
 // NewAgent creates an agent for a machine, shipping records to sink.
 func NewAgent(name string, machine *core.Machine, sink RecordSink) *Agent {
 	return &Agent{
-		name:    name,
-		machine: machine,
-		sink:    sink,
-		cost:    core.DefaultCostModel(),
-		loaded:  make(map[string]*loadedScript),
+		name:        name,
+		machine:     machine,
+		sink:        sink,
+		cost:        core.DefaultCostModel(),
+		loaded:      make(map[string]*loadedScript),
+		spoolLimit:  DefaultSpoolBytes,
+		nextSeq:     1,
+		backoffNext: 1,
 	}
 }
 
@@ -127,41 +200,192 @@ func (a *Agent) Installed() []string {
 	return out
 }
 
-// Flush drains the ring buffer and ships one batch (also serving as the
-// heartbeat — an empty batch still announces liveness).
+// Flush drains the ring buffer into the spool and attempts to ship every
+// spooled batch, oldest first (also serving as the heartbeat — an empty
+// flush still announces liveness). A sink failure leaves the drained
+// records spooled for retry; Flush always attempts delivery, bypassing
+// any retry backoff the periodic tick is observing.
 func (a *Agent) Flush() error {
+	return a.flush(true)
+}
+
+// flushTick is the periodic-timer entry point: like Flush, but it honors
+// the exponential retry backoff — during a backoff window it still drains
+// the ring (so the bounded kernel buffer never overflows just because the
+// collector is down) but skips the ship attempt.
+func (a *Agent) flushTick() error {
+	return a.flush(false)
+}
+
+func (a *Agent) flush(force bool) error {
 	if a.sink == nil {
 		return errors.New("control: agent has no sink")
 	}
+	a.flushMu.Lock()
+	defer a.flushMu.Unlock()
 	raw := a.machine.Ring.Drain()
 	recs, err := core.UnmarshalRecords(raw)
 	if err != nil {
 		return fmt.Errorf("control: agent %s: corrupt ring: %w", a.name, err)
 	}
 	drops := a.machine.Ring.Drops()
+	now := a.machine.Node.Clock.NowNs()
 	a.mu.Lock()
-	batch := RecordBatch{
-		Agent:       a.name,
-		AgentTimeNs: a.machine.Node.Clock.NowNs(),
-		Records:     recs,
-		RingDrops:   drops - a.lastDrops,
-	}
+	delta := drops - a.lastDrops
 	a.lastDrops = drops
-	if len(recs) > 0 {
-		a.Batches++
+	if len(recs) > 0 || delta > 0 || a.carryDrops > 0 {
+		a.enqueueLocked(recs, now, delta)
+	}
+	if !force && a.backoffSkips > 0 {
+		a.backoffSkips--
+		a.mu.Unlock()
+		return nil
 	}
 	a.mu.Unlock()
-	return a.sink.HandleBatch(batch)
+	return a.ship(now)
 }
 
-// FlushErrors reports how many periodic flushes failed and the most recent
-// failure (nil if the last flush succeeded). Failed flushes no longer stop
-// the flush loop — a transient collector outage must not silence the
-// heartbeat forever.
+// enqueueLocked appends a freshly drained batch to the spool, assigning
+// its sequence number, and evicts oldest batches while the spool exceeds
+// its byte bound. Ring-drop counts from evicted batches are carried
+// forward so the collector's drop totals stay exact even under eviction.
+// Callers hold a.mu (and a.flushMu).
+func (a *Agent) enqueueLocked(recs []core.Record, now int64, drops uint64) {
+	sb := spooledBatch{
+		seq:    a.nextSeq,
+		timeNs: now,
+		drops:  drops + a.carryDrops,
+		recs:   recs,
+	}
+	a.nextSeq++
+	a.carryDrops = 0
+	a.spool = append(a.spool, sb)
+	a.spoolBytes += len(recs) * core.RecordSize
+	for a.spoolBytes > a.spoolLimit && len(a.spool) > 0 {
+		old := a.spool[0]
+		a.spool[0] = spooledBatch{}
+		a.spool = a.spool[1:]
+		a.spoolBytes -= len(old.recs) * core.RecordSize
+		a.evictedBatches++
+		a.evictedRecords += uint64(len(old.recs))
+		a.carryDrops += old.drops
+	}
+}
+
+// ship delivers spooled batches oldest-first, then a bare heartbeat if no
+// batch stamped at the current flush time was shipped. The first failure
+// stops the pass, arms the exponential backoff, and leaves the remaining
+// spool intact. Callers hold a.flushMu but not a.mu.
+func (a *Agent) ship(now int64) error {
+	shippedNow := false
+	for {
+		a.mu.Lock()
+		if len(a.spool) == 0 {
+			a.mu.Unlock()
+			break
+		}
+		sb := a.spool[0]
+		if sb.attempts > 0 {
+			a.retries++
+		}
+		a.mu.Unlock()
+		err := a.sink.HandleBatch(RecordBatch{
+			Agent:       a.name,
+			AgentTimeNs: sb.timeNs,
+			Records:     sb.recs,
+			RingDrops:   sb.drops,
+			Seq:         sb.seq,
+		})
+		a.mu.Lock()
+		if err != nil {
+			if len(a.spool) > 0 && a.spool[0].seq == sb.seq {
+				a.spool[0].attempts++
+			}
+			a.noteShipLocked(err)
+			a.mu.Unlock()
+			return err
+		}
+		if len(a.spool) > 0 && a.spool[0].seq == sb.seq {
+			a.spool[0] = spooledBatch{}
+			a.spool = a.spool[1:]
+			a.spoolBytes -= len(sb.recs) * core.RecordSize
+		}
+		if len(sb.recs) > 0 {
+			a.Batches++
+		}
+		if sb.timeNs == now {
+			shippedNow = true
+		}
+		a.noteShipLocked(nil)
+		a.mu.Unlock()
+	}
+	if shippedNow {
+		return nil
+	}
+	// Nothing carried the current timestamp: send a bare heartbeat so the
+	// collector's liveness clock advances even while the spool retries old
+	// batches (or is empty). Unsequenced — re-sending it is harmless.
+	err := a.sink.HandleBatch(RecordBatch{Agent: a.name, AgentTimeNs: now})
+	a.mu.Lock()
+	a.noteShipLocked(err)
+	a.mu.Unlock()
+	return err
+}
+
+// noteShipLocked updates error/backoff state after a ship attempt.
+// Callers hold a.mu.
+func (a *Agent) noteShipLocked(err error) {
+	a.lastFlushErr = err
+	if err == nil {
+		a.backoffSkips = 0
+		a.backoffNext = 1
+		return
+	}
+	a.flushErrs++
+	a.backoffSkips = a.backoffNext
+	a.backoffNext *= 2
+	if a.backoffNext > maxBackoffTicks {
+		a.backoffNext = maxBackoffTicks
+	}
+}
+
+// FlushErrors reports how many ship attempts failed and the most recent
+// failure (nil once a later attempt succeeded). Failed flushes do not
+// stop the flush loop — a transient collector outage must not silence the
+// heartbeat forever — and since the spool re-queues their records, they
+// cost retry latency, not data.
 func (a *Agent) FlushErrors() (uint64, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.flushErrs, a.lastFlushErr
+}
+
+// SetSpoolLimit bounds the delivery spool to the given payload bytes
+// (default DefaultSpoolBytes). Shrinking it below the current contents
+// evicts oldest batches on the next enqueue.
+func (a *Agent) SetSpoolLimit(bytes int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.spoolLimit = bytes
+}
+
+// SpoolStats snapshots the delivery spool.
+func (a *Agent) SpoolStats() SpoolStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := SpoolStats{
+		Batches:        len(a.spool),
+		Bytes:          a.spoolBytes,
+		Limit:          a.spoolLimit,
+		EvictedBatches: a.evictedBatches,
+		EvictedRecords: a.evictedRecords,
+		Retries:        a.retries,
+		NextSeq:        a.nextSeq,
+	}
+	for _, sb := range a.spool {
+		st.Records += len(sb.recs)
+	}
+	return st
 }
 
 // StartFlushing schedules periodic flushes on the machine's simulation
@@ -180,16 +404,12 @@ func (a *Agent) startFlushingLocked(intervalNs int64) {
 	eng := a.machine.Node.Engine()
 	var tick func()
 	tick = func() {
-		err := a.Flush()
+		// Keep flushing on error: the flush doubles as the heartbeat, and a
+		// dead loop would make the collector wrongly declare this agent
+		// dead after one transient sink failure. Failed batches stay
+		// spooled; the error surfaces through FlushErrors.
+		a.flushTick()
 		a.mu.Lock()
-		if err != nil {
-			// Keep flushing anyway: the flush doubles as the heartbeat, and
-			// a dead loop would make the collector wrongly declare this
-			// agent dead after one transient sink failure. Surface the
-			// error through FlushErrors instead.
-			a.flushErrs++
-		}
-		a.lastFlushErr = err
 		a.flushTimer = eng.Schedule(a.flushEvery, tick)
 		a.mu.Unlock()
 	}

@@ -55,12 +55,17 @@ func TestAgentFlushLoopSurvivesSinkErrors(t *testing.T) {
 	if last != nil {
 		t.Fatalf("last flush error = %v, want nil after recovery", last)
 	}
-	// Records fired during the outage were lost with their failed batches,
-	// but the loop recovered: later packets made it to the collector and
-	// the heartbeat resumed.
+	// Records fired during the outage were spooled with their failed
+	// batches and delivered after recovery: all 8 packets made it to the
+	// collector exactly once and the heartbeat resumed.
 	tbl, ok := r.db.Table(1)
-	if !ok || tbl.Len() == 0 {
-		t.Fatal("no records collected after sink recovered")
+	if !ok || tbl.Len() != 8 {
+		t.Fatalf("collected %d records after sink recovered, want all 8", tbl.Len())
+	}
+	for id := uint32(1); id <= 8; id++ {
+		if got := len(tbl.ByTraceID(id)); got != 1 {
+			t.Fatalf("trace %d has %d records, want exactly 1", id, got)
+		}
 	}
 	if agents := r.db.Agents(); len(agents) != 1 {
 		t.Fatalf("heartbeat never resumed: agents = %v", agents)

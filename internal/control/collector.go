@@ -25,6 +25,8 @@ type Collector struct {
 	records        uint64
 	ringDrops      uint64
 	droppedBatches uint64
+	dupBatches     uint64
+	dupRecords     uint64
 	queue          chan RecordBatch
 	wg             sync.WaitGroup
 
@@ -66,10 +68,23 @@ func (c *Collector) HandleBatch(b RecordBatch) error {
 	return nil
 }
 
-// ingest loads one batch into the trace database and updates totals.
+// ingest loads one batch into the trace database and updates totals. The
+// per-agent ledger drops batches whose sequence number was already
+// ingested — the transport is at-least-once (the TCP client re-sends a
+// batch after a reconnect, and the agent spool re-ships unacknowledged
+// batches), so dedup here is what makes delivery exactly-once. Duplicates
+// still count as heartbeats: the agent is demonstrably alive.
 func (c *Collector) ingest(b RecordBatch) {
-	c.db.Insert(b.Records)
+	fresh := c.db.MarkBatchSeq(b.Agent, b.Seq)
 	c.db.Heartbeat(b.Agent, b.AgentTimeNs)
+	if !fresh {
+		c.mu.Lock()
+		c.dupBatches++
+		c.dupRecords += uint64(len(b.Records))
+		c.mu.Unlock()
+		return
+	}
+	c.db.Insert(b.Records)
 	c.mu.Lock()
 	c.batches++
 	c.records += uint64(len(b.Records))
@@ -126,6 +141,22 @@ func (c *Collector) Stats() (batches, records, ringDrops uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.batches, c.records, c.ringDrops
+}
+
+// DeliveryStats reports exactly-once bookkeeping: batches/records dropped
+// as duplicates (already-ingested sequence numbers re-sent by transport
+// retries or spool re-ships) and batches missing across all agents —
+// sequence-number gaps that are either still spooled agent-side or, if
+// the agent evicted them, confirmed lost.
+func (c *Collector) DeliveryStats() (dupBatches, dupRecords, missingBatches uint64) {
+	for _, agent := range c.db.Agents() {
+		if l, ok := c.db.Ledger(agent); ok {
+			missingBatches += l.MissingBatches
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dupBatches, c.dupRecords, missingBatches
 }
 
 // IngestStats reports ingest backpressure: the current queue depth and the

@@ -1,6 +1,7 @@
 package control
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -80,13 +81,16 @@ func (d *Dispatcher) Push(agent string, pkg ControlPackage) error {
 	return nil
 }
 
-// PushAll ships the same package to every agent, stopping at the first
-// failure.
+// PushAll ships the same package to every agent. A failing agent does not
+// stop the rollout: the rest of the roster still gets the package, and
+// the per-agent failures come back joined so the caller knows exactly who
+// is unconfigured.
 func (d *Dispatcher) PushAll(pkg ControlPackage) error {
+	var errs []error
 	for _, name := range d.Agents() {
 		if err := d.Push(name, pkg); err != nil {
-			return err
+			errs = append(errs, err)
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }

@@ -37,6 +37,13 @@ type RecordBatch struct {
 	// RingDrops reports how many records the kernel buffer rejected since
 	// the last batch, surfacing trace loss under overload.
 	RingDrops uint64 `json:"ring_drops,omitempty"`
+	// Seq is the agent's monotonically increasing batch sequence number,
+	// assigned when the batch is first drained and kept across retries.
+	// The collector's per-agent ledger uses it to drop re-sent batches
+	// (exactly-once ingest over an at-least-once transport) and to count
+	// gaps as missing batches. Zero means unsequenced: bare heartbeats and
+	// pre-Seq agents, which are ingested unconditionally.
+	Seq uint64 `json:"seq,omitempty"`
 }
 
 // RecordSink consumes record batches (the collector, or a transport to

@@ -9,33 +9,38 @@ import (
 	"vnettracer/internal/core"
 )
 
-// Binary batch framing (protocol v2). Record batches dominate the wire
+// Binary batch framing (protocol v2/v3). Record batches dominate the wire
 // traffic of a deployment, and JSON inflates the fixed 48-byte record
 // roughly 5-8x plus reflection cost on both ends; control packages stay
-// JSON (rare, structured, debuggable). A v2 batch frame body is:
+// JSON (rare, structured, debuggable). A v3 batch frame body is:
 //
 //	[0]     magic, batchMagic (0xB2 — can never collide with '{' (0x7B),
 //	        the first byte of every JSON envelope, so frames are
 //	        self-describing and v1 JSON peers need no negotiation)
-//	[1]     wire version (batchWireV2)
+//	[1]     wire version (batchWireV3)
 //	[2:4]   agent-name length, uint16 LE
 //	[4:12]  agent time, int64 LE (heartbeat timestamp)
 //	[12:20] ring drops since last batch, uint64 LE
 //	[20:24] record count, uint32 LE
-//	[24:..] agent name bytes
+//	[24:32] batch sequence number, uint64 LE (0 = unsequenced)
+//	[32:..] agent name bytes
 //	[..:..] count * core.RecordSize record bytes (core.Record.Marshal)
 //
-// The body is carried inside the usual 4-byte big-endian length prefix,
-// like every other frame. For a batch of n records the wire cost is
-// 4 + 24 + len(agent) + 48n bytes — under 52 bytes/record once a batch
-// carries a handful of records.
+// v2 is the same layout without the sequence-number field (24-byte
+// header); the decoder still accepts it, reading Seq as 0, so pre-Seq
+// agents keep working against a new collector. The body is carried inside
+// the usual 4-byte big-endian length prefix, like every other frame. For a
+// batch of n records the wire cost is 4 + 32 + len(agent) + 48n bytes —
+// under 52 bytes/record once a batch carries a handful of records.
 const (
-	batchMagic      = 0xB2
-	batchWireV2     = 2
-	batchHeaderSize = 24
+	batchMagic        = 0xB2
+	batchWireV2       = 2
+	batchWireV3       = 3
+	batchHeaderSizeV2 = 24
+	batchHeaderSizeV3 = 32
 )
 
-// EncodeBatchFrame encodes a record batch as a v2 binary frame body
+// EncodeBatchFrame encodes a record batch as a v3 binary frame body
 // (without the transport length prefix).
 func EncodeBatchFrame(b *RecordBatch) ([]byte, error) {
 	if len(b.Agent) > math.MaxUint16 {
@@ -44,14 +49,15 @@ func EncodeBatchFrame(b *RecordBatch) ([]byte, error) {
 	if len(b.Records) > math.MaxUint32 {
 		return nil, fmt.Errorf("control: batch of %d records exceeds frame limit", len(b.Records))
 	}
-	out := make([]byte, batchHeaderSize, batchHeaderSize+len(b.Agent)+len(b.Records)*core.RecordSize)
+	out := make([]byte, batchHeaderSizeV3, batchHeaderSizeV3+len(b.Agent)+len(b.Records)*core.RecordSize)
 	out[0] = batchMagic
-	out[1] = batchWireV2
+	out[1] = batchWireV3
 	le := binary.LittleEndian
 	le.PutUint16(out[2:], uint16(len(b.Agent)))
 	le.PutUint64(out[4:], uint64(b.AgentTimeNs))
 	le.PutUint64(out[12:], b.RingDrops)
 	le.PutUint32(out[20:], uint32(len(b.Records)))
+	le.PutUint64(out[24:], b.Seq)
 	out = append(out, b.Agent...)
 	for i := range b.Records {
 		out = append(out, b.Records[i].Marshal(nil)...)
@@ -87,26 +93,38 @@ func DecodeBatchFrame(body []byte) (RecordBatch, error) {
 }
 
 func decodeBatchBinary(body []byte) (RecordBatch, error) {
-	if len(body) < batchHeaderSize {
+	if len(body) < batchHeaderSizeV2 {
 		return RecordBatch{}, fmt.Errorf("control: binary batch header truncated: %d bytes", len(body))
 	}
-	if v := body[1]; v != batchWireV2 {
-		return RecordBatch{}, fmt.Errorf("control: unsupported batch wire version %d (want %d)", v, batchWireV2)
+	headerSize := 0
+	switch v := body[1]; v {
+	case batchWireV2:
+		headerSize = batchHeaderSizeV2
+	case batchWireV3:
+		headerSize = batchHeaderSizeV3
+	default:
+		return RecordBatch{}, fmt.Errorf("control: unsupported batch wire version %d (want %d or %d)", v, batchWireV2, batchWireV3)
+	}
+	if len(body) < headerSize {
+		return RecordBatch{}, fmt.Errorf("control: binary batch header truncated: %d bytes", len(body))
 	}
 	le := binary.LittleEndian
 	nameLen := int(le.Uint16(body[2:]))
 	count := int(le.Uint32(body[20:]))
-	want := batchHeaderSize + nameLen + count*core.RecordSize
+	want := headerSize + nameLen + count*core.RecordSize
 	if len(body) != want {
 		return RecordBatch{}, fmt.Errorf("control: binary batch of %d bytes, header declares %d", len(body), want)
 	}
 	b := RecordBatch{
-		Agent:       string(body[batchHeaderSize : batchHeaderSize+nameLen]),
+		Agent:       string(body[headerSize : headerSize+nameLen]),
 		AgentTimeNs: int64(le.Uint64(body[4:])),
 		RingDrops:   le.Uint64(body[12:]),
 	}
+	if body[1] == batchWireV3 {
+		b.Seq = le.Uint64(body[24:])
+	}
 	if count > 0 {
-		recs, err := core.UnmarshalRecords(body[batchHeaderSize+nameLen:])
+		recs, err := core.UnmarshalRecords(body[headerSize+nameLen:])
 		if err != nil {
 			return RecordBatch{}, fmt.Errorf("control: binary batch records: %w", err)
 		}

@@ -1,6 +1,7 @@
 package control
 
 import (
+	"encoding/binary"
 	"net"
 	"reflect"
 	"sync"
@@ -31,6 +32,7 @@ func wireBatch(n int) RecordBatch {
 func TestBatchFrameRoundTrip(t *testing.T) {
 	for _, n := range []int{0, 1, 64} {
 		want := wireBatch(n)
+		want.Seq = uint64(1000 + n)
 
 		bin, err := EncodeBatchFrame(&want)
 		if err != nil {
@@ -89,7 +91,7 @@ func TestBatchFrameVersionNegotiation(t *testing.T) {
 	}
 
 	future := append([]byte(nil), body...)
-	future[1] = batchWireV2 + 1
+	future[1] = batchWireV3 + 1
 	if _, err := DecodeBatchFrame(future); err == nil {
 		t.Fatal("future wire version accepted")
 	}
@@ -117,6 +119,45 @@ func TestBatchFrameVersionNegotiation(t *testing.T) {
 	}
 	if got.Agent != b.Agent || len(got.Records) != len(b.Records) {
 		t.Fatalf("legacy decode = %+v", got)
+	}
+}
+
+// encodeBatchFrameV2 reproduces the pre-Seq v2 binary layout (24-byte
+// header, no sequence field) — what pre-Seq agents put on the wire.
+func encodeBatchFrameV2(b *RecordBatch) []byte {
+	out := make([]byte, batchHeaderSizeV2)
+	out[0] = batchMagic
+	out[1] = batchWireV2
+	le := binary.LittleEndian
+	le.PutUint16(out[2:], uint16(len(b.Agent)))
+	le.PutUint64(out[4:], uint64(b.AgentTimeNs))
+	le.PutUint64(out[12:], b.RingDrops)
+	le.PutUint32(out[20:], uint32(len(b.Records)))
+	out = append(out, b.Agent...)
+	for i := range b.Records {
+		out = append(out, b.Records[i].Marshal(nil)...)
+	}
+	return out
+}
+
+// TestBatchFrameV2Compat pins backward compatibility: a v2 binary frame
+// from a pre-Seq agent still decodes, with Seq = 0 (unsequenced), so old
+// agents keep working against a new collector without negotiation.
+func TestBatchFrameV2Compat(t *testing.T) {
+	want := wireBatch(8)
+	got, err := DecodeBatchFrame(encodeBatchFrameV2(&want))
+	if err != nil {
+		t.Fatalf("v2 binary frame rejected: %v", err)
+	}
+	if got.Seq != 0 {
+		t.Fatalf("v2 frame decoded Seq = %d, want 0", got.Seq)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("v2 round trip = %+v, want %+v", got, want)
+	}
+	// Truncated v2 header is rejected, not sliced into records.
+	if _, err := DecodeBatchFrame(encodeBatchFrameV2(&want)[:batchHeaderSizeV2-1]); err == nil {
+		t.Fatal("truncated v2 frame accepted")
 	}
 }
 

@@ -11,6 +11,7 @@
 package testbed
 
 import (
+	"errors"
 	"fmt"
 
 	"vnettracer/internal/control"
@@ -127,14 +128,16 @@ func (tr *Tracing) StartFlushing(intervalNs int64) {
 }
 
 // FlushAll drains every agent to the collector (offline collection at
-// experiment end).
+// experiment end). Every agent is flushed even if some fail; failures
+// come back joined so no machine's final records are silently stranded.
 func (tr *Tracing) FlushAll() error {
+	var errs []error
 	for _, a := range tr.agents {
 		if err := a.Flush(); err != nil {
-			return err
+			errs = append(errs, err)
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // Table returns the trace table behind a label.

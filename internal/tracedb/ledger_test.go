@@ -1,0 +1,121 @@
+package tracedb
+
+import (
+	"testing"
+
+	"vnettracer/internal/core"
+)
+
+// TestHeartbeatOutOfOrderKeepsMax is the regression for Heartbeat blindly
+// overwriting the last-seen time: with async ingest workers batches can be
+// processed out of order, and an older AgentTimeNs must not regress the
+// ledger and falsely declare a live agent dead.
+func TestHeartbeatOutOfOrderKeepsMax(t *testing.T) {
+	db := New()
+	db.Heartbeat("a", 1000)
+	db.Heartbeat("a", 400) // older batch processed late
+	if dead := db.DeadAgents(1100, 300); len(dead) != 0 {
+		t.Fatalf("live agent declared dead after out-of-order heartbeat: %v", dead)
+	}
+	l, ok := db.Ledger("a")
+	if !ok || l.LastSeenNs != 1000 {
+		t.Fatalf("ledger last seen = %+v, want 1000", l)
+	}
+	// A genuinely newer heartbeat still advances it.
+	db.Heartbeat("a", 2000)
+	if l, _ := db.Ledger("a"); l.LastSeenNs != 2000 {
+		t.Fatalf("last seen = %d, want 2000", l.LastSeenNs)
+	}
+}
+
+// TestMarkBatchSeqDedupAndReorder exercises the exactly-once ledger: fresh
+// seqs accepted once, duplicates rejected, and out-of-order arrival parks
+// above the high-water mark until the gap fills.
+func TestMarkBatchSeqDedupAndReorder(t *testing.T) {
+	db := New()
+	for _, seq := range []uint64{1, 2} {
+		if !db.MarkBatchSeq("a", seq) {
+			t.Fatalf("fresh seq %d rejected", seq)
+		}
+	}
+	if db.MarkBatchSeq("a", 2) {
+		t.Fatal("duplicate seq 2 accepted")
+	}
+	if db.MarkBatchSeq("a", 1) {
+		t.Fatal("duplicate seq 1 below high-water accepted")
+	}
+	// Out of order: 5 parks pending, then 3 and 4 fill the gap.
+	if !db.MarkBatchSeq("a", 5) {
+		t.Fatal("out-of-order seq 5 rejected")
+	}
+	l, _ := db.Ledger("a")
+	if l.HighWaterSeq != 2 || l.PendingBatches != 1 || l.MaxSeq != 5 || l.MissingBatches != 2 {
+		t.Fatalf("ledger after reorder = %+v", l)
+	}
+	if db.MarkBatchSeq("a", 5) {
+		t.Fatal("duplicate pending seq 5 accepted")
+	}
+	if !db.MarkBatchSeq("a", 3) || !db.MarkBatchSeq("a", 4) {
+		t.Fatal("gap-filling seqs rejected")
+	}
+	l, _ = db.Ledger("a")
+	if l.HighWaterSeq != 5 || l.PendingBatches != 0 || l.MissingBatches != 0 {
+		t.Fatalf("ledger after gap fill = %+v", l)
+	}
+	if l.DupBatches != 3 {
+		t.Fatalf("dup batches = %d, want 3", l.DupBatches)
+	}
+	// Seq 0 is unsequenced: always fresh, never recorded.
+	if !db.MarkBatchSeq("a", 0) || !db.MarkBatchSeq("a", 0) {
+		t.Fatal("unsequenced batch rejected")
+	}
+	// Ledgers are per agent.
+	if !db.MarkBatchSeq("b", 5) {
+		t.Fatal("agent b's seq 5 rejected by agent a's ledger")
+	}
+}
+
+// TestLedgerCountsMissing: a permanent gap (the agent evicted the batch
+// from its spool) stays visible as a missing batch.
+func TestLedgerCountsMissing(t *testing.T) {
+	db := New()
+	db.MarkBatchSeq("a", 1)
+	db.MarkBatchSeq("a", 4) // 2 and 3 never arrive
+	l, _ := db.Ledger("a")
+	if l.MissingBatches != 2 {
+		t.Fatalf("missing = %d, want 2", l.MissingBatches)
+	}
+	if _, ok := db.Ledger("ghost"); ok {
+		t.Fatal("ledger for unknown agent")
+	}
+}
+
+// TestAlignClampsAtZero is the regression for skew alignment computing
+// uint64(int64(TimeNs) - skew) and wrapping to a huge timestamp when a
+// large positive skew exceeds an early record's time.
+func TestAlignClampsAtZero(t *testing.T) {
+	db := New()
+	db.Insert([]core.Record{
+		{TPID: 1, TraceID: 1, TimeNs: 100},
+		{TPID: 1, TraceID: 2, TimeNs: 5000},
+	})
+	tbl, _ := db.Table(1)
+	db.SetSkew(1, 1000) // exceeds the first record's timestamp
+
+	want := map[uint32]uint64{1: 0, 2: 4000}
+	tbl.ScanAligned(func(r core.Record) bool {
+		if r.TimeNs != want[r.TraceID] {
+			t.Fatalf("ScanAligned trace %d = %d, want %d", r.TraceID, r.TimeNs, want[r.TraceID])
+		}
+		return true
+	})
+	for _, r := range tbl.AlignedAll() {
+		if r.TimeNs != want[r.TraceID] {
+			t.Fatalf("AlignedAll trace %d = %d, want %d", r.TraceID, r.TimeNs, want[r.TraceID])
+		}
+	}
+	r, ok := tbl.FirstByTraceID(1)
+	if !ok || r.TimeNs != 0 {
+		t.Fatalf("FirstByTraceID = %d, want clamped 0", r.TimeNs)
+	}
+}

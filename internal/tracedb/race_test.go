@@ -140,11 +140,9 @@ func TestScanEarlyStop(t *testing.T) {
 	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
 		t.Fatalf("early stop saw %v", seen)
 	}
-	db.SetSkew(1, 5)
-	var zeroNs int64
-	wantAligned := uint64(zeroNs - 5)
+	db.SetSkew(1, -5)
 	tbl.ScanAligned(func(r core.Record) bool {
-		if r.TraceID == 1 && r.TimeNs != wantAligned {
+		if r.TraceID == 1 && r.TimeNs != 5 {
 			t.Fatalf("ScanAligned skew not applied: %d", r.TimeNs)
 		}
 		return true

@@ -26,8 +26,46 @@ type DB struct {
 	mu     sync.RWMutex
 	tables map[uint32]*Table
 
-	hbMu       sync.Mutex
-	heartbeats map[string]int64
+	hbMu   sync.Mutex
+	ledger map[string]*agentLedger
+}
+
+// agentLedger is the collector's per-agent delivery bookkeeping: the
+// heartbeat timestamp plus the batch-sequence state that turns the
+// at-least-once transport into exactly-once ingest.
+type agentLedger struct {
+	lastSeenNs int64
+	// hwm is the contiguous high-water mark: every sequenced batch with
+	// Seq <= hwm has been ingested.
+	hwm uint64
+	// maxSeq is the highest sequence number ever observed.
+	maxSeq uint64
+	// pending holds ingested seqs above hwm (async ingest workers can
+	// process an agent's batches out of order).
+	pending map[uint64]struct{}
+	dups    uint64
+}
+
+// AgentLedger is a snapshot of one agent's delivery ledger.
+type AgentLedger struct {
+	// LastSeenNs is the latest heartbeat timestamp on the agent's clock.
+	LastSeenNs int64
+	// HighWaterSeq is the contiguous ingest prefix: every batch sequence
+	// number <= HighWaterSeq has been ingested exactly once.
+	HighWaterSeq uint64
+	// MaxSeq is the highest batch sequence number observed so far.
+	MaxSeq uint64
+	// DupBatches counts batches dropped because their sequence number had
+	// already been ingested (transport retries after a lost reply).
+	DupBatches uint64
+	// PendingBatches counts seqs ingested above the high-water mark —
+	// reordering by concurrent ingest workers, usually transient.
+	PendingBatches int
+	// MissingBatches counts sequence-number gaps: batches the agent
+	// stamped but the collector never ingested. While the agent still
+	// spools them this is in-flight retry backlog; once the agent evicts
+	// them it is confirmed loss.
+	MissingBatches uint64
 }
 
 // Table holds all records from one tracepoint. All methods are safe for
@@ -48,8 +86,8 @@ type Table struct {
 // New returns an empty database.
 func New() *DB {
 	return &DB{
-		tables:     make(map[uint32]*Table),
-		heartbeats: make(map[string]int64),
+		tables: make(map[uint32]*Table),
+		ledger: make(map[string]*agentLedger),
 	}
 }
 
@@ -127,13 +165,83 @@ func (db *DB) SetSkew(tpid uint32, skewNs int64) {
 	}
 }
 
+// ledgerEntry returns (creating if needed) the ledger for an agent.
+// Callers must hold db.hbMu.
+func (db *DB) ledgerEntry(agent string) *agentLedger {
+	l, ok := db.ledger[agent]
+	if !ok {
+		l = &agentLedger{pending: make(map[uint64]struct{})}
+		db.ledger[agent] = l
+	}
+	return l
+}
+
 // Heartbeat records that an agent reported in at time nowNs. The collector
 // doubles as the health monitor (paper Section III-C: "it also acts as a
-// heartbeat monitor").
+// heartbeat monitor"). The ledger keeps the maximum: with concurrent
+// ingest workers (or an agent re-shipping spooled batches stamped at their
+// original drain time) batches arrive out of order, and an older timestamp
+// must not regress the last-seen time and falsely kill a live agent.
 func (db *DB) Heartbeat(agent string, nowNs int64) {
 	db.hbMu.Lock()
 	defer db.hbMu.Unlock()
-	db.heartbeats[agent] = nowNs
+	l := db.ledgerEntry(agent)
+	if nowNs > l.lastSeenNs {
+		l.lastSeenNs = nowNs
+	}
+}
+
+// MarkBatchSeq records a batch sequence number for an agent and reports
+// whether the batch is fresh (false = already ingested, drop it). Seq 0
+// means "unsequenced" (bare heartbeats, pre-Seq agents) and is always
+// fresh — those batches carry no replayable payload. The ledger tolerates
+// out-of-order arrival: seqs above the contiguous high-water mark park in
+// a pending set until the gap below them fills.
+func (db *DB) MarkBatchSeq(agent string, seq uint64) bool {
+	if seq == 0 {
+		return true
+	}
+	db.hbMu.Lock()
+	defer db.hbMu.Unlock()
+	l := db.ledgerEntry(agent)
+	if seq <= l.hwm {
+		l.dups++
+		return false
+	}
+	if _, seen := l.pending[seq]; seen {
+		l.dups++
+		return false
+	}
+	l.pending[seq] = struct{}{}
+	if seq > l.maxSeq {
+		l.maxSeq = seq
+	}
+	for {
+		if _, ok := l.pending[l.hwm+1]; !ok {
+			break
+		}
+		delete(l.pending, l.hwm+1)
+		l.hwm++
+	}
+	return true
+}
+
+// Ledger returns a snapshot of one agent's delivery ledger.
+func (db *DB) Ledger(agent string) (AgentLedger, bool) {
+	db.hbMu.Lock()
+	defer db.hbMu.Unlock()
+	l, ok := db.ledger[agent]
+	if !ok {
+		return AgentLedger{}, false
+	}
+	return AgentLedger{
+		LastSeenNs:     l.lastSeenNs,
+		HighWaterSeq:   l.hwm,
+		MaxSeq:         l.maxSeq,
+		DupBatches:     l.dups,
+		PendingBatches: len(l.pending),
+		MissingBatches: l.maxSeq - l.hwm - uint64(len(l.pending)),
+	}, true
 }
 
 // DeadAgents lists agents not heard from within timeout of nowNs.
@@ -141,8 +249,8 @@ func (db *DB) DeadAgents(nowNs, timeoutNs int64) []string {
 	db.hbMu.Lock()
 	defer db.hbMu.Unlock()
 	var out []string
-	for agent, last := range db.heartbeats {
-		if nowNs-last > timeoutNs {
+	for agent, l := range db.ledger {
+		if nowNs-l.lastSeenNs > timeoutNs {
 			out = append(out, agent)
 		}
 	}
@@ -154,8 +262,8 @@ func (db *DB) DeadAgents(nowNs, timeoutNs int64) []string {
 func (db *DB) Agents() []string {
 	db.hbMu.Lock()
 	defer db.hbMu.Unlock()
-	out := make([]string, 0, len(db.heartbeats))
-	for a := range db.heartbeats {
+	out := make([]string, 0, len(db.ledger))
+	for a := range db.ledger {
 		out = append(out, a)
 	}
 	sort.Strings(out)
@@ -210,13 +318,25 @@ func (t *Table) Scan(fn func(core.Record) bool) {
 	}
 }
 
+// alignNs applies the skew correction to a timestamp, clamping at zero: a
+// positive skew larger than an early record's timestamp must not wrap the
+// unsigned time around to a huge value (which would sort the record after
+// everything else and wreck latency math).
+func alignNs(timeNs uint64, skewNs int64) uint64 {
+	v := int64(timeNs) - skewNs
+	if v < 0 {
+		return 0
+	}
+	return uint64(v)
+}
+
 // ScanAligned streams every record with timestamps corrected by the node
 // skew ("timestamp alignment for the clock skew", Section III-C), until fn
 // returns false.
 func (t *Table) ScanAligned(fn func(core.Record) bool) {
 	recs, skew := t.snapshot()
 	for _, r := range recs {
-		r.TimeNs = uint64(int64(r.TimeNs) - skew)
+		r.TimeNs = alignNs(r.TimeNs, skew)
 		if !fn(r) {
 			return
 		}
@@ -239,7 +359,7 @@ func (t *Table) AlignedAll() []core.Record {
 	out := make([]core.Record, len(recs))
 	copy(out, recs)
 	for i := range out {
-		out[i].TimeNs = uint64(int64(out[i].TimeNs) - skew)
+		out[i].TimeNs = alignNs(out[i].TimeNs, skew)
 	}
 	return out
 }
@@ -266,7 +386,7 @@ func (t *Table) FirstByTraceID(id uint32) (core.Record, bool) {
 		return core.Record{}, false
 	}
 	r := t.recs[idxs[0]]
-	r.TimeNs = uint64(int64(r.TimeNs) - t.skewNs)
+	r.TimeNs = alignNs(r.TimeNs, t.skewNs)
 	return r, true
 }
 

@@ -1,6 +1,7 @@
 package vnettracer
 
 import (
+	"errors"
 	"fmt"
 
 	"vnettracer/internal/control"
@@ -106,14 +107,17 @@ func (s *Session) StartFlushing(intervalNs int64) {
 	}
 }
 
-// Flush drains every agent's ring buffer to the collector.
+// Flush drains every agent's ring buffer to the collector. Every agent is
+// flushed even if some fail; failures come back joined. Records from a
+// failed flush stay in that agent's delivery spool for retry.
 func (s *Session) Flush() error {
+	var errs []error
 	for _, a := range s.agents {
 		if err := a.Flush(); err != nil {
-			return err
+			errs = append(errs, err)
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // Table returns the record table behind a script label.
