@@ -10,11 +10,11 @@ tier1:
 vet:
 	$(GO) vet ./...
 
-# Race-detector pass over the concurrent record path (store, control
-# plane, metrics run against live tables).
+# Race-detector pass over the concurrent record path (per-CPU rings,
+# store, control plane, metrics run against live tables).
 .PHONY: race
 race:
-	$(GO) test -race ./internal/tracedb ./internal/control ./internal/metrics
+	$(GO) test -race ./internal/core ./internal/tracedb ./internal/control ./internal/metrics
 
 # Fault-injection pass over delivery semantics: flaky collector, lost
 # acknowledgements, connection kill before reply, collector restart, and
@@ -24,8 +24,18 @@ faults:
 	$(GO) test -race -run 'TestFault' ./internal/control
 
 .PHONY: check
-check: tier1 vet race faults
+check: tier1 vet race faults bench-json
 
 .PHONY: bench-wire
 bench-wire:
 	$(GO) test -run NONE -bench 'BenchmarkBatchWireEncoding|BenchmarkCollectorIngest' .
+
+# Short benchmark smoke run archived as JSON: the emit hot path
+# (reserve/commit, contended per-CPU vs shared ring), the interpreter
+# record script, and batch wire encoding. -benchtime 1000x keeps it
+# fast enough to ride in `make check`; allocs are recorded so a
+# regression on the zero-allocation paths shows up in the diff.
+.PHONY: bench-json
+bench-json:
+	$(GO) test -run NONE -bench 'BenchmarkRingBuffer|BenchmarkEBPFInterpRecordScript|BenchmarkBatchWireEncoding' \
+		-benchmem -benchtime 1000x . | $(GO) run ./cmd/benchjson -o BENCH_pr3.json

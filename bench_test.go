@@ -9,6 +9,8 @@ package vnettracer
 // insertion in tens of nanoseconds, eBPF interpretation, verification).
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"vnettracer/internal/core"
@@ -301,6 +303,7 @@ func BenchmarkEBPFInterpRecordScript(b *testing.B) {
 	}
 	ctx := core.BuildCtx(nil, pc)
 	env := benchEnv{}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := c.Prog.Run(ctx, env); err != nil {
@@ -374,11 +377,92 @@ func BenchmarkRingBufferWriteDrain(b *testing.B) {
 		b.Fatal(err)
 	}
 	rec := make([]byte, core.RecordSize)
+	drainBuf := make([]byte, 0, core.MaxBufferBytes)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if !rb.Write(rec) {
-			rb.Drain()
+			drainBuf = rb.DrainInto(drainBuf[:0])
 		}
+	}
+}
+
+// BenchmarkRingBufferReserveCommit measures the zero-allocation emit
+// path: reserve ring space, serialize the record in place, commit. This
+// is what every perf_event_output costs once the eBPF program has built
+// its record.
+func BenchmarkRingBufferReserveCommit(b *testing.B) {
+	rb, err := core.NewRingBuffer(core.MaxBufferBytes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := core.Record{TraceID: 7, TPID: 1, TimeNs: 12345, Len: 1500, Proto: 17}
+	drainBuf := make([]byte, 0, core.MaxBufferBytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst := rb.Reserve(core.RecordSize)
+		if dst == nil {
+			drainBuf = rb.DrainInto(drainBuf[:0])
+			continue
+		}
+		rec.Seq = uint64(i)
+		rec.MarshalTo(dst)
+		rb.Commit()
+	}
+}
+
+// BenchmarkRingBufferContended is the scaling benchmark behind the
+// per-CPU buffer design: N producers emitting 48-byte records as fast as
+// they can, either each into its own per-CPU ring (percpu, the
+// vNetTracer layout) or all serializing on one shared mutex-guarded ring
+// (shared, the old layout). Producers drain their ring into a reusable
+// buffer when full, like the agent's flush loop. ns/op is per record
+// across all producers, so percpu vs shared at the same producer count
+// reads directly as the contention cost.
+func BenchmarkRingBufferContended(b *testing.B) {
+	run := func(b *testing.B, producers, rings int) {
+		prc, err := core.NewPerCPURing(rings, core.MaxBufferBytes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		per := b.N / producers
+		for p := 0; p < producers; p++ {
+			n := per
+			if p == 0 {
+				n += b.N % producers
+			}
+			wg.Add(1)
+			go func(cpu, n int) {
+				defer wg.Done()
+				ring := prc.Ring(uint32(cpu))
+				rec := core.Record{TraceID: 7, TPID: 1, CPU: uint32(cpu)}
+				drainBuf := make([]byte, 0, core.MaxBufferBytes)
+				for i := 0; i < n; i++ {
+					dst := ring.Reserve(core.RecordSize)
+					if dst == nil {
+						drainBuf = ring.DrainInto(drainBuf[:0])
+						continue
+					}
+					rec.Seq = uint64(i)
+					rec.MarshalTo(dst)
+					ring.Commit()
+				}
+			}(p, n)
+		}
+		wg.Wait()
+	}
+	for _, producers := range []int{1, 4, 8} {
+		producers := producers
+		b.Run(fmt.Sprintf("percpu-%dp", producers), func(b *testing.B) {
+			run(b, producers, producers)
+		})
+		b.Run(fmt.Sprintf("shared-%dp", producers), func(b *testing.B) {
+			run(b, producers, 1)
+		})
 	}
 }
 

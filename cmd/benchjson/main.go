@@ -1,0 +1,110 @@
+// benchjson converts `go test -bench` text output into a JSON document
+// so benchmark runs can be archived and diffed across commits. It reads
+// the benchmark stream on stdin and writes JSON to -o (default stdout):
+//
+//	go test -run NONE -bench . -benchmem . | go run ./cmd/benchjson -o BENCH.json
+//
+// Each result line ("BenchmarkFoo-8  123456  98.7 ns/op  0 B/op ...")
+// becomes an object with the benchmark name, iteration count, and a
+// metrics map keyed by unit (ns/op, B/op, allocs/op, custom units).
+// Context lines (goos, goarch, pkg, cpu) are captured as metadata.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+type report struct {
+	Meta    map[string]string `json:"meta"`
+	Results []result          `json:"results"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	rep := report{Meta: map[string]string{}, Results: []result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		// Echo the stream so benchjson can sit at the end of a pipe
+		// without hiding failures from the terminal.
+		fmt.Fprintln(os.Stderr, line)
+		if key, val, ok := metaLine(line); ok {
+			rep.Meta[key] = val
+			continue
+		}
+		if r, ok := parseBench(line); ok {
+			rep.Results = append(rep.Results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(rep.Results) == 0 {
+		fatal(fmt.Errorf("no benchmark results on stdin"))
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(rep.Results), *out)
+}
+
+func metaLine(line string) (key, val string, ok bool) {
+	for _, k := range []string{"goos", "goarch", "pkg", "cpu"} {
+		if strings.HasPrefix(line, k+":") {
+			return k, strings.TrimSpace(line[len(k)+1:]), true
+		}
+	}
+	return "", "", false
+}
+
+// parseBench parses one benchmark result line: a name starting with
+// "Benchmark", an iteration count, then value/unit pairs.
+func parseBench(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: fields[0], Iters: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, len(r.Metrics) > 0
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -95,10 +95,15 @@ func runAgent(args []string) error {
 			mu.Lock()
 			err := agent.Flush()
 			st := agent.SpoolStats()
+			rs := agent.RingStats()
 			mu.Unlock()
 			if st.Batches > 0 || st.EvictedRecords > 0 {
 				fmt.Fprintf(os.Stderr, "spool at shutdown: %d batches / %d records undelivered, %d records evicted\n",
 					st.Batches, st.Records, st.EvictedRecords)
+			}
+			if rs.Drops > 0 {
+				fmt.Fprintf(os.Stderr, "ring drops at shutdown: %d total across %d per-CPU rings %v\n",
+					rs.Drops, rs.Rings, rs.PerRingDrops)
 			}
 			fmt.Println("\nagent shutting down")
 			return err

@@ -164,7 +164,8 @@ func (e *cliEnv) KtimeNs() uint64        { return e.time }
 func (e *cliEnv) SMPProcessorID() uint32 { return 0 }
 func (e *cliEnv) PrandomU32() uint32     { return 0x5eed }
 func (e *cliEnv) PerfEventOutput(data []byte) bool {
-	e.perf = append(e.perf, data)
+	// data is call-scoped (it aliases VM memory); retain a copy.
+	e.perf = append(e.perf, append([]byte(nil), data...))
 	return true
 }
 func (e *cliEnv) TracePrintk(msg string) { e.printk = append(e.printk, msg) }

@@ -45,14 +45,23 @@ type Agent struct {
 	loaded       map[string]*loadedScript
 	flushTimer   *sim.Timer
 	flushEvery   int64
-	lastDrops    uint64
 	flushErrs    uint64
 	lastFlushErr error
 
+	// lastRingDrops holds the previous flush's per-CPU-ring drop
+	// snapshot; dropSnap is the reused scratch for the current one.
+	// Summing per-ring deltas (rather than diffing a global counter)
+	// keeps per-batch RingDrops exact: each ring's counter is monotonic
+	// and diffed independently, so totals telescope with no loss or
+	// double count even while other CPUs keep dropping mid-snapshot.
+	// Guarded by flushMu.
+	lastRingDrops []uint64
+	dropSnap      []uint64
+
 	// flushMu serializes the drain-and-ship section: concurrent Flush
-	// calls (manual + timer tick) must not interleave Ring.Drain with the
-	// Drops/lastDrops window, or drop deltas get mis-attributed and spool
-	// order breaks.
+	// calls (manual + timer tick) must not interleave DrainInto with the
+	// per-ring drop snapshot window, or drop deltas get mis-attributed
+	// and spool order breaks.
 	flushMu sync.Mutex
 
 	// spool state (guarded by mu; only mutated under flushMu).
@@ -111,14 +120,16 @@ type loadedScript struct {
 // NewAgent creates an agent for a machine, shipping records to sink.
 func NewAgent(name string, machine *core.Machine, sink RecordSink) *Agent {
 	return &Agent{
-		name:        name,
-		machine:     machine,
-		sink:        sink,
-		cost:        core.DefaultCostModel(),
-		loaded:      make(map[string]*loadedScript),
-		spoolLimit:  DefaultSpoolBytes,
-		nextSeq:     1,
-		backoffNext: 1,
+		name:          name,
+		machine:       machine,
+		sink:          sink,
+		cost:          core.DefaultCostModel(),
+		loaded:        make(map[string]*loadedScript),
+		spoolLimit:    DefaultSpoolBytes,
+		nextSeq:       1,
+		backoffNext:   1,
+		lastRingDrops: make([]uint64, machine.Ring.NumRings()),
+		dropSnap:      make([]uint64, 0, machine.Ring.NumRings()),
 	}
 }
 
@@ -217,22 +228,39 @@ func (a *Agent) flushTick() error {
 	return a.flush(false)
 }
 
+// drainBufPool recycles the byte buffers the flush loop drains rings
+// into. Records are unmarshaled out of the buffer before it is returned,
+// so steady-state flushing allocates only the record slices the spool
+// retains.
+var drainBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
 func (a *Agent) flush(force bool) error {
 	if a.sink == nil {
 		return errors.New("control: agent has no sink")
 	}
 	a.flushMu.Lock()
 	defer a.flushMu.Unlock()
-	raw := a.machine.Ring.Drain()
+	bufp := drainBufPool.Get().(*[]byte)
+	raw := a.machine.Ring.DrainInto((*bufp)[:0])
 	recs, err := core.UnmarshalRecords(raw)
+	*bufp = raw[:0]
+	drainBufPool.Put(bufp)
 	if err != nil {
 		return fmt.Errorf("control: agent %s: corrupt ring: %w", a.name, err)
 	}
-	drops := a.machine.Ring.Drops()
+	a.dropSnap = a.machine.Ring.AppendPerRingDrops(a.dropSnap[:0])
 	now := a.machine.Node.Clock.NowNs()
 	a.mu.Lock()
-	delta := drops - a.lastDrops
-	a.lastDrops = drops
+	var delta uint64
+	for i, d := range a.dropSnap {
+		delta += d - a.lastRingDrops[i]
+		a.lastRingDrops[i] = d
+	}
 	if len(recs) > 0 || delta > 0 || a.carryDrops > 0 {
 		a.enqueueLocked(recs, now, delta)
 	}
@@ -367,6 +395,40 @@ func (a *Agent) SetSpoolLimit(bytes int) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.spoolLimit = bytes
+}
+
+// RingStats reports the machine's per-CPU trace rings as the agent sees
+// them: one cumulative drop counter per ring plus totals. The per-ring
+// counters are the ground truth behind the RingDrops field shipped with
+// every batch — their sum always equals the sum of all shipped (and
+// still-spooled) batch drop counts.
+type RingStats struct {
+	// Rings is the ring count (the machine's CPU count).
+	Rings int
+	// PerRingDrops is each ring's cumulative rejected-write counter, in
+	// CPU order.
+	PerRingDrops []uint64
+	// Drops is the sum of PerRingDrops.
+	Drops uint64
+	// Writes counts successful ring writes across all rings.
+	Writes uint64
+	// UsedBytes is the currently buffered (not yet drained) byte count.
+	UsedBytes int
+}
+
+// RingStats snapshots the per-CPU ring buffers.
+func (a *Agent) RingStats() RingStats {
+	ring := a.machine.Ring
+	st := RingStats{
+		Rings:        ring.NumRings(),
+		PerRingDrops: ring.AppendPerRingDrops(nil),
+		Writes:       ring.Writes(),
+		UsedBytes:    ring.Used(),
+	}
+	for _, d := range st.PerRingDrops {
+		st.Drops += d
+	}
+	return st
 }
 
 // SpoolStats snapshots the delivery spool.

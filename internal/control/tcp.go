@@ -322,17 +322,34 @@ func NewTCPSink(addr string) *TCPSink {
 	return &TCPSink{client: client{addr: addr}}
 }
 
+// encodeBufPool recycles binary batch-frame encode buffers across
+// HandleBatch calls: the frame is fully written to the socket inside
+// roundTrip, so the buffer can be reused the moment it returns, making
+// steady-state shipping allocation-free on the encode side.
+var encodeBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
 // HandleBatch implements RecordSink over TCP.
 func (s *TCPSink) HandleBatch(b RecordBatch) error {
-	var body []byte
-	var err error
 	if s.LegacyJSON {
-		body, err = EncodeBatchFrameJSON(&b)
-	} else {
-		body, err = EncodeBatchFrame(&b)
+		body, err := EncodeBatchFrameJSON(&b)
+		if err != nil {
+			return err
+		}
+		return s.roundTrip(body)
 	}
+	bufp := encodeBufPool.Get().(*[]byte)
+	body, err := AppendBatchFrame((*bufp)[:0], &b)
 	if err != nil {
+		encodeBufPool.Put(bufp)
 		return err
 	}
-	return s.roundTrip(body)
+	err = s.roundTrip(body)
+	*bufp = body[:0]
+	encodeBufPool.Put(bufp)
+	return err
 }

@@ -43,24 +43,43 @@ const (
 // EncodeBatchFrame encodes a record batch as a v3 binary frame body
 // (without the transport length prefix).
 func EncodeBatchFrame(b *RecordBatch) ([]byte, error) {
+	return AppendBatchFrame(nil, b)
+}
+
+// AppendBatchFrame appends the v3 binary frame body for b to dst and
+// returns the extended slice. Records serialize in place via
+// Record.MarshalTo — no per-record temporaries — and a caller recycling
+// dst (the TCP sink's encode pool) pays no allocation at all once the
+// buffer has grown to the working batch size.
+func AppendBatchFrame(dst []byte, b *RecordBatch) ([]byte, error) {
 	if len(b.Agent) > math.MaxUint16 {
 		return nil, fmt.Errorf("control: agent name of %d bytes exceeds frame limit", len(b.Agent))
 	}
 	if len(b.Records) > math.MaxUint32 {
 		return nil, fmt.Errorf("control: batch of %d records exceeds frame limit", len(b.Records))
 	}
-	out := make([]byte, batchHeaderSizeV3, batchHeaderSizeV3+len(b.Agent)+len(b.Records)*core.RecordSize)
-	out[0] = batchMagic
-	out[1] = batchWireV3
+	base := len(dst)
+	need := batchHeaderSizeV3 + len(b.Agent) + len(b.Records)*core.RecordSize
+	if cap(dst)-base < need {
+		grown := make([]byte, base, base+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	out := dst[: base+need : base+need]
+	hdr := out[base:]
+	hdr[0] = batchMagic
+	hdr[1] = batchWireV3
 	le := binary.LittleEndian
-	le.PutUint16(out[2:], uint16(len(b.Agent)))
-	le.PutUint64(out[4:], uint64(b.AgentTimeNs))
-	le.PutUint64(out[12:], b.RingDrops)
-	le.PutUint32(out[20:], uint32(len(b.Records)))
-	le.PutUint64(out[24:], b.Seq)
-	out = append(out, b.Agent...)
+	le.PutUint16(hdr[2:], uint16(len(b.Agent)))
+	le.PutUint64(hdr[4:], uint64(b.AgentTimeNs))
+	le.PutUint64(hdr[12:], b.RingDrops)
+	le.PutUint32(hdr[20:], uint32(len(b.Records)))
+	le.PutUint64(hdr[24:], b.Seq)
+	copy(hdr[batchHeaderSizeV3:], b.Agent)
+	off := batchHeaderSizeV3 + len(b.Agent)
 	for i := range b.Records {
-		out = append(out, b.Records[i].Marshal(nil)...)
+		b.Records[i].MarshalTo(hdr[off:])
+		off += core.RecordSize
 	}
 	return out, nil
 }

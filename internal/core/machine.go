@@ -88,20 +88,22 @@ func (h *AttachHandle) Stats() AttachStats { return h.stats }
 func (h *AttachHandle) Point() AttachPoint { return h.point }
 
 // Machine is one monitored node from the tracer's point of view: the
-// simulated kernel, a registry of its network devices, and the kernel ring
-// buffer trace programs emit into. The agent (internal/control) drives a
-// Machine.
+// simulated kernel, a registry of its network devices, and the per-CPU
+// kernel ring buffers trace programs emit into. The agent
+// (internal/control) drives a Machine.
 type Machine struct {
 	Node *kernel.Node
-	Ring *RingBuffer
+	Ring *PerCPURing
 
 	devices map[string]*vnet.NetDev
 	printk  []string
 }
 
-// NewMachine wraps a node with a trace buffer of bufferBytes capacity.
+// NewMachine wraps a node with one trace ring of bufferBytes capacity per
+// simulated CPU — the node's CPU topology supplies the ring count, as
+// with the kernel's per-CPU perf buffers.
 func NewMachine(node *kernel.Node, bufferBytes int) (*Machine, error) {
-	ring, err := NewRingBuffer(bufferBytes)
+	ring, err := NewPerCPURing(node.NumCPU(), bufferBytes)
 	if err != nil {
 		return nil, fmt.Errorf("core: machine %s: %w", node.Name, err)
 	}
@@ -155,7 +157,21 @@ func (e *machineEnv) SMPProcessorID() uint32 { return e.cpu }
 
 func (e *machineEnv) PrandomU32() uint32 { return e.m.Node.Rand().Uint32() }
 
-func (e *machineEnv) PerfEventOutput(data []byte) bool { return e.m.Ring.Write(data) }
+// PerfEventOutput stages an emitted record in the executing CPU's ring:
+// reserve ring space, serialize in place, commit. data aliases the eBPF
+// VM's stack and is only valid for the duration of the call, which is
+// fine — the bytes land in the ring before returning, with no
+// intermediate buffer or allocation.
+func (e *machineEnv) PerfEventOutput(data []byte) bool {
+	ring := e.m.Ring.Ring(e.cpu)
+	dst := ring.Reserve(len(data))
+	if dst == nil {
+		return false
+	}
+	copy(dst, data)
+	ring.Commit()
+	return true
+}
 
 func (e *machineEnv) TracePrintk(msg string) { e.m.printk = append(e.m.printk, msg) }
 

@@ -30,23 +30,39 @@ type Record struct {
 	Dir    uint8
 }
 
-// Marshal appends the 48-byte wire form to b.
-func (r *Record) Marshal(b []byte) []byte {
-	var buf [RecordSize]byte
+// MarshalTo serializes the 48-byte wire form in place into dst, which
+// must hold at least RecordSize bytes. This is the zero-copy path: the
+// ring-buffer reserve/commit producer and the batch wire encoder hand it
+// a slice directly into their destination buffer. Bytes 46-47 of dst are
+// reserved padding and are zeroed.
+func (r *Record) MarshalTo(dst []byte) {
 	le := binary.LittleEndian
-	le.PutUint32(buf[0:], r.TraceID)
-	le.PutUint32(buf[4:], r.TPID)
-	le.PutUint64(buf[8:], r.TimeNs)
-	le.PutUint32(buf[16:], r.Len)
-	le.PutUint32(buf[20:], r.CPU)
-	le.PutUint64(buf[24:], r.Seq)
-	le.PutUint32(buf[32:], r.SrcIP)
-	le.PutUint32(buf[36:], r.DstIP)
-	le.PutUint16(buf[40:], r.SrcPort)
-	le.PutUint16(buf[42:], r.DstPort)
-	buf[44] = r.Proto
-	buf[45] = r.Dir
-	return append(b, buf[:]...)
+	le.PutUint32(dst[0:], r.TraceID)
+	le.PutUint32(dst[4:], r.TPID)
+	le.PutUint64(dst[8:], r.TimeNs)
+	le.PutUint32(dst[16:], r.Len)
+	le.PutUint32(dst[20:], r.CPU)
+	le.PutUint64(dst[24:], r.Seq)
+	le.PutUint32(dst[32:], r.SrcIP)
+	le.PutUint32(dst[36:], r.DstIP)
+	le.PutUint16(dst[40:], r.SrcPort)
+	le.PutUint16(dst[42:], r.DstPort)
+	dst[44] = r.Proto
+	dst[45] = r.Dir
+	dst[46], dst[47] = 0, 0
+}
+
+// zeroRecord grows destination slices in Marshal without a temporary.
+var zeroRecord [RecordSize]byte
+
+// Marshal appends the 48-byte wire form to b. It allocates only when b
+// lacks capacity; writers that already own destination space should use
+// MarshalTo.
+func (r *Record) Marshal(b []byte) []byte {
+	n := len(b)
+	b = append(b, zeroRecord[:]...)
+	r.MarshalTo(b[n:])
+	return b
 }
 
 // UnmarshalRecord parses one record from b.

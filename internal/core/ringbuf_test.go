@@ -1,0 +1,194 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestRingBufferReserveCommit(t *testing.T) {
+	rb, err := NewRingBuffer(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := rb.Reserve(48)
+	if dst == nil || len(dst) != 48 {
+		t.Fatalf("Reserve(48) = %v", dst)
+	}
+	for i := range dst {
+		dst[i] = byte(i)
+	}
+	rb.Commit()
+	if rb.Used() != 48 || rb.Writes() != 1 {
+		t.Fatalf("used=%d writes=%d after commit", rb.Used(), rb.Writes())
+	}
+	// A second record fits; an aborted reservation leaves no trace.
+	dst = rb.Reserve(48)
+	if dst == nil {
+		t.Fatal("second reserve failed")
+	}
+	rb.Abort()
+	if rb.Used() != 48 || rb.Writes() != 1 || rb.Drops() != 0 {
+		t.Fatalf("abort leaked state: used=%d writes=%d drops=%d", rb.Used(), rb.Writes(), rb.Drops())
+	}
+	// Over-capacity reservation drops.
+	if rb.Reserve(53) != nil {
+		t.Fatal("over-capacity reserve succeeded")
+	}
+	if rb.Drops() != 1 {
+		t.Fatalf("drops = %d", rb.Drops())
+	}
+	data := rb.Drain()
+	if len(data) != 48 || data[0] != 0 || data[47] != 47 {
+		t.Fatalf("drained %d bytes, content %v...", len(data), data[:4])
+	}
+}
+
+func TestRingBufferReserveSerializesInPlace(t *testing.T) {
+	rb, err := NewRingBuffer(MinBufferBytes + 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{TraceID: 9, TPID: 3, TimeNs: 77, CPU: 1, Seq: 5, Proto: 17}
+	dst := rb.Reserve(RecordSize)
+	rec.MarshalTo(dst)
+	rb.Commit()
+	recs, err := UnmarshalRecords(rb.Drain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0] != rec {
+		t.Fatalf("round trip through ring: %+v", recs)
+	}
+}
+
+func TestRingBufferDrainIntoReusesBuffer(t *testing.T) {
+	rb, err := NewRingBuffer(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 0, 4096)
+	for round := 0; round < 3; round++ {
+		if !rb.Write(make([]byte, 96)) {
+			t.Fatal("write failed")
+		}
+		out := rb.DrainInto(buf[:0])
+		if len(out) != 96 {
+			t.Fatalf("round %d: drained %d bytes", round, len(out))
+		}
+		if &out[0] != &buf[:1][0] {
+			t.Fatalf("round %d: DrainInto reallocated despite capacity", round)
+		}
+	}
+	if rb.DrainInto(buf[:0]) == nil {
+		// Empty drain returns dst unchanged; buf[:0] is non-nil.
+		t.Fatal("empty DrainInto dropped the caller's buffer")
+	}
+}
+
+func TestPerCPURingRoutesByCPU(t *testing.T) {
+	p, err := NewPerCPURing(4, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumRings() != 4 || p.Cap() != 4*1024 || p.RingCap() != 1024 {
+		t.Fatalf("rings=%d cap=%d ringcap=%d", p.NumRings(), p.Cap(), p.RingCap())
+	}
+	for cpu := uint32(0); cpu < 4; cpu++ {
+		if !p.Emit(cpu, []byte{byte(cpu)}) {
+			t.Fatalf("emit on cpu %d failed", cpu)
+		}
+	}
+	for cpu := uint32(0); cpu < 4; cpu++ {
+		if p.Ring(cpu).Used() != 1 {
+			t.Fatalf("cpu %d ring holds %d bytes", cpu, p.Ring(cpu).Used())
+		}
+	}
+	// Out-of-range CPUs wrap instead of dropping.
+	if !p.Emit(6, []byte{0xff}) {
+		t.Fatal("wrapped emit failed")
+	}
+	if p.Ring(2).Used() != 2 {
+		t.Fatal("cpu 6 did not wrap onto ring 2")
+	}
+	if p.Used() != 5 {
+		t.Fatalf("total used = %d", p.Used())
+	}
+	// Drain concatenates in CPU order.
+	data := p.Drain()
+	want := []byte{0, 1, 2, 0xff, 3}
+	if len(data) != len(want) {
+		t.Fatalf("drained %v", data)
+	}
+	for i := range want {
+		if data[i] != want[i] {
+			t.Fatalf("drained %v, want %v", data, want)
+		}
+	}
+	if p.Used() != 0 || p.Drain() != nil {
+		t.Fatal("drain did not empty all rings")
+	}
+}
+
+func TestPerCPURingPerRingDrops(t *testing.T) {
+	p, err := NewPerCPURing(2, MinBufferBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, MinBufferBytes)
+	if !p.Emit(0, big) {
+		t.Fatal("first write must fit exactly")
+	}
+	// Ring 0 is now full; ring 1 untouched.
+	if p.Emit(0, []byte{1}) {
+		t.Fatal("write into full ring succeeded")
+	}
+	if p.Emit(0, big) {
+		t.Fatal("write into full ring succeeded")
+	}
+	if !p.Emit(1, []byte{1}) {
+		t.Fatal("independent ring rejected a fitting write")
+	}
+	drops := p.AppendPerRingDrops(nil)
+	if len(drops) != 2 || drops[0] != 2 || drops[1] != 0 {
+		t.Fatalf("per-ring drops = %v", drops)
+	}
+	if p.Drops() != 2 || p.Writes() != 2 {
+		t.Fatalf("drops=%d writes=%d", p.Drops(), p.Writes())
+	}
+}
+
+func TestPerCPURingRejectsBadSizes(t *testing.T) {
+	if _, err := NewPerCPURing(2, MinBufferBytes-1); err == nil {
+		t.Fatal("tiny per-ring capacity accepted")
+	}
+	if _, err := NewPerCPURing(2, MaxBufferBytes+1); err == nil {
+		t.Fatal("huge per-ring capacity accepted")
+	}
+	// ncpu clamps to 1.
+	p, err := NewPerCPURing(0, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumRings() != 1 {
+		t.Fatalf("rings = %d", p.NumRings())
+	}
+}
+
+func TestRecordMarshalToMatchesMarshal(t *testing.T) {
+	r := Record{
+		TraceID: 0xdeadbeef, TPID: 7, TimeNs: 123456789012,
+		Len: 1500, CPU: 3, Seq: 42,
+		SrcIP: 0x0a000001, DstIP: 0x0a000002,
+		SrcPort: 40000, DstPort: 9000, Proto: 17, Dir: 1,
+	}
+	viaAppend := r.Marshal(nil)
+	inPlace := make([]byte, RecordSize)
+	for i := range inPlace {
+		inPlace[i] = 0xAA // stale garbage MarshalTo must fully overwrite
+	}
+	r.MarshalTo(inPlace)
+	for i := range viaAppend {
+		if viaAppend[i] != inPlace[i] {
+			t.Fatalf("byte %d: Marshal=%#x MarshalTo=%#x", i, viaAppend[i], inPlace[i])
+		}
+	}
+}

@@ -22,7 +22,8 @@ func (e *testEnv) PerfEventOutput(data []byte) bool {
 	if e.perfCap > 0 && len(e.perf) >= e.perfCap {
 		return false
 	}
-	e.perf = append(e.perf, data)
+	// data is call-scoped (it aliases VM memory); retain a copy.
+	e.perf = append(e.perf, append([]byte(nil), data...))
 	return true
 }
 func (e *testEnv) TracePrintk(msg string) { e.printk = append(e.printk, msg) }

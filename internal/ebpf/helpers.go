@@ -39,8 +39,10 @@ type Env interface {
 	// PrandomU32 returns a pseudo-random value.
 	PrandomU32() uint32
 	// PerfEventOutput delivers a raw record emitted by the program. The
-	// slice is owned by the callee. It returns false when the buffer is
-	// full and the record was dropped.
+	// slice aliases VM memory and is valid only for the duration of the
+	// call — implementations must copy (or serialize into their buffer)
+	// before returning, never retain it. It returns false when the buffer
+	// is full and the record was dropped.
 	PerfEventOutput(data []byte) bool
 	// TracePrintk receives debug output.
 	TracePrintk(msg string)

@@ -418,11 +418,15 @@ func (m *vm) call(id HelperID) error {
 			m.regs[R0] = 0
 		}
 	case HelperPerfEventOutput:
+		// Pass a view of VM memory straight to the sink — no copy, no
+		// allocation. The Env contract makes the slice call-scoped, so
+		// recycling this vm (vmPool) cannot corrupt retained records.
 		n := int64(m.regs[R4])
-		data, err := m.readBytes(m.regs[R3], n)
+		mem, off, err := m.resolve(m.regs[R3], n)
 		if err != nil {
 			return err
 		}
+		data := mem[off : off+n]
 		m.stats.PerfBytes += len(data)
 		if m.env.PerfEventOutput(data) {
 			m.regs[R0] = 0

@@ -181,8 +181,9 @@ func NewEngine(seed int64) *Engine { return sim.NewEngine(seed) }
 // NewNode creates a simulated machine on the engine.
 func NewNode(eng *Engine, cfg NodeConfig) *Node { return kernel.NewNode(eng, cfg) }
 
-// NewMachine wraps a node for tracing with a kernel buffer of bufferBytes
-// (valid range: 32 bytes to 128KiB-16, per the paper's kernel module).
+// NewMachine wraps a node for tracing with one kernel ring buffer per
+// simulated CPU, each of bufferBytes capacity (valid range: 32 bytes to
+// 128KiB-16 per ring, per the paper's kernel module).
 func NewMachine(node *Node, bufferBytes int) (*Machine, error) {
 	return core.NewMachine(node, bufferBytes)
 }
