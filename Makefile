@@ -11,10 +11,11 @@ vet:
 	$(GO) vet ./...
 
 # Race-detector pass over the concurrent record path (per-CPU rings,
-# store, control plane, metrics run against live tables).
+# store, control plane, metrics run against live tables) plus the
+# cluster conformance corpus.
 .PHONY: race
 race:
-	$(GO) test -race ./internal/core ./internal/tracedb ./internal/control ./internal/metrics
+	$(GO) test -race ./internal/core ./internal/tracedb ./internal/control ./internal/metrics ./internal/conformance
 
 # Fault-injection pass over delivery semantics: flaky collector, lost
 # acknowledgements, connection kill before reply, collector restart, and
@@ -23,8 +24,32 @@ race:
 faults:
 	$(GO) test -race -run 'TestFault' ./internal/control
 
+# Deep conformance sweep: the full scenario corpus under the race
+# detector plus a wide seed sweep of the fault-heavy scenarios. The
+# 3-seed default rides in tier-1; this raises it.
+CONFORMANCE_SEEDS ?= 25
+.PHONY: conformance
+conformance:
+	CONFORMANCE_SEEDS=$(CONFORMANCE_SEEDS) $(GO) test -race -count=1 ./internal/conformance
+
+# Native fuzz targets, one short burst each (Go runs one -fuzz target
+# per invocation). The committed corpora under testdata/fuzz replay in
+# plain `go test` runs; this explores beyond them.
+FUZZTIME ?= 5s
+.PHONY: fuzz
+fuzz:
+	$(GO) test -run NONE -fuzz FuzzDecodeBatchFrame -fuzztime $(FUZZTIME) ./internal/control
+	$(GO) test -run NONE -fuzz FuzzTraceIDStrip -fuzztime $(FUZZTIME) ./internal/vnet
+	$(GO) test -run NONE -fuzz FuzzVerifyProgram -fuzztime $(FUZZTIME) ./internal/ebpf
+
+# Coverage summary over the whole module.
+.PHONY: cover
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
 .PHONY: check
-check: tier1 vet race faults bench-json
+check: tier1 vet race faults fuzz cover bench-json
 
 .PHONY: bench-wire
 bench-wire:

@@ -1,0 +1,98 @@
+package clocksync
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// driftSample fabricates one exchange against a server running
+// offsetNs+drift ahead of the client, with symmetric 100ns one-way times
+// and 50ns of server processing.
+func driftSample(t1, offsetNs int64, driftPPB float64) Sample {
+	ahead := offsetNs + int64(driftPPB*float64(t1)/1e9)
+	return Sample{
+		T1: t1,
+		T2: t1 + 100 + ahead,
+		T3: t1 + 150 + ahead,
+		T4: t1 + 250,
+	}
+}
+
+// TestEstimateDriftFewSamples: the paper samples 100 exchanges, but the
+// fit must stay sound well below that — down to the 2-sample minimum —
+// rather than silently assuming a full window.
+func TestEstimateDriftFewSamples(t *testing.T) {
+	const offset = 500_000
+	const drift = 3000.0
+	for _, n := range []int{2, 3, 10, 50, 99} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			var samples []Sample
+			for i := 0; i < n; i++ {
+				samples = append(samples, driftSample(int64(i)*1_000_000_000, offset, drift))
+			}
+			est, err := EstimateDrift(samples)
+			if err != nil {
+				t.Fatalf("EstimateDrift with %d samples: %v", n, err)
+			}
+			if est.Samples != n {
+				t.Fatalf("Samples = %d, want %d", est.Samples, n)
+			}
+			if est.OffsetAtT0Ns < offset-1000 || est.OffsetAtT0Ns > offset+1000 {
+				t.Fatalf("offset = %d, want ~%d", est.OffsetAtT0Ns, offset)
+			}
+			// The drift term needs time spread to resolve; with two
+			// samples a second apart, 3000 ppb is still well inside a
+			// ±500 ppb tolerance.
+			if est.DriftPPB < drift-500 || est.DriftPPB > drift+500 {
+				t.Fatalf("drift = %.1f ppb, want ~%.0f", est.DriftPPB, drift)
+			}
+		})
+	}
+}
+
+// TestAllSamplesUnusable: a window where every exchange claims more
+// server processing than its whole round trip (clock steps, scheduler
+// stalls) must error out of both estimators — returning a fit through
+// garbage would silently mis-align every cross-node metric downstream.
+func TestAllSamplesUnusable(t *testing.T) {
+	var samples []Sample
+	for i := 0; i < 50; i++ {
+		t1 := int64(i) * 1_000_000_000
+		samples = append(samples, Sample{
+			T1: t1,
+			T2: t1 + 100,
+			T3: t1 + 100 + 10_000_000, // 10ms "processing" in a 250ns RTT
+			T4: t1 + 250,
+		})
+	}
+	if _, err := EstimateDrift(samples); !errors.Is(err, ErrNoSamples) {
+		t.Fatalf("EstimateDrift over all-garbage window: err = %v, want ErrNoSamples", err)
+	}
+	if _, err := EstimateSkew(samples); !errors.Is(err, ErrNoSamples) {
+		t.Fatalf("EstimateSkew over all-garbage window: err = %v, want ErrNoSamples", err)
+	}
+}
+
+// TestCorrectNsNegativeOffset: correction of a server running *behind*
+// the client yields a negative offset; subtracting it shifts timestamps
+// forward, and the sign must survive the drift extrapolation.
+func TestCorrectNsNegativeOffset(t *testing.T) {
+	var samples []Sample
+	for i := 0; i < 10; i++ {
+		samples = append(samples, driftSample(int64(i)*1_000_000_000, -2_000_000, -1000))
+	}
+	est, err := EstimateDrift(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.OffsetAtT0Ns >= 0 {
+		t.Fatalf("offset = %d, want negative", est.OffsetAtT0Ns)
+	}
+	// At t = 5s the server has fallen a further 5µs behind.
+	got := est.CorrectNs(5_000_000_000)
+	want := int64(-2_000_000 - 5_000)
+	if got < want-500 || got > want+500 {
+		t.Fatalf("CorrectNs(5s) = %d, want ~%d", got, want)
+	}
+}

@@ -1,0 +1,165 @@
+package conformance
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// report fails the test with every violated invariant plus the replay
+// recipe: the scenario name, the seed, and the run digest.
+func report(t *testing.T, res *Result) {
+	t.Helper()
+	if len(res.Violations) == 0 {
+		return
+	}
+	for _, v := range res.Violations {
+		t.Errorf("invariant: %s", v)
+	}
+	t.Errorf("reproduce: scenario %q seed %d (digest %s)",
+		res.Scenario.Name, res.Scenario.Seed, res.Digest)
+}
+
+// TestScenarioCorpus runs every corpus scenario twice: all invariants
+// must hold, and the second run must replay to the identical digest —
+// any nondeterminism anywhere in the pipeline (map iteration, unseeded
+// randomness, wall-clock reads) shows up here as a digest mismatch.
+func TestScenarioCorpus(t *testing.T) {
+	// engagement lists, per scenario, the fault symptom that must be
+	// visibly nonzero in the result — a scenario whose fault silently
+	// stops firing is testing nothing.
+	engagement := map[string]func(*Result) (string, uint64){
+		"bursty-emit-ring-drops": func(r *Result) (string, uint64) { return "ring drops", sumAgents(r, func(a AgentReport) uint64 { return a.RingDrops }) },
+		"flaky-sink-window":      func(r *Result) (string, uint64) { return "rejected deliveries", r.Rejected },
+		"ack-loss":               func(r *Result) (string, uint64) { return "deduped batches", r.DupBatches },
+		"spool-overflow":         func(r *Result) (string, uint64) { return "evicted records", sumAgents(r, func(a AgentReport) uint64 { return a.Evicted }) },
+		"sink-down-forever":      func(r *Result) (string, uint64) { return "records spooled at quiesce", sumAgents(r, func(a AgentReport) uint64 { return a.Spooled }) },
+		"kitchen-sink":           func(r *Result) (string, uint64) { return "deduped batches", r.DupBatches },
+	}
+	for _, sc := range Corpus() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			first, err := Run(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			report(t, first)
+			if probe, ok := engagement[sc.Name]; ok {
+				if what, n := probe(first); n == 0 {
+					t.Errorf("fault never engaged: %s is 0", what)
+				}
+			}
+			second, err := Run(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			report(t, second)
+			if second.Digest != first.Digest {
+				t.Errorf("same seed, different trace: run 1 digest %s, run 2 digest %s",
+					first.Digest, second.Digest)
+			}
+		})
+	}
+}
+
+func sumAgents(r *Result, field func(AgentReport) uint64) uint64 {
+	var sum uint64
+	for _, a := range r.Agents {
+		sum += field(a)
+	}
+	return sum
+}
+
+// TestCorpusCoversFaultMatrix pins the corpus floor: at least 10
+// scenarios, collectively exercising every fault axis the harness
+// models.
+func TestCorpusCoversFaultMatrix(t *testing.T) {
+	corpus := Corpus()
+	if len(corpus) < 10 {
+		t.Fatalf("corpus has %d scenarios, want >= 10", len(corpus))
+	}
+	var bursts, skew, outage, ackLoss, restart, spool, wireLoss, forever bool
+	names := make(map[string]bool)
+	for _, sc := range corpus {
+		if names[sc.Name] {
+			t.Errorf("duplicate scenario name %q", sc.Name)
+		}
+		names[sc.Name] = true
+		bursts = bursts || sc.BurstLen > 1
+		skew = skew || len(sc.ClockOffsetsNs) > 0
+		outage = outage || sc.SinkDownUntilNs > sc.SinkDownFromNs
+		ackLoss = ackLoss || sc.AckLossEvery > 0
+		restart = restart || sc.RestartForNs > 0
+		spool = spool || sc.SpoolBytes > 0
+		wireLoss = wireLoss || sc.DropEvery > 0
+		forever = forever || sc.SinkDownForever
+	}
+	for axis, covered := range map[string]bool{
+		"bursty emit":       bursts,
+		"clock skew":        skew,
+		"sink outage":       outage,
+		"ack loss":          ackLoss,
+		"agent restart":     restart,
+		"spool overflow":    spool,
+		"wire loss":         wireLoss,
+		"sink down forever": forever,
+	} {
+		if !covered {
+			t.Errorf("fault axis %q not covered by any corpus scenario", axis)
+		}
+	}
+}
+
+// TestDigestSeparatesSeeds is the digest's own sanity check: different
+// seeds must produce different traces, or the replay fingerprint is
+// vacuous.
+func TestDigestSeparatesSeeds(t *testing.T) {
+	a, err := Run(Scenario{Name: "sep", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Scenario{Name: "sep", Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest == b.Digest {
+		t.Fatalf("seeds 1 and 2 produced the same digest %s", a.Digest)
+	}
+}
+
+// TestSeedSweep replays fault-heavy scenarios across fresh seeds. The
+// default 3 seeds ride in tier-1; `make conformance` raises the count
+// via CONFORMANCE_SEEDS for a deeper sweep.
+func TestSeedSweep(t *testing.T) {
+	seeds := 3
+	if s := os.Getenv("CONFORMANCE_SEEDS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad CONFORMANCE_SEEDS %q", s)
+		}
+		seeds = n
+	}
+	byName := make(map[string]Scenario)
+	for _, sc := range Corpus() {
+		byName[sc.Name] = sc
+	}
+	for _, name := range []string{"baseline-steady", "bursty-emit-ring-drops", "spool-overflow", "kitchen-sink"} {
+		base, ok := byName[name]
+		if !ok {
+			t.Fatalf("sweep scenario %q not in corpus", name)
+		}
+		for i := 0; i < seeds; i++ {
+			sc := base
+			sc.Seed = int64(1000 + 7919*i)
+			sc.Name = fmt.Sprintf("%s@seed%d", name, sc.Seed)
+			t.Run(sc.Name, func(t *testing.T) {
+				res, err := Run(sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				report(t, res)
+			})
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package conformance
+
+import (
+	"fmt"
+	"hash"
+	"hash/fnv"
+)
+
+// digest accumulates the run's event trace into a replay fingerprint.
+// Every observable event — each probe fire, each delivery attempt and its
+// outcome, the final per-agent accounting — folds into an FNV-64a hash in
+// the order it happens. Two runs of the same scenario must produce the
+// same digest; a mismatch means something nondeterministic (map
+// iteration, unseeded randomness, wall-clock time) leaked into the
+// pipeline.
+type digest struct {
+	h      hash.Hash64
+	events uint64
+}
+
+func newDigest() *digest {
+	return &digest{h: fnv.New64a()}
+}
+
+// logf folds one formatted event into the digest.
+func (d *digest) logf(format string, args ...any) {
+	fmt.Fprintf(d.h, format, args...)
+	d.h.Write([]byte{'\n'})
+	d.events++
+}
+
+// sum renders the fingerprint: hash plus event count, so a divergence in
+// trace length is visible even when hashes collide.
+func (d *digest) sum() string {
+	return fmt.Sprintf("%016x/%d", d.h.Sum64(), d.events)
+}

@@ -1,0 +1,93 @@
+package conformance
+
+import (
+	"errors"
+
+	"vnettracer/internal/control"
+	"vnettracer/internal/sim"
+)
+
+var (
+	errSinkDown = errors.New("conformance: sink down")
+	errAckLost  = errors.New("conformance: ack lost")
+)
+
+// faultSink wraps the collector with the scenario's transport faults:
+// outage windows (delivery rejected outright, batch never ingested) and
+// ack loss (batch ingested, then the acknowledgement "lost" — the agent
+// sees an error and retries a batch the collector already has, which the
+// dedup ledger must absorb). Every delivery attempt and its outcome goes
+// into the digest; the whole run is single-threaded on the sim engine, so
+// plain counters suffice.
+type faultSink struct {
+	inner *control.Collector
+	eng   *sim.Engine
+	dig   *digest
+
+	downFrom  int64
+	downUntil int64
+	downOpen  bool // downUntil ignored; heal() ends the outage
+
+	ackLossEvery int
+	ingests      int // successful inner ingests, for ack-loss cadence
+	healed       bool
+
+	attempts    uint64
+	rejected    uint64
+	acksLost    uint64
+	acksLostSeq uint64 // acks lost on sequenced (Seq != 0) batches
+}
+
+func newFaultSink(inner *control.Collector, eng *sim.Engine, sc Scenario, dig *digest) *faultSink {
+	return &faultSink{
+		inner:        inner,
+		eng:          eng,
+		dig:          dig,
+		downFrom:     sc.SinkDownFromNs,
+		downUntil:    sc.SinkDownUntilNs,
+		downOpen:     sc.SinkDownForever,
+		ackLossEvery: sc.AckLossEvery,
+	}
+}
+
+func (s *faultSink) down(now int64) bool {
+	if s.healed {
+		return false
+	}
+	if s.downOpen {
+		return now >= s.downFrom
+	}
+	return s.downFrom < s.downUntil && now >= s.downFrom && now < s.downUntil
+}
+
+// heal ends all transport faults; quiesce calls it so spools can drain.
+func (s *faultSink) heal() { s.healed = true }
+
+func (s *faultSink) HandleBatch(b control.RecordBatch) error {
+	now := s.eng.Now()
+	s.attempts++
+	if s.down(now) {
+		s.rejected++
+		s.dig.logf("deliver t=%d agent=%s seq=%d recs=%d drops=%d outcome=down",
+			now, b.Agent, b.Seq, len(b.Records), b.RingDrops)
+		return errSinkDown
+	}
+	if err := s.inner.HandleBatch(b); err != nil {
+		s.dig.logf("deliver t=%d agent=%s seq=%d recs=%d drops=%d outcome=err",
+			now, b.Agent, b.Seq, len(b.Records), b.RingDrops)
+		return err
+	}
+	s.ingests++
+	if !s.healed && s.ackLossEvery > 0 && s.ingests%s.ackLossEvery == 0 {
+		s.acksLost++
+		if b.Seq != 0 {
+			s.acksLostSeq++
+		}
+		s.dig.logf("deliver t=%d agent=%s seq=%d recs=%d drops=%d outcome=acklost",
+			now, b.Agent, b.Seq, len(b.Records), b.RingDrops)
+		return errAckLost
+	}
+	s.dig.logf("deliver t=%d agent=%s seq=%d recs=%d drops=%d outcome=ok",
+		now, b.Agent, b.Seq, len(b.Records), b.RingDrops)
+	return nil
+}

@@ -1,0 +1,356 @@
+package conformance
+
+import (
+	"sort"
+
+	"vnettracer/internal/control"
+	"vnettracer/internal/core"
+	"vnettracer/internal/metrics"
+	"vnettracer/internal/tracedb"
+)
+
+// check reconciles the whole pipeline against the workload's ground
+// truth. Conservation and ordering invariants hold unconditionally;
+// metric-consistency checks apply only where the record path was
+// verifiably lossless (no ring drops, no evictions, nothing still
+// spooled), because a lossy path legitimately stores fewer records than
+// the ground truth injected.
+func check(sc Scenario, cluster []*agentState, truth *groundTruth, db *tracedb.DB, col *control.Collector, sink *faultSink, res *Result, dig *digest) {
+	var totalStored, totalEvictedBatches, totalSpooledBatches uint64
+
+	for _, st := range cluster {
+		rs := st.agent.RingStats()
+		ss := st.agent.SpoolStats()
+		fires := truth.table(st.srcTP).fires + truth.table(st.dstTP).fires
+		stored := uint64(tableLen(db, st.srcTP) + tableLen(db, st.dstTP))
+		rep := AgentReport{
+			Name:       st.name,
+			Fires:      fires,
+			RingWrites: rs.Writes,
+			RingDrops:  rs.Drops,
+			Stored:     stored,
+			Spooled:    uint64(ss.Records),
+			Evicted:    ss.EvictedRecords,
+			SkewEstNs:  st.est.SkewNs,
+			SkewTrueNs: st.offsetNs,
+		}
+		res.Agents = append(res.Agents, rep)
+		totalStored += stored
+		totalEvictedBatches += ss.EvictedBatches
+		totalSpooledBatches += uint64(ss.Batches)
+
+		// Emit conservation: every probe fire either landed in the ring
+		// or was counted as a drop — nothing vanishes between the eBPF
+		// program and the ring.
+		if fires != rs.Writes+rs.Drops {
+			res.violatef("agent %s: fires %d != ring writes %d + ring drops %d",
+				st.name, fires, rs.Writes, rs.Drops)
+		}
+		// Quiesce drained the rings completely.
+		if rs.UsedBytes != 0 {
+			res.violatef("agent %s: %d bytes left in ring after quiesce", st.name, rs.UsedBytes)
+		}
+		// Delivery conservation: every record drained from the ring is
+		// either stored, still spooled, or confirmed evicted.
+		if rs.Writes != stored+uint64(ss.Records)+ss.EvictedRecords {
+			res.violatef("agent %s: ring writes %d != stored %d + spooled %d + evicted %d",
+				st.name, rs.Writes, stored, ss.Records, ss.EvictedRecords)
+		}
+		// Ledger gap accounting: once the spool drains, sequence gaps at
+		// the collector exist exactly where the spool evicted. While the
+		// sink is still down, spooled batches haven't surfaced as gaps
+		// yet, so only the bound applies.
+		led, ok := db.Ledger(st.name)
+		if !ok || led.LastSeenNs <= 0 {
+			res.violatef("agent %s: no heartbeat ever reached the collector", st.name)
+		} else if !sc.SinkDownForever {
+			if uint64(ss.Batches) != 0 {
+				res.violatef("agent %s: %d batches still spooled after quiesce with a healthy sink",
+					st.name, ss.Batches)
+			}
+			if led.MissingBatches != ss.EvictedBatches {
+				res.violatef("agent %s: ledger missing %d batches, spool evicted %d",
+					st.name, led.MissingBatches, ss.EvictedBatches)
+			}
+		} else if led.MissingBatches > ss.EvictedBatches {
+			res.violatef("agent %s: ledger missing %d batches exceeds evicted %d",
+				st.name, led.MissingBatches, ss.EvictedBatches)
+		}
+
+		checkTable(sc, st, st.srcTP, truth, db, res)
+		checkTable(sc, st, st.dstTP, truth, db, res)
+	}
+
+	// Collector totals agree with the tables.
+	colBatches, colRecords, colRingDrops := col.Stats()
+	if colRecords != totalStored {
+		res.violatef("collector ingested %d records, tables hold %d", colRecords, totalStored)
+	}
+	dup, dupRecs, missing := col.DeliveryStats()
+	res.Batches, res.Records, res.RingDrops = colBatches, colRecords, colRingDrops
+	res.DupBatches, res.DupRecords, res.MissingBatches = dup, dupRecs, missing
+	res.DeliveryAttempts, res.Rejected, res.AcksLost = sink.attempts, sink.rejected, sink.acksLost
+
+	// Exactly-once at batch granularity: every lost acknowledgement on a
+	// sequenced batch causes exactly one duplicate delivery, which the
+	// ledger must absorb — and nothing else may ever duplicate. A batch
+	// evicted after its ack was lost never redelivers, so under spool
+	// pressure only the upper bound applies.
+	if totalEvictedBatches == 0 && uint64(totalSpooledBatches) == 0 {
+		if dup != sink.acksLostSeq {
+			res.violatef("collector deduped %d batches, %d sequenced acks were lost", dup, sink.acksLostSeq)
+		}
+	} else if dup > sink.acksLostSeq {
+		res.violatef("collector deduped %d batches, only %d sequenced acks were lost", dup, sink.acksLostSeq)
+	}
+	if sc.AckLossEvery == 0 && sink.acksLost == 0 && dup != 0 {
+		res.violatef("collector saw %d duplicate batches with no ack loss injected", dup)
+	}
+	if !sc.SinkDownForever && missing != totalEvictedBatches {
+		res.violatef("collector missing %d batches, agents evicted %d", missing, totalEvictedBatches)
+	}
+
+	checkMetrics(sc, cluster, truth, db, res)
+
+	// Fold the final accounting into the digest so a run that delivers
+	// the same event trace but different statistics still diverges.
+	for _, rep := range res.Agents {
+		dig.logf("account agent=%s fires=%d writes=%d drops=%d stored=%d spooled=%d evicted=%d skew=%d",
+			rep.Name, rep.Fires, rep.RingWrites, rep.RingDrops, rep.Stored, rep.Spooled, rep.Evicted, rep.SkewEstNs)
+	}
+	dig.logf("account collector records=%d dup=%d missing=%d attempts=%d rejected=%d ackslost=%d",
+		colRecords, dup, missing, sink.attempts, sink.rejected, sink.acksLost)
+}
+
+// checkTable verifies per-table invariants: exactly-once per trace ID,
+// per-flow conservation, and per-CPU intra-ring ordering.
+func checkTable(sc Scenario, st *agentState, tpid uint32, truth *groundTruth, db *tracedb.DB, res *Result) {
+	tbl, ok := db.Table(tpid)
+	if !ok {
+		res.violatef("agent %s: table %d missing", st.name, tpid)
+		return
+	}
+	tt := truth.table(tpid)
+	clean := machineClean(st)
+
+	storedIDs := make(map[uint32]uint64)
+	storedFlows := make(map[metrics.FlowKey]uint64)
+	type cpuCursor struct {
+		timeNs uint64
+		pktSeq uint64
+		seen   bool
+	}
+	cursors := make(map[uint32]*cpuCursor)
+	tbl.Scan(func(r core.Record) bool {
+		storedIDs[r.TraceID]++
+		storedFlows[flowKeyOfRecord(r)]++
+		cur := cursors[r.CPU]
+		if cur == nil {
+			cur = &cpuCursor{}
+			cursors[r.CPU] = cur
+		}
+		if cur.seen {
+			// Within one table and one CPU the ring preserves emit
+			// order: timestamps never run backwards and the machine's
+			// packet sequence strictly increases.
+			if r.TimeNs < cur.timeNs {
+				res.violatef("table %d cpu %d: time %d after %d — intra-ring order broken",
+					tpid, r.CPU, r.TimeNs, cur.timeNs)
+				return false
+			}
+			if r.Seq <= cur.pktSeq {
+				res.violatef("table %d cpu %d: pkt seq %d after %d — intra-ring order broken",
+					tpid, r.CPU, r.Seq, cur.pktSeq)
+				return false
+			}
+		}
+		cur.seen = true
+		cur.timeNs = r.TimeNs
+		cur.pktSeq = r.Seq
+		return true
+	})
+
+	// Exactly-once: no trace ID may be stored more often than it was
+	// emitted (each ID fires once per table); a clean machine stores
+	// every emitted ID exactly once.
+	for _, id := range sortedIDKeys(storedIDs) {
+		n := storedIDs[id]
+		want := tt.ids[id]
+		if n > want {
+			res.violatef("table %d: trace ID %d stored %d times, emitted %d — duplicate records",
+				tpid, id, n, want)
+		}
+	}
+	if clean {
+		for _, id := range sortedIDKeys(tt.ids) {
+			if storedIDs[id] != tt.ids[id] {
+				res.violatef("table %d: trace ID %d stored %d times, emitted %d on a lossless path",
+					tpid, id, storedIDs[id], tt.ids[id])
+			}
+		}
+	}
+
+	// Per-flow conservation mirrors the per-ID check at flow granularity.
+	for _, key := range sortedFlowKeys(storedFlows) {
+		if storedFlows[key] > tt.perFlow[key] {
+			res.violatef("table %d flow %v: stored %d > emitted %d",
+				tpid, key, storedFlows[key], tt.perFlow[key])
+		}
+	}
+	if clean {
+		for _, key := range sortedFlowKeys(tt.perFlow) {
+			if storedFlows[key] != tt.perFlow[key] {
+				res.violatef("table %d flow %v: stored %d, emitted %d on a lossless path",
+					tpid, key, storedFlows[key], tt.perFlow[key])
+			}
+		}
+	}
+}
+
+// checkMetrics recomputes the paper's metrics from the trace DB and
+// reconciles them with the injected ground truth, within the
+// skew-correction bounds. Only lossless paths qualify: a drop anywhere on
+// the path changes the metric legitimately.
+func checkMetrics(sc Scenario, cluster []*agentState, truth *groundTruth, db *tracedb.DB, res *Result) {
+	for i, src := range cluster {
+		dst := cluster[(i+1)%len(cluster)]
+		path := truth.paths[i]
+		if path.sent == 0 {
+			continue
+		}
+		srcClean := machineClean(src) && src.skewTolNs > 0
+		dstClean := machineClean(dst) && dst.skewTolNs > 0
+		srcTbl, okS := db.Table(src.srcTP)
+		dstTbl, okD := db.Table(dst.dstTP)
+		if !okS || !okD {
+			continue // table-missing violations already reported
+		}
+
+		// Throughput at the send probe: bytes on the true time span vs
+		// bytes on the skew-aligned span.
+		if srcClean {
+			tt := truth.table(src.srcTP)
+			span := tt.lastNs - tt.firstNs
+			if span > 0 {
+				want := float64(tt.bytes) * 8 * 1e9 / float64(span)
+				got, err := metrics.ThroughputOf(metrics.SourceFunc(srcTbl.ScanAligned))
+				if err != nil {
+					res.violatef("path %d: throughput: %v", i, err)
+				} else {
+					tol := 2*float64(src.skewTolNs)/float64(span) + 0.001
+					if relErr(got, want) > tol {
+						res.violatef("path %d: throughput %.0f bps, ground truth %.0f bps (rel err %.4f > %.4f)",
+							i, got, want, relErr(got, want), tol)
+					}
+				}
+			}
+		}
+
+		if srcClean && dstClean {
+			// Loss: distinct trace IDs that left the send probe and never
+			// hit the receive probe == injected wire drops.
+			lost, _ := metrics.Loss(srcTbl, dstTbl)
+			if uint64(lost) != path.dropped {
+				res.violatef("path %d: measured loss %d, injected %d drops", i, lost, path.dropped)
+			}
+
+			// Latency: mean skew-aligned hop latency vs the mean of the
+			// realized transit delays, within both agents' skew bounds.
+			if len(path.delays) > 0 {
+				samples := metrics.Latencies(srcTbl, dstTbl)
+				if len(samples) != len(path.delays) {
+					res.violatef("path %d: %d latency samples, %d packets delivered",
+						i, len(samples), len(path.delays))
+				} else {
+					got := metrics.Mean(metrics.Values(samples))
+					want := meanI64(path.delays)
+					tol := float64(src.skewTolNs + dst.skewTolNs)
+					if diff := got - want; diff > tol || diff < -tol {
+						res.violatef("path %d: mean latency %.0f ns, ground truth %.0f ns (|diff| > %0.f ns)",
+							i, got, want, tol)
+					}
+				}
+			}
+		}
+	}
+}
+
+// machineClean reports whether a machine's record path was lossless:
+// nothing dropped at the ring, nothing evicted, nothing still spooled.
+func machineClean(st *agentState) bool {
+	rs := st.agent.RingStats()
+	ss := st.agent.SpoolStats()
+	return rs.Drops == 0 && ss.EvictedRecords == 0 && ss.Records == 0
+}
+
+func flowKeyOfRecord(r core.Record) metrics.FlowKey {
+	return metrics.FlowKey{
+		SrcIP:   r.SrcIP,
+		DstIP:   r.DstIP,
+		SrcPort: r.SrcPort,
+		DstPort: r.DstPort,
+		Proto:   r.Proto,
+	}
+}
+
+func tableLen(db *tracedb.DB, tpid uint32) int {
+	if tbl, ok := db.Table(tpid); ok {
+		return tbl.Len()
+	}
+	return 0
+}
+
+func sortedIDKeys(m map[uint32]uint64) []uint32 {
+	out := make([]uint32, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedFlowKeys(m map[metrics.FlowKey]uint64) []metrics.FlowKey {
+	out := make([]metrics.FlowKey, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.SrcIP != b.SrcIP {
+			return a.SrcIP < b.SrcIP
+		}
+		if a.DstIP != b.DstIP {
+			return a.DstIP < b.DstIP
+		}
+		if a.SrcPort != b.SrcPort {
+			return a.SrcPort < b.SrcPort
+		}
+		if a.DstPort != b.DstPort {
+			return a.DstPort < b.DstPort
+		}
+		return a.Proto < b.Proto
+	})
+	return out
+}
+
+func meanI64(vals []int64) float64 {
+	var sum int64
+	for _, v := range vals {
+		sum += v
+	}
+	return float64(sum) / float64(len(vals))
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return 1
+	}
+	d := (got - want) / want
+	if d < 0 {
+		return -d
+	}
+	return d
+}

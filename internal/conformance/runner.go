@@ -1,0 +1,423 @@
+package conformance
+
+import (
+	"fmt"
+
+	"vnettracer/internal/clocksync"
+	"vnettracer/internal/control"
+	"vnettracer/internal/core"
+	"vnettracer/internal/kernel"
+	"vnettracer/internal/metrics"
+	"vnettracer/internal/script"
+	"vnettracer/internal/sim"
+	"vnettracer/internal/tracedb"
+	"vnettracer/internal/vnet"
+)
+
+// Clock-sync probing: each agent exchanges syncSamples Cristian samples
+// with the master (the engine's true clock) during the first
+// ~syncSamples*syncSpacingNs of the run, before the workload starts.
+const (
+	syncSamples   = 25
+	syncSpacingNs = 40 * sim.Microsecond
+)
+
+// agentState is one traced machine in the simulated cluster.
+type agentState struct {
+	idx     int
+	name    string
+	machine *core.Machine
+	agent   *control.Agent
+
+	// srcTP records udp_send_skb fires, dstTP records udp_recvmsg fires;
+	// TPIDs are distinct per agent, so every table belongs to exactly one
+	// machine.
+	srcTP, dstTP uint32
+
+	// nextPktSeq models the sending stack's per-machine packet counter.
+	nextPktSeq uint64
+
+	offsetNs int64
+	driftPPB int64
+
+	samples []clocksync.Sample
+	est     clocksync.Estimate
+	// skewTolNs bounds the residual alignment error after skew
+	// correction: Cristian's half-best-RTT ambiguity plus drift
+	// accumulated over the horizon.
+	skewTolNs int64
+}
+
+// tableTruth is the workload's ground truth for one record table.
+type tableTruth struct {
+	fires   uint64
+	bytes   uint64 // sum of per-record payload bytes (WireLen - trace ID)
+	perFlow map[metrics.FlowKey]uint64
+	ids     map[uint32]uint64
+	firstNs int64 // engine-truth time of first fire
+	lastNs  int64
+}
+
+// pathTruth is the ground truth for one src→dst hop (path i runs from
+// agent i's send probe to agent (i+1)%N's receive probe).
+type pathTruth struct {
+	sent    uint64
+	dropped uint64
+	delays  []int64 // realized transit times of delivered packets
+}
+
+type groundTruth struct {
+	tables map[uint32]*tableTruth
+	paths  []*pathTruth
+}
+
+func newGroundTruth(paths int) *groundTruth {
+	gt := &groundTruth{tables: make(map[uint32]*tableTruth), paths: make([]*pathTruth, paths)}
+	for i := range gt.paths {
+		gt.paths[i] = &pathTruth{}
+	}
+	return gt
+}
+
+func (gt *groundTruth) table(tpid uint32) *tableTruth {
+	tt, ok := gt.tables[tpid]
+	if !ok {
+		tt = &tableTruth{perFlow: make(map[metrics.FlowKey]uint64), ids: make(map[uint32]uint64)}
+		gt.tables[tpid] = tt
+	}
+	return tt
+}
+
+type flowTuple struct {
+	src, dst     vnet.IPv4
+	sport, dport uint16
+}
+
+func (f flowTuple) key() metrics.FlowKey {
+	return metrics.FlowKey{
+		SrcIP:   uint32(f.src),
+		DstIP:   uint32(f.dst),
+		SrcPort: f.sport,
+		DstPort: f.dport,
+		Proto:   vnet.ProtoUDP,
+	}
+}
+
+// Result is one conformance run's outcome: the replay digest, the
+// per-agent accounting, and every invariant violation found at quiesce.
+type Result struct {
+	Scenario   Scenario
+	Digest     string
+	Violations []string
+	Agents     []AgentReport
+
+	// Collector-side totals.
+	Batches, Records, RingDrops             uint64
+	DupBatches, DupRecords, MissingBatches  uint64
+	DeliveryAttempts, Rejected, AcksLost    uint64
+}
+
+// AgentReport is the per-machine accounting the invariants reconcile.
+type AgentReport struct {
+	Name       string
+	Fires      uint64 // probe fires = emit attempts (ground truth)
+	RingWrites uint64
+	RingDrops  uint64
+	Stored     uint64 // records landed in this machine's tables
+	Spooled    uint64 // records still spooled at quiesce
+	Evicted    uint64 // records lost to the bounded spool
+	SkewEstNs  int64
+	SkewTrueNs int64
+}
+
+func (r *Result) violatef(format string, args ...any) {
+	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+}
+
+// Run executes one scenario to quiesce and returns its accounting,
+// violations, and replay digest. It never calls testing APIs, so the
+// seed-sweep harness and any future CLI can drive it directly.
+func Run(sc Scenario) (*Result, error) {
+	sc = sc.withDefaults()
+	res := &Result{Scenario: sc}
+	dig := newDigest()
+	dig.logf("scenario name=%s seed=%d agents=%d cpus=%d ring=%d packets=%d",
+		sc.Name, sc.Seed, sc.Agents, sc.CPUs, sc.RingBytes, sc.Packets)
+
+	eng := sim.NewEngine(sc.Seed)
+	dist := sim.NewDist(eng)
+	db := tracedb.New()
+	col := control.NewCollector(db)
+	sink := newFaultSink(col, eng, sc, dig)
+	disp := control.NewDispatcher()
+
+	cluster := make([]*agentState, sc.Agents)
+	for i := range cluster {
+		st, err := buildAgent(sc, i, eng, sink, disp, db)
+		if err != nil {
+			return nil, err
+		}
+		cluster[i] = st
+	}
+
+	truth := newGroundTruth(sc.Agents)
+	scheduleClockSync(sc, eng, dist, cluster)
+	if err := scheduleWorkload(sc, eng, dist, cluster, truth, dig); err != nil {
+		return nil, err
+	}
+	scheduleFaults(sc, eng, cluster, dig)
+
+	eng.Run(sc.HorizonNs)
+	quiesce(sc, cluster, sink, dig)
+	estimateSkews(sc, cluster, db, res)
+
+	check(sc, cluster, truth, db, col, sink, res, dig)
+	res.Digest = dig.sum()
+	return res, nil
+}
+
+func buildAgent(sc Scenario, i int, eng *sim.Engine, sink control.RecordSink, disp *control.Dispatcher, db *tracedb.DB) (*agentState, error) {
+	name := fmt.Sprintf("agent-%d", i)
+	st := &agentState{
+		idx:      i,
+		name:     name,
+		srcTP:    uint32(2*i + 1),
+		dstTP:    uint32(2*i + 2),
+		offsetNs: cycle(sc.ClockOffsetsNs, i),
+		driftPPB: cycle(sc.ClockDriftsPPB, i),
+		samples:  make([]clocksync.Sample, syncSamples),
+	}
+	node := kernel.NewNode(eng, kernel.NodeConfig{
+		Name:          name,
+		NumCPU:        sc.CPUs,
+		ClockOffsetNs: st.offsetNs,
+		ClockDriftPPB: st.driftPPB,
+		TraceIDs:      true,
+		Seed:          sc.Seed + int64(i),
+	})
+	machine, err := core.NewMachine(node, sc.RingBytes)
+	if err != nil {
+		return nil, fmt.Errorf("conformance: %s: %w", sc.Name, err)
+	}
+	st.machine = machine
+	st.agent = control.NewAgent(name, machine, sink)
+	if sc.SpoolBytes > 0 {
+		st.agent.SetSpoolLimit(sc.SpoolBytes)
+	}
+	if err := disp.Register(name, st.agent); err != nil {
+		return nil, fmt.Errorf("conformance: %s: %w", sc.Name, err)
+	}
+	if _, err := db.CreateTable(st.srcTP, name+"/send"); err != nil {
+		return nil, fmt.Errorf("conformance: %s: %w", sc.Name, err)
+	}
+	if _, err := db.CreateTable(st.dstTP, name+"/recv"); err != nil {
+		return nil, fmt.Errorf("conformance: %s: %w", sc.Name, err)
+	}
+	pkg := control.ControlPackage{
+		Install: []script.Spec{
+			recordSpec(name+"/send", st.srcTP, kernel.SiteUDPSendSkb),
+			recordSpec(name+"/recv", st.dstTP, kernel.SiteUDPRecvmsg),
+		},
+		FlushIntervalNs: sc.FlushEveryNs,
+	}
+	if err := disp.Push(name, pkg); err != nil {
+		return nil, fmt.Errorf("conformance: %s: %w", sc.Name, err)
+	}
+	return st, nil
+}
+
+func recordSpec(name string, tpid uint32, site string) script.Spec {
+	return script.Spec{
+		Name:    name,
+		TPID:    tpid,
+		Attach:  core.AttachPoint{Kind: core.AttachKProbe, Site: site},
+		Actions: []script.Action{script.ActionRecord},
+	}
+}
+
+func cycle(vals []int64, i int) int64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	return vals[i%len(vals)]
+}
+
+// scheduleClockSync schedules each agent's Cristian probe exchanges
+// against the master clock (engine truth) during the sync window. All
+// randomness draws happen here, at build time, in a fixed order.
+func scheduleClockSync(sc Scenario, eng *sim.Engine, dist sim.Dist, cluster []*agentState) {
+	for _, st := range cluster {
+		clk := st.machine.Node.Clock
+		for k := 0; k < syncSamples; k++ {
+			s := &st.samples[k]
+			base := 10*sim.Microsecond + int64(k)*syncSpacingNs + int64(st.idx)*3*sim.Microsecond
+			owd1 := 4*sim.Microsecond + dist.Uniform(0, 3*sim.Microsecond)
+			proc := 1*sim.Microsecond + dist.Uniform(0, sim.Microsecond)
+			owd2 := 4*sim.Microsecond + dist.Uniform(0, 3*sim.Microsecond)
+			eng.Schedule(base, func() { s.T1 = eng.Now() })
+			eng.Schedule(base+owd1, func() { s.T2 = clk.NowNs() })
+			eng.Schedule(base+owd1+proc, func() { s.T3 = clk.NowNs() })
+			eng.Schedule(base+owd1+proc+owd2, func() { s.T4 = eng.Now() })
+		}
+	}
+}
+
+// syncWindowEndNs is when the workload may start: after the last sync
+// sample of the last agent has come back.
+func syncWindowEndNs(sc Scenario) int64 {
+	return 10*sim.Microsecond + syncSamples*syncSpacingNs +
+		int64(sc.Agents)*3*sim.Microsecond + 50*sim.Microsecond
+}
+
+// scheduleWorkload lays out the packet schedule: packet k originates at
+// agent k%N (udp_send_skb) and arrives at agent (k+1)%N (udp_recvmsg)
+// after the hop delay, unless the scenario drops it on the wire.
+func scheduleWorkload(sc Scenario, eng *sim.Engine, dist sim.Dist, cluster []*agentState, truth *groundTruth, dig *digest) error {
+	start := syncWindowEndNs(sc)
+	span := sc.HorizonNs - start - sc.HopDelayNs - sc.HopJitterNs - 5*sim.Millisecond
+	if span < sim.Millisecond {
+		return fmt.Errorf("conformance: %s: horizon %d too small for workload", sc.Name, sc.HorizonNs)
+	}
+	gap := span / int64(sc.Packets)
+	if gap < 1 {
+		gap = 1
+	}
+
+	fire := func(st *agentState, site string, tpid uint32, f flowTuple, id uint32, cpu int) {
+		pkt := &vnet.Packet{
+			Eth:     vnet.EthernetHeader{EtherType: vnet.EtherTypeIPv4},
+			IP:      vnet.IPv4Header{TTL: 64, Protocol: vnet.ProtoUDP, Src: f.src, Dst: f.dst},
+			UDP:     &vnet.UDPHeader{SrcPort: f.sport, DstPort: f.dport},
+			Payload: make([]byte, sc.PayloadLen),
+			Seq:     st.nextPktSeq,
+			SentAt:  eng.Now(),
+		}
+		st.nextPktSeq++
+		if err := pkt.PutUDPTraceID(id); err != nil {
+			panic(err) // UDP by construction
+		}
+		st.machine.Node.Probes.Fire(&kernel.ProbeCtx{
+			Site:   site,
+			Pkt:    pkt,
+			CPU:    cpu,
+			TimeNs: st.machine.Node.Clock.NowNs(),
+		})
+		tt := truth.table(tpid)
+		now := eng.Now()
+		if tt.fires == 0 {
+			tt.firstNs = now
+		}
+		tt.lastNs = now
+		tt.fires++
+		tt.bytes += uint64(pkt.WireLen() - metrics.TraceIDBytes)
+		tt.perFlow[f.key()]++
+		tt.ids[id]++
+		dig.logf("fire t=%d agent=%s tp=%d id=%d cpu=%d pktseq=%d", now, st.name, tpid, id, cpu, pkt.Seq)
+	}
+
+	for k := 0; k < sc.Packets; k++ {
+		id := uint32(k + 1)
+		srcIdx := k % sc.Agents
+		dstIdx := (k + 1) % sc.Agents
+		src, dst := cluster[srcIdx], cluster[dstIdx]
+		fl := flowOf(k % sc.Flows)
+		burst := k / sc.BurstLen
+		t := start + int64(burst)*gap*int64(sc.BurstLen)
+		delay := sc.HopDelayNs
+		if sc.HopJitterNs > 0 {
+			delay += dist.Uniform(0, sc.HopJitterNs)
+		}
+		sendCPU := k % sc.CPUs
+		recvCPU := (k / sc.CPUs) % sc.CPUs
+
+		srcTP, dstTP := src.srcTP, dst.dstTP
+		eng.Schedule(t, func() { fire(src, kernel.SiteUDPSendSkb, srcTP, fl, id, sendCPU) })
+
+		path := truth.paths[srcIdx]
+		path.sent++
+		if sc.DropEvery > 0 && (k+1)%sc.DropEvery == 0 {
+			path.dropped++
+			continue
+		}
+		path.delays = append(path.delays, delay)
+		eng.Schedule(t+delay, func() { fire(dst, kernel.SiteUDPRecvmsg, dstTP, fl, id, recvCPU) })
+	}
+	return nil
+}
+
+func flowOf(i int) flowTuple {
+	return flowTuple{
+		src:   vnet.IPv4(0x0a000000 + uint32(i) + 1),          // 10.0.0.x
+		dst:   vnet.IPv4(0x0a000100 + uint32(i) + 1),          // 10.0.1.x
+		sport: uint16(5000 + i),
+		dport: uint16(9000 + i),
+	}
+}
+
+// scheduleFaults arms the agent-restart fault (transport faults live in
+// the sink itself).
+func scheduleFaults(sc Scenario, eng *sim.Engine, cluster []*agentState, dig *digest) {
+	if sc.RestartAtNs <= 0 || sc.RestartForNs <= 0 {
+		return
+	}
+	st := cluster[sc.RestartAgent%len(cluster)]
+	eng.Schedule(sc.RestartAtNs, func() {
+		st.agent.StopFlushing()
+		dig.logf("restart-stop t=%d agent=%s", eng.Now(), st.name)
+	})
+	eng.Schedule(sc.RestartAtNs+sc.RestartForNs, func() {
+		st.agent.StartFlushing(sc.FlushEveryNs)
+		dig.logf("restart-start t=%d agent=%s", eng.Now(), st.name)
+	})
+}
+
+// quiesce stops the flush loops (their timers would otherwise re-arm
+// forever), heals the transport unless the scenario keeps it down, and
+// force-flushes until every spool drains or stops making progress.
+func quiesce(sc Scenario, cluster []*agentState, sink *faultSink, dig *digest) {
+	for _, st := range cluster {
+		st.agent.StopFlushing()
+	}
+	if !sc.SinkDownForever {
+		sink.heal()
+	}
+	for round := 0; round < 64; round++ {
+		pending := false
+		for _, st := range cluster {
+			st.agent.Flush() // a failed ship keeps records spooled for the next round
+			if st.agent.SpoolStats().Batches > 0 {
+				pending = true
+			}
+		}
+		if !pending || sc.SinkDownForever {
+			break
+		}
+	}
+	for _, st := range cluster {
+		ss := st.agent.SpoolStats()
+		dig.logf("quiesce agent=%s spooledBatches=%d spooledRecords=%d evicted=%d",
+			st.name, ss.Batches, ss.Records, ss.EvictedRecords)
+	}
+}
+
+// estimateSkews runs Cristian's estimate per agent over the samples
+// collected during the sync window and installs the skew on both of the
+// machine's tables, mirroring what a real deployment does before
+// cross-node metric queries.
+func estimateSkews(sc Scenario, cluster []*agentState, db *tracedb.DB, res *Result) {
+	for _, st := range cluster {
+		est, err := clocksync.EstimateSkew(st.samples)
+		if err != nil {
+			res.violatef("agent %s: clock sync failed: %v", st.name, err)
+			continue
+		}
+		st.est = est
+		db.SetSkew(st.srcTP, est.SkewNs)
+		db.SetSkew(st.dstTP, est.SkewNs)
+		drift := st.driftPPB
+		if drift < 0 {
+			drift = -drift
+		}
+		st.skewTolNs = est.BestRTTNs/2 + drift*sc.HorizonNs/1_000_000_000 + 2*sim.Microsecond
+	}
+}

@@ -1,0 +1,242 @@
+// Package conformance is a deterministic whole-pipeline harness: it
+// stands up a full simulated cluster — dispatcher → N agents (per-CPU
+// rings, spools, backoff) → fault-injected transport → collector (dedup
+// ledger) → tracedb → metrics — on top of internal/sim's seeded engine,
+// drives a scripted workload described by a declarative Scenario, and
+// checks global invariants at quiesce:
+//
+//   - record conservation: emitted == stored + ring drops + spool
+//     evictions, per agent and per flow;
+//   - exactly-once delivery: no record is ever stored twice, and batch
+//     sequence gaps exist only where the spool evicted;
+//   - per-CPU intra-ring ordering: within one table and one CPU, record
+//     timestamps are non-decreasing and packet sequence numbers strictly
+//     increase;
+//   - metric consistency: throughput/latency/loss computed from tracedb
+//     match the ground truth injected by the workload, within
+//     skew-correction bounds, whenever the relevant path was lossless.
+//
+// Every run is replayable: the same seed produces the identical event
+// trace and the identical invariant digest (Result.Digest), so a failure
+// bisects to a seed. On failure the digest plus the violated invariants
+// print; re-running the named scenario with that seed reproduces the run
+// bit-for-bit.
+package conformance
+
+import "vnettracer/internal/sim"
+
+// Scenario declares one conformance run. The zero value of every field
+// picks a sane default (see withDefaults), so scenarios list only what
+// they exercise. All times are simulated nanoseconds.
+type Scenario struct {
+	Name string
+	Seed int64
+
+	// Cluster shape.
+	Agents    int // number of traced machines (default 2)
+	CPUs      int // simulated CPUs (= per-CPU rings) per machine (default 2)
+	RingBytes int // per-CPU ring capacity in bytes (default 16 KiB)
+
+	// Per-agent clock error, cycled across agents. Offsets must be
+	// non-negative (a monotonic clock never reads negative).
+	ClockOffsetsNs []int64
+	ClockDriftsPPB []int64
+
+	// Agent flush cadence and spool bound. SpoolBytes 0 keeps the
+	// control-plane default; set it small to force evictions.
+	FlushEveryNs int64
+	SpoolBytes   int
+
+	// Workload: Packets UDP packets, round-robined over Flows five-tuples,
+	// each fired at a source agent (packet k originates at agent k%N) and,
+	// HopDelayNs(+jitter) later, at the next agent's receive probe.
+	Packets    int
+	PayloadLen int
+	Flows      int
+
+	// Burstiness: fire BurstLen packets back-to-back at the same instant
+	// every burst. BurstLen <= 1 spreads packets evenly.
+	BurstLen int
+
+	// Hop transit time and uniform jitter in [0, HopJitterNs).
+	HopDelayNs  int64
+	HopJitterNs int64
+
+	// DropEvery injects packet loss on the wire: every DropEvery-th
+	// packet never reaches the receive probe. 0 disables.
+	DropEvery int
+
+	// Transport faults. The sink rejects every delivery in
+	// [SinkDownFromNs, SinkDownUntilNs). AckLossEvery loses the
+	// acknowledgement of every n-th successful ingest — the collector
+	// keeps the batch, the agent retries it, the ledger must dedup.
+	SinkDownFromNs  int64
+	SinkDownUntilNs int64
+	AckLossEvery    int
+
+	// SinkDownForever keeps the sink down from SinkDownFromNs through
+	// quiesce: records legitimately end the run still spooled.
+	SinkDownForever bool
+
+	// Agent restart: agent RestartAgent's flush loop stops at
+	// RestartAtNs and resumes RestartForNs later (emits keep landing in
+	// the ring; sequence numbering must survive).
+	RestartAtNs  int64
+	RestartForNs int64
+	RestartAgent int
+
+	// HorizonNs is the simulated end of the run; quiesce happens there.
+	HorizonNs int64
+}
+
+func (s Scenario) withDefaults() Scenario {
+	if s.Agents <= 0 {
+		s.Agents = 2
+	}
+	if s.CPUs <= 0 {
+		s.CPUs = 2
+	}
+	if s.RingBytes <= 0 {
+		s.RingBytes = 16 * 1024
+	}
+	if s.FlushEveryNs <= 0 {
+		s.FlushEveryNs = sim.Millisecond
+	}
+	if s.Packets <= 0 {
+		s.Packets = 200
+	}
+	if s.PayloadLen <= 0 {
+		s.PayloadLen = 512
+	}
+	if s.Flows <= 0 {
+		s.Flows = 4
+	}
+	if s.BurstLen <= 0 {
+		s.BurstLen = 1
+	}
+	if s.HopDelayNs <= 0 {
+		s.HopDelayNs = 200 * sim.Microsecond
+	}
+	if s.HorizonNs <= 0 {
+		s.HorizonNs = 100 * sim.Millisecond
+	}
+	return s
+}
+
+// Corpus is the scenario suite spanning the fault matrix: clean paths,
+// ring overflow, clock skew, transport outages, lost acks, agent
+// restarts, spool eviction, injected packet loss, and their combination.
+// Every scenario must pass Run with zero violations and replay to the
+// same digest.
+func Corpus() []Scenario {
+	return []Scenario{
+		{
+			// The clean path: no faults, ample buffers. Conservation must
+			// be exact and metric checks all apply.
+			Name: "baseline-steady",
+			Seed: 1,
+		},
+		{
+			// Three agents, more traffic, more flows — still clean.
+			Name:       "three-agent-mesh",
+			Seed:       2,
+			Agents:     3,
+			CPUs:       4,
+			Packets:    600,
+			Flows:      9,
+			PayloadLen: 200,
+		},
+		{
+			// Bursts against small rings: flush cadence can't keep up
+			// inside a burst, so rings overflow and drops must be counted
+			// exactly.
+			Name:      "bursty-emit-ring-drops",
+			Seed:      3,
+			RingBytes: 480, // 10 records per CPU
+			BurstLen:  40,
+			Packets:   400,
+		},
+		{
+			// Large clock offsets and drift on every agent; metric checks
+			// must still land inside the skew-correction bounds.
+			Name:           "skewed-clocks",
+			Seed:           4,
+			Agents:         3,
+			ClockOffsetsNs: []int64{0, 3 * sim.Millisecond, 7 * sim.Millisecond},
+			ClockDriftsPPB: []int64{0, 12000, -9000},
+			HopJitterNs:    20 * sim.Microsecond,
+		},
+		{
+			// Transport outage window mid-run: agents spool and back off,
+			// then drain; nothing may be lost or duplicated.
+			Name:            "flaky-sink-window",
+			Seed:            5,
+			SinkDownFromNs:  30 * sim.Millisecond,
+			SinkDownUntilNs: 60 * sim.Millisecond,
+		},
+		{
+			// Every third ack lost: the collector ingests, the agent
+			// retries, the ledger dedups. Stored records stay exact.
+			Name:         "ack-loss",
+			Seed:         6,
+			AckLossEvery: 3,
+		},
+		{
+			// Agent 0's flush loop pauses for a third of the run; its ring
+			// keeps filling and its Seq stream must survive the restart.
+			Name:         "agent-restart",
+			Seed:         7,
+			Agents:       3,
+			RestartAtNs:  25 * sim.Millisecond,
+			RestartForNs: 35 * sim.Millisecond,
+			RestartAgent: 0,
+		},
+		{
+			// Long outage against a tiny spool: evictions are the only
+			// permitted loss, and seq gaps must equal evicted batches.
+			Name:            "spool-overflow",
+			Seed:            8,
+			SpoolBytes:      4 * 1024,
+			SinkDownFromNs:  20 * sim.Millisecond,
+			SinkDownUntilNs: 80 * sim.Millisecond,
+			Packets:         400,
+		},
+		{
+			// Injected wire loss: every 5th packet vanishes between the
+			// probes. metrics.Loss must read exactly the injected count.
+			Name:      "wire-loss",
+			Seed:      9,
+			DropEvery: 5,
+			Packets:   500,
+		},
+		{
+			// Sink dies and never recovers: at quiesce the spool still
+			// holds records, and conservation must account for them.
+			Name:            "sink-down-forever",
+			Seed:            10,
+			SinkDownFromNs:  50 * sim.Millisecond,
+			SinkDownForever: true,
+		},
+		{
+			// Everything at once: four skewed agents, bursts, ack loss, an
+			// outage window, a restart, and injected wire loss.
+			Name:            "kitchen-sink",
+			Seed:            11,
+			Agents:          4,
+			CPUs:            3,
+			Packets:         800,
+			Flows:           8,
+			BurstLen:        20,
+			ClockOffsetsNs:  []int64{0, 2 * sim.Millisecond, 5 * sim.Millisecond, 1 * sim.Millisecond},
+			ClockDriftsPPB:  []int64{4000, -3000, 8000, 0},
+			HopJitterNs:     30 * sim.Microsecond,
+			DropEvery:       7,
+			AckLossEvery:    5,
+			SinkDownFromNs:  40 * sim.Millisecond,
+			SinkDownUntilNs: 55 * sim.Millisecond,
+			RestartAtNs:     60 * sim.Millisecond,
+			RestartForNs:    20 * sim.Millisecond,
+			RestartAgent:    2,
+		},
+	}
+}

@@ -3,6 +3,7 @@ package control
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"vnettracer/internal/core"
@@ -200,7 +201,8 @@ func (a *Agent) Handle(name string) (*core.AttachHandle, bool) {
 	return ls.handle, true
 }
 
-// Installed lists installed script names.
+// Installed lists installed script names in sorted order, so two agents
+// with the same scripts report identically regardless of install order.
 func (a *Agent) Installed() []string {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -208,6 +210,7 @@ func (a *Agent) Installed() []string {
 	for name := range a.loaded {
 		out = append(out, name)
 	}
+	sort.Strings(out)
 	return out
 }
 

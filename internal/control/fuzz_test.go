@@ -1,0 +1,107 @@
+package control
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"vnettracer/internal/core"
+)
+
+// fuzzBatch is a representative sequenced batch used to seed the fuzzer
+// with valid frames in every wire format.
+func fuzzBatch() RecordBatch {
+	b := RecordBatch{Agent: "agent-1", AgentTimeNs: 987654321, RingDrops: 3, Seq: 12}
+	for i := 0; i < 3; i++ {
+		b.Records = append(b.Records, core.Record{
+			TraceID: uint32(i + 1),
+			TPID:    2,
+			TimeNs:  uint64(1000 + i),
+			Len:     600,
+			CPU:     uint32(i),
+			Seq:     uint64(40 + i),
+			SrcIP:   0x0a000001,
+			DstIP:   0x0a000002,
+			SrcPort: 5000,
+			DstPort: 9000,
+			Proto:   17,
+			Dir:     1,
+		})
+	}
+	return b
+}
+
+// FuzzDecodeBatchFrame feeds the collector's frame decoder arbitrary
+// bytes plus mutations of valid v1 (JSON), v2, and v3 frames. The
+// decoder must either return an error or a well-formed batch — never
+// panic, and never allocate a record slice larger than the frame could
+// possibly carry (the count field is attacker-controlled). Whatever
+// decodes must survive a re-encode/re-decode round trip unchanged.
+func FuzzDecodeBatchFrame(f *testing.F) {
+	b := fuzzBatch()
+	v3, err := EncodeBatchFrame(&b)
+	if err != nil {
+		f.Fatal(err)
+	}
+	v1, err := EncodeBatchFrameJSON(&b)
+	if err != nil {
+		f.Fatal(err)
+	}
+	empty, err := EncodeBatchFrame(&RecordBatch{Agent: "hb", AgentTimeNs: 5})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{batchMagic})
+	f.Add(v3)
+	f.Add(v1)
+	f.Add(empty)
+	f.Add(encodeBatchFrameV2(&b))
+	f.Add(v3[:len(v3)-1]) // truncated record tail
+	f.Add(v3[:31])        // truncated v3 header
+	// Mutations the decoder must reject cleanly: bad version, a count
+	// field claiming far more records than the body holds.
+	bad := append([]byte(nil), v3...)
+	bad[1] = 9
+	f.Add(bad)
+	huge := append([]byte(nil), v3...)
+	binary.LittleEndian.PutUint32(huge[20:], 1<<30)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		got, err := DecodeBatchFrame(body)
+		if err != nil {
+			return
+		}
+		if len(body) > 0 && body[0] == batchMagic {
+			// A binary frame carries exactly count*48 record bytes; a
+			// decoded slice longer than the body proves the decoder
+			// trusted the count field over the data.
+			if want := len(got.Records) * core.RecordSize; want > len(body) {
+				t.Fatalf("decoded %d records (%d bytes) from a %d-byte frame", len(got.Records), want, len(body))
+			}
+		}
+		reenc, err := AppendBatchFrame(nil, &got)
+		if err != nil {
+			// Legal only for batches a binary frame cannot represent —
+			// e.g. a JSON envelope with an oversized agent name.
+			if len(got.Agent) <= 1<<16-1 {
+				t.Fatalf("re-encode of decodable batch failed: %v", err)
+			}
+			return
+		}
+		rt, err := DecodeBatchFrame(reenc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if rt.Agent != got.Agent || rt.AgentTimeNs != got.AgentTimeNs ||
+			rt.RingDrops != got.RingDrops || rt.Seq != got.Seq ||
+			len(rt.Records) != len(got.Records) {
+			t.Fatalf("round trip changed batch: %+v vs %+v", rt, got)
+		}
+		for i := range rt.Records {
+			if rt.Records[i] != got.Records[i] {
+				t.Fatalf("round trip changed record %d: %+v vs %+v", i, rt.Records[i], got.Records[i])
+			}
+		}
+	})
+}

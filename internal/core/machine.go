@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"vnettracer/internal/ebpf"
 	"vnettracer/internal/kernel"
@@ -129,12 +130,14 @@ func (m *Machine) Device(name string) (*vnet.NetDev, bool) {
 	return d, ok
 }
 
-// Devices lists registered device names.
+// Devices lists registered device names in sorted order — callers print
+// and compare this, so it must not depend on map iteration order.
 func (m *Machine) Devices() []string {
 	out := make([]string, 0, len(m.devices))
 	for name := range m.devices {
 		out = append(out, name)
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -1,0 +1,165 @@
+package ebpf_test
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"vnettracer/internal/core"
+	"vnettracer/internal/ebpf"
+	"vnettracer/internal/kernel"
+	"vnettracer/internal/script"
+	"vnettracer/internal/vnet"
+)
+
+// maxFuzzInsns caps decoded program length: long garbage programs only
+// slow exploration without reaching new verifier states.
+const maxFuzzInsns = 512
+
+// insnsFromBytes decodes 8-byte chunks into instructions, mirroring the
+// kernel's bpf_insn layout closely enough that byte-level mutation
+// explores opcodes, registers (including out-of-range ones — the upper
+// nibbles reach 15), offsets, and immediates.
+func insnsFromBytes(data []byte) []ebpf.Insn {
+	n := len(data) / 8
+	if n > maxFuzzInsns {
+		n = maxFuzzInsns
+	}
+	out := make([]ebpf.Insn, n)
+	for i := range out {
+		d := data[i*8:]
+		out[i] = ebpf.Insn{
+			Op:  d[0],
+			Dst: ebpf.Reg(d[1] & 0x0f),
+			Src: ebpf.Reg(d[1] >> 4),
+			Off: int16(binary.LittleEndian.Uint16(d[2:4])),
+			Imm: int32(binary.LittleEndian.Uint32(d[4:8])),
+		}
+	}
+	return out
+}
+
+func insnsToBytes(insns []ebpf.Insn) []byte {
+	out := make([]byte, len(insns)*8)
+	for i, ins := range insns {
+		d := out[i*8:]
+		d[0] = ins.Op
+		d[1] = byte(ins.Dst&0x0f) | byte(ins.Src)<<4
+		binary.LittleEndian.PutUint16(d[2:4], uint16(ins.Off))
+		binary.LittleEndian.PutUint32(d[4:8], uint32(ins.Imm))
+	}
+	return out
+}
+
+func fuzzMaps(t *testing.T) []ebpf.Map {
+	t.Helper()
+	h, err := ebpf.NewHashMap(4, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ebpf.NewArrayMap(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ebpf.NewPerCPUArray(8, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []ebpf.Map{h, a, p}
+}
+
+// fuzzEnv is a deterministic helper environment: both execution engines
+// must observe identical helper results for the differential check to be
+// meaningful.
+type fuzzEnv struct {
+	ktime uint64
+	prand uint32
+}
+
+func (e *fuzzEnv) KtimeNs() uint64 { e.ktime += 1000; return e.ktime }
+
+func (e *fuzzEnv) SMPProcessorID() uint32 { return 1 }
+
+func (e *fuzzEnv) PrandomU32() uint32 { e.prand = e.prand*1664525 + 1013904223; return e.prand }
+
+func (e *fuzzEnv) PerfEventOutput(data []byte) bool { return true }
+
+func (e *fuzzEnv) TracePrintk(msg string) {}
+
+// FuzzVerifyProgram throws arbitrary instruction streams at the
+// verifier. The verifier must reject malformed programs with an error —
+// never panic, regardless of opcode garbage, out-of-range registers, or
+// wild jump offsets. Programs it accepts are its soundness claim, so
+// they then actually execute on both engines (threaded code and the
+// interpreter) against a 64-byte ctx: execution may fail at runtime
+// (division by zero, map misses), but it must not panic, and both
+// engines must agree on the result — a divergence is a miscompile.
+func FuzzVerifyProgram(f *testing.F) {
+	// Seed with real accepted programs: the trivial return, a compiled
+	// record script (the production codepath), and small map/helper
+	// exercises — plus near-miss mutations the verifier must reject.
+	f.Add(insnsToBytes([]ebpf.Insn{
+		ebpf.Mov64Imm(ebpf.R0, 0),
+		ebpf.Exit(),
+	}))
+	spec := script.Spec{
+		Name:    "fuzzseed",
+		TPID:    7,
+		Attach:  core.AttachPoint{Kind: core.AttachKProbe, Site: kernel.SiteUDPRecvmsg},
+		Filter:  script.Filter{Proto: vnet.ProtoUDP},
+		Actions: []script.Action{script.ActionRecord},
+	}
+	if insns, _, err := script.CompileToInsns(spec); err == nil {
+		f.Add(insnsToBytes(insns))
+	} else {
+		f.Fatalf("compile seed script: %v", err)
+	}
+	f.Add(insnsToBytes([]ebpf.Insn{ // ctx load + ALU + helper call
+		ebpf.LoadMem(ebpf.R1, ebpf.R1, 0, ebpf.SizeW),
+		ebpf.Mov64Reg(ebpf.R0, ebpf.R1),
+		ebpf.ALU64Imm(ebpf.ALUAdd, ebpf.R0, 7),
+		ebpf.Call(ebpf.HelperKtimeGetNs),
+		ebpf.Exit(),
+	}))
+	f.Add(insnsToBytes([]ebpf.Insn{ // unterminated: must be rejected
+		ebpf.Mov64Imm(ebpf.R0, 0),
+	}))
+	f.Add(insnsToBytes([]ebpf.Insn{ // uninitialized register read
+		ebpf.Mov64Reg(ebpf.R0, ebpf.R5),
+		ebpf.Exit(),
+	}))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		insns := insnsFromBytes(data)
+		if err := ebpf.Verify(insns, fuzzMaps(t), core.CtxSize); err != nil {
+			return // rejected cleanly — exactly what the verifier is for
+		}
+		run := func(interp bool) (uint64, error) {
+			prog, err := ebpf.Load(ebpf.ProgramSpec{
+				Name:    "fuzz",
+				Type:    ebpf.ProgTypeKprobe,
+				Insns:   insns,
+				Maps:    fuzzMaps(t), // fresh maps per engine: runs must not share state
+				CtxSize: core.CtxSize,
+			})
+			if err != nil {
+				t.Fatalf("Verify accepted but Load rejected: %v", err)
+			}
+			ctx := make([]byte, core.CtxSize)
+			if interp {
+				r0, _, err := prog.RunInterpreted(ctx, &fuzzEnv{})
+				return r0, err
+			}
+			r0, _, err := prog.Run(ctx, &fuzzEnv{})
+			return r0, err
+		}
+		r0Threaded, errThreaded := run(false)
+		r0Interp, errInterp := run(true)
+		if (errThreaded == nil) != (errInterp == nil) {
+			t.Fatalf("engines disagree on failure: threaded err=%v, interp err=%v", errThreaded, errInterp)
+		}
+		if errThreaded == nil && r0Threaded != r0Interp {
+			t.Fatalf("engines disagree on r0: threaded %#x, interp %#x", r0Threaded, r0Interp)
+		}
+	})
+}

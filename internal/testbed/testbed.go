@@ -13,6 +13,7 @@ package testbed
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"vnettracer/internal/control"
 	"vnettracer/internal/core"
@@ -122,9 +123,20 @@ func (tr *Tracing) InstallSpec(machine string, spec script.Spec) error {
 // kernel buffer (the paper dumps the buffer periodically for the same
 // reason).
 func (tr *Tracing) StartFlushing(intervalNs int64) {
-	for _, a := range tr.agents {
-		a.StartFlushing(intervalNs)
+	for _, name := range tr.agentNames() {
+		tr.agents[name].StartFlushing(intervalNs)
 	}
+}
+
+// agentNames returns machine names in sorted order: flush-timer creation
+// order feeds the deterministic engine, so it must not follow map order.
+func (tr *Tracing) agentNames() []string {
+	names := make([]string, 0, len(tr.agents))
+	for name := range tr.agents {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // FlushAll drains every agent to the collector (offline collection at
@@ -132,8 +144,8 @@ func (tr *Tracing) StartFlushing(intervalNs int64) {
 // come back joined so no machine's final records are silently stranded.
 func (tr *Tracing) FlushAll() error {
 	var errs []error
-	for _, a := range tr.agents {
-		if err := a.Flush(); err != nil {
+	for _, name := range tr.agentNames() {
+		if err := tr.agents[name].Flush(); err != nil {
 			errs = append(errs, err)
 		}
 	}

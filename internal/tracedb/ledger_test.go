@@ -119,3 +119,29 @@ func TestAlignClampsAtZero(t *testing.T) {
 		t.Fatalf("FirstByTraceID = %d, want clamped 0", r.TimeNs)
 	}
 }
+
+// TestAlignNegativeSkew: a node whose clock runs *behind* the collector
+// reference has a negative skew estimate; subtracting it must shift
+// timestamps forward without wrapping or clamping — the clamp guards
+// underflow only, and must never fire on the negative-skew side.
+func TestAlignNegativeSkew(t *testing.T) {
+	db := New()
+	db.Insert([]core.Record{
+		{TPID: 1, TraceID: 1, TimeNs: 0}, // even a zero timestamp moves forward
+		{TPID: 1, TraceID: 2, TimeNs: 7000},
+	})
+	tbl, _ := db.Table(1)
+	db.SetSkew(1, -2500)
+
+	want := map[uint32]uint64{1: 2500, 2: 9500}
+	tbl.ScanAligned(func(r core.Record) bool {
+		if r.TimeNs != want[r.TraceID] {
+			t.Fatalf("ScanAligned trace %d = %d, want %d", r.TraceID, r.TimeNs, want[r.TraceID])
+		}
+		return true
+	})
+	r, ok := tbl.FirstByTraceID(1)
+	if !ok || r.TimeNs != 2500 {
+		t.Fatalf("FirstByTraceID = %d, want 2500", r.TimeNs)
+	}
+}

@@ -1,0 +1,104 @@
+package vnet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// maxFuzzPayload keeps the IPv4 TotalLen (a uint16 covering IP header +
+// UDP header + payload + trace ID) in range; beyond it Marshal would
+// silently truncate the length field, which is a length-field limit, not
+// a trace-ID bug.
+const maxFuzzPayload = 65000
+
+// FuzzTraceIDStrip proves the paper's UDP trace-ID carriage round-trips:
+// append the 4-byte ID with __skb_put semantics (PutUDPTraceID),
+// serialize, parse the wire bytes back (which validates the IPv4
+// checksum), strip the ID with pskb_trim_rcsum semantics
+// (TrimUDPTraceID), and require the original payload and the original
+// wire bytes — checksum included — back, for every payload length
+// including 0 and the MTU edge. Trimming a packet that never carried an
+// ID must error, never panic or fabricate one.
+func FuzzTraceIDStrip(f *testing.F) {
+	f.Add([]byte{}, uint32(0))
+	f.Add([]byte{}, uint32(0xdeadbeef))
+	f.Add([]byte("x"), uint32(1))
+	f.Add([]byte("abc"), uint32(0xffffffff))
+	f.Add(bytes.Repeat([]byte{0xa5}, 1468), uint32(7)) // 1500-byte MTU minus IP+UDP+ID
+	f.Add(bytes.Repeat([]byte{0x5a}, 1472), uint32(9)) // fills the MTU before the ID
+	f.Add(bytes.Repeat([]byte{1}, 9000), uint32(42))   // jumbo
+
+	f.Fuzz(func(t *testing.T, payload []byte, id uint32) {
+		if len(payload) > maxFuzzPayload {
+			payload = payload[:maxFuzzPayload]
+		}
+		mk := func() *Packet {
+			return &Packet{
+				Eth:     EthernetHeader{EtherType: EtherTypeIPv4},
+				IP:      IPv4Header{TTL: 64, Protocol: ProtoUDP, Src: 0x0a000001, Dst: 0x0a000002},
+				UDP:     &UDPHeader{SrcPort: 5000, DstPort: 9000},
+				Payload: append([]byte(nil), payload...),
+			}
+		}
+
+		base := mk()
+		baseWire, err := base.Marshal()
+		if err != nil {
+			t.Fatalf("marshal base packet: %v", err)
+		}
+
+		sent := mk()
+		if err := sent.PutUDPTraceID(id); err != nil {
+			t.Fatalf("PutUDPTraceID: %v", err)
+		}
+		if sent.TraceID != id {
+			t.Fatalf("PutUDPTraceID set TraceID %d, want %d", sent.TraceID, id)
+		}
+		onWire, err := sent.Marshal()
+		if err != nil {
+			t.Fatalf("marshal traced packet: %v", err)
+		}
+		if len(onWire) != len(baseWire)+4 {
+			t.Fatalf("traced frame is %d bytes, want base %d + 4", len(onWire), len(baseWire))
+		}
+
+		// The receiver parses wire bytes (IPv4 checksum validated) and
+		// trims the ID off the payload tail.
+		rx, err := UnmarshalPacket(onWire, 0)
+		if err != nil {
+			t.Fatalf("unmarshal traced packet: %v", err)
+		}
+		got, err := rx.TrimUDPTraceID()
+		if err != nil {
+			t.Fatalf("TrimUDPTraceID: %v", err)
+		}
+		if got != id {
+			t.Fatalf("trimmed trace ID %#x, want %#x", got, id)
+		}
+		if !bytes.Equal(rx.Payload, payload) {
+			t.Fatalf("payload did not round-trip: %d bytes vs %d", len(rx.Payload), len(payload))
+		}
+		// Re-serializing the trimmed packet must reproduce the original
+		// frame exactly — lengths and checksum recompute to the
+		// pre-insertion values.
+		reWire, err := rx.Marshal()
+		if err != nil {
+			t.Fatalf("marshal trimmed packet: %v", err)
+		}
+		if !bytes.Equal(reWire, baseWire) {
+			t.Fatalf("trimmed frame differs from original (%d vs %d bytes)", len(reWire), len(baseWire))
+		}
+
+		// A packet that never carried an ID must refuse to trim once the
+		// payload is too short to hold one — and a trim of a >=4-byte
+		// untraced payload merely returns the payload tail, never panics.
+		bare := mk()
+		if len(payload) < 4 {
+			if _, err := bare.TrimUDPTraceID(); err == nil {
+				t.Fatal("TrimUDPTraceID invented an ID from a short untraced payload")
+			}
+		} else if _, err := bare.TrimUDPTraceID(); err != nil {
+			t.Fatalf("TrimUDPTraceID on untraced payload: %v", err)
+		}
+	})
+}

@@ -3,6 +3,7 @@ package vnettracer
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"vnettracer/internal/control"
 	"vnettracer/internal/metrics"
@@ -100,10 +101,21 @@ func (s *Session) Uninstall(machine, label string) error {
 	return s.dispatcher.Push(machine, ControlPackage{Uninstall: []string{label}})
 }
 
+// agentNames returns the registered machine names in sorted order so
+// flush timers and error lists are deterministic across runs.
+func (s *Session) agentNames() []string {
+	names := make([]string, 0, len(s.agents))
+	for name := range s.agents {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // StartFlushing arms periodic ring-buffer flushes on every agent.
 func (s *Session) StartFlushing(intervalNs int64) {
-	for _, a := range s.agents {
-		a.StartFlushing(intervalNs)
+	for _, name := range s.agentNames() {
+		s.agents[name].StartFlushing(intervalNs)
 	}
 }
 
@@ -112,8 +124,8 @@ func (s *Session) StartFlushing(intervalNs int64) {
 // failed flush stay in that agent's delivery spool for retry.
 func (s *Session) Flush() error {
 	var errs []error
-	for _, a := range s.agents {
-		if err := a.Flush(); err != nil {
+	for _, name := range s.agentNames() {
+		if err := s.agents[name].Flush(); err != nil {
 			errs = append(errs, err)
 		}
 	}
