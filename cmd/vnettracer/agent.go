@@ -26,6 +26,7 @@ func runAgent(args []string) error {
 	listen := fs.String("listen", ":7702", "address to accept control packages on")
 	collector := fs.String("collector", "", "collector address (host:port)")
 	rate := fs.Int("pps", 1000, "demo workload packets per second")
+	epoch := fs.Uint64("epoch", 0, "registration epoch lease; stamp a higher value after a restart so the collector fences the old incarnation's stragglers")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -70,6 +71,9 @@ func runAgent(args []string) error {
 	sink := control.NewTCPSink(*collector)
 	defer sink.Close()
 	agent := control.NewAgent(*name, machine, sink)
+	if *epoch > 0 {
+		agent.SetEpoch(*epoch)
+	}
 
 	// The engine is single-threaded: serialize control-plane Apply calls
 	// with the real-time pump.
@@ -104,6 +108,10 @@ func runAgent(args []string) error {
 			if rs.Drops > 0 {
 				fmt.Fprintf(os.Stderr, "ring drops at shutdown: %d total across %d per-CPU rings %v\n",
 					rs.Drops, rs.Rings, rs.PerRingDrops)
+			}
+			if ds := agent.DegradeStats(); ds.Degradations > 0 {
+				fmt.Fprintf(os.Stderr, "overload degradation: entered %d times (recovered %d), %d stretched flushes, %d ring writes sampled away\n",
+					ds.Degradations, ds.Recoveries, ds.StretchedIntervals, ds.SampleDrops)
 			}
 			fmt.Println("\nagent shutting down")
 			return err

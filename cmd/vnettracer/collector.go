@@ -63,8 +63,9 @@ func runCollector(args []string) error {
 			batches, records, drops := col.Stats()
 			_, dropped := col.IngestStats()
 			dupB, dupR, missing := col.DeliveryStats()
-			fmt.Printf("\nshutting down: %d batches, %d records, %d ring drops, %d dropped batches, %d dup batches (%d records), %d missing batches, %d tables\n",
-				batches, records, drops, dropped, dupB, dupR, missing, len(db.Tables()))
+			fencedB, fencedR := col.FencedStats()
+			fmt.Printf("\nshutting down: %d batches, %d records, %d ring drops, %d dropped batches, %d dup batches (%d records), %d missing batches, %d fenced batches (%d records), %d tables\n",
+				batches, records, drops, dropped, dupB, dupR, missing, fencedB, fencedR, len(db.Tables()))
 			return nil
 		case <-tick.C:
 			_, records, _ := col.Stats()

@@ -7,6 +7,12 @@
 //	vntquery -in records.jsonl -tp 1                # throughput at tracepoint 1
 //	vntquery -in records.jsonl -from 1 -to 2        # latency/jitter/loss 1 -> 2
 //	vntquery -in records.jsonl -from 1 -to 2 -skew 150000
+//	vntquery agents -in records.jsonl               # per-agent supervision ledger
+//
+// The agents subcommand replays the dump through the epoch-aware delivery
+// ledger and reports, per agent: the registration epoch, last heartbeat,
+// sequence progress, missing/duplicate batches, fenced (stale-epoch)
+// traffic, and the self-reported degradation level.
 package main
 
 import (
@@ -22,6 +28,23 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "agents" {
+		fs := flag.NewFlagSet("agents", flag.ExitOnError)
+		in := fs.String("in", "", "records.jsonl produced by the collector")
+		stale := fs.Int64("stale", 0, "mark agents whose last heartbeat trails the newest by more than this many ns")
+		if err := fs.Parse(os.Args[2:]); err != nil {
+			os.Exit(2)
+		}
+		if *in == "" {
+			fs.Usage()
+			os.Exit(2)
+		}
+		if err := runAgents(*in, *stale); err != nil {
+			fmt.Fprintf(os.Stderr, "vntquery: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	in := flag.String("in", "", "records.jsonl produced by the collector")
 	tp := flag.Uint("tp", 0, "tracepoint for throughput")
 	flows := flag.Bool("flows", false, "with -tp: print per-flow throughput")
@@ -37,6 +60,63 @@ func main() {
 		fmt.Fprintf(os.Stderr, "vntquery: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runAgents replays a trace dump through the epoch-aware delivery ledger
+// (the same AdmitBatch path the live collector runs) and prints each
+// agent's supervision state.
+func runAgents(path string, staleNs int64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	db := tracedb.New()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lines := 0
+	var newest int64
+	for sc.Scan() {
+		var batch control.RecordBatch
+		if err := json.Unmarshal(sc.Bytes(), &batch); err != nil {
+			return fmt.Errorf("line %d: %w", lines+1, err)
+		}
+		db.AdmitBatch(batch.Agent, batch.Epoch, batch.Seq, len(batch.Records), batch.AgentTimeNs, batch.Degraded)
+		if batch.AgentTimeNs > newest {
+			newest = batch.AgentTimeNs
+		}
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d batches\n", lines)
+
+	levels := []string{"full", "stretched-flush", "sampling"}
+	for _, name := range db.Agents() {
+		l, ok := db.Ledger(name)
+		if !ok {
+			continue
+		}
+		level := fmt.Sprintf("level %d", l.Degraded)
+		if int(l.Degraded) < len(levels) {
+			level = levels[l.Degraded]
+		}
+		mark := ""
+		if staleNs > 0 && newest-l.LastSeenNs > staleNs {
+			mark = "  STALE"
+		}
+		fmt.Printf("agent %s: epoch %d, last heartbeat t=%dns, degradation %s%s\n",
+			name, l.Epoch, l.LastSeenNs, level, mark)
+		fmt.Printf("  seq: high-water %d / max %d, pending %d, missing %d, duplicates %d\n",
+			l.HighWaterSeq, l.MaxSeq, l.PendingBatches, l.MissingBatches, l.DupBatches)
+		if l.FencedBatches > 0 {
+			fmt.Printf("  fenced: %d stale-epoch batches rejected, %d records lost to fencing\n",
+				l.FencedBatches, l.FencedRecords)
+		}
+	}
+	return nil
 }
 
 func run(path string, tp, from, to uint32, skew int64, flows bool) error {

@@ -36,6 +36,30 @@ func TestScenarioCorpus(t *testing.T) {
 		"spool-overflow":         func(r *Result) (string, uint64) { return "evicted records", sumAgents(r, func(a AgentReport) uint64 { return a.Evicted }) },
 		"sink-down-forever":      func(r *Result) (string, uint64) { return "records spooled at quiesce", sumAgents(r, func(a AgentReport) uint64 { return a.Spooled }) },
 		"kitchen-sink":           func(r *Result) (string, uint64) { return "deduped batches", r.DupBatches },
+		"agent-restart-reprovision": func(r *Result) (string, uint64) {
+			if r.Supervisor.Reprovisions == 0 {
+				return "supervisor re-provisions", 0
+			}
+			return "unattended fires in the dead window", r.UnattendedFires
+		},
+		"zombie-epoch-fencing": func(r *Result) (string, uint64) {
+			if r.FencedBatches == 0 {
+				return "fenced batches", 0
+			}
+			return "fenced records", r.FencedRecords
+		},
+		"collector-overload-degrade": func(r *Result) (string, uint64) {
+			if r.OverloadAcks == 0 {
+				return "pressured acks", 0
+			}
+			if sumAgents(r, func(a AgentReport) uint64 { return a.Degradations }) == 0 {
+				return "degradations", 0
+			}
+			if sumAgents(r, func(a AgentReport) uint64 { return a.SampleDrops }) == 0 {
+				return "sampled-away ring writes", 0
+			}
+			return "recoveries", sumAgents(r, func(a AgentReport) uint64 { return a.Recoveries })
+		},
 	}
 	for _, sc := range Corpus() {
 		sc := sc
@@ -80,6 +104,7 @@ func TestCorpusCoversFaultMatrix(t *testing.T) {
 		t.Fatalf("corpus has %d scenarios, want >= 10", len(corpus))
 	}
 	var bursts, skew, outage, ackLoss, restart, spool, wireLoss, forever bool
+	var kill, zombie, overload bool
 	names := make(map[string]bool)
 	for _, sc := range corpus {
 		if names[sc.Name] {
@@ -94,16 +119,22 @@ func TestCorpusCoversFaultMatrix(t *testing.T) {
 		spool = spool || sc.SpoolBytes > 0
 		wireLoss = wireLoss || sc.DropEvery > 0
 		forever = forever || sc.SinkDownForever
+		kill = kill || sc.KillRebootAfterNs > 0
+		zombie = zombie || sc.ZombieFlushAtNs > 0
+		overload = overload || sc.OverloadCap > 0
 	}
 	for axis, covered := range map[string]bool{
-		"bursty emit":       bursts,
-		"clock skew":        skew,
-		"sink outage":       outage,
-		"ack loss":          ackLoss,
-		"agent restart":     restart,
-		"spool overflow":    spool,
-		"wire loss":         wireLoss,
-		"sink down forever": forever,
+		"bursty emit":        bursts,
+		"clock skew":         skew,
+		"sink outage":        outage,
+		"ack loss":           ackLoss,
+		"agent restart":      restart,
+		"spool overflow":     spool,
+		"wire loss":          wireLoss,
+		"sink down forever":  forever,
+		"kill and reboot":    kill,
+		"zombie stale epoch": zombie,
+		"collector overload": overload,
 	} {
 		if !covered {
 			t.Errorf("fault axis %q not covered by any corpus scenario", axis)
@@ -144,7 +175,10 @@ func TestSeedSweep(t *testing.T) {
 	for _, sc := range Corpus() {
 		byName[sc.Name] = sc
 	}
-	for _, name := range []string{"baseline-steady", "bursty-emit-ring-drops", "spool-overflow", "kitchen-sink"} {
+	for _, name := range []string{
+		"baseline-steady", "bursty-emit-ring-drops", "spool-overflow", "kitchen-sink",
+		"agent-restart-reprovision", "zombie-epoch-fencing", "collector-overload-degrade",
+	} {
 		base, ok := byName[name]
 		if !ok {
 			t.Fatalf("sweep scenario %q not in corpus", name)

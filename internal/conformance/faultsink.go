@@ -32,21 +32,36 @@ type faultSink struct {
 	ingests      int // successful inner ingests, for ack-loss cadence
 	healed       bool
 
-	attempts    uint64
-	rejected    uint64
-	acksLost    uint64
-	acksLostSeq uint64 // acks lost on sequenced (Seq != 0) batches
+	// Collector-overload injection: inside the window every ack reports
+	// a queue of overloadDepth/overloadCap; outside it (cap still > 0)
+	// an empty queue of the same capacity, so agents recover.
+	overloadFrom  int64
+	overloadUntil int64
+	overloadDepth int
+	overloadCap   int
+
+	attempts     uint64
+	rejected     uint64
+	acksLost     uint64
+	acksLostSeq  uint64 // acks lost on sequenced (Seq != 0) batches
+	overloadAcks uint64 // acks that reported the overloaded queue
 }
+
+var _ control.AckingRecordSink = (*faultSink)(nil)
 
 func newFaultSink(inner *control.Collector, eng *sim.Engine, sc Scenario, dig *digest) *faultSink {
 	return &faultSink{
-		inner:        inner,
-		eng:          eng,
-		dig:          dig,
-		downFrom:     sc.SinkDownFromNs,
-		downUntil:    sc.SinkDownUntilNs,
-		downOpen:     sc.SinkDownForever,
-		ackLossEvery: sc.AckLossEvery,
+		inner:         inner,
+		eng:           eng,
+		dig:           dig,
+		downFrom:      sc.SinkDownFromNs,
+		downUntil:     sc.SinkDownUntilNs,
+		downOpen:      sc.SinkDownForever,
+		ackLossEvery:  sc.AckLossEvery,
+		overloadFrom:  sc.OverloadFromNs,
+		overloadUntil: sc.OverloadUntilNs,
+		overloadDepth: sc.OverloadDepth,
+		overloadCap:   sc.OverloadCap,
 	}
 }
 
@@ -64,18 +79,29 @@ func (s *faultSink) down(now int64) bool {
 func (s *faultSink) heal() { s.healed = true }
 
 func (s *faultSink) HandleBatch(b control.RecordBatch) error {
+	_, err := s.HandleBatchAck(b)
+	return err
+}
+
+// HandleBatchAck implements control.AckingRecordSink: the agents' deliver
+// path prefers it, so the sink is also where the scenario's backpressure
+// report is forged. Overload scenarios hand every successful delivery an
+// ack claiming the ingest queue is overloadDepth/overloadCap full inside
+// the window and empty (same capacity) outside it; other scenarios return
+// the zero ack — no pressure signal, degradation controller inert.
+func (s *faultSink) HandleBatchAck(b control.RecordBatch) (control.BatchAck, error) {
 	now := s.eng.Now()
 	s.attempts++
 	if s.down(now) {
 		s.rejected++
-		s.dig.logf("deliver t=%d agent=%s seq=%d recs=%d drops=%d outcome=down",
-			now, b.Agent, b.Seq, len(b.Records), b.RingDrops)
-		return errSinkDown
+		s.dig.logf("deliver t=%d agent=%s epoch=%d seq=%d recs=%d drops=%d outcome=down",
+			now, b.Agent, b.Epoch, b.Seq, len(b.Records), b.RingDrops)
+		return control.BatchAck{}, errSinkDown
 	}
 	if err := s.inner.HandleBatch(b); err != nil {
-		s.dig.logf("deliver t=%d agent=%s seq=%d recs=%d drops=%d outcome=err",
-			now, b.Agent, b.Seq, len(b.Records), b.RingDrops)
-		return err
+		s.dig.logf("deliver t=%d agent=%s epoch=%d seq=%d recs=%d drops=%d outcome=err",
+			now, b.Agent, b.Epoch, b.Seq, len(b.Records), b.RingDrops)
+		return control.BatchAck{}, err
 	}
 	s.ingests++
 	if !s.healed && s.ackLossEvery > 0 && s.ingests%s.ackLossEvery == 0 {
@@ -83,11 +109,24 @@ func (s *faultSink) HandleBatch(b control.RecordBatch) error {
 		if b.Seq != 0 {
 			s.acksLostSeq++
 		}
-		s.dig.logf("deliver t=%d agent=%s seq=%d recs=%d drops=%d outcome=acklost",
-			now, b.Agent, b.Seq, len(b.Records), b.RingDrops)
-		return errAckLost
+		s.dig.logf("deliver t=%d agent=%s epoch=%d seq=%d recs=%d drops=%d outcome=acklost",
+			now, b.Agent, b.Epoch, b.Seq, len(b.Records), b.RingDrops)
+		return control.BatchAck{}, errAckLost
 	}
-	s.dig.logf("deliver t=%d agent=%s seq=%d recs=%d drops=%d outcome=ok",
-		now, b.Agent, b.Seq, len(b.Records), b.RingDrops)
-	return nil
+	s.dig.logf("deliver t=%d agent=%s epoch=%d seq=%d recs=%d drops=%d outcome=ok",
+		now, b.Agent, b.Epoch, b.Seq, len(b.Records), b.RingDrops)
+	return s.ack(now), nil
+}
+
+// ack builds the backpressure report for a successful delivery at time
+// now.
+func (s *faultSink) ack(now int64) control.BatchAck {
+	if s.overloadCap <= 0 {
+		return control.BatchAck{}
+	}
+	if !s.healed && now >= s.overloadFrom && now < s.overloadUntil {
+		s.overloadAcks++
+		return control.BatchAck{QueueDepth: s.overloadDepth, QueueCap: s.overloadCap}
+	}
+	return control.BatchAck{QueueDepth: 0, QueueCap: s.overloadCap}
 }

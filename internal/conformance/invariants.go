@@ -21,27 +21,48 @@ func check(sc Scenario, cluster []*agentState, truth *groundTruth, db *tracedb.D
 	for _, st := range cluster {
 		rs := st.agent.RingStats()
 		ss := st.agent.SpoolStats()
+		var zs control.SpoolStats
+		if st.zombie != nil {
+			zs = st.zombie.SpoolStats()
+		}
+		ds := st.agent.DegradeStats()
+		led, ledOK := db.Ledger(st.name)
+		st.fencedBatches, st.fencedRecords = led.FencedBatches, led.FencedRecords
 		fires := truth.table(st.srcTP).fires + truth.table(st.dstTP).fires
 		stored := uint64(tableLen(db, st.srcTP) + tableLen(db, st.dstTP))
 		rep := AgentReport{
-			Name:       st.name,
-			Fires:      fires,
-			RingWrites: rs.Writes,
-			RingDrops:  rs.Drops,
-			Stored:     stored,
-			Spooled:    uint64(ss.Records),
-			Evicted:    ss.EvictedRecords,
-			SkewEstNs:  st.est.SkewNs,
-			SkewTrueNs: st.offsetNs,
+			Name:               st.name,
+			Fires:              fires,
+			Unattended:         st.unattended,
+			RingWrites:         rs.Writes,
+			RingDrops:          rs.Drops,
+			Stored:             stored,
+			Spooled:            uint64(ss.Records),
+			Evicted:            ss.EvictedRecords,
+			SkewEstNs:          st.est.SkewNs,
+			SkewTrueNs:         st.offsetNs,
+			Epoch:              led.Epoch,
+			FencedBatches:      led.FencedBatches,
+			FencedRecords:      led.FencedRecords,
+			ZombieSpooled:      uint64(zs.Records),
+			ZombieEvicted:      zs.EvictedRecords,
+			DegradeLevel:       ds.Level,
+			FlushStretch:       ds.FlushStretch,
+			Degradations:       ds.Degradations,
+			Recoveries:         ds.Recoveries,
+			StretchedIntervals: ds.StretchedIntervals,
+			SampleDrops:        ds.SampleDrops,
 		}
 		res.Agents = append(res.Agents, rep)
+		res.UnattendedFires += st.unattended
 		totalStored += stored
-		totalEvictedBatches += ss.EvictedBatches
-		totalSpooledBatches += uint64(ss.Batches)
+		totalEvictedBatches += ss.EvictedBatches + zs.EvictedBatches
+		totalSpooledBatches += uint64(ss.Batches + zs.Batches)
 
-		// Emit conservation: every probe fire either landed in the ring
-		// or was counted as a drop — nothing vanishes between the eBPF
-		// program and the ring.
+		// Emit conservation: every attended probe fire either landed in
+		// the ring or was counted as a drop — nothing vanishes between the
+		// eBPF program and the ring. (Unattended fires never reached a
+		// program and are excluded from fires by construction.)
 		if fires != rs.Writes+rs.Drops {
 			res.violatef("agent %s: fires %d != ring writes %d + ring drops %d",
 				st.name, fires, rs.Writes, rs.Drops)
@@ -51,30 +72,38 @@ func check(sc Scenario, cluster []*agentState, truth *groundTruth, db *tracedb.D
 			res.violatef("agent %s: %d bytes left in ring after quiesce", st.name, rs.UsedBytes)
 		}
 		// Delivery conservation: every record drained from the ring is
-		// either stored, still spooled, or confirmed evicted.
-		if rs.Writes != stored+uint64(ss.Records)+ss.EvictedRecords {
-			res.violatef("agent %s: ring writes %d != stored %d + spooled %d + evicted %d",
-				st.name, rs.Writes, stored, ss.Records, ss.EvictedRecords)
+		// stored, still spooled (by the live agent or a zombie), confirmed
+		// evicted, or confirmed fenced — the four terminal states, summing
+		// exactly.
+		if rs.Writes != stored+uint64(ss.Records+zs.Records)+ss.EvictedRecords+zs.EvictedRecords+led.FencedRecords {
+			res.violatef("agent %s: ring writes %d != stored %d + spooled %d+%d + evicted %d+%d + fenced %d",
+				st.name, rs.Writes, stored, ss.Records, zs.Records,
+				ss.EvictedRecords, zs.EvictedRecords, led.FencedRecords)
 		}
-		// Ledger gap accounting: once the spool drains, sequence gaps at
-		// the collector exist exactly where the spool evicted. While the
+		// Ledger gap accounting: once the spools drain, sequence gaps at
+		// the collector exist exactly where a spool evicted (fenced gap
+		// batches have already moved from missing to fenced). While the
 		// sink is still down, spooled batches haven't surfaced as gaps
 		// yet, so only the bound applies.
-		led, ok := db.Ledger(st.name)
-		if !ok || led.LastSeenNs <= 0 {
+		evictedBatches := ss.EvictedBatches + zs.EvictedBatches
+		if !ledOK || led.LastSeenNs <= 0 {
 			res.violatef("agent %s: no heartbeat ever reached the collector", st.name)
 		} else if !sc.SinkDownForever {
-			if uint64(ss.Batches) != 0 {
+			if ss.Batches != 0 {
 				res.violatef("agent %s: %d batches still spooled after quiesce with a healthy sink",
 					st.name, ss.Batches)
 			}
-			if led.MissingBatches != ss.EvictedBatches {
-				res.violatef("agent %s: ledger missing %d batches, spool evicted %d",
-					st.name, led.MissingBatches, ss.EvictedBatches)
+			if zs.Batches != 0 {
+				res.violatef("agent %s: zombie still holds %d batches after quiesce with a healthy sink",
+					st.name, zs.Batches)
 			}
-		} else if led.MissingBatches > ss.EvictedBatches {
+			if led.MissingBatches != evictedBatches {
+				res.violatef("agent %s: ledger missing %d batches, spools evicted %d",
+					st.name, led.MissingBatches, evictedBatches)
+			}
+		} else if led.MissingBatches > evictedBatches {
 			res.violatef("agent %s: ledger missing %d batches exceeds evicted %d",
-				st.name, led.MissingBatches, ss.EvictedBatches)
+				st.name, led.MissingBatches, evictedBatches)
 		}
 
 		checkTable(sc, st, st.srcTP, truth, db, res)
@@ -90,6 +119,14 @@ func check(sc Scenario, cluster []*agentState, truth *groundTruth, db *tracedb.D
 	res.Batches, res.Records, res.RingDrops = colBatches, colRecords, colRingDrops
 	res.DupBatches, res.DupRecords, res.MissingBatches = dup, dupRecs, missing
 	res.DeliveryAttempts, res.Rejected, res.AcksLost = sink.attempts, sink.rejected, sink.acksLost
+	res.FencedBatches, res.FencedRecords = col.FencedStats()
+	res.OverloadAcks = sink.overloadAcks
+
+	// The epoch fence fires only when a kill fault created a zombie; any
+	// fenced batch outside that is the ledger fencing a live agent.
+	if sc.KillAtNs <= 0 && res.FencedBatches != 0 {
+		res.violatef("collector fenced %d batches with no kill fault injected", res.FencedBatches)
+	}
 
 	// Exactly-once at batch granularity: every lost acknowledgement on a
 	// sequenced batch causes exactly one duplicate delivery, which the
@@ -111,15 +148,82 @@ func check(sc Scenario, cluster []*agentState, truth *groundTruth, db *tracedb.D
 	}
 
 	checkMetrics(sc, cluster, truth, db, res)
+	checkSupervision(sc, cluster, res)
 
 	// Fold the final accounting into the digest so a run that delivers
 	// the same event trace but different statistics still diverges.
 	for _, rep := range res.Agents {
-		dig.logf("account agent=%s fires=%d writes=%d drops=%d stored=%d spooled=%d evicted=%d skew=%d",
-			rep.Name, rep.Fires, rep.RingWrites, rep.RingDrops, rep.Stored, rep.Spooled, rep.Evicted, rep.SkewEstNs)
+		dig.logf("account agent=%s fires=%d unattended=%d writes=%d drops=%d stored=%d spooled=%d evicted=%d skew=%d epoch=%d fenced=%d/%d zspool=%d degr=%d/%d lvl=%d sdrops=%d",
+			rep.Name, rep.Fires, rep.Unattended, rep.RingWrites, rep.RingDrops, rep.Stored, rep.Spooled,
+			rep.Evicted, rep.SkewEstNs, rep.Epoch, rep.FencedBatches, rep.FencedRecords, rep.ZombieSpooled,
+			rep.Degradations, rep.Recoveries, rep.DegradeLevel, rep.SampleDrops)
 	}
-	dig.logf("account collector records=%d dup=%d missing=%d attempts=%d rejected=%d ackslost=%d",
-		colRecords, dup, missing, sink.attempts, sink.rejected, sink.acksLost)
+	dig.logf("account collector records=%d dup=%d missing=%d attempts=%d rejected=%d ackslost=%d fenced=%d/%d overloadacks=%d",
+		colRecords, dup, missing, sink.attempts, sink.rejected, sink.acksLost,
+		res.FencedBatches, res.FencedRecords, res.OverloadAcks)
+	dig.logf("account supervisor pushes=%d failures=%d retries=%d reprovisions=%d pending=%d",
+		res.Supervisor.Pushes, res.Supervisor.Failures, res.Supervisor.Retries,
+		res.Supervisor.Reprovisions, res.Supervisor.PendingRetries)
+}
+
+// checkSupervision verifies the control-plane supervision mechanisms a
+// scenario arms actually engaged and converged: a killed agent ends the
+// run re-provisioned at a newer epoch, a zombie's late flush is fenced in
+// full, and overload degradation both triggers and fully recovers.
+func checkSupervision(sc Scenario, cluster []*agentState, res *Result) {
+	if sc.KillAtNs > 0 && sc.KillRebootAfterNs > 0 {
+		st := cluster[sc.KillAgent%len(cluster)]
+		if st.zombie == nil {
+			res.violatef("agent %s: kill fault never engaged", st.name)
+			return
+		}
+		if got := st.agent.Epoch(); got < 2 {
+			res.violatef("agent %s: epoch %d after reboot, want >= 2", st.name, got)
+		}
+		if res.Supervisor.Reprovisions == 0 {
+			res.violatef("supervisor recorded no re-provision after an agent reboot")
+		}
+		// Re-provisioning must have restored the full desired state on the
+		// fresh process: both tracepoints back, before the horizon.
+		if n := len(st.agent.Installed()); n != 2 {
+			res.violatef("agent %s: %d scripts installed after re-provision, want 2", st.name, n)
+		}
+		if st.unattended == 0 {
+			res.violatef("agent %s: no unattended fires in the kill window — the dead window proved nothing", st.name)
+		}
+	}
+	if sc.ZombieFlushAtNs > 0 {
+		st := cluster[sc.KillAgent%len(cluster)]
+		if st.fencedBatches == 0 || st.fencedRecords == 0 {
+			res.violatef("agent %s: zombie flush fenced %d batches / %d records, want both > 0",
+				st.name, st.fencedBatches, st.fencedRecords)
+		}
+	}
+	if sc.OverloadCap > 0 {
+		if res.OverloadAcks == 0 {
+			res.violatef("overload window injected no pressured acks")
+		}
+		for _, st := range cluster {
+			ds := st.agent.DegradeStats()
+			if ds.Degradations == 0 {
+				res.violatef("agent %s: never entered a degraded mode under overload", st.name)
+				continue
+			}
+			if ds.StretchedIntervals == 0 {
+				res.violatef("agent %s: degraded but never stretched a flush interval", st.name)
+			}
+			if ds.SampleDrops == 0 {
+				res.violatef("agent %s: high-water overload never engaged ring sampling", st.name)
+			}
+			if ds.Recoveries == 0 {
+				res.violatef("agent %s: never recovered after the overload cleared", st.name)
+			}
+			if ds.Level != 0 || ds.FlushStretch != 1 {
+				res.violatef("agent %s: still degraded at quiesce (level %d, stretch %d)",
+					st.name, ds.Level, ds.FlushStretch)
+			}
+		}
+	}
 }
 
 // checkTable verifies per-table invariants: exactly-once per trace ID,
@@ -276,10 +380,21 @@ func checkMetrics(sc Scenario, cluster []*agentState, truth *groundTruth, db *tr
 }
 
 // machineClean reports whether a machine's record path was lossless:
-// nothing dropped at the ring, nothing evicted, nothing still spooled.
+// nothing dropped at the ring, nothing evicted, nothing still spooled,
+// no fires against a detached probe, and nothing lost to (or stuck in) a
+// zombie incarnation. Only such machines qualify for exact metric checks.
 func machineClean(st *agentState) bool {
 	rs := st.agent.RingStats()
 	ss := st.agent.SpoolStats()
+	if st.unattended != 0 || st.fencedRecords != 0 {
+		return false
+	}
+	if st.zombie != nil {
+		zs := st.zombie.SpoolStats()
+		if zs.Records != 0 || zs.EvictedRecords != 0 {
+			return false
+		}
+	}
 	return rs.Drops == 0 && ss.EvictedRecords == 0 && ss.Records == 0
 }
 

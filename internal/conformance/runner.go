@@ -29,6 +29,22 @@ type agentState struct {
 	machine *core.Machine
 	agent   *control.Agent
 
+	// zombie is the pre-kill agent process after a KillAtNs fault: it no
+	// longer owns the machine's ring but still holds its delivery spool,
+	// and anything it ships carries the stale epoch.
+	zombie *control.Agent
+
+	// unattended counts probe fires that hit a site with no program
+	// attached (the kill-to-reprovision window) — ground truth the
+	// pipeline legitimately never saw.
+	unattended uint64
+
+	// fencedBatches/fencedRecords mirror the collector ledger's fence
+	// counters for this agent; check() fills them before the per-table
+	// and metric passes so cleanliness tests can consult them.
+	fencedBatches uint64
+	fencedRecords uint64
+
 	// srcTP records udp_send_skb fires, dstTP records udp_recvmsg fires;
 	// TPIDs are distinct per agent, so every table belongs to exactly one
 	// machine.
@@ -115,19 +131,42 @@ type Result struct {
 	Batches, Records, RingDrops             uint64
 	DupBatches, DupRecords, MissingBatches  uint64
 	DeliveryAttempts, Rejected, AcksLost    uint64
+	FencedBatches, FencedRecords            uint64
+	UnattendedFires                         uint64
+	OverloadAcks                            uint64
+
+	// Supervisor snapshots the control-plane supervision counters
+	// (pushes, retries, re-provisions) at quiesce.
+	Supervisor control.SupervisorStats
 }
 
 // AgentReport is the per-machine accounting the invariants reconcile.
 type AgentReport struct {
 	Name       string
 	Fires      uint64 // probe fires = emit attempts (ground truth)
+	Unattended uint64 // fires against a detached probe (kill window)
 	RingWrites uint64
 	RingDrops  uint64
 	Stored     uint64 // records landed in this machine's tables
-	Spooled    uint64 // records still spooled at quiesce
-	Evicted    uint64 // records lost to the bounded spool
+	Spooled    uint64 // records still spooled at quiesce (live agent)
+	Evicted    uint64 // records lost to the bounded spool (live agent)
 	SkewEstNs  int64
 	SkewTrueNs int64
+
+	// Supervision-era accounting.
+	Epoch         uint64 // ledger-observed epoch at quiesce
+	FencedBatches uint64 // stale-epoch batches the collector rejected
+	FencedRecords uint64 // record payload confirmed lost to fencing
+	ZombieSpooled uint64 // records still held by the zombie's spool
+	ZombieEvicted uint64 // records the zombie's spool evicted
+
+	// Degradation-controller accounting.
+	DegradeLevel       uint8
+	FlushStretch       int
+	Degradations       uint64
+	Recoveries         uint64
+	StretchedIntervals uint64
+	SampleDrops        uint64
 }
 
 func (r *Result) violatef(format string, args ...any) {
@@ -150,10 +189,13 @@ func Run(sc Scenario) (*Result, error) {
 	col := control.NewCollector(db)
 	sink := newFaultSink(col, eng, sc, dig)
 	disp := control.NewDispatcher()
+	sup := control.NewSupervisor(disp)
+	sup.SetLedger(db)
+	sup.SetJitterSeed(sc.Seed)
 
 	cluster := make([]*agentState, sc.Agents)
 	for i := range cluster {
-		st, err := buildAgent(sc, i, eng, sink, disp, db)
+		st, err := buildAgent(sc, i, eng, sink, disp, sup, db)
 		if err != nil {
 			return nil, err
 		}
@@ -165,18 +207,20 @@ func Run(sc Scenario) (*Result, error) {
 	if err := scheduleWorkload(sc, eng, dist, cluster, truth, dig); err != nil {
 		return nil, err
 	}
-	scheduleFaults(sc, eng, cluster, dig)
+	scheduleFaults(sc, eng, cluster, disp, sink, dig)
+	scheduleSupervision(sc, eng, sup)
 
 	eng.Run(sc.HorizonNs)
 	quiesce(sc, cluster, sink, dig)
 	estimateSkews(sc, cluster, db, res)
 
+	res.Supervisor = sup.Stats()
 	check(sc, cluster, truth, db, col, sink, res, dig)
 	res.Digest = dig.sum()
 	return res, nil
 }
 
-func buildAgent(sc Scenario, i int, eng *sim.Engine, sink control.RecordSink, disp *control.Dispatcher, db *tracedb.DB) (*agentState, error) {
+func buildAgent(sc Scenario, i int, eng *sim.Engine, sink control.RecordSink, disp *control.Dispatcher, sup *control.Supervisor, db *tracedb.DB) (*agentState, error) {
 	name := fmt.Sprintf("agent-%d", i)
 	st := &agentState{
 		idx:      i,
@@ -207,12 +251,16 @@ func buildAgent(sc Scenario, i int, eng *sim.Engine, sink control.RecordSink, di
 	if err := disp.Register(name, st.agent); err != nil {
 		return nil, fmt.Errorf("conformance: %s: %w", sc.Name, err)
 	}
+	st.agent.SetEpoch(disp.Epoch(name))
 	if _, err := db.CreateTable(st.srcTP, name+"/send"); err != nil {
 		return nil, fmt.Errorf("conformance: %s: %w", sc.Name, err)
 	}
 	if _, err := db.CreateTable(st.dstTP, name+"/recv"); err != nil {
 		return nil, fmt.Errorf("conformance: %s: %w", sc.Name, err)
 	}
+	// Provisioning goes through the supervisor: it records the desired
+	// state (and pushes it immediately), so a later kill/reboot fault gets
+	// the same tracepoints re-pushed without the harness re-declaring them.
 	pkg := control.ControlPackage{
 		Install: []script.Spec{
 			recordSpec(name+"/send", st.srcTP, kernel.SiteUDPSendSkb),
@@ -220,7 +268,7 @@ func buildAgent(sc Scenario, i int, eng *sim.Engine, sink control.RecordSink, di
 		},
 		FlushIntervalNs: sc.FlushEveryNs,
 	}
-	if err := disp.Push(name, pkg); err != nil {
+	if err := sup.Desire(name, pkg, eng.Now()); err != nil {
 		return nil, fmt.Errorf("conformance: %s: %w", sc.Name, err)
 	}
 	return st, nil
@@ -296,12 +344,23 @@ func scheduleWorkload(sc Scenario, eng *sim.Engine, dist sim.Dist, cluster []*ag
 		if err := pkt.PutUDPTraceID(id); err != nil {
 			panic(err) // UDP by construction
 		}
+		// A fire against a site with no program attached (the window
+		// between a kill and the supervisor's re-provision) traces
+		// nothing: it is ground truth the pipeline never saw, tracked
+		// separately so conservation stays exact.
+		attached := st.machine.Node.Probes.Attached(site) > 0
 		st.machine.Node.Probes.Fire(&kernel.ProbeCtx{
 			Site:   site,
 			Pkt:    pkt,
 			CPU:    cpu,
 			TimeNs: st.machine.Node.Clock.NowNs(),
 		})
+		if !attached {
+			st.unattended++
+			dig.logf("fire t=%d agent=%s tp=%d id=%d cpu=%d pktseq=%d unattended",
+				eng.Now(), st.name, tpid, id, cpu, pkt.Seq)
+			return
+		}
 		tt := truth.table(tpid)
 		now := eng.Now()
 		if tt.fires == 0 {
@@ -354,21 +413,76 @@ func flowOf(i int) flowTuple {
 	}
 }
 
-// scheduleFaults arms the agent-restart fault (transport faults live in
-// the sink itself).
-func scheduleFaults(sc Scenario, eng *sim.Engine, cluster []*agentState, dig *digest) {
-	if sc.RestartAtNs <= 0 || sc.RestartForNs <= 0 {
+// scheduleFaults arms the agent-restart and kill/reboot faults (transport
+// faults live in the sink itself).
+func scheduleFaults(sc Scenario, eng *sim.Engine, cluster []*agentState, disp *control.Dispatcher, sink *faultSink, dig *digest) {
+	if sc.RestartAtNs > 0 && sc.RestartForNs > 0 {
+		st := cluster[sc.RestartAgent%len(cluster)]
+		eng.Schedule(sc.RestartAtNs, func() {
+			st.agent.StopFlushing()
+			dig.logf("restart-stop t=%d agent=%s", eng.Now(), st.name)
+		})
+		eng.Schedule(sc.RestartAtNs+sc.RestartForNs, func() {
+			st.agent.StartFlushing(sc.FlushEveryNs)
+			dig.logf("restart-start t=%d agent=%s", eng.Now(), st.name)
+		})
+	}
+
+	if sc.KillAtNs > 0 && sc.KillRebootAfterNs > 0 {
+		st := cluster[sc.KillAgent%len(cluster)]
+		eng.Schedule(sc.KillAtNs, func() {
+			// Process death: the flush loop dies and the kernel detaches
+			// the process's probes, but the in-memory spool survives in the
+			// zombie object (a real agent's spool would die with it; keeping
+			// it models the worst case — a paused-then-thawed process that
+			// re-ships under its stale lease).
+			st.agent.StopFlushing()
+			if err := st.agent.Apply(control.ControlPackage{Replace: true}); err != nil {
+				panic(err) // detach-only Replace cannot fail
+			}
+			st.zombie = st.agent
+			dig.logf("kill t=%d agent=%s epoch=%d", eng.Now(), st.name, st.zombie.Epoch())
+		})
+		eng.Schedule(sc.KillAtNs+sc.KillRebootAfterNs, func() {
+			// Reboot: a fresh process takes over the machine under the next
+			// epoch lease, with nothing installed and no flush loop — the
+			// supervisor's next tick must re-push the desired state.
+			fresh := control.NewAgent(st.name, st.machine, sink)
+			if sc.SpoolBytes > 0 {
+				fresh.SetSpoolLimit(sc.SpoolBytes)
+			}
+			fresh.SetEpoch(disp.Reregister(st.name, fresh))
+			st.agent = fresh
+			dig.logf("reboot t=%d agent=%s epoch=%d", eng.Now(), st.name, fresh.Epoch())
+		})
+	}
+
+	if sc.ZombieFlushAtNs > 0 {
+		st := cluster[sc.KillAgent%len(cluster)]
+		eng.Schedule(sc.ZombieFlushAtNs, func() {
+			if st.zombie == nil {
+				return
+			}
+			err := st.zombie.ShipSpooled()
+			ss := st.zombie.SpoolStats()
+			dig.logf("zombie-flush t=%d agent=%s err=%v leftBatches=%d", eng.Now(), st.name, err, ss.Batches)
+		})
+	}
+}
+
+// scheduleSupervision arms the periodic control-plane supervision pass.
+func scheduleSupervision(sc Scenario, eng *sim.Engine, sup *control.Supervisor) {
+	if sc.SuperviseEveryNs <= 0 {
 		return
 	}
-	st := cluster[sc.RestartAgent%len(cluster)]
-	eng.Schedule(sc.RestartAtNs, func() {
-		st.agent.StopFlushing()
-		dig.logf("restart-stop t=%d agent=%s", eng.Now(), st.name)
-	})
-	eng.Schedule(sc.RestartAtNs+sc.RestartForNs, func() {
-		st.agent.StartFlushing(sc.FlushEveryNs)
-		dig.logf("restart-start t=%d agent=%s", eng.Now(), st.name)
-	})
+	var tick func()
+	tick = func() {
+		sup.Tick(eng.Now())
+		if eng.Now()+sc.SuperviseEveryNs <= sc.HorizonNs {
+			eng.Schedule(sc.SuperviseEveryNs, tick)
+		}
+	}
+	eng.Schedule(sc.SuperviseEveryNs, tick)
 }
 
 // quiesce stops the flush loops (their timers would otherwise re-arm
@@ -387,6 +501,15 @@ func quiesce(sc Scenario, cluster []*agentState, sink *faultSink, dig *digest) {
 			st.agent.Flush() // a failed ship keeps records spooled for the next round
 			if st.agent.SpoolStats().Batches > 0 {
 				pending = true
+			}
+			// A zombie's leftovers must also surface before the books
+			// close: shipped stale-epoch batches land as fenced counts,
+			// never as records.
+			if st.zombie != nil && st.zombie.SpoolStats().Batches > 0 {
+				st.zombie.ShipSpooled()
+				if st.zombie.SpoolStats().Batches > 0 {
+					pending = true
+				}
 			}
 		}
 		if !pending || sc.SinkDownForever {

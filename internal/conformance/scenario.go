@@ -85,6 +85,40 @@ type Scenario struct {
 	RestartForNs int64
 	RestartAgent int
 
+	// SuperviseEveryNs arms a periodic control-plane supervision pass:
+	// failed pushes past their backoff deadline are retried and restarted
+	// agents (new epoch lease) get their desired tracepoints re-pushed.
+	// 0 disables the timer (the initial provisioning still goes through
+	// the supervisor either way).
+	SuperviseEveryNs int64
+
+	// Agent kill: agent KillAgent's process dies at KillAtNs — probes
+	// detach, the flush loop stops — and a fresh process boots
+	// KillRebootAfterNs later under a new epoch lease, with nothing
+	// installed until the supervisor re-provisions it. Fires during the
+	// dead window hit no probe and are counted as unattended ground
+	// truth. The dead process lingers as a zombie holding its old spool.
+	KillAtNs          int64
+	KillRebootAfterNs int64
+	KillAgent         int
+
+	// ZombieFlushAtNs makes the killed agent's zombie ship its leftover
+	// spool at this time (schedule it after the reboot): every batch
+	// carries the stale epoch and the collector must fence it — counted,
+	// never ingested.
+	ZombieFlushAtNs int64
+
+	// Collector overload: in [OverloadFromNs, OverloadUntilNs) every
+	// acknowledgement reports an ingest queue of OverloadDepth out of
+	// OverloadCap, driving the agents' adaptive degradation (stretched
+	// flush cadence, then ring head-drop sampling). Outside the window
+	// acks report an empty queue of the same capacity, so agents recover.
+	// OverloadCap 0 disables the backpressure channel entirely.
+	OverloadFromNs  int64
+	OverloadUntilNs int64
+	OverloadDepth   int
+	OverloadCap     int
+
 	// HorizonNs is the simulated end of the run; quiesce happens there.
 	HorizonNs int64
 }
@@ -216,6 +250,52 @@ func Corpus() []Scenario {
 			Seed:            10,
 			SinkDownFromNs:  50 * sim.Millisecond,
 			SinkDownForever: true,
+		},
+		{
+			// Agent 1's process dies mid-run and reboots 10ms later under a
+			// new epoch lease with nothing installed; the supervisor must
+			// re-push its tracepoints within a tick. Fires during the dead
+			// window hit no probe and are counted as unattended — the only
+			// capture loss this scenario permits.
+			Name:              "agent-restart-reprovision",
+			Seed:              12,
+			Agents:            3,
+			SuperviseEveryNs:  2 * sim.Millisecond,
+			KillAtNs:          30 * sim.Millisecond,
+			KillRebootAfterNs: 10 * sim.Millisecond,
+			KillAgent:         1,
+		},
+		{
+			// The sink goes down, agent 0 spools, then dies before the sink
+			// heals. Its successor re-provisions under epoch 2 while the
+			// zombie still holds the spooled epoch-1 batches — which it
+			// ships mid-run after the reboot. Every one must be fenced by
+			// the collector: counted as fenced loss, never ingested, never
+			// advancing the live incarnation's liveness.
+			Name:              "zombie-epoch-fencing",
+			Seed:              13,
+			SuperviseEveryNs:  2 * sim.Millisecond,
+			SinkDownFromNs:    20 * sim.Millisecond,
+			SinkDownUntilNs:   45 * sim.Millisecond,
+			KillAtNs:          40 * sim.Millisecond,
+			KillRebootAfterNs: 5 * sim.Millisecond,
+			KillAgent:         0,
+			ZombieFlushAtNs:   70 * sim.Millisecond,
+		},
+		{
+			// The collector reports a nearly full ingest queue for 30ms:
+			// agents must stretch their flush cadence, cross the high-water
+			// mark into ring head-drop sampling, and — once the queue
+			// empties — recover to full capture with every sampled-away
+			// record exactly counted as a ring drop.
+			Name:             "collector-overload-degrade",
+			Seed:             14,
+			SuperviseEveryNs: 2 * sim.Millisecond,
+			Packets:          600,
+			OverloadFromNs:   30 * sim.Millisecond,
+			OverloadUntilNs:  60 * sim.Millisecond,
+			OverloadDepth:    95,
+			OverloadCap:      100,
 		},
 		{
 			// Everything at once: four skewed agents, bursts, ack loss, an

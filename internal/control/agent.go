@@ -3,6 +3,8 @@ package control
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"math/rand"
 	"sort"
 	"sync"
 
@@ -20,8 +22,31 @@ const DefaultSpoolBytes = 1 << 20
 // maxBackoffTicks caps the exponential retry backoff, in flush intervals:
 // after repeated ship failures the agent skips at most this many periodic
 // flush ticks between attempts, bounding both the retry pressure on a
-// struggling collector and the heartbeat silence it self-inflicts.
+// struggling collector and the heartbeat silence it self-inflicts. Each
+// armed backoff adds a per-agent deterministic jitter of up to half the
+// base skip count, so a fleet that lost its collector together does not
+// retry in lockstep when it comes back.
 const maxBackoffTicks = 8
+
+// Degradation thresholds and knobs. The collector's ack reports its
+// ingest-queue depth/cap; the agent maps the fill ratio to a level:
+//
+//	>= pressureHigh  level 2: ring head-drop sampling on, flush stretched
+//	>= pressureLow   level 1: sampling off, flush stretched
+//	<  pressureClear level 0: full recovery (stretch 1, sampling off)
+//
+// Between pressureClear and pressureLow the current level holds —
+// hysteresis, so a queue hovering at a boundary does not flap the mode.
+// Each ack at or above pressureLow doubles the flush-interval stretch up
+// to maxFlushStretch; at level 2 the rings admit one write in
+// degradedSampleEvery, counting the rest as (exactly tallied) drops.
+const (
+	pressureHigh        = 0.85
+	pressureLow         = 0.5
+	pressureClear       = 0.25
+	maxFlushStretch     = 8
+	degradedSampleEvery = 4
+)
 
 // Agent is the per-machine daemon: it applies control packages (compiling
 // specs through the script compiler and the eBPF verifier), periodically
@@ -74,8 +99,22 @@ type Agent struct {
 	evictedRecords uint64
 	retries        uint64
 	carryDrops     uint64
-	backoffSkips   int // remaining flush ticks to skip before retrying
-	backoffNext    int // skip count after the next failure
+	backoffSkips   int        // remaining flush ticks to skip before retrying
+	backoffNext    int        // skip count after the next failure
+	jitterRNG      *rand.Rand // per-agent deterministic backoff jitter
+
+	// epoch is the dispatcher's registration lease, stamped into every
+	// shipped batch; the collector fences batches from older epochs.
+	epoch uint64
+
+	// Degradation state (guarded by mu): flushStretch multiplies the
+	// periodic flush interval; degradeLevel is 0 (full capture),
+	// 1 (stretched flush), or 2 (stretched + ring sampling).
+	flushStretch       int
+	degradeLevel       uint8
+	degradations       uint64
+	recoveries         uint64
+	stretchedIntervals uint64
 
 	// Batches counts flushes that carried at least one record.
 	Batches uint64
@@ -120,18 +159,45 @@ type loadedScript struct {
 
 // NewAgent creates an agent for a machine, shipping records to sink.
 func NewAgent(name string, machine *core.Machine, sink RecordSink) *Agent {
+	h := fnv.New64a()
+	h.Write([]byte(name))
 	return &Agent{
-		name:          name,
-		machine:       machine,
-		sink:          sink,
-		cost:          core.DefaultCostModel(),
-		loaded:        make(map[string]*loadedScript),
-		spoolLimit:    DefaultSpoolBytes,
-		nextSeq:       1,
-		backoffNext:   1,
-		lastRingDrops: make([]uint64, machine.Ring.NumRings()),
+		name:        name,
+		machine:     machine,
+		sink:        sink,
+		cost:        core.DefaultCostModel(),
+		loaded:      make(map[string]*loadedScript),
+		spoolLimit:  DefaultSpoolBytes,
+		nextSeq:     1,
+		backoffNext: 1,
+		// Seeding jitter from the agent's name keeps runs replayable
+		// (same cluster, same schedules) while guaranteeing different
+		// agents de-synchronize their retries.
+		jitterRNG:    rand.New(rand.NewSource(int64(h.Sum64()))),
+		flushStretch: 1,
+		// Snapshot the rings' current drop counters rather than starting
+		// from zero: an agent taking over a machine from a previous
+		// incarnation must not re-report drops the predecessor already
+		// shipped.
+		lastRingDrops: machine.Ring.AppendPerRingDrops(make([]uint64, 0, machine.Ring.NumRings())),
 		dropSnap:      make([]uint64, 0, machine.Ring.NumRings()),
 	}
+}
+
+// SetEpoch installs the dispatcher's registration lease; every batch and
+// heartbeat shipped from now on carries it. Zero (the default) means
+// unleased — such batches are never fenced.
+func (a *Agent) SetEpoch(epoch uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.epoch = epoch
+}
+
+// Epoch returns the agent's current registration lease.
+func (a *Agent) Epoch() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.epoch
 }
 
 // Name returns the agent's identity.
@@ -147,9 +213,19 @@ func (a *Agent) SetCostModel(cm core.CostModel) { a.cost = cm }
 // Apply implements ControlClient: uninstalls, then installs, then re-arms
 // flushing. Installation is atomic per script; a failing spec leaves
 // earlier scripts of the same package installed and returns the error.
+// A Replace package first detaches everything currently installed, making
+// it an idempotent full-desired-state declaration — the supervisor's
+// retry and re-provision pushes use it because the agent's current state
+// is unknown to them.
 func (a *Agent) Apply(pkg ControlPackage) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if pkg.Replace {
+		for name, ls := range a.loaded {
+			ls.handle.Detach()
+			delete(a.loaded, name)
+		}
+	}
 	for _, name := range pkg.Uninstall {
 		ls, ok := a.loaded[name]
 		if !ok {
@@ -319,13 +395,16 @@ func (a *Agent) ship(now int64) error {
 		if sb.attempts > 0 {
 			a.retries++
 		}
+		epoch, degraded := a.epoch, a.degradeLevel
 		a.mu.Unlock()
-		err := a.sink.HandleBatch(RecordBatch{
+		err := a.deliver(RecordBatch{
 			Agent:       a.name,
 			AgentTimeNs: sb.timeNs,
 			Records:     sb.recs,
 			RingDrops:   sb.drops,
 			Seq:         sb.seq,
+			Epoch:       epoch,
+			Degraded:    degraded,
 		})
 		a.mu.Lock()
 		if err != nil {
@@ -356,11 +435,112 @@ func (a *Agent) ship(now int64) error {
 	// Nothing carried the current timestamp: send a bare heartbeat so the
 	// collector's liveness clock advances even while the spool retries old
 	// batches (or is empty). Unsequenced — re-sending it is harmless.
-	err := a.sink.HandleBatch(RecordBatch{Agent: a.name, AgentTimeNs: now})
+	a.mu.Lock()
+	hb := RecordBatch{Agent: a.name, AgentTimeNs: now, Epoch: a.epoch, Degraded: a.degradeLevel}
+	a.mu.Unlock()
+	err := a.deliver(hb)
 	a.mu.Lock()
 	a.noteShipLocked(err)
 	a.mu.Unlock()
 	return err
+}
+
+// deliver ships one batch, preferring the acking sink so the collector's
+// backpressure telemetry reaches the degradation controller. Callers must
+// not hold a.mu.
+func (a *Agent) deliver(b RecordBatch) error {
+	if acking, ok := a.sink.(AckingRecordSink); ok {
+		ack, err := acking.HandleBatchAck(b)
+		if err == nil {
+			a.observeAck(ack)
+		}
+		return err
+	}
+	return a.sink.HandleBatch(b)
+}
+
+// observeAck runs the degradation state machine over the collector's
+// backpressure report; see the threshold constants for the level map.
+// Callers must not hold a.mu.
+func (a *Agent) observeAck(ack BatchAck) {
+	if ack.QueueCap <= 0 {
+		return // synchronous collector: no pressure signal
+	}
+	pressure := float64(ack.QueueDepth) / float64(ack.QueueCap)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch {
+	case pressure >= pressureHigh:
+		if a.degradeLevel < 2 {
+			a.degradations++
+			a.degradeLevel = 2
+			a.machine.Ring.SetSampleEvery(degradedSampleEvery)
+		}
+		a.growStretchLocked()
+	case pressure >= pressureLow:
+		if a.degradeLevel == 2 {
+			a.machine.Ring.SetSampleEvery(0)
+		}
+		if a.degradeLevel < 1 {
+			a.degradations++
+		}
+		a.degradeLevel = 1
+		a.growStretchLocked()
+	case pressure < pressureClear:
+		if a.degradeLevel > 0 {
+			a.recoveries++
+			a.degradeLevel = 0
+			a.machine.Ring.SetSampleEvery(0)
+		}
+		a.flushStretch = 1
+	}
+	// Between pressureClear and pressureLow the current state holds.
+}
+
+// growStretchLocked doubles the flush-interval stretch up to the cap.
+// Callers hold a.mu.
+func (a *Agent) growStretchLocked() {
+	a.flushStretch *= 2
+	if a.flushStretch > maxFlushStretch {
+		a.flushStretch = maxFlushStretch
+	}
+}
+
+// DegradeStats reports the overload-degradation state: the current level
+// and flush stretch, how often the agent entered a degraded mode and
+// fully recovered, how many periodic flushes ran on a stretched
+// interval, and how many ring writes sampling mode rejected.
+type DegradeStats struct {
+	Level              uint8
+	FlushStretch       int
+	Degradations       uint64
+	Recoveries         uint64
+	StretchedIntervals uint64
+	SampleDrops        uint64
+}
+
+// DegradeStats snapshots the degradation controller.
+func (a *Agent) DegradeStats() DegradeStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return DegradeStats{
+		Level:              a.degradeLevel,
+		FlushStretch:       a.flushStretch,
+		Degradations:       a.degradations,
+		Recoveries:         a.recoveries,
+		StretchedIntervals: a.stretchedIntervals,
+		SampleDrops:        a.machine.Ring.SampleDrops(),
+	}
+}
+
+// ShipSpooled attempts to deliver the spooled backlog without draining
+// the ring — the retry path of a process that no longer owns its machine
+// (a zombie after a restart handed the ring to its successor). The live
+// flush loop covers the normal case; this exists for explicit drains.
+func (a *Agent) ShipSpooled() error {
+	a.flushMu.Lock()
+	defer a.flushMu.Unlock()
+	return a.ship(a.machine.Node.Clock.NowNs())
 }
 
 // noteShipLocked updates error/backoff state after a ship attempt.
@@ -373,11 +553,23 @@ func (a *Agent) noteShipLocked(err error) {
 		return
 	}
 	a.flushErrs++
-	a.backoffSkips = a.backoffNext
+	// Jitter: skip the base count plus up to half of it again, drawn from
+	// the per-agent seeded RNG — deterministic per agent, divergent
+	// across a fleet, so collector recovery is not met by a thundering
+	// herd of synchronized retries.
+	a.backoffSkips = a.backoffNext + a.jitterRNG.Intn(a.backoffNext/2+1)
 	a.backoffNext *= 2
 	if a.backoffNext > maxBackoffTicks {
 		a.backoffNext = maxBackoffTicks
 	}
+}
+
+// BackoffSkips reports the currently armed retry delay in flush ticks
+// (for observability and the jitter-divergence test).
+func (a *Agent) BackoffSkips() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.backoffSkips
 }
 
 // FlushErrors reports how many ship attempts failed and the most recent
@@ -475,7 +667,14 @@ func (a *Agent) startFlushingLocked(intervalNs int64) {
 		// spooled; the error surfaces through FlushErrors.
 		a.flushTick()
 		a.mu.Lock()
-		a.flushTimer = eng.Schedule(a.flushEvery, tick)
+		next := a.flushEvery
+		if a.flushStretch > 1 {
+			// Overload degradation: stretch the flush cadence so a
+			// pressured collector sees fewer, larger batches.
+			next *= int64(a.flushStretch)
+			a.stretchedIntervals++
+		}
+		a.flushTimer = eng.Schedule(next, tick)
 		a.mu.Unlock()
 	}
 	a.flushTimer = eng.Schedule(intervalNs, tick)

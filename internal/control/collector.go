@@ -49,6 +49,16 @@ func (c *Collector) DB() *tracedb.DB { return c.db }
 // enqueues and returns immediately (dropping the batch if the queue is
 // full); otherwise it inserts inline.
 func (c *Collector) HandleBatch(b RecordBatch) error {
+	_, err := c.HandleBatchAck(b)
+	return err
+}
+
+// HandleBatchAck implements AckingRecordSink: like HandleBatch, but the
+// reply carries the ingest queue's depth and capacity at accept time —
+// the backpressure signal the agent's degradation controller feeds on. A
+// synchronous collector (no ingest workers) reports 0/0: inline inserts
+// apply their own backpressure by blocking the transport.
+func (c *Collector) HandleBatchAck(b RecordBatch) (BatchAck, error) {
 	c.mu.Lock()
 	q := c.queue
 	if q != nil {
@@ -60,24 +70,29 @@ func (c *Collector) HandleBatch(b RecordBatch) error {
 		default:
 			c.droppedBatches++
 		}
+		ack := BatchAck{QueueDepth: len(q), QueueCap: cap(q)}
 		c.mu.Unlock()
-		return nil
+		return ack, nil
 	}
 	c.mu.Unlock()
 	c.ingest(b)
-	return nil
+	return BatchAck{}, nil
 }
 
 // ingest loads one batch into the trace database and updates totals. The
 // per-agent ledger drops batches whose sequence number was already
-// ingested — the transport is at-least-once (the TCP client re-sends a
-// batch after a reconnect, and the agent spool re-ships unacknowledged
-// batches), so dedup here is what makes delivery exactly-once. Duplicates
-// still count as heartbeats: the agent is demonstrably alive.
+// ingested in the batch's epoch — the transport is at-least-once (the TCP
+// client re-sends a batch after a reconnect, and the agent spool re-ships
+// unacknowledged batches), so dedup here is what makes delivery
+// exactly-once — and fences batches carrying a stale epoch (a zombie
+// pre-restart agent process). Duplicates still count as heartbeats — the
+// agent is demonstrably alive — but fenced batches do not: the zombie
+// must not keep its successor's identity looking healthy.
 func (c *Collector) ingest(b RecordBatch) {
-	fresh := c.db.MarkBatchSeq(b.Agent, b.Seq)
-	c.db.Heartbeat(b.Agent, b.AgentTimeNs)
-	if !fresh {
+	switch c.db.AdmitBatch(b.Agent, b.Epoch, b.Seq, len(b.Records), b.AgentTimeNs, b.Degraded) {
+	case tracedb.BatchFenced:
+		return
+	case tracedb.BatchDuplicate:
 		c.mu.Lock()
 		c.dupBatches++
 		c.dupRecords += uint64(len(b.Records))
@@ -157,6 +172,19 @@ func (c *Collector) DeliveryStats() (dupBatches, dupRecords, missingBatches uint
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.dupBatches, c.dupRecords, missingBatches
+}
+
+// FencedStats sums the epoch fence's work across agents: stale-epoch
+// batches rejected (every arrival, retries included) and the record
+// payload confirmed lost to fencing (counted once per batch).
+func (c *Collector) FencedStats() (fencedBatches, fencedRecords uint64) {
+	for _, agent := range c.db.Agents() {
+		if l, ok := c.db.Ledger(agent); ok {
+			fencedBatches += l.FencedBatches
+			fencedRecords += l.FencedRecords
+		}
+	}
+	return fencedBatches, fencedRecords
 }
 
 // IngestStats reports ingest backpressure: the current queue depth and the

@@ -4,15 +4,20 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 )
 
 // Dispatcher is the control data dispatcher on the master node: it keeps a
 // roster of agents and pushes control packages to them. TPID allocation is
-// centralized here so tracepoint tables never collide across agents.
+// centralized here so tracepoint tables never collide across agents, and
+// each registration carries an epoch lease: a monotonically increasing
+// per-agent counter that lets the collector fence batches from a zombie
+// pre-restart process.
 type Dispatcher struct {
 	mu      sync.Mutex
 	agents  map[string]ControlClient
+	epochs  map[string]uint64
 	nextTP  uint32
 	tpNames map[uint32]string
 }
@@ -21,12 +26,15 @@ type Dispatcher struct {
 func NewDispatcher() *Dispatcher {
 	return &Dispatcher{
 		agents:  make(map[string]ControlClient),
+		epochs:  make(map[string]uint64),
 		nextTP:  1,
 		tpNames: make(map[uint32]string),
 	}
 }
 
-// Register adds an agent to the roster.
+// Register adds an agent to the roster, granting it epoch lease 1.
+// Registering a name twice is an error; a restarted agent re-joins with
+// Reregister, which bumps the lease.
 func (d *Dispatcher) Register(name string, client ControlClient) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -34,7 +42,28 @@ func (d *Dispatcher) Register(name string, client ControlClient) error {
 		return fmt.Errorf("control: dispatcher: agent %q already registered", name)
 	}
 	d.agents[name] = client
+	d.epochs[name]++
 	return nil
+}
+
+// Reregister replaces an agent's control client and grants it the next
+// epoch lease — the restart path: the new incarnation's batches carry the
+// new epoch, and the old incarnation's are fenced at the collector. An
+// unknown name registers fresh (epoch 1). The granted epoch is returned
+// for the caller to stamp into the agent.
+func (d *Dispatcher) Reregister(name string, client ControlClient) uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.agents[name] = client
+	d.epochs[name]++
+	return d.epochs[name]
+}
+
+// Epoch returns the agent's current epoch lease (0 = never registered).
+func (d *Dispatcher) Epoch(name string) uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.epochs[name]
 }
 
 // Agents lists registered agent names.
@@ -67,30 +96,89 @@ func (d *Dispatcher) TPName(id uint32) string {
 	return d.tpNames[id]
 }
 
-// Push ships a control package to one agent.
+// ErrUnknownAgent marks a push to a name not on the roster.
+var ErrUnknownAgent = errors.New("unknown agent")
+
+// AgentError is a push failure attributed to one agent — the typed form
+// the supervisor needs to retry exactly the agents that failed.
+type AgentError struct {
+	Agent string
+	Err   error
+}
+
+func (e *AgentError) Error() string {
+	return fmt.Sprintf("control: dispatcher: push to %q: %v", e.Agent, e.Err)
+}
+
+// Unwrap exposes the underlying cause for errors.Is/As.
+func (e *AgentError) Unwrap() error { return e.Err }
+
+// PushAllError aggregates the per-agent failures of a PushAll rollout.
+// Failures are ordered by agent name; agents absent from the list
+// received the package successfully.
+type PushAllError struct {
+	Failures []*AgentError
+}
+
+func (e *PushAllError) Error() string {
+	msgs := make([]string, len(e.Failures))
+	for i, f := range e.Failures {
+		msgs[i] = f.Error()
+	}
+	return strings.Join(msgs, "\n")
+}
+
+// Unwrap exposes each per-agent failure to errors.Is/As.
+func (e *PushAllError) Unwrap() []error {
+	out := make([]error, len(e.Failures))
+	for i, f := range e.Failures {
+		out[i] = f
+	}
+	return out
+}
+
+// FailedAgents lists the agents that did not get the package, in name
+// order.
+func (e *PushAllError) FailedAgents() []string {
+	out := make([]string, len(e.Failures))
+	for i, f := range e.Failures {
+		out[i] = f.Agent
+	}
+	return out
+}
+
+// Push ships a control package to one agent. Failures come back as
+// *AgentError naming the agent.
 func (d *Dispatcher) Push(agent string, pkg ControlPackage) error {
 	d.mu.Lock()
 	client, ok := d.agents[agent]
 	d.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("control: dispatcher: unknown agent %q", agent)
+		return &AgentError{Agent: agent, Err: ErrUnknownAgent}
 	}
 	if err := client.Apply(pkg); err != nil {
-		return fmt.Errorf("control: dispatcher: push to %q: %w", agent, err)
+		return &AgentError{Agent: agent, Err: err}
 	}
 	return nil
 }
 
 // PushAll ships the same package to every agent. A failing agent does not
 // stop the rollout: the rest of the roster still gets the package, and
-// the per-agent failures come back joined so the caller knows exactly who
-// is unconfigured.
+// the failures come back as a *PushAllError carrying one *AgentError per
+// failed agent, so a supervisor can retry exactly the failures.
 func (d *Dispatcher) PushAll(pkg ControlPackage) error {
-	var errs []error
+	var fails []*AgentError
 	for _, name := range d.Agents() {
 		if err := d.Push(name, pkg); err != nil {
-			errs = append(errs, err)
+			var ae *AgentError
+			if !errors.As(err, &ae) {
+				ae = &AgentError{Agent: name, Err: err}
+			}
+			fails = append(fails, ae)
 		}
 	}
-	return errors.Join(errs...)
+	if len(fails) == 0 {
+		return nil
+	}
+	return &PushAllError{Failures: fails}
 }

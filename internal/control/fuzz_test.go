@@ -10,7 +10,7 @@ import (
 // fuzzBatch is a representative sequenced batch used to seed the fuzzer
 // with valid frames in every wire format.
 func fuzzBatch() RecordBatch {
-	b := RecordBatch{Agent: "agent-1", AgentTimeNs: 987654321, RingDrops: 3, Seq: 12}
+	b := RecordBatch{Agent: "agent-1", AgentTimeNs: 987654321, RingDrops: 3, Seq: 12, Epoch: 4, Degraded: 1}
 	for i := 0; i < 3; i++ {
 		b.Records = append(b.Records, core.Record{
 			TraceID: uint32(i + 1),
@@ -31,14 +31,14 @@ func fuzzBatch() RecordBatch {
 }
 
 // FuzzDecodeBatchFrame feeds the collector's frame decoder arbitrary
-// bytes plus mutations of valid v1 (JSON), v2, and v3 frames. The
+// bytes plus mutations of valid v1 (JSON), v2, v3, and v4 frames. The
 // decoder must either return an error or a well-formed batch — never
 // panic, and never allocate a record slice larger than the frame could
 // possibly carry (the count field is attacker-controlled). Whatever
 // decodes must survive a re-encode/re-decode round trip unchanged.
 func FuzzDecodeBatchFrame(f *testing.F) {
 	b := fuzzBatch()
-	v3, err := EncodeBatchFrame(&b)
+	v4, err := EncodeBatchFrame(&b)
 	if err != nil {
 		f.Fatal(err)
 	}
@@ -52,18 +52,20 @@ func FuzzDecodeBatchFrame(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte{batchMagic})
-	f.Add(v3)
+	f.Add(v4)
 	f.Add(v1)
 	f.Add(empty)
 	f.Add(encodeBatchFrameV2(&b))
-	f.Add(v3[:len(v3)-1]) // truncated record tail
-	f.Add(v3[:31])        // truncated v3 header
+	f.Add(encodeBatchFrameV3(&b))
+	f.Add(v4[:len(v4)-1]) // truncated record tail
+	f.Add(v4[:40])        // truncated v4 header
+	f.Add(v4[:31])        // truncated v3-length prefix of a v4 frame
 	// Mutations the decoder must reject cleanly: bad version, a count
 	// field claiming far more records than the body holds.
-	bad := append([]byte(nil), v3...)
+	bad := append([]byte(nil), v4...)
 	bad[1] = 9
 	f.Add(bad)
-	huge := append([]byte(nil), v3...)
+	huge := append([]byte(nil), v4...)
 	binary.LittleEndian.PutUint32(huge[20:], 1<<30)
 	f.Add(huge)
 
@@ -95,6 +97,7 @@ func FuzzDecodeBatchFrame(f *testing.F) {
 		}
 		if rt.Agent != got.Agent || rt.AgentTimeNs != got.AgentTimeNs ||
 			rt.RingDrops != got.RingDrops || rt.Seq != got.Seq ||
+			rt.Epoch != got.Epoch || rt.Degraded != got.Degraded ||
 			len(rt.Records) != len(got.Records) {
 			t.Fatalf("round trip changed batch: %+v vs %+v", rt, got)
 		}

@@ -26,6 +26,12 @@ type ControlPackage struct {
 	Uninstall []string `json:"uninstall,omitempty"`
 	// FlushIntervalNs, when positive, re-arms the agent's periodic flush.
 	FlushIntervalNs int64 `json:"flush_interval_ns,omitempty"`
+	// Replace makes the package a full desired-state declaration: the
+	// agent detaches and unloads everything currently installed before
+	// applying Install, making the push idempotent. The supervisor uses
+	// it for retries and post-restart re-provisioning, where the agent's
+	// current state is unknown.
+	Replace bool `json:"replace,omitempty"`
 }
 
 // RecordBatch is what agents ship to the collector: drained raw records
@@ -44,12 +50,40 @@ type RecordBatch struct {
 	// gaps as missing batches. Zero means unsequenced: bare heartbeats and
 	// pre-Seq agents, which are ingested unconditionally.
 	Seq uint64 `json:"seq,omitempty"`
+	// Epoch is the agent's registration lease from the dispatcher,
+	// monotonically increasing across agent restarts. The collector
+	// fences sequenced batches carrying an epoch older than the newest
+	// it has seen for the agent (a zombie pre-restart process), keeping
+	// them out of exactly-once accounting. Zero means unleased (legacy
+	// frames, standalone agents) and is never fenced.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Degraded is the agent's degradation level when the batch was
+	// shipped: 0 full capture, 1 stretched flush, 2 sampling. Recorded
+	// in the ledger for operator visibility.
+	Degraded uint8 `json:"degraded,omitempty"`
+}
+
+// BatchAck is the collector's reply to a batch: backpressure telemetry
+// the agent's degradation controller feeds on. QueueDepth/QueueCap
+// describe the collector's ingest queue at accept time; a synchronous
+// collector reports 0/0 (no pressure signal).
+type BatchAck struct {
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
 }
 
 // RecordSink consumes record batches (the collector, or a transport to
 // it).
 type RecordSink interface {
 	HandleBatch(b RecordBatch) error
+}
+
+// AckingRecordSink is a RecordSink that also returns backpressure
+// telemetry with each accepted batch. Agents probe for it and fall back
+// to plain HandleBatch (no degradation signal) when absent.
+type AckingRecordSink interface {
+	RecordSink
+	HandleBatchAck(b RecordBatch) (BatchAck, error)
 }
 
 // ControlClient pushes control packages to one agent (directly, or over a

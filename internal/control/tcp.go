@@ -31,7 +31,11 @@ type envelope struct {
 	Type    string          `json:"type"`
 	Control *ControlPackage `json:"control,omitempty"`
 	Batch   *RecordBatch    `json:"batch,omitempty"`
-	Error   string          `json:"error,omitempty"`
+	// Ack rides on the "ok" reply to a batch frame: the collector's
+	// backpressure report. Absent from old collectors' replies, which
+	// agents read as "no pressure signal".
+	Ack   *BatchAck `json:"ack,omitempty"`
+	Error string    `json:"error,omitempty"`
 }
 
 // writeBody frames a raw body with the 4-byte length prefix.
@@ -174,6 +178,19 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
+// sinkHandle feeds a batch to the sink, preferring the acking interface
+// so the reply can carry the collector's backpressure report.
+func (s *Server) sinkHandle(b RecordBatch) (*BatchAck, error) {
+	if acking, ok := s.sink.(AckingRecordSink); ok {
+		ack, err := acking.HandleBatchAck(b)
+		if err != nil {
+			return nil, err
+		}
+		return &ack, nil
+	}
+	return nil, s.sink.HandleBatch(b)
+}
+
 // dispatch routes one frame body. Binary batch bodies (first byte
 // batchMagic) go straight to the sink; everything else is a JSON envelope.
 func (s *Server) dispatch(body []byte) envelope {
@@ -185,10 +202,11 @@ func (s *Server) dispatch(body []byte) envelope {
 		if err != nil {
 			return envelope{Type: frameError, Error: err.Error()}
 		}
-		if err := s.sink.HandleBatch(batch); err != nil {
+		ack, err := s.sinkHandle(batch)
+		if err != nil {
 			return envelope{Type: frameError, Error: err.Error()}
 		}
-		return envelope{Type: frameOK}
+		return envelope{Type: frameOK, Ack: ack}
 	}
 	var env envelope
 	if err := json.Unmarshal(body, &env); err != nil {
@@ -206,9 +224,11 @@ func (s *Server) dispatch(body []byte) envelope {
 		if s.sink == nil {
 			return envelope{Type: frameError, Error: "not a collector endpoint"}
 		}
-		if err := s.sink.HandleBatch(*env.Batch); err != nil {
+		ack, err := s.sinkHandle(*env.Batch)
+		if err != nil {
 			return envelope{Type: frameError, Error: err.Error()}
 		}
+		return envelope{Type: frameOK, Ack: ack}
 	default:
 		return envelope{Type: frameError, Error: fmt.Sprintf("unknown frame %q", env.Type)}
 	}
@@ -233,16 +253,16 @@ type client struct {
 	conn net.Conn
 }
 
-func (c *client) roundTrip(body []byte) error {
+func (c *client) roundTrip(body []byte) (envelope, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	err := c.tryLocked(body)
+	reply, err := c.tryLocked(body)
 	if err == nil {
-		return nil
+		return reply, nil
 	}
 	var remote *RemoteError
 	if errors.As(err, &remote) {
-		return err
+		return envelope{}, err
 	}
 	// Transport failure: reset the connection and retry once.
 	if c.conn != nil {
@@ -252,25 +272,25 @@ func (c *client) roundTrip(body []byte) error {
 	return c.tryLocked(body)
 }
 
-func (c *client) tryLocked(body []byte) error {
+func (c *client) tryLocked(body []byte) (envelope, error) {
 	if c.conn == nil {
 		conn, err := net.Dial("tcp", c.addr)
 		if err != nil {
-			return fmt.Errorf("control: dial %s: %w", c.addr, err)
+			return envelope{}, fmt.Errorf("control: dial %s: %w", c.addr, err)
 		}
 		c.conn = conn
 	}
 	if err := writeBody(c.conn, body); err != nil {
-		return err
+		return envelope{}, err
 	}
 	reply, err := readFrame(c.conn)
 	if err != nil {
-		return err
+		return envelope{}, err
 	}
 	if reply.Type == frameError {
-		return &RemoteError{Msg: reply.Error}
+		return envelope{}, &RemoteError{Msg: reply.Error}
 	}
-	return nil
+	return reply, nil
 }
 
 // Close tears down the connection.
@@ -303,7 +323,8 @@ func (c *TCPControlClient) Apply(pkg ControlPackage) error {
 	if err != nil {
 		return fmt.Errorf("control: encode frame: %w", err)
 	}
-	return c.roundTrip(body)
+	_, err = c.roundTrip(body)
+	return err
 }
 
 // TCPSink ships record batches to a remote collector endpoint using the v2
@@ -315,7 +336,7 @@ type TCPSink struct {
 	LegacyJSON bool
 }
 
-var _ RecordSink = (*TCPSink)(nil)
+var _ AckingRecordSink = (*TCPSink)(nil)
 
 // NewTCPSink targets a collector server address.
 func NewTCPSink(addr string) *TCPSink {
@@ -335,21 +356,43 @@ var encodeBufPool = sync.Pool{
 
 // HandleBatch implements RecordSink over TCP.
 func (s *TCPSink) HandleBatch(b RecordBatch) error {
-	if s.LegacyJSON {
-		body, err := EncodeBatchFrameJSON(&b)
-		if err != nil {
-			return err
-		}
-		return s.roundTrip(body)
-	}
-	bufp := encodeBufPool.Get().(*[]byte)
-	body, err := AppendBatchFrame((*bufp)[:0], &b)
-	if err != nil {
-		encodeBufPool.Put(bufp)
-		return err
-	}
-	err = s.roundTrip(body)
-	*bufp = body[:0]
-	encodeBufPool.Put(bufp)
+	_, err := s.HandleBatchAck(b)
 	return err
+}
+
+// HandleBatchAck implements AckingRecordSink over TCP: the collector's
+// backpressure report is read out of the "ok" reply envelope. Replies
+// from old collectors carry no ack, which comes back as the zero
+// BatchAck — "no pressure signal".
+func (s *TCPSink) HandleBatchAck(b RecordBatch) (BatchAck, error) {
+	var (
+		reply envelope
+		err   error
+	)
+	if s.LegacyJSON {
+		var body []byte
+		body, err = EncodeBatchFrameJSON(&b)
+		if err != nil {
+			return BatchAck{}, err
+		}
+		reply, err = s.roundTrip(body)
+	} else {
+		bufp := encodeBufPool.Get().(*[]byte)
+		var body []byte
+		body, err = AppendBatchFrame((*bufp)[:0], &b)
+		if err != nil {
+			encodeBufPool.Put(bufp)
+			return BatchAck{}, err
+		}
+		reply, err = s.roundTrip(body)
+		*bufp = body[:0]
+		encodeBufPool.Put(bufp)
+	}
+	if err != nil {
+		return BatchAck{}, err
+	}
+	if reply.Ack != nil {
+		return *reply.Ack, nil
+	}
+	return BatchAck{}, nil
 }

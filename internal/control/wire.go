@@ -9,44 +9,50 @@ import (
 	"vnettracer/internal/core"
 )
 
-// Binary batch framing (protocol v2/v3). Record batches dominate the wire
-// traffic of a deployment, and JSON inflates the fixed 48-byte record
+// Binary batch framing (protocol v2/v3/v4). Record batches dominate the
+// wire traffic of a deployment, and JSON inflates the fixed 48-byte record
 // roughly 5-8x plus reflection cost on both ends; control packages stay
-// JSON (rare, structured, debuggable). A v3 batch frame body is:
+// JSON (rare, structured, debuggable). A v4 batch frame body is:
 //
 //	[0]     magic, batchMagic (0xB2 — can never collide with '{' (0x7B),
 //	        the first byte of every JSON envelope, so frames are
 //	        self-describing and v1 JSON peers need no negotiation)
-//	[1]     wire version (batchWireV3)
+//	[1]     wire version (batchWireV4)
 //	[2:4]   agent-name length, uint16 LE
 //	[4:12]  agent time, int64 LE (heartbeat timestamp)
 //	[12:20] ring drops since last batch, uint64 LE
 //	[20:24] record count, uint32 LE
 //	[24:32] batch sequence number, uint64 LE (0 = unsequenced)
-//	[32:..] agent name bytes
+//	[32:40] registration epoch, uint64 LE (0 = unleased, never fenced)
+//	[40]    degradation level (0 full capture, 1 stretched, 2 sampling)
+//	[41:..] agent name bytes
 //	[..:..] count * core.RecordSize record bytes (core.Record.Marshal)
 //
-// v2 is the same layout without the sequence-number field (24-byte
-// header); the decoder still accepts it, reading Seq as 0, so pre-Seq
-// agents keep working against a new collector. The body is carried inside
-// the usual 4-byte big-endian length prefix, like every other frame. For a
-// batch of n records the wire cost is 4 + 32 + len(agent) + 48n bytes —
-// under 52 bytes/record once a batch carries a handful of records.
+// v3 is the same layout without the epoch/degradation fields (32-byte
+// header) and v2 additionally lacks the sequence number (24-byte header);
+// the decoder accepts both, reading the missing fields as 0, so pre-lease
+// agents keep working against a new collector — an epoch-0 batch is never
+// fenced. The body is carried inside the usual 4-byte big-endian length
+// prefix, like every other frame. For a batch of n records the wire cost
+// is 4 + 41 + len(agent) + 48n bytes — about 52 bytes/record once a batch
+// carries a handful of records.
 const (
 	batchMagic        = 0xB2
 	batchWireV2       = 2
 	batchWireV3       = 3
+	batchWireV4       = 4
 	batchHeaderSizeV2 = 24
 	batchHeaderSizeV3 = 32
+	batchHeaderSizeV4 = 41
 )
 
-// EncodeBatchFrame encodes a record batch as a v3 binary frame body
+// EncodeBatchFrame encodes a record batch as a v4 binary frame body
 // (without the transport length prefix).
 func EncodeBatchFrame(b *RecordBatch) ([]byte, error) {
 	return AppendBatchFrame(nil, b)
 }
 
-// AppendBatchFrame appends the v3 binary frame body for b to dst and
+// AppendBatchFrame appends the v4 binary frame body for b to dst and
 // returns the extended slice. Records serialize in place via
 // Record.MarshalTo — no per-record temporaries — and a caller recycling
 // dst (the TCP sink's encode pool) pays no allocation at all once the
@@ -59,7 +65,7 @@ func AppendBatchFrame(dst []byte, b *RecordBatch) ([]byte, error) {
 		return nil, fmt.Errorf("control: batch of %d records exceeds frame limit", len(b.Records))
 	}
 	base := len(dst)
-	need := batchHeaderSizeV3 + len(b.Agent) + len(b.Records)*core.RecordSize
+	need := batchHeaderSizeV4 + len(b.Agent) + len(b.Records)*core.RecordSize
 	if cap(dst)-base < need {
 		grown := make([]byte, base, base+need)
 		copy(grown, dst)
@@ -68,15 +74,17 @@ func AppendBatchFrame(dst []byte, b *RecordBatch) ([]byte, error) {
 	out := dst[: base+need : base+need]
 	hdr := out[base:]
 	hdr[0] = batchMagic
-	hdr[1] = batchWireV3
+	hdr[1] = batchWireV4
 	le := binary.LittleEndian
 	le.PutUint16(hdr[2:], uint16(len(b.Agent)))
 	le.PutUint64(hdr[4:], uint64(b.AgentTimeNs))
 	le.PutUint64(hdr[12:], b.RingDrops)
 	le.PutUint32(hdr[20:], uint32(len(b.Records)))
 	le.PutUint64(hdr[24:], b.Seq)
-	copy(hdr[batchHeaderSizeV3:], b.Agent)
-	off := batchHeaderSizeV3 + len(b.Agent)
+	le.PutUint64(hdr[32:], b.Epoch)
+	hdr[40] = b.Degraded
+	copy(hdr[batchHeaderSizeV4:], b.Agent)
+	off := batchHeaderSizeV4 + len(b.Agent)
 	for i := range b.Records {
 		b.Records[i].MarshalTo(hdr[off:])
 		off += core.RecordSize
@@ -121,8 +129,10 @@ func decodeBatchBinary(body []byte) (RecordBatch, error) {
 		headerSize = batchHeaderSizeV2
 	case batchWireV3:
 		headerSize = batchHeaderSizeV3
+	case batchWireV4:
+		headerSize = batchHeaderSizeV4
 	default:
-		return RecordBatch{}, fmt.Errorf("control: unsupported batch wire version %d (want %d or %d)", v, batchWireV2, batchWireV3)
+		return RecordBatch{}, fmt.Errorf("control: unsupported batch wire version %d (want %d..%d)", v, batchWireV2, batchWireV4)
 	}
 	if len(body) < headerSize {
 		return RecordBatch{}, fmt.Errorf("control: binary batch header truncated: %d bytes", len(body))
@@ -139,8 +149,12 @@ func decodeBatchBinary(body []byte) (RecordBatch, error) {
 		AgentTimeNs: int64(le.Uint64(body[4:])),
 		RingDrops:   le.Uint64(body[12:]),
 	}
-	if body[1] == batchWireV3 {
+	if body[1] >= batchWireV3 {
 		b.Seq = le.Uint64(body[24:])
+	}
+	if body[1] >= batchWireV4 {
+		b.Epoch = le.Uint64(body[32:])
+		b.Degraded = body[40]
 	}
 	if count > 0 {
 		recs, err := core.UnmarshalRecords(body[headerSize+nameLen:])

@@ -91,7 +91,7 @@ func TestBatchFrameVersionNegotiation(t *testing.T) {
 	}
 
 	future := append([]byte(nil), body...)
-	future[1] = batchWireV3 + 1
+	future[1] = batchWireV4 + 1
 	if _, err := DecodeBatchFrame(future); err == nil {
 		t.Fatal("future wire version accepted")
 	}
@@ -140,9 +140,30 @@ func encodeBatchFrameV2(b *RecordBatch) []byte {
 	return out
 }
 
+// encodeBatchFrameV3 reproduces the pre-epoch v3 binary layout (32-byte
+// header: Seq but no Epoch/Degraded) — what pre-lease agents put on the
+// wire.
+func encodeBatchFrameV3(b *RecordBatch) []byte {
+	out := make([]byte, batchHeaderSizeV3)
+	out[0] = batchMagic
+	out[1] = batchWireV3
+	le := binary.LittleEndian
+	le.PutUint16(out[2:], uint16(len(b.Agent)))
+	le.PutUint64(out[4:], uint64(b.AgentTimeNs))
+	le.PutUint64(out[12:], b.RingDrops)
+	le.PutUint32(out[20:], uint32(len(b.Records)))
+	le.PutUint64(out[24:], b.Seq)
+	out = append(out, b.Agent...)
+	for i := range b.Records {
+		out = append(out, b.Records[i].Marshal(nil)...)
+	}
+	return out
+}
+
 // TestBatchFrameV2Compat pins backward compatibility: a v2 binary frame
-// from a pre-Seq agent still decodes, with Seq = 0 (unsequenced), so old
-// agents keep working against a new collector without negotiation.
+// from a pre-Seq agent still decodes, with Seq = 0 (unsequenced) and
+// Epoch = 0 (unleased), so old agents keep working against a new
+// collector without negotiation.
 func TestBatchFrameV2Compat(t *testing.T) {
 	want := wireBatch(8)
 	got, err := DecodeBatchFrame(encodeBatchFrameV2(&want))
@@ -152,12 +173,71 @@ func TestBatchFrameV2Compat(t *testing.T) {
 	if got.Seq != 0 {
 		t.Fatalf("v2 frame decoded Seq = %d, want 0", got.Seq)
 	}
+	if got.Epoch != 0 || got.Degraded != 0 {
+		t.Fatalf("v2 frame decoded Epoch/Degraded = %d/%d, want 0/0", got.Epoch, got.Degraded)
+	}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("v2 round trip = %+v, want %+v", got, want)
 	}
 	// Truncated v2 header is rejected, not sliced into records.
 	if _, err := DecodeBatchFrame(encodeBatchFrameV2(&want)[:batchHeaderSizeV2-1]); err == nil {
 		t.Fatal("truncated v2 frame accepted")
+	}
+}
+
+// TestBatchFrameV3Compat pins backward compatibility for the pre-epoch
+// layout: a v3 frame keeps its Seq but decodes Epoch = 0 (unleased) —
+// the value the collector's fence treats as never-stale, so a pre-lease
+// agent can never have its batches fenced.
+func TestBatchFrameV3Compat(t *testing.T) {
+	want := wireBatch(8)
+	want.Seq = 42
+	got, err := DecodeBatchFrame(encodeBatchFrameV3(&want))
+	if err != nil {
+		t.Fatalf("v3 binary frame rejected: %v", err)
+	}
+	if got.Seq != 42 {
+		t.Fatalf("v3 frame decoded Seq = %d, want 42", got.Seq)
+	}
+	if got.Epoch != 0 || got.Degraded != 0 {
+		t.Fatalf("v3 frame decoded Epoch/Degraded = %d/%d, want 0/0", got.Epoch, got.Degraded)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("v3 round trip = %+v, want %+v", got, want)
+	}
+	if _, err := DecodeBatchFrame(encodeBatchFrameV3(&want)[:batchHeaderSizeV3-1]); err == nil {
+		t.Fatal("truncated v3 frame accepted")
+	}
+}
+
+// TestBatchFrameV4CarriesEpoch pins the v4 additions: the encoder emits
+// v4 and Epoch/Degraded round-trip; and the legacy v1 JSON envelope
+// decodes as epoch 0 when the fields are absent.
+func TestBatchFrameV4CarriesEpoch(t *testing.T) {
+	want := wireBatch(4)
+	want.Seq, want.Epoch, want.Degraded = 9, 3, 2
+	body, err := EncodeBatchFrame(&want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body[1] != batchWireV4 {
+		t.Fatalf("encoder emitted wire version %d, want %d", body[1], batchWireV4)
+	}
+	got, err := DecodeBatchFrame(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("v4 round trip = %+v, want %+v", got, want)
+	}
+	// A v1 JSON batch without epoch/degraded fields decodes as unleased.
+	legacy := []byte(`{"type":"batch","batch":{"agent":"old","agent_time_ns":5,"records":null,"seq":1}}`)
+	gotJSON, err := DecodeBatchFrame(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotJSON.Epoch != 0 || gotJSON.Degraded != 0 {
+		t.Fatalf("legacy JSON decoded Epoch/Degraded = %d/%d, want 0/0", gotJSON.Epoch, gotJSON.Degraded)
 	}
 }
 

@@ -38,6 +38,16 @@ type RingBuffer struct {
 	drops    uint64
 	writes   uint64
 	drained  uint64
+
+	// Head-drop sampling mode, entered under collector overload: when
+	// sampleEvery > 1 only every sampleEvery-th write is admitted; the
+	// rest are dropped at the head (before consuming ring space) and
+	// counted in both drops and sampleDrops, so fires == writes + drops
+	// holds through degradation and sampleDrops isolates the
+	// degradation-induced share.
+	sampleEvery uint64
+	sampleTick  uint64
+	sampleDrops uint64
 }
 
 // NewRingBuffer allocates a buffer of the given byte capacity.
@@ -58,6 +68,15 @@ func (r *RingBuffer) Reserve(n int) []byte {
 		return nil
 	}
 	r.mu.Lock()
+	if r.sampleEvery > 1 {
+		r.sampleTick++
+		if r.sampleTick%r.sampleEvery != 0 {
+			r.drops++
+			r.sampleDrops++
+			r.mu.Unlock()
+			return nil
+		}
+	}
 	if r.used+n > len(r.buf) {
 		r.drops++
 		r.mu.Unlock()
@@ -152,6 +171,28 @@ func (r *RingBuffer) Writes() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.writes
+}
+
+// SetSampleEvery switches head-drop sampling: n > 1 admits only every
+// n-th write; n <= 1 restores full capture. The sampling phase resets
+// so behaviour after a mode change is deterministic.
+func (r *RingBuffer) SetSampleEvery(n uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n <= 1 {
+		n = 0
+	}
+	r.sampleEvery = n
+	r.sampleTick = 0
+}
+
+// SampleDrops returns how many writes sampling mode rejected. They are
+// included in Drops as well; this counter isolates the degraded-mode
+// share.
+func (r *RingBuffer) SampleDrops() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sampleDrops
 }
 
 // PerCPURing is a machine's trace buffer: one RingBuffer per simulated
@@ -252,6 +293,23 @@ func (p *PerCPURing) Writes() uint64 {
 	var n uint64
 	for _, r := range p.rings {
 		n += r.Writes()
+	}
+	return n
+}
+
+// SetSampleEvery switches every ring into (or out of) head-drop
+// sampling mode; see RingBuffer.SetSampleEvery.
+func (p *PerCPURing) SetSampleEvery(n uint64) {
+	for _, r := range p.rings {
+		r.SetSampleEvery(n)
+	}
+}
+
+// SampleDrops returns sampling-mode drops summed over rings.
+func (p *PerCPURing) SampleDrops() uint64 {
+	var n uint64
+	for _, r := range p.rings {
+		n += r.SampleDrops()
 	}
 	return n
 }

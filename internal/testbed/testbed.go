@@ -42,6 +42,7 @@ type Tracing struct {
 	DB         *tracedb.DB
 	Collector  *control.Collector
 	Dispatcher *control.Dispatcher
+	Supervisor *control.Supervisor
 
 	agents map[string]*control.Agent
 	labels map[string]uint32
@@ -50,16 +51,21 @@ type Tracing struct {
 // NewTracing creates an empty tracer deployment.
 func NewTracing() *Tracing {
 	db := tracedb.New()
+	disp := control.NewDispatcher()
+	sup := control.NewSupervisor(disp)
+	sup.SetLedger(db)
 	return &Tracing{
 		DB:         db,
 		Collector:  control.NewCollector(db),
-		Dispatcher: control.NewDispatcher(),
+		Dispatcher: disp,
+		Supervisor: sup,
 		agents:     make(map[string]*control.Agent),
 		labels:     make(map[string]uint32),
 	}
 }
 
-// AddMachine registers a machine under an agent.
+// AddMachine registers a machine under an agent, granting its epoch
+// lease.
 func (tr *Tracing) AddMachine(m *core.Machine) (*control.Agent, error) {
 	name := m.Node.Name
 	if _, dup := tr.agents[name]; dup {
@@ -69,6 +75,7 @@ func (tr *Tracing) AddMachine(m *core.Machine) (*control.Agent, error) {
 	if err := tr.Dispatcher.Register(name, agent); err != nil {
 		return nil, err
 	}
+	agent.SetEpoch(tr.Dispatcher.Epoch(name))
 	tr.agents[name] = agent
 	return agent, nil
 }
@@ -95,10 +102,21 @@ func (tr *Tracing) InstallRecord(machine, label string, at core.AttachPoint, fil
 		Filter:  filter,
 		Actions: []script.Action{script.ActionRecord},
 	}
-	if err := tr.Dispatcher.Push(machine, control.ControlPackage{Install: []script.Spec{spec}}); err != nil {
+	if err := tr.Desire(machine, control.ControlPackage{Install: []script.Spec{spec}}); err != nil {
 		return 0, err
 	}
 	return tpid, nil
+}
+
+// Desire records pkg as part of the machine's desired state and pushes
+// the merged state through the supervisor, so a later re-provision (agent
+// restart) restores it automatically.
+func (tr *Tracing) Desire(machine string, pkg control.ControlPackage) error {
+	var nowNs int64
+	if a, ok := tr.agents[machine]; ok {
+		nowNs = a.Machine().Node.Clock.NowNs()
+	}
+	return tr.Supervisor.Desire(machine, pkg, nowNs)
 }
 
 // InstallSpec pushes an arbitrary spec, creating its table when it records.
@@ -115,7 +133,7 @@ func (tr *Tracing) InstallSpec(machine string, spec script.Spec) error {
 			break
 		}
 	}
-	return tr.Dispatcher.Push(machine, control.ControlPackage{Install: []script.Spec{spec}})
+	return tr.Desire(machine, control.ControlPackage{Install: []script.Spec{spec}})
 }
 
 // StartFlushing arms every agent's periodic ring-buffer flush. Call after

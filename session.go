@@ -18,6 +18,7 @@ type Session struct {
 	db         *tracedb.DB
 	collector  *control.Collector
 	dispatcher *control.Dispatcher
+	supervisor *control.Supervisor
 	agents     map[string]*control.Agent
 	labels     map[string]uint32
 }
@@ -25,10 +26,17 @@ type Session struct {
 // NewSession creates an empty session.
 func NewSession() *Session {
 	db := tracedb.New()
+	disp := control.NewDispatcher()
+	sup := control.NewSupervisor(disp)
+	// The collector's heartbeat ledger doubles as the supervisor's epoch
+	// observer: a restarted agent announces its new lease through its
+	// first heartbeat and gets its tracepoints re-pushed.
+	sup.SetLedger(db)
 	return &Session{
 		db:         db,
 		collector:  control.NewCollector(db),
-		dispatcher: control.NewDispatcher(),
+		dispatcher: disp,
+		supervisor: sup,
 		agents:     make(map[string]*control.Agent),
 		labels:     make(map[string]uint32),
 	}
@@ -43,6 +51,17 @@ func (s *Session) Dispatcher() *Dispatcher { return s.dispatcher }
 // Collector returns the session's raw data collector.
 func (s *Session) Collector() *Collector { return s.collector }
 
+// Supervisor returns the session's control-plane supervisor: the
+// desired-state layer that retries failed pushes and re-provisions
+// restarted agents.
+func (s *Session) Supervisor() *control.Supervisor { return s.supervisor }
+
+// Supervise runs one supervision pass at the given time: failed pushes
+// past their backoff deadline are retried, and agents observed at a new
+// epoch (restarted) get their full desired state re-pushed. Call it
+// periodically (e.g. from an engine timer).
+func (s *Session) Supervise(nowNs int64) { s.supervisor.Tick(nowNs) }
+
 // AddMachine registers a machine under a new agent named after its node.
 func (s *Session) AddMachine(m *Machine) (*Agent, error) {
 	name := m.Node.Name
@@ -53,8 +72,36 @@ func (s *Session) AddMachine(m *Machine) (*Agent, error) {
 	if err := s.dispatcher.Register(name, agent); err != nil {
 		return nil, err
 	}
+	agent.SetEpoch(s.dispatcher.Epoch(name))
 	s.agents[name] = agent
 	return agent, nil
+}
+
+// RestartAgent models an agent-process restart: the machine gets a fresh
+// agent with the next epoch lease, the dispatcher's roster points at it,
+// and the next supervision pass re-pushes the desired state so its
+// tracepoints re-attach. The previous agent object (the "zombie") is
+// returned: anything it still ships carries the old epoch and is fenced
+// by the collector.
+func (s *Session) RestartAgent(machine string) (*Agent, *Agent, error) {
+	old, ok := s.agents[machine]
+	if !ok {
+		return nil, nil, fmt.Errorf("vnettracer: machine %q not in session", machine)
+	}
+	old.StopFlushing()
+	agent := control.NewAgent(machine, old.Machine(), s.collector)
+	agent.SetEpoch(s.dispatcher.Reregister(machine, agent))
+	s.agents[machine] = agent
+	return agent, old, nil
+}
+
+// nowNs reads a machine's simulated clock for supervision bookkeeping
+// (retry deadlines); unknown machines read as time zero.
+func (s *Session) nowNs(machine string) int64 {
+	if a, ok := s.agents[machine]; ok {
+		return a.Machine().Node.Clock.NowNs()
+	}
+	return 0
 }
 
 // Agent returns a machine's agent by node name.
@@ -79,7 +126,7 @@ func (s *Session) Install(machine string, spec TraceSpec) (uint32, error) {
 			break
 		}
 	}
-	if err := s.dispatcher.Push(machine, ControlPackage{Install: []TraceSpec{spec}}); err != nil {
+	if err := s.supervisor.Desire(machine, ControlPackage{Install: []TraceSpec{spec}}, s.nowNs(machine)); err != nil {
 		return 0, err
 	}
 	return spec.TPID, nil
@@ -96,9 +143,18 @@ func (s *Session) InstallRecord(machine, label string, at AttachPoint, filter Fi
 	})
 }
 
-// Uninstall removes a script from a machine at runtime.
+// Uninstall removes a script from a machine at runtime: the label leaves
+// the supervisor's desired state and the reduced state is re-pushed.
 func (s *Session) Uninstall(machine, label string) error {
-	return s.dispatcher.Push(machine, ControlPackage{Uninstall: []string{label}})
+	if desired, ok := s.supervisor.Desired(machine); ok {
+		for _, spec := range desired.Install {
+			if spec.Name == label {
+				return s.supervisor.Desire(machine,
+					ControlPackage{Uninstall: []string{label}}, s.nowNs(machine))
+			}
+		}
+	}
+	return fmt.Errorf("vnettracer: machine %q has no script %q installed", machine, label)
 }
 
 // agentNames returns the registered machine names in sorted order so
