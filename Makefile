@@ -56,6 +56,7 @@ fuzz:
 	$(GO) test -run NONE -fuzz FuzzDecodeBatchFrame -fuzztime $(FUZZTIME) ./internal/control
 	$(GO) test -run NONE -fuzz FuzzTraceIDStrip -fuzztime $(FUZZTIME) ./internal/vnet
 	$(GO) test -run NONE -fuzz FuzzVerifyProgram -fuzztime $(FUZZTIME) ./internal/ebpf
+	$(GO) test -run NONE -fuzz FuzzSegmentDecode -fuzztime $(FUZZTIME) ./internal/tracedb
 
 # Coverage summary over the whole module.
 .PHONY: cover
@@ -79,3 +80,5 @@ bench-wire:
 bench-json:
 	$(GO) test -run NONE -bench 'BenchmarkRingBuffer|BenchmarkEBPFInterpRecordScript|BenchmarkBatchWireEncoding' \
 		-benchmem -benchtime 1000x . | $(GO) run ./cmd/benchjson -o BENCH_pr3.json
+	$(GO) test -run NONE -bench 'BenchmarkSegment' \
+		-benchmem -benchtime 100x . | $(GO) run ./cmd/benchjson -o BENCH_pr6.json

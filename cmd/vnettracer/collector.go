@@ -23,11 +23,18 @@ func runCollector(args []string) error {
 	out := fs.String("out", "", "append record batches as JSON lines to this file")
 	workers := fs.Int("workers", 4, "ingest worker goroutines")
 	queue := fs.Int("queue", 1024, "ingest queue depth (full queue drops batches)")
+	segBytes := fs.Int("segment-bytes", tracedb.DefaultSegmentBytes, "raw bytes per table head before sealing a compressed segment")
+	retention := fs.Int64("retention", 0, "max compressed sealed bytes per table; oldest whole segments evicted beyond this (0 = keep forever)")
+	dataDir := fs.String("data-dir", "", "spill sealed segments to this directory instead of keeping them resident")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	db := tracedb.New()
+	db := tracedb.NewWith(tracedb.Config{
+		SegmentBytes: *segBytes,
+		DataDir:      *dataDir,
+		RetainBytes:  *retention,
+	})
 	col := control.NewCollector(db)
 	// Move DB inserts off the transport goroutines onto the bounded
 	// ingest queue; a full queue drops batches rather than stalling agents.
@@ -66,6 +73,12 @@ func runCollector(args []string) error {
 			fencedB, fencedR := col.FencedStats()
 			fmt.Printf("\nshutting down: %d batches, %d records, %d ring drops, %d dropped batches, %d dup batches (%d records), %d missing batches, %d fenced batches (%d records), %d tables\n",
 				batches, records, drops, dropped, dupB, dupR, missing, fencedB, fencedR, len(db.Tables()))
+			db.SealAll() // flush heads so a data dir holds the full history
+			st := db.StorageTotals()
+			fmt.Printf("storage: %d records in %d segments (%d spilled), %s resident, %s on disk, %.1fx compression, %d records evicted\n",
+				st.Records(), st.Extents, st.SpilledExtents,
+				fmtBytes(st.ResidentBytes), fmtBytes(st.SpilledBytes),
+				st.CompressionRatio(), st.EvictedRecords)
 			return nil
 		case <-tick.C:
 			_, records, _ := col.Stats()
@@ -78,6 +91,19 @@ func runCollector(args []string) error {
 			}
 		}
 	}
+}
+
+// fmtBytes renders a byte count with a binary-unit suffix.
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
 }
 
 // teeSink forwards batches and appends them to a JSONL file.

@@ -8,11 +8,17 @@
 //	vntquery -in records.jsonl -from 1 -to 2        # latency/jitter/loss 1 -> 2
 //	vntquery -in records.jsonl -from 1 -to 2 -skew 150000
 //	vntquery agents -in records.jsonl               # per-agent supervision ledger
+//	vntquery storage -in records.jsonl              # segment-store accounting
 //
 // The agents subcommand replays the dump through the epoch-aware delivery
 // ledger and reports, per agent: the registration epoch, last heartbeat,
 // sequence progress, missing/duplicate batches, fenced (stale-epoch)
 // traffic, and the self-reported degradation level.
+//
+// The storage subcommand loads the dump into a segment store (segment
+// size, spill dir, and retention configurable by flags) and reports, per
+// table: segment counts, resident vs on-disk bytes, compression ratio,
+// and evicted-record counts.
 package main
 
 import (
@@ -40,6 +46,25 @@ func main() {
 			os.Exit(2)
 		}
 		if err := runAgents(*in, *stale); err != nil {
+			fmt.Fprintf(os.Stderr, "vntquery: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "storage" {
+		fs := flag.NewFlagSet("storage", flag.ExitOnError)
+		in := fs.String("in", "", "records.jsonl produced by the collector")
+		segBytes := fs.Int("segment-bytes", tracedb.DefaultSegmentBytes, "raw bytes per table head before sealing a segment")
+		dataDir := fs.String("data-dir", "", "spill sealed segments to this directory")
+		retention := fs.Int64("retention", 0, "max compressed sealed bytes per table (0 = keep all)")
+		if err := fs.Parse(os.Args[2:]); err != nil {
+			os.Exit(2)
+		}
+		if *in == "" {
+			fs.Usage()
+			os.Exit(2)
+		}
+		if err := runStorage(*in, tracedb.Config{SegmentBytes: *segBytes, DataDir: *dataDir, RetainBytes: *retention}); err != nil {
 			fmt.Fprintf(os.Stderr, "vntquery: %v\n", err)
 			os.Exit(1)
 		}
@@ -116,6 +141,53 @@ func runAgents(path string, staleNs int64) error {
 				l.FencedBatches, l.FencedRecords)
 		}
 	}
+	return nil
+}
+
+// runStorage loads a trace dump into a segment store under the given
+// configuration, seals the heads, and prints per-table and aggregate
+// storage accounting — a dry run of what the live collector's resident
+// footprint would be under those settings.
+func runStorage(path string, cfg tracedb.Config) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	db := tracedb.NewWith(cfg)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lines := 0
+	for sc.Scan() {
+		var batch control.RecordBatch
+		if err := json.Unmarshal(sc.Bytes(), &batch); err != nil {
+			return fmt.Errorf("line %d: %w", lines+1, err)
+		}
+		db.Insert(batch.Records)
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	db.SealAll()
+	fmt.Printf("loaded %d batches (segment-bytes %d, retention %d, data-dir %q)\n",
+		lines, db.Config().SegmentBytes, cfg.RetainBytes, cfg.DataDir)
+
+	printStats := func(label string, s tracedb.StorageStats) {
+		fmt.Printf("%s: %d records (%d head, %d sealed), %d segments (%d spilled)\n",
+			label, s.Records(), s.HeadRecords, s.SealedRecords, s.Extents, s.SpilledExtents)
+		fmt.Printf("  resident %d B, on-disk %d B, raw sealed %d B, compression %.1fx\n",
+			s.ResidentBytes, s.SpilledBytes, s.SealedRawBytes, s.CompressionRatio())
+		if s.EvictedRecords > 0 || s.ReadErrors > 0 {
+			fmt.Printf("  evicted %d records in %d segments, %d read errors\n",
+				s.EvictedRecords, s.EvictedExtents, s.ReadErrors)
+		}
+	}
+	for _, s := range db.StorageStats() {
+		printStats(fmt.Sprintf("tracepoint %d (%s)", s.TPID, s.Name), s)
+	}
+	printStats("total", db.StorageTotals())
 	return nil
 }
 

@@ -5,6 +5,8 @@ import (
 	"os"
 	"strconv"
 	"testing"
+
+	"vnettracer/internal/sim"
 )
 
 // report fails the test with every violated invariant plus the replay
@@ -156,6 +158,66 @@ func TestDigestSeparatesSeeds(t *testing.T) {
 	}
 	if a.Digest == b.Digest {
 		t.Fatalf("seeds 1 and 2 produced the same digest %s", a.Digest)
+	}
+}
+
+// TestKitchenSink100x runs the kitchen-sink scenario at 100x record
+// volume with sealed segments spilling to disk — the storage acceptance
+// run: every invariant must stay green, the store must actually spill,
+// compression must clear the 4x floor, and the resident footprint must
+// stay bounded well below the flat-slice baseline.
+func TestKitchenSink100x(t *testing.T) {
+	var base Scenario
+	for _, sc := range Corpus() {
+		if sc.Name == "kitchen-sink" {
+			base = sc
+			break
+		}
+	}
+	if base.Name == "" {
+		t.Fatal("kitchen-sink not in corpus")
+	}
+	sc := base
+	sc.Name = "kitchen-sink-100x"
+	sc.Packets = base.Packets * 100
+	sc.RingBytes = 64 * 1024
+	// Stretch the horizon 10x and move the fault windows with it so the
+	// outage and restart still land mid-workload.
+	sc.HorizonNs = 1000 * sim.Millisecond
+	sc.SinkDownFromNs = 400 * sim.Millisecond
+	sc.SinkDownUntilNs = 550 * sim.Millisecond
+	sc.RestartAtNs = 600 * sim.Millisecond
+	sc.RestartForNs = 200 * sim.Millisecond
+	sc.SpillDir = t.TempDir()
+
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report(t, res)
+
+	st := res.Storage
+	if st.Records() == 0 || st.SealedRecords == 0 {
+		t.Fatalf("storage saw no sealed records: %+v", st)
+	}
+	if st.SpilledExtents == 0 || st.SpilledBytes == 0 {
+		t.Fatalf("nothing spilled to %s: %+v", sc.SpillDir, st)
+	}
+	if ratio := st.CompressionRatio(); ratio < 4 {
+		t.Fatalf("compression ratio %.2f, want >= 4", ratio)
+	}
+	// Bounded residency: with every head sealed and spilled, what stays
+	// in memory (extent metadata + bloom filters) must be a small
+	// fraction of what the flat store would hold resident.
+	if st.ResidentBytes*4 > st.SealedRawBytes {
+		t.Fatalf("resident %d B vs flat baseline %d B: not bounded", st.ResidentBytes, st.SealedRawBytes)
+	}
+	if st.ReadErrors != 0 {
+		t.Fatalf("segment read errors: %d", st.ReadErrors)
+	}
+	// The storage layer must conserve what the pipeline stored.
+	if stored := sumAgents(res, func(a AgentReport) uint64 { return a.Stored }); st.Records() != stored {
+		t.Fatalf("storage holds %d records, pipeline stored %d", st.Records(), stored)
 	}
 }
 

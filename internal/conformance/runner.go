@@ -138,6 +138,10 @@ type Result struct {
 	// Supervisor snapshots the control-plane supervision counters
 	// (pushes, retries, re-provisions) at quiesce.
 	Supervisor control.SupervisorStats
+
+	// Storage aggregates the trace store's segment accounting at quiesce
+	// (after heads seal), so runs can assert on residency and spill.
+	Storage tracedb.StorageStats
 }
 
 // AgentReport is the per-machine accounting the invariants reconcile.
@@ -185,7 +189,7 @@ func Run(sc Scenario) (*Result, error) {
 
 	eng := sim.NewEngine(sc.Seed)
 	dist := sim.NewDist(eng)
-	db := tracedb.New()
+	db := tracedb.NewWith(tracedb.Config{SegmentBytes: sc.SegmentBytes, DataDir: sc.SpillDir})
 	col := control.NewCollector(db)
 	sink := newFaultSink(col, eng, sc, dig)
 	disp := control.NewDispatcher()
@@ -215,6 +219,15 @@ func Run(sc Scenario) (*Result, error) {
 	estimateSkews(sc, cluster, db, res)
 
 	res.Supervisor = sup.Stats()
+	// Seal every head before checking: the invariants then run against
+	// fully sealed (and, with SpillDir, spilled) segments, and the
+	// storage accounting reflects the whole run's history.
+	db.SealAll()
+	res.Storage = db.StorageTotals()
+	dig.logf("storage records=%d extents=%d spilled=%d stored=%d raw=%d evicted=%d readerrs=%d",
+		res.Storage.Records(), res.Storage.Extents, res.Storage.SpilledExtents,
+		res.Storage.StoredBytes(), res.Storage.SealedRawBytes,
+		res.Storage.EvictedRecords, res.Storage.ReadErrors)
 	check(sc, cluster, truth, db, col, sink, res, dig)
 	res.Digest = dig.sum()
 	return res, nil

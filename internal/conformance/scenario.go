@@ -119,6 +119,14 @@ type Scenario struct {
 	OverloadDepth   int
 	OverloadCap     int
 
+	// Storage: SegmentBytes is the trace store's head-seal threshold in
+	// raw record bytes (default 4096, small enough that every scenario
+	// exercises sealed segments); SpillDir, when set, spills sealed
+	// extents to disk so queries cross head + resident + spilled
+	// segments.
+	SegmentBytes int
+	SpillDir     string
+
 	// HorizonNs is the simulated end of the run; quiesce happens there.
 	HorizonNs int64
 }
@@ -150,6 +158,9 @@ func (s Scenario) withDefaults() Scenario {
 	}
 	if s.HopDelayNs <= 0 {
 		s.HopDelayNs = 200 * sim.Microsecond
+	}
+	if s.SegmentBytes <= 0 {
+		s.SegmentBytes = 4096
 	}
 	if s.HorizonNs <= 0 {
 		s.HorizonNs = 100 * sim.Millisecond

@@ -45,6 +45,10 @@ func NewCollector(db *tracedb.DB) *Collector {
 // DB returns the backing trace database.
 func (c *Collector) DB() *tracedb.DB { return c.db }
 
+// StorageStats returns the trace database's aggregate segment-store
+// accounting (resident vs spilled bytes, compression ratio, evictions).
+func (c *Collector) StorageStats() tracedb.StorageStats { return c.db.StorageTotals() }
+
 // HandleBatch implements RecordSink. With ingest workers running it
 // enqueues and returns immediately (dropping the batch if the queue is
 // full); otherwise it inserts inline.

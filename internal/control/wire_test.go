@@ -265,7 +265,9 @@ func TestTCPBinaryAndLegacySinksAgree(t *testing.T) {
 		if !ok {
 			t.Fatal("table 1 missing")
 		}
-		return batches, records, drops, tbl.All()
+		var recs []core.Record
+		tbl.Scan(func(r core.Record) bool { recs = append(recs, r); return true })
+		return batches, records, drops, recs
 	}
 	b1, r1, d1, recs1 := run(false)
 	b2, r2, d2, recs2 := run(true)

@@ -96,30 +96,48 @@ type LatencySample struct {
 }
 
 // Latencies joins two tracepoint tables on packet ID and returns per-packet
-// latency from a to b: t_b - t_a (timestamps already skew-aligned by the
-// tables). Packets missing from either side are skipped (they feed the
-// loss metric instead).
+// latency from a to b: t_b - t_a (timestamps skew-aligned per table).
+// Packets missing from either side are skipped (they feed the loss metric
+// instead). The join is two streaming passes — one over each table — so
+// it never decodes a sealed segment more than once per side.
 func Latencies(a, b *tracedb.Table) []LatencySample {
+	// First occurrence per trace ID on the b side, aligned.
+	bFirst := make(map[uint32]uint64)
+	b.ScanAligned(func(r core.Record) bool {
+		if r.TraceID != 0 {
+			if _, seen := bFirst[r.TraceID]; !seen {
+				bFirst[r.TraceID] = r.TimeNs
+			}
+		}
+		return true
+	})
 	var out []LatencySample
-	for _, id := range a.TraceIDs() {
-		if id == 0 {
-			continue // untraced packets cannot be joined
+	seen := make(map[uint32]struct{})
+	a.ScanAligned(func(r core.Record) bool {
+		if r.TraceID == 0 {
+			return true // untraced packets cannot be joined
 		}
-		ra, ok := a.FirstByTraceID(id)
-		if !ok {
-			continue
+		if _, dup := seen[r.TraceID]; dup {
+			return true
 		}
-		rb, ok := b.FirstByTraceID(id)
+		seen[r.TraceID] = struct{}{}
+		tb, ok := bFirst[r.TraceID]
 		if !ok {
-			continue
+			return true
 		}
 		out = append(out, LatencySample{
-			TraceID: id,
-			Seq:     ra.Seq,
-			Ns:      int64(rb.TimeNs) - int64(ra.TimeNs),
+			TraceID: r.TraceID,
+			Seq:     r.Seq,
+			Ns:      int64(tb) - int64(r.TimeNs),
 		})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Seq != out[j].Seq {
+			return out[i].Seq < out[j].Seq
+		}
+		return out[i].TraceID < out[j].TraceID
+	})
 	return out
 }
 

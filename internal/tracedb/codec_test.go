@@ -1,0 +1,154 @@
+package tracedb
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"vnettracer/internal/core"
+)
+
+// roundTrip encodes recs into an extent blob and decodes it back.
+func roundTrip(t *testing.T, tpid uint32, recs []core.Record) []core.Record {
+	t.Helper()
+	blob := appendExtentBlob(nil, tpid, recs)
+	gotTPID, got, err := decodeExtentBytes(blob)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if gotTPID != tpid {
+		t.Fatalf("tpid = %d, want %d", gotTPID, tpid)
+	}
+	return got
+}
+
+func TestCodecRoundTripEmpty(t *testing.T) {
+	got := roundTrip(t, 7, nil)
+	if len(got) != 0 {
+		t.Fatalf("decoded %d records from empty extent", len(got))
+	}
+}
+
+func TestCodecRoundTripTypical(t *testing.T) {
+	// A realistic batch: monotone timestamps with jitter, a handful of
+	// flows, mostly-incrementing trace IDs.
+	rng := rand.New(rand.NewSource(42))
+	recs := make([]core.Record, 500)
+	tns := uint64(1_000_000)
+	for i := range recs {
+		tns += uint64(800 + rng.Intn(400))
+		recs[i] = core.Record{
+			TraceID: uint32(i/2 + 1),
+			TPID:    3,
+			TimeNs:  tns,
+			Len:     uint32(64 + rng.Intn(1400)),
+			CPU:     uint32(rng.Intn(4)),
+			Seq:     uint64(i),
+			SrcIP:   0x0a000001 + uint32(rng.Intn(4)),
+			DstIP:   0x0a000101,
+			SrcPort: uint16(40000 + rng.Intn(4)),
+			DstPort: 9000,
+			Proto:   17,
+			Dir:     uint8(i % 2),
+		}
+	}
+	got := roundTrip(t, 3, recs)
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatal("round trip diverged")
+	}
+	// Realistic batches must compress well below the flat 48 B/record —
+	// the whole point of sealing.
+	blob := appendExtentBlob(nil, 3, recs)
+	if perRec := float64(len(blob)) / float64(len(recs)); perRec > 12 {
+		t.Fatalf("compressed %.1f bytes/record, want <= 12", perRec)
+	}
+}
+
+func TestCodecRoundTripAdversarial(t *testing.T) {
+	// Extreme values at every field width: wrap-around deltas, max
+	// timestamps, non-monotone time, single-record extents.
+	cases := [][]core.Record{
+		{{TraceID: math.MaxUint32, TimeNs: math.MaxUint64, Len: math.MaxUint32,
+			CPU: math.MaxUint32, Seq: math.MaxUint64, SrcIP: math.MaxUint32,
+			DstIP: math.MaxUint32, SrcPort: math.MaxUint16, DstPort: math.MaxUint16,
+			Proto: math.MaxUint8, Dir: math.MaxUint8}},
+		{
+			{TraceID: 0, TimeNs: math.MaxUint64, Seq: 0},
+			{TraceID: math.MaxUint32, TimeNs: 0, Seq: math.MaxUint64},
+			{TraceID: 1, TimeNs: math.MaxUint64 / 2, Seq: 1},
+		},
+		{
+			{TimeNs: 100}, {TimeNs: 50}, {TimeNs: 200}, {TimeNs: 0},
+		},
+	}
+	for i, recs := range cases {
+		for j := range recs {
+			recs[j].TPID = 9
+		}
+		got := roundTrip(t, 9, recs)
+		if !reflect.DeepEqual(got, recs) {
+			t.Fatalf("case %d diverged:\n got %+v\nwant %+v", i, got, recs)
+		}
+	}
+}
+
+func TestCodecFlowDictionary(t *testing.T) {
+	// Two interleaved flows: the dictionary should make repeats cheap and
+	// the round trip exact.
+	recs := make([]core.Record, 100)
+	for i := range recs {
+		recs[i] = core.Record{TraceID: uint32(i + 1), TPID: 1, TimeNs: uint64(i * 1000), Seq: uint64(i)}
+		if i%2 == 0 {
+			recs[i].SrcIP, recs[i].DstIP, recs[i].SrcPort, recs[i].DstPort, recs[i].Proto = 1, 2, 3, 4, 6
+		} else {
+			recs[i].SrcIP, recs[i].DstIP, recs[i].SrcPort, recs[i].DstPort, recs[i].Proto = 5, 6, 7, 8, 17
+		}
+	}
+	got := roundTrip(t, 1, recs)
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatal("interleaved flows diverged")
+	}
+}
+
+func TestCodecRejectsCorrupt(t *testing.T) {
+	recs := []core.Record{{TraceID: 1, TPID: 2, TimeNs: 10}, {TraceID: 2, TPID: 2, TimeNs: 20}}
+	blob := appendExtentBlob(nil, 2, recs)
+
+	if _, _, err := decodeExtentBytes(nil); err == nil {
+		t.Fatal("empty blob accepted")
+	}
+	if _, _, err := decodeExtentBytes(blob[:3]); err == nil {
+		t.Fatal("truncated magic accepted")
+	}
+	if _, _, err := decodeExtentBytes(blob[:len(blob)-1]); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+	bad := append([]byte(nil), blob...)
+	bad[0] ^= 0xff
+	if _, _, err := decodeExtentBytes(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	bad = append([]byte(nil), blob...)
+	bad[4] = extentVersion + 1
+	if _, _, err := decodeExtentBytes(bad); err == nil {
+		t.Fatal("future version accepted")
+	}
+	// Trailing garbage after the declared record count is an error too:
+	// spilled files must be exactly one extent.
+	if _, _, err := decodeExtentBytes(append(blob, 0x01)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestCodecHugeCountDoesNotOverAllocate(t *testing.T) {
+	// A header claiming 2^40 records over a 6-byte body must fail cleanly
+	// without attempting a huge allocation.
+	blob := append([]byte{}, extentMagic[:]...)
+	blob = append(blob, extentVersion)
+	blob = append(blob, 0x80, 0x80, 0x80, 0x80, 0x80, 0x40) // uvarint 2^40
+	blob = append(blob, 0x05)                               // tpid
+	if _, _, err := decodeExtentBytes(blob); err == nil {
+		t.Fatal("absurd record count accepted")
+	}
+}

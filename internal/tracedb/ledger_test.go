@@ -109,11 +109,6 @@ func TestAlignClampsAtZero(t *testing.T) {
 		}
 		return true
 	})
-	for _, r := range tbl.AlignedAll() {
-		if r.TimeNs != want[r.TraceID] {
-			t.Fatalf("AlignedAll trace %d = %d, want %d", r.TraceID, r.TimeNs, want[r.TraceID])
-		}
-	}
 	r, ok := tbl.FirstByTraceID(1)
 	if !ok || r.TimeNs != 0 {
 		t.Fatalf("FirstByTraceID = %d, want clamped 0", r.TimeNs)

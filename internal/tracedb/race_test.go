@@ -12,7 +12,9 @@ import (
 // lock while DB.Insert mutated them. Every reader method runs here
 // against concurrent inserters.
 func TestConcurrentInsertAndQuery(t *testing.T) {
-	db := New()
+	// Small segments so the race also exercises seal/snapshot interleaving,
+	// not just head appends.
+	db := NewWith(Config{SegmentBytes: 2048})
 	db.CreateTable(1, "a")
 	db.CreateTable(2, "b")
 
@@ -54,8 +56,8 @@ func TestConcurrentInsertAndQuery(t *testing.T) {
 				a, _ := db.Table(1)
 				b, _ := db.Table(2)
 				a.Len()
-				a.All()
-				a.AlignedAll()
+				a.Extents()
+				a.Storage()
 				a.ByTraceID(1)
 				a.FirstByTraceID(1)
 				a.TraceIDs()

@@ -1,0 +1,364 @@
+package tracedb
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"vnettracer/internal/core"
+)
+
+// Table holds all records from one tracepoint, stored as an append-only,
+// time-partitioned sequence of segments: a mutable in-memory head (raw
+// records plus an exact trace-ID index) and a list of sealed, immutable,
+// compressed extents — oldest first, in insertion order. Seals happen at
+// batch boundaries (Insert appends whole per-tracepoint runs and only
+// then checks the head's size), so every extent covers whole delivered
+// batches and the collector's ledger state at any extent boundary is
+// self-describing. All methods are safe for concurrent use with
+// DB.Insert.
+type Table struct {
+	TPID uint32
+	Name string
+
+	db *DB
+
+	mu sync.RWMutex
+	// skewNs is the estimated clock offset of the node hosting this
+	// tracepoint relative to the master (Cristian's algorithm); analyses
+	// subtract it during timestamp alignment, applied per segment at read
+	// time.
+	skewNs int64
+
+	// head is the mutable segment; headIndex maps trace IDs to head
+	// positions for exact lookups before sealing.
+	head      []core.Record
+	headIndex map[uint32][]int32
+
+	// sealed lists immutable extents oldest-first. sealedRecords and
+	// sealedBytes are running totals so Len and retention are O(1).
+	sealed        []*Extent
+	sealSeq       int
+	sealedRecords int
+	sealedBytes   int64
+
+	evictedRecords uint64
+	evictedExtents uint64
+
+	// readErrors counts extent scans that failed mid-query (e.g. a
+	// spilled file evicted between snapshot and read). Queries skip the
+	// extent and keep going; the counter keeps the skip visible.
+	readErrors atomic.Uint64
+}
+
+func newTable(db *DB, tpid uint32, name string) *Table {
+	return &Table{TPID: tpid, Name: name, db: db, headIndex: make(map[uint32][]int32)}
+}
+
+// append adds a run of records (all with this table's TPID) under the
+// table lock, sealing the head into a new extent once it crosses the
+// configured segment size. The check runs after the whole run lands, so
+// extents always break at batch-run boundaries.
+func (t *Table) append(recs []core.Record) {
+	t.mu.Lock()
+	for i := range recs {
+		t.headIndex[recs[i].TraceID] = append(t.headIndex[recs[i].TraceID], int32(len(t.head)))
+		t.head = append(t.head, recs[i])
+	}
+	if len(t.head)*core.RecordSize >= t.db.cfg.SegmentBytes {
+		t.sealLocked()
+	}
+	t.mu.Unlock()
+}
+
+// sealLocked compresses the head into a new immutable extent, spills it
+// when the DB has a data directory, and applies retention. Callers hold
+// t.mu for writing.
+func (t *Table) sealLocked() {
+	if len(t.head) == 0 {
+		return
+	}
+	ext := sealExtent(t.TPID, t.sealSeq, t.head)
+	t.sealSeq++
+	if dir := t.db.cfg.DataDir; dir != "" {
+		// Spill is best-effort: a failed write (disk full, bad dir) keeps
+		// the blob resident rather than losing the records.
+		ext.spill(dir, t.TPID)
+	}
+	t.sealed = append(t.sealed, ext)
+	t.sealedRecords += ext.count
+	t.sealedBytes += int64(ext.storedBytes)
+	// The old head backing array may still be referenced by concurrent
+	// scan snapshots, so start a fresh one rather than reusing it.
+	t.head = nil
+	t.headIndex = make(map[uint32][]int32)
+	t.enforceRetentionLocked()
+}
+
+// enforceRetentionLocked evicts whole extents oldest-first until the
+// sealed store fits the retention budget. The head is never evicted.
+func (t *Table) enforceRetentionLocked() {
+	retain := t.db.cfg.RetainBytes
+	if retain <= 0 {
+		return
+	}
+	k := 0
+	for k < len(t.sealed) && t.sealedBytes > retain {
+		ext := t.sealed[k]
+		t.sealedBytes -= int64(ext.storedBytes)
+		t.sealedRecords -= ext.count
+		t.evictedRecords += uint64(ext.count)
+		t.evictedExtents++
+		ext.remove()
+		k++
+	}
+	if k > 0 {
+		// Reslice into a fresh array so the dropped extents become
+		// collectable even while the old backing array is snapshotted.
+		t.sealed = append([]*Extent(nil), t.sealed[k:]...)
+	}
+}
+
+// Seal seals the current head segment immediately, regardless of size.
+// Useful before shutdown (so a data directory holds everything) and in
+// tests; a no-op on an empty head.
+func (t *Table) Seal() {
+	t.mu.Lock()
+	t.sealLocked()
+	t.mu.Unlock()
+}
+
+// snapshot captures the sealed extent list, the head prefix, and the skew
+// without copying record data. Extents are immutable and head records are
+// append-only (a seal swaps in a fresh backing array rather than reusing
+// the old one), so the snapshot stays consistent while inserts continue.
+func (t *Table) snapshot() ([]*Extent, []core.Record, int64) {
+	t.mu.RLock()
+	exts, head, skew := t.sealed, t.head, t.skewNs
+	t.mu.RUnlock()
+	return exts, head, skew
+}
+
+// Skew returns the clock offset correction applied during alignment.
+func (t *Table) Skew() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.skewNs
+}
+
+// Len returns the live record count (head plus sealed, minus evicted).
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.head) + t.sealedRecords
+}
+
+// Extents returns the current number of sealed segments.
+func (t *Table) Extents() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.sealed)
+}
+
+// alignNs applies the skew correction to a timestamp, clamping at zero: a
+// positive skew larger than an early record's timestamp must not wrap the
+// unsigned time around to a huge value (which would sort the record after
+// everything else and wreck latency math).
+func alignNs(timeNs uint64, skewNs int64) uint64 {
+	v := int64(timeNs) - skewNs
+	if v < 0 {
+		return 0
+	}
+	return uint64(v)
+}
+
+// scanSegments drives fn over sealed extents then the head, in insertion
+// order, aligning timestamps when align is set. It returns early when fn
+// returns false. Extents that fail to read (evicted mid-query) are
+// skipped and counted.
+func (t *Table) scanSegments(align bool, fn func(core.Record) bool) {
+	exts, head, skew := t.snapshot()
+	stopped := false
+	visit := func(r core.Record) bool {
+		if align {
+			r.TimeNs = alignNs(r.TimeNs, skew)
+		}
+		if !fn(r) {
+			stopped = true
+			return false
+		}
+		return true
+	}
+	for _, e := range exts {
+		if err := e.scan(visit); err != nil {
+			t.readErrors.Add(1)
+			continue
+		}
+		if stopped {
+			return
+		}
+	}
+	for i := range head {
+		if !visit(head[i]) {
+			return
+		}
+	}
+}
+
+// Scan streams every record in insertion order until fn returns false.
+// The segment snapshot is taken under the lock and decoded outside it, so
+// long analyses never block inserts; records inserted after Scan starts
+// are not visited.
+func (t *Table) Scan(fn func(core.Record) bool) { t.scanSegments(false, fn) }
+
+// ScanAligned streams every record with timestamps corrected by the node
+// skew ("timestamp alignment for the clock skew", Section III-C), until
+// fn returns false. The correction is applied per segment at read time,
+// so a skew learned after records sealed still aligns them.
+func (t *Table) ScanAligned(fn func(core.Record) bool) { t.scanSegments(true, fn) }
+
+// ByTraceID returns all records for one packet ID in insertion order.
+// Sealed extents are consulted only when their Bloom filter admits the
+// ID; the head uses its exact index.
+func (t *Table) ByTraceID(id uint32) []core.Record {
+	t.mu.RLock()
+	exts := t.sealed
+	var headOut []core.Record
+	if idxs := t.headIndex[id]; len(idxs) > 0 {
+		headOut = make([]core.Record, len(idxs))
+		for i, idx := range idxs {
+			headOut[i] = t.head[idx]
+		}
+	}
+	t.mu.RUnlock()
+
+	var out []core.Record
+	for _, e := range exts {
+		if !e.mayContain(id) {
+			continue
+		}
+		if err := e.scan(func(r core.Record) bool {
+			if r.TraceID == id {
+				out = append(out, r)
+			}
+			return true
+		}); err != nil {
+			t.readErrors.Add(1)
+		}
+	}
+	return append(out, headOut...)
+}
+
+// FirstByTraceID returns the first record for a packet ID in insertion
+// order, with timestamp alignment applied.
+func (t *Table) FirstByTraceID(id uint32) (core.Record, bool) {
+	t.mu.RLock()
+	exts := t.sealed
+	skew := t.skewNs
+	var headFirst core.Record
+	headOK := false
+	if idxs := t.headIndex[id]; len(idxs) > 0 {
+		headFirst = t.head[idxs[0]]
+		headOK = true
+	}
+	t.mu.RUnlock()
+
+	for _, e := range exts {
+		if !e.mayContain(id) {
+			continue
+		}
+		var found core.Record
+		ok := false
+		if err := e.scan(func(r core.Record) bool {
+			if r.TraceID == id {
+				found, ok = r, true
+				return false
+			}
+			return true
+		}); err != nil {
+			t.readErrors.Add(1)
+			continue
+		}
+		if ok {
+			found.TimeNs = alignNs(found.TimeNs, skew)
+			return found, true
+		}
+	}
+	if headOK {
+		headFirst.TimeNs = alignNs(headFirst.TimeNs, skew)
+		return headFirst, true
+	}
+	return core.Record{}, false
+}
+
+// traceIDSet scans all live segments and returns the distinct packet IDs.
+func (t *Table) traceIDSet() map[uint32]struct{} {
+	set := make(map[uint32]struct{})
+	t.Scan(func(r core.Record) bool {
+		set[r.TraceID] = struct{}{}
+		return true
+	})
+	return set
+}
+
+// TraceIDs returns the distinct packet IDs seen at this tracepoint, in
+// ascending order. With sealed segments this is a full streaming pass;
+// the set it builds is transient query state, not resident storage.
+func (t *Table) TraceIDs() []uint32 {
+	set := t.traceIDSet()
+	out := make([]uint32, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumTraceIDs returns the count of distinct packet IDs without building
+// the sorted slice.
+func (t *Table) NumTraceIDs() int { return len(t.traceIDSet()) }
+
+// Incomplete reports trace IDs seen at this table but missing from other
+// — the "identifying incomplete records" data-cleaning step, and the raw
+// material of the packet-loss metric. Both tables stream without holding
+// locks across each other, so Incomplete(a,b) and Incomplete(b,a) can run
+// concurrently with inserts on both.
+func (t *Table) Incomplete(other *Table) []uint32 {
+	present := other.traceIDSet()
+	var out []uint32
+	for _, id := range t.TraceIDs() {
+		if _, ok := present[id]; !ok {
+			out = append(out, id)
+		}
+	}
+	return out // TraceIDs is sorted, so out is too
+}
+
+// Storage returns the table's segment-store accounting.
+func (t *Table) Storage() StorageStats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	s := StorageStats{
+		TPID:           t.TPID,
+		Name:           t.Name,
+		HeadRecords:    uint64(len(t.head)),
+		SealedRecords:  uint64(t.sealedRecords),
+		Extents:        len(t.sealed),
+		HeadBytes:      uint64(len(t.head)) * core.RecordSize,
+		SealedRawBytes: uint64(t.sealedRecords) * core.RecordSize,
+		EvictedRecords: t.evictedRecords,
+		EvictedExtents: t.evictedExtents,
+		ReadErrors:     t.readErrors.Load(),
+	}
+	s.ResidentBytes = s.HeadBytes
+	for _, e := range t.sealed {
+		s.ResidentBytes += e.residentBytes()
+		if e.Spilled() {
+			s.SpilledExtents++
+			s.SpilledBytes += uint64(e.storedBytes)
+		} else {
+			s.SealedResidentBytes += uint64(e.storedBytes)
+		}
+	}
+	return s
+}

@@ -1,7 +1,16 @@
 // Package tracedb is the trace database the raw-data collector loads
 // records into — the offline store the paper implements with InfluxDB: one
-// table per tracepoint, records indexed by packet (trace) ID, plus the
-// collector's agent-heartbeat ledger.
+// table per tracepoint, plus the collector's agent-heartbeat ledger.
+//
+// Storage is an append-only, time-partitioned segment store. Each table
+// keeps a mutable in-memory head segment of raw records; when the head
+// crosses the configured segment size it is sealed into an immutable,
+// compressed Extent (delta-of-delta timestamps, zigzag-varint field
+// deltas, a per-extent flow dictionary — see codec.go), optionally
+// spilled to a data directory, and eventually evicted whole by the
+// retention policy. Queries stream sealed extents then the head in
+// insertion order; clock-skew alignment is applied per segment at read
+// time.
 //
 // The store is sharded for the ingest path: the DB-level lock guards only
 // the table directory, each Table carries its own RWMutex, and the
@@ -18,9 +27,42 @@ import (
 	"vnettracer/internal/core"
 )
 
-// DB is an in-memory trace database. It is safe for concurrent use; the
-// collector inserts while analyses query.
+// DefaultSegmentBytes is the head size (in raw record bytes) at which a
+// table seals its head into a compressed extent.
+const DefaultSegmentBytes = 256 * 1024
+
+// Config tunes the segment store. The zero value gives an in-memory store
+// with the default segment size and no retention limit — the behavior New
+// provides.
+type Config struct {
+	// SegmentBytes is the raw-record byte size at which a table's head
+	// segment seals. Zero or negative means DefaultSegmentBytes. Seals
+	// happen at batch-run boundaries, so a head can overshoot by up to
+	// one insert run.
+	SegmentBytes int
+	// DataDir, when set, spills every sealed extent to this directory and
+	// keeps only extent metadata (count, time range, bloom filter)
+	// resident. Files are written temp-then-rename, so a crash never
+	// leaves a torn extent under a final name.
+	DataDir string
+	// RetainBytes bounds the sealed store per table (compressed bytes,
+	// resident or spilled). When exceeded, whole extents are evicted
+	// oldest-first; the head is never evicted. Zero means keep forever.
+	RetainBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = DefaultSegmentBytes
+	}
+	return c
+}
+
+// DB is a trace database. It is safe for concurrent use; the collector
+// inserts while analyses query.
 type DB struct {
+	cfg Config
+
 	// mu guards only the table directory; record data is guarded by each
 	// table's own lock.
 	mu     sync.RWMutex
@@ -30,131 +72,21 @@ type DB struct {
 	ledger map[string]*agentLedger
 }
 
-// agentLedger is the collector's per-agent delivery bookkeeping: the
-// heartbeat timestamp plus the batch-sequence state that turns the
-// at-least-once transport into exactly-once ingest.
-type agentLedger struct {
-	lastSeenNs int64
-	// hwm is the contiguous high-water mark: every sequenced batch with
-	// Seq <= hwm has been ingested.
-	hwm uint64
-	// maxSeq is the highest sequence number ever observed.
-	maxSeq uint64
-	// pending holds ingested seqs above hwm (async ingest workers can
-	// process an agent's batches out of order).
-	pending map[uint64]struct{}
-	dups    uint64
+// New returns an empty in-memory database with default segment sizing and
+// no retention limit.
+func New() *DB { return NewWith(Config{}) }
 
-	// epoch is the newest registration lease observed for this agent.
-	// Sequence numbers restart from 1 with each epoch (a restarted agent
-	// is a fresh process), so on an epoch advance the old epoch's seq
-	// state is snapshotted aside and the counters reset.
-	epoch uint64
-	// prevMaxSeq/prevHwm/prevPending freeze the previous epoch's ingest
-	// state at the fence point: a stale-epoch batch is checked against
-	// them so a zombie re-shipping an already-ingested batch is not
-	// double-counted as fenced payload.
-	prevMaxSeq  uint64
-	prevHwm     uint64
-	prevPending map[uint64]struct{}
-	// prevFenced records previous-epoch seqs already counted into
-	// fencedRecords, so zombie retries of the same batch count once.
-	prevFenced map[uint64]struct{}
-	// missingPrior accumulates sequence gaps from closed epochs; a gap
-	// batch that later surfaces fenced is moved from missing to fenced.
-	missingPrior uint64
-	// fencedBatches counts every stale-epoch sequenced arrival;
-	// fencedRecords counts the record payload of first-time fenced
-	// batches that were never ingested (exact confirmed-fenced loss).
-	fencedBatches uint64
-	fencedRecords uint64
-	// degraded is the agent's last self-reported degradation level.
-	degraded uint8
-}
-
-// markSeq records a nonzero batch seq for the current epoch and reports
-// whether it is fresh. Callers hold db.hbMu.
-func (l *agentLedger) markSeq(seq uint64) bool {
-	if seq <= l.hwm {
-		l.dups++
-		return false
-	}
-	if _, seen := l.pending[seq]; seen {
-		l.dups++
-		return false
-	}
-	l.pending[seq] = struct{}{}
-	if seq > l.maxSeq {
-		l.maxSeq = seq
-	}
-	for {
-		if _, ok := l.pending[l.hwm+1]; !ok {
-			break
-		}
-		delete(l.pending, l.hwm+1)
-		l.hwm++
-	}
-	return true
-}
-
-// AgentLedger is a snapshot of one agent's delivery ledger.
-type AgentLedger struct {
-	// LastSeenNs is the latest heartbeat timestamp on the agent's clock.
-	LastSeenNs int64
-	// HighWaterSeq is the contiguous ingest prefix: every batch sequence
-	// number <= HighWaterSeq has been ingested exactly once.
-	HighWaterSeq uint64
-	// MaxSeq is the highest batch sequence number observed so far.
-	MaxSeq uint64
-	// DupBatches counts batches dropped because their sequence number had
-	// already been ingested (transport retries after a lost reply).
-	DupBatches uint64
-	// PendingBatches counts seqs ingested above the high-water mark —
-	// reordering by concurrent ingest workers, usually transient.
-	PendingBatches int
-	// MissingBatches counts sequence-number gaps: batches the agent
-	// stamped but the collector never ingested. While the agent still
-	// spools them this is in-flight retry backlog; once the agent evicts
-	// them it is confirmed loss. Gaps from closed epochs are included;
-	// a gap batch that later arrives fenced moves to FencedRecords.
-	MissingBatches uint64
-	// Epoch is the newest registration lease observed for the agent.
-	// Zero means the agent never presented a lease (legacy wire
-	// versions, standalone agents); such agents are never fenced.
-	Epoch uint64
-	// FencedBatches counts stale-epoch sequenced batches rejected by
-	// the epoch fence (every arrival, including zombie retries);
-	// FencedRecords counts the payload of first-time fenced batches
-	// that were never ingested — confirmed records lost to fencing.
-	FencedBatches uint64
-	FencedRecords uint64
-	// Degraded is the agent's last self-reported degradation level:
-	// 0 full capture, 1 stretched flush, 2 ring sampling.
-	Degraded uint8
-}
-
-// Table holds all records from one tracepoint. All methods are safe for
-// concurrent use with DB.Insert.
-type Table struct {
-	TPID uint32
-	Name string
-
-	mu sync.RWMutex
-	// skewNs is the estimated clock offset of the node hosting this
-	// tracepoint relative to the master (Cristian's algorithm); analyses
-	// subtract it during timestamp alignment.
-	skewNs    int64
-	recs      []core.Record
-	byTraceID map[uint32][]int
-}
-
-// New returns an empty database.
-func New() *DB {
+// NewWith returns an empty database with the given storage configuration.
+func NewWith(cfg Config) *DB {
 	return &DB{
+		cfg:    cfg.withDefaults(),
 		tables: make(map[uint32]*Table),
 		ledger: make(map[string]*agentLedger),
 	}
 }
+
+// Config returns the store's effective configuration.
+func (db *DB) Config() Config { return db.cfg }
 
 // CreateTable registers a tracepoint table. Creating an existing table is
 // an error (tracepoint IDs must be unique per experiment).
@@ -164,14 +96,16 @@ func (db *DB) CreateTable(tpid uint32, name string) (*Table, error) {
 	if _, dup := db.tables[tpid]; dup {
 		return nil, fmt.Errorf("tracedb: table %d already exists", tpid)
 	}
-	t := &Table{TPID: tpid, Name: name, byTraceID: make(map[uint32][]int)}
+	t := newTable(db, tpid, name)
 	db.tables[tpid] = t
 	return t, nil
 }
 
 // Insert routes records to their tracepoint tables, creating tables on
 // demand for unknown tracepoints. Records usually arrive grouped by
-// tracepoint, so runs of the same TPID are appended under one table lock.
+// tracepoint, so runs of the same TPID are appended under one table lock;
+// segment seals happen only at run boundaries, keeping extents batch
+// aligned.
 func (db *DB) Insert(recs []core.Record) {
 	for i := 0; i < len(recs); {
 		j := i + 1
@@ -196,7 +130,7 @@ func (db *DB) table(tpid uint32) *Table {
 	if t, ok := db.tables[tpid]; ok {
 		return t
 	}
-	t = &Table{TPID: tpid, Name: fmt.Sprintf("tp%d", tpid), byTraceID: make(map[uint32][]int)}
+	t = newTable(db, tpid, fmt.Sprintf("tp%d", tpid))
 	db.tables[tpid] = t
 	return t
 }
@@ -230,333 +164,106 @@ func (db *DB) SetSkew(tpid uint32, skewNs int64) {
 	}
 }
 
-// ledgerEntry returns (creating if needed) the ledger for an agent.
-// Callers must hold db.hbMu.
-func (db *DB) ledgerEntry(agent string) *agentLedger {
-	l, ok := db.ledger[agent]
-	if !ok {
-		l = &agentLedger{pending: make(map[uint64]struct{})}
-		db.ledger[agent] = l
+// SealAll seals every table's head segment (e.g. before shutdown, so a
+// data directory holds the complete history).
+func (db *DB) SealAll() {
+	db.mu.RLock()
+	tables := make([]*Table, 0, len(db.tables))
+	for _, t := range db.tables {
+		tables = append(tables, t)
 	}
-	return l
-}
-
-// Heartbeat records that an agent reported in at time nowNs. The collector
-// doubles as the health monitor (paper Section III-C: "it also acts as a
-// heartbeat monitor"). The ledger keeps the maximum: with concurrent
-// ingest workers (or an agent re-shipping spooled batches stamped at their
-// original drain time) batches arrive out of order, and an older timestamp
-// must not regress the last-seen time and falsely kill a live agent.
-func (db *DB) Heartbeat(agent string, nowNs int64) {
-	db.hbMu.Lock()
-	defer db.hbMu.Unlock()
-	l := db.ledgerEntry(agent)
-	if nowNs > l.lastSeenNs {
-		l.lastSeenNs = nowNs
+	db.mu.RUnlock()
+	for _, t := range tables {
+		t.Seal()
 	}
 }
 
-// MarkBatchSeq records a batch sequence number for an agent and reports
-// whether the batch is fresh (false = already ingested, drop it). Seq 0
-// means "unsequenced" (bare heartbeats, pre-Seq agents) and is always
-// fresh — those batches carry no replayable payload. The ledger tolerates
-// out-of-order arrival: seqs above the contiguous high-water mark park in
-// a pending set until the gap below them fills.
-func (db *DB) MarkBatchSeq(agent string, seq uint64) bool {
-	if seq == 0 {
-		return true
-	}
-	db.hbMu.Lock()
-	defer db.hbMu.Unlock()
-	return db.ledgerEntry(agent).markSeq(seq)
+// StorageStats is a snapshot of one table's (or, aggregated, a whole
+// store's) segment accounting.
+type StorageStats struct {
+	// TPID and Name identify the table; zero/empty in aggregated totals.
+	TPID uint32
+	Name string
+
+	// HeadRecords and SealedRecords partition the live record count.
+	HeadRecords   uint64
+	SealedRecords uint64
+	// Extents is the sealed segment count; SpilledExtents of those live
+	// on disk.
+	Extents        int
+	SpilledExtents int
+
+	// HeadBytes is the raw size of the mutable head (records × 48).
+	HeadBytes uint64
+	// SealedRawBytes is what the sealed records would occupy uncompressed.
+	SealedRawBytes uint64
+	// SealedResidentBytes is compressed extent bytes held in memory;
+	// SpilledBytes is compressed extent bytes on disk.
+	SealedResidentBytes uint64
+	SpilledBytes        uint64
+	// ResidentBytes approximates the table's total in-memory footprint:
+	// head + resident blobs + per-extent metadata (bloom filters etc.).
+	ResidentBytes uint64
+
+	// EvictedRecords/EvictedExtents count retention evictions since the
+	// table was created. ReadErrors counts extent reads that failed
+	// mid-query (the query skipped the extent).
+	EvictedRecords uint64
+	EvictedExtents uint64
+	ReadErrors     uint64
 }
 
-// BatchStatus classifies a batch presented to AdmitBatch.
-type BatchStatus int
+// Records returns the live record count in the snapshot.
+func (s StorageStats) Records() uint64 { return s.HeadRecords + s.SealedRecords }
 
-const (
-	// BatchFresh: first sight of this (epoch, seq) — insert the records.
-	BatchFresh BatchStatus = iota
-	// BatchDuplicate: the seq was already ingested in the current epoch
-	// (transport retry) — drop the payload, the heartbeat still counted.
-	BatchDuplicate
-	// BatchFenced: the batch carries a stale epoch (a zombie pre-restart
-	// process) — drop the payload and do not advance liveness; the fence
-	// keeps exactly-once accounting owned by the live incarnation.
-	BatchFenced
-)
+// StoredBytes returns the compressed sealed size, resident plus spilled.
+func (s StorageStats) StoredBytes() uint64 { return s.SealedResidentBytes + s.SpilledBytes }
 
-// AdmitBatch is the epoch-aware front door to the ledger: one call
-// classifies a batch (fresh / duplicate / fenced), advances the epoch on
-// a newer lease, updates the heartbeat for live-epoch traffic, and keeps
-// the fenced-loss counters exact. records is the batch's payload size;
-// nowNs its heartbeat timestamp; degraded the agent's self-reported
-// degradation level.
-//
-// Epoch rules: epoch 0 means unleased and is compared equal to itself
-// only — an unleased agent is never fenced. A batch with a newer epoch
-// than the ledger's closes the old epoch: its outstanding sequence gap is
-// folded into MissingBatches and its ingest state is frozen so stale
-// stragglers dedup correctly. A batch with an older epoch is fenced;
-// fenced payload counts once per seq (zombie retries don't inflate it),
-// and a fenced seq that was part of the closed epoch's gap moves from
-// missing to fenced. Fenced-payload exactness is guaranteed for the
-// immediately previous epoch (one live restart); older zombies are still
-// fenced but counted conservatively.
-func (db *DB) AdmitBatch(agent string, epoch, seq uint64, records int, nowNs int64, degraded uint8) BatchStatus {
-	db.hbMu.Lock()
-	defer db.hbMu.Unlock()
-	l := db.ledgerEntry(agent)
-	if epoch > l.epoch {
-		l.missingPrior += l.maxSeq - l.hwm - uint64(len(l.pending))
-		l.prevMaxSeq = l.maxSeq
-		l.prevHwm = l.hwm
-		l.prevPending = l.pending
-		l.prevFenced = make(map[uint64]struct{})
-		l.hwm, l.maxSeq = 0, 0
-		l.pending = make(map[uint64]struct{})
-		l.epoch = epoch
-	}
-	if epoch != 0 && epoch < l.epoch {
-		if seq == 0 {
-			// Stale bare heartbeat: a zombie must not keep the agent
-			// looking alive or perturb any counter.
-			return BatchFenced
-		}
-		l.fencedBatches++
-		ingested := seq <= l.prevHwm
-		if !ingested && l.prevPending != nil {
-			_, ingested = l.prevPending[seq]
-		}
-		if !ingested {
-			if l.prevFenced == nil {
-				l.prevFenced = make(map[uint64]struct{})
-			}
-			if _, counted := l.prevFenced[seq]; !counted {
-				l.prevFenced[seq] = struct{}{}
-				l.fencedRecords += uint64(records)
-				if seq <= l.prevMaxSeq && l.missingPrior > 0 {
-					l.missingPrior--
-				}
-			}
-		}
-		return BatchFenced
-	}
-	if nowNs > l.lastSeenNs {
-		l.lastSeenNs = nowNs
-	}
-	l.degraded = degraded
-	if seq == 0 {
-		return BatchFresh
-	}
-	if !l.markSeq(seq) {
-		return BatchDuplicate
-	}
-	return BatchFresh
-}
-
-// Ledger returns a snapshot of one agent's delivery ledger.
-func (db *DB) Ledger(agent string) (AgentLedger, bool) {
-	db.hbMu.Lock()
-	defer db.hbMu.Unlock()
-	l, ok := db.ledger[agent]
-	if !ok {
-		return AgentLedger{}, false
-	}
-	return AgentLedger{
-		LastSeenNs:     l.lastSeenNs,
-		HighWaterSeq:   l.hwm,
-		MaxSeq:         l.maxSeq,
-		DupBatches:     l.dups,
-		PendingBatches: len(l.pending),
-		MissingBatches: l.missingPrior + l.maxSeq - l.hwm - uint64(len(l.pending)),
-		Epoch:          l.epoch,
-		FencedBatches:  l.fencedBatches,
-		FencedRecords:  l.fencedRecords,
-		Degraded:       l.degraded,
-	}, true
-}
-
-// DeadAgents lists agents not heard from within timeout of nowNs.
-func (db *DB) DeadAgents(nowNs, timeoutNs int64) []string {
-	db.hbMu.Lock()
-	defer db.hbMu.Unlock()
-	var out []string
-	for agent, l := range db.ledger {
-		if nowNs-l.lastSeenNs > timeoutNs {
-			out = append(out, agent)
-		}
-	}
-	sort.Strings(out)
-	return out
-}
-
-// Agents lists all agents that ever heartbeated.
-func (db *DB) Agents() []string {
-	db.hbMu.Lock()
-	defer db.hbMu.Unlock()
-	out := make([]string, 0, len(db.ledger))
-	for a := range db.ledger {
-		out = append(out, a)
-	}
-	sort.Strings(out)
-	return out
-}
-
-// append adds a run of records (all with this table's TPID) under the
-// table lock.
-func (t *Table) append(recs []core.Record) {
-	t.mu.Lock()
-	for _, r := range recs {
-		t.byTraceID[r.TraceID] = append(t.byTraceID[r.TraceID], len(t.recs))
-		t.recs = append(t.recs, r)
-	}
-	t.mu.Unlock()
-}
-
-// Skew returns the clock offset correction applied during alignment.
-func (t *Table) Skew() int64 {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.skewNs
-}
-
-// Len returns the record count.
-func (t *Table) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.recs)
-}
-
-// snapshot returns the current record prefix and skew without copying.
-// Records are append-only and never mutated in place, so the returned
-// slice header stays valid and immutable even while inserts continue.
-func (t *Table) snapshot() ([]core.Record, int64) {
-	t.mu.RLock()
-	recs, skew := t.recs, t.skewNs
-	t.mu.RUnlock()
-	return recs, skew
-}
-
-// Scan streams every record in insertion order until fn returns false. It
-// takes a zero-copy snapshot under the lock and iterates outside it, so
-// long analyses never block inserts; records inserted after Scan starts
-// are not visited.
-func (t *Table) Scan(fn func(core.Record) bool) {
-	recs, _ := t.snapshot()
-	for _, r := range recs {
-		if !fn(r) {
-			return
-		}
-	}
-}
-
-// alignNs applies the skew correction to a timestamp, clamping at zero: a
-// positive skew larger than an early record's timestamp must not wrap the
-// unsigned time around to a huge value (which would sort the record after
-// everything else and wreck latency math).
-func alignNs(timeNs uint64, skewNs int64) uint64 {
-	v := int64(timeNs) - skewNs
-	if v < 0 {
+// CompressionRatio is raw sealed bytes over compressed sealed bytes
+// (e.g. 5.3 means sealed records take 5.3× less space than the flat
+// store would use); zero when nothing has sealed.
+func (s StorageStats) CompressionRatio() float64 {
+	stored := s.StoredBytes()
+	if stored == 0 {
 		return 0
 	}
-	return uint64(v)
+	return float64(s.SealedRawBytes) / float64(stored)
 }
 
-// ScanAligned streams every record with timestamps corrected by the node
-// skew ("timestamp alignment for the clock skew", Section III-C), until fn
-// returns false.
-func (t *Table) ScanAligned(fn func(core.Record) bool) {
-	recs, skew := t.snapshot()
-	for _, r := range recs {
-		r.TimeNs = alignNs(r.TimeNs, skew)
-		if !fn(r) {
-			return
-		}
-	}
+// add merges another table's stats into an aggregate.
+func (s *StorageStats) add(o StorageStats) {
+	s.HeadRecords += o.HeadRecords
+	s.SealedRecords += o.SealedRecords
+	s.Extents += o.Extents
+	s.SpilledExtents += o.SpilledExtents
+	s.HeadBytes += o.HeadBytes
+	s.SealedRawBytes += o.SealedRawBytes
+	s.SealedResidentBytes += o.SealedResidentBytes
+	s.SpilledBytes += o.SpilledBytes
+	s.ResidentBytes += o.ResidentBytes
+	s.EvictedRecords += o.EvictedRecords
+	s.EvictedExtents += o.EvictedExtents
+	s.ReadErrors += o.ReadErrors
 }
 
-// All returns a copy of every record in insertion order. Prefer Scan for
-// one-pass analyses; All materializes the whole table.
-func (t *Table) All() []core.Record {
-	recs, _ := t.snapshot()
-	out := make([]core.Record, len(recs))
-	copy(out, recs)
-	return out
-}
-
-// AlignedAll returns all records with timestamps corrected by the node
-// skew. Prefer ScanAligned for one-pass analyses.
-func (t *Table) AlignedAll() []core.Record {
-	recs, skew := t.snapshot()
-	out := make([]core.Record, len(recs))
-	copy(out, recs)
-	for i := range out {
-		out[i].TimeNs = alignNs(out[i].TimeNs, skew)
-	}
-	return out
-}
-
-// ByTraceID returns all records for one packet ID.
-func (t *Table) ByTraceID(id uint32) []core.Record {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	idxs := t.byTraceID[id]
-	out := make([]core.Record, len(idxs))
-	for i, idx := range idxs {
-		out[i] = t.recs[idx]
-	}
-	return out
-}
-
-// FirstByTraceID returns the first record for a packet ID, with timestamp
-// alignment applied.
-func (t *Table) FirstByTraceID(id uint32) (core.Record, bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	idxs := t.byTraceID[id]
-	if len(idxs) == 0 {
-		return core.Record{}, false
-	}
-	r := t.recs[idxs[0]]
-	r.TimeNs = alignNs(r.TimeNs, t.skewNs)
-	return r, true
-}
-
-// TraceIDs returns the distinct packet IDs seen at this tracepoint.
-func (t *Table) TraceIDs() []uint32 {
-	t.mu.RLock()
-	out := make([]uint32, 0, len(t.byTraceID))
-	for id := range t.byTraceID {
-		out = append(out, id)
-	}
-	t.mu.RUnlock()
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-// NumTraceIDs returns the count of distinct packet IDs without building
-// the sorted slice.
-func (t *Table) NumTraceIDs() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.byTraceID)
-}
-
-// Incomplete reports trace IDs seen at this table but missing from other —
-// the "identifying incomplete records" data-cleaning step, and the raw
-// material of the packet-loss metric. The two tables are locked one at a
-// time (never nested), so Incomplete(a,b) and Incomplete(b,a) can run
-// concurrently with inserts on both.
-func (t *Table) Incomplete(other *Table) []uint32 {
-	ids := t.TraceIDs()
-	other.mu.RLock()
-	defer other.mu.RUnlock()
-	var out []uint32
+// StorageStats returns per-table segment accounting, ordered by TPID.
+func (db *DB) StorageStats() []StorageStats {
+	ids := db.Tables()
+	out := make([]StorageStats, 0, len(ids))
 	for _, id := range ids {
-		if _, ok := other.byTraceID[id]; !ok {
-			out = append(out, id)
+		if t, ok := db.Table(id); ok {
+			out = append(out, t.Storage())
 		}
 	}
-	return out // TraceIDs is sorted, so out is too
+	return out
+}
+
+// StorageTotals aggregates segment accounting across all tables.
+func (db *DB) StorageTotals() StorageStats {
+	var total StorageStats
+	for _, s := range db.StorageStats() {
+		total.add(s)
+	}
+	total.TPID, total.Name = 0, ""
+	return total
 }

@@ -10,6 +10,20 @@ func rec(tpid, traceID uint32, t uint64) core.Record {
 	return core.Record{TPID: tpid, TraceID: traceID, TimeNs: t}
 }
 
+// collect and collectAligned materialize a table through the streaming
+// interface — test-only convenience now that All/AlignedAll are gone.
+func collect(t *Table) []core.Record {
+	var out []core.Record
+	t.Scan(func(r core.Record) bool { out = append(out, r); return true })
+	return out
+}
+
+func collectAligned(t *Table) []core.Record {
+	var out []core.Record
+	t.ScanAligned(func(r core.Record) bool { out = append(out, r); return true })
+	return out
+}
+
 func TestCreateTableAndDuplicate(t *testing.T) {
 	db := New()
 	if _, err := db.CreateTable(1, "a"); err != nil {
@@ -76,13 +90,13 @@ func TestSkewAlignment(t *testing.T) {
 	if first.TimeNs != 700 {
 		t.Fatalf("aligned time = %d, want 700", first.TimeNs)
 	}
-	all := tbl.AlignedAll()
+	all := collectAligned(tbl)
 	if all[0].TimeNs != 700 {
-		t.Fatalf("AlignedAll = %d", all[0].TimeNs)
+		t.Fatalf("aligned scan = %d", all[0].TimeNs)
 	}
 	// Raw data unchanged.
-	if tbl.All()[0].TimeNs != 1000 {
-		t.Fatal("All() must return raw timestamps")
+	if collect(tbl)[0].TimeNs != 1000 {
+		t.Fatal("Scan must return raw timestamps")
 	}
 }
 
@@ -119,14 +133,14 @@ func TestHeartbeatsAndDeadAgents(t *testing.T) {
 	}
 }
 
-func TestAllReturnsCopy(t *testing.T) {
+func TestScanYieldsCopies(t *testing.T) {
 	db := New()
 	db.CreateTable(1, "t")
 	db.Insert([]core.Record{rec(1, 5, 10)})
 	tbl, _ := db.Table(1)
-	all := tbl.All()
+	all := collect(tbl)
 	all[0].TimeNs = 999
-	if tbl.All()[0].TimeNs != 10 {
-		t.Fatal("All() exposed internal storage")
+	if collect(tbl)[0].TimeNs != 10 {
+		t.Fatal("Scan exposed internal storage")
 	}
 }

@@ -23,9 +23,14 @@ type Session struct {
 	labels     map[string]uint32
 }
 
-// NewSession creates an empty session.
-func NewSession() *Session {
-	db := tracedb.New()
+// NewSession creates an empty session with default in-memory storage.
+func NewSession() *Session { return NewSessionWith(StoreConfig{}) }
+
+// NewSessionWith creates an empty session whose trace database uses the
+// given segment-store configuration (segment size, spill directory,
+// retention budget).
+func NewSessionWith(cfg StoreConfig) *Session {
+	db := tracedb.NewWith(cfg)
 	disp := control.NewDispatcher()
 	sup := control.NewSupervisor(disp)
 	// The collector's heartbeat ledger doubles as the supervisor's epoch
@@ -44,6 +49,10 @@ func NewSession() *Session {
 
 // DB returns the session's trace database.
 func (s *Session) DB() *DB { return s.db }
+
+// StorageStats returns the trace database's aggregate segment-store
+// accounting (resident vs spilled bytes, compression ratio, evictions).
+func (s *Session) StorageStats() StorageStats { return s.db.StorageTotals() }
 
 // Dispatcher returns the session's control dispatcher.
 func (s *Session) Dispatcher() *Dispatcher { return s.dispatcher }

@@ -106,7 +106,7 @@ func TestSessionEndToEnd(t *testing.T) {
 	if lost, rate := Loss(devT, sockT); lost != 0 || rate != 0 {
 		t.Fatalf("loss = %d (%f)", lost, rate)
 	}
-	if tput, err := Throughput(devT.All()); err != nil || tput <= 0 {
+	if tput, err := ThroughputOf(devT); err != nil || tput <= 0 {
 		t.Fatalf("throughput = %f err=%v", tput, err)
 	}
 }

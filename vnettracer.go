@@ -109,6 +109,14 @@ type (
 	Table = tracedb.Table
 	// DB is the trace database.
 	DB = tracedb.DB
+	// StoreConfig tunes the trace database's segment store (segment size,
+	// spill directory, retention budget).
+	StoreConfig = tracedb.Config
+	// Extent is one sealed, immutable, compressed storage segment. (Named
+	// Extent because Segment is the latency-decomposition hop below.)
+	Extent = tracedb.Extent
+	// StorageStats is a snapshot of segment-store accounting.
+	StorageStats = tracedb.StorageStats
 	// Agent is a per-machine tracing daemon.
 	Agent = control.Agent
 	// Dispatcher pushes control packages to agents.
