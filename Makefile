@@ -82,3 +82,5 @@ bench-json:
 		-benchmem -benchtime 1000x . | $(GO) run ./cmd/benchjson -o BENCH_pr3.json
 	$(GO) test -run NONE -bench 'BenchmarkSegment' \
 		-benchmem -benchtime 100x . | $(GO) run ./cmd/benchjson -o BENCH_pr6.json
+	$(GO) test -run NONE -bench 'BenchmarkEBPF(Interp|Threaded|Compiled)RecordScript' \
+		-benchmem -benchtime 100000x . | $(GO) run ./cmd/benchjson -o BENCH_pr7.json

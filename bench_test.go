@@ -281,9 +281,11 @@ func (benchEnv) PrandomU32() uint32           { return 4 }
 func (benchEnv) PerfEventOutput([]byte) bool  { return true }
 func (benchEnv) TracePrintk(string)           {}
 
-// BenchmarkEBPFInterpRecordScript measures interpreting a full compiled
-// record script (filter + 48-byte record emission) once per packet.
-func BenchmarkEBPFInterpRecordScript(b *testing.B) {
+// benchRecordSetup compiles the canonical record script (filter + 48-byte
+// record emission) and a matching packet context for the tier ablation
+// benchmarks below.
+func benchRecordSetup(b *testing.B) (*ebpf.Program, []byte) {
+	b.Helper()
 	c, err := script.Compile(script.Spec{
 		Name:    "bench",
 		TPID:    1,
@@ -301,12 +303,51 @@ func BenchmarkEBPFInterpRecordScript(b *testing.B) {
 		},
 		TimeNs: 1,
 	}
-	ctx := core.BuildCtx(nil, pc)
+	return c.Prog, core.BuildCtx(nil, pc)
+}
+
+// BenchmarkEBPFInterpRecordScript measures interpreting the record script
+// once per packet — the ablation baseline for the compiled tiers.
+func BenchmarkEBPFInterpRecordScript(b *testing.B) {
+	prog, ctx := benchRecordSetup(b)
 	env := benchEnv{}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := c.Prog.Run(ctx, env); err != nil {
+		if _, _, err := prog.RunInterpreted(ctx, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEBPFThreadedRecordScript measures the same script on the
+// threaded-code tier (per-instruction closures).
+func BenchmarkEBPFThreadedRecordScript(b *testing.B) {
+	prog, ctx := benchRecordSetup(b)
+	env := benchEnv{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := prog.RunThreaded(ctx, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEBPFCompiledRecordScript measures the optimized tier: basic
+// blocks compiled to specialized closure chains with verifier-fact bounds
+// elision and inlined helpers. This is what Program.Run dispatches to on
+// the data path.
+func BenchmarkEBPFCompiledRecordScript(b *testing.B) {
+	prog, ctx := benchRecordSetup(b)
+	if prog.Tier() != ebpf.TierOptimized {
+		b.Fatalf("record script did not lower: tier %v", prog.Tier())
+	}
+	env := benchEnv{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := prog.Run(ctx, env); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,684 @@
+package ebpf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+)
+
+// The emitter turns the optimized IR into a single web of specialized Go
+// closures: every op closure calls the next one, block terminators call
+// directly into their successor block's chain (blocks are emitted in
+// reverse index order, so successors always exist first), and an
+// unconditional fallthrough costs nothing at all — the predecessor's last
+// op simply continues into the successor's chain. Executing a program is
+// one closure call; there is no dispatch loop, no pc bookkeeping, and no
+// per-insn budget check (lowering rejects back edges, so each block runs
+// at most once and total work is bounded by MaxInsns at load time). Ops
+// whose bounds the verifier proved index the stack and ctx buffers
+// directly; everything else keeps the interpreter's fully checked
+// helpers, so the tiers cannot disagree on observable behavior.
+
+// blockFn is one link in a compiled closure chain: it performs its
+// operation and calls straight into the rest of the program. A nil error
+// return means the chain ran to an exit with the result in R0.
+type blockFn func(m *vm) error
+
+// optProg is a program compiled by the optimized tier: the entry block's
+// closure chain, which links through every reachable block. cache is a
+// single-slot vm reservoir in front of the shared vmPool — the common
+// case of one goroutine tracing packets back to back trades sync.Pool's
+// pin/unpin for one uncontended atomic swap per run.
+type optProg struct {
+	entry blockFn
+	cache atomic.Pointer[vm]
+}
+
+func wrapInsn(err error, pc int) error {
+	return fmt.Errorf("%w at insn %d", err, pc)
+}
+
+// emitProgram compiles an optimized irProg into one closure web. Blocks
+// are emitted from the last index backward so every terminator can
+// capture its successors' already-built chains; each block's chain starts
+// with a closure charging its bytecode instruction count to ExecStats.
+func emitProgram(p *irProg) (*optProg, error) {
+	chains := make([]blockFn, len(p.blocks))
+	for i := len(p.blocks) - 1; i >= 0; i-- {
+		blk := &p.blocks[i]
+		fn, err := emitBlock(blk, p.maps, chains)
+		if err != nil {
+			return nil, err
+		}
+		n, inner := blk.insns, fn
+		chains[i] = func(m *vm) error {
+			m.stats.Insns += n
+			return inner(m)
+		}
+	}
+	return &optProg{entry: chains[0]}, nil
+}
+
+func emitBlock(blk *irBlock, maps []Map, chains []blockFn) (blockFn, error) {
+	fn, err := emitTerm(&blk.term, chains)
+	if err != nil {
+		return nil, err
+	}
+	for i := len(blk.ops) - 1; i >= 0; i-- {
+		fn, err = emitOp(&blk.ops[i], maps, fn)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return fn, nil
+}
+
+// emitOp compiles one IR operation into a closure that performs it and
+// continues with next.
+func emitOp(op *irInsn, maps []Map, next blockFn) (blockFn, error) {
+	switch op.kind {
+	case irMovImm:
+		dst, v := op.dst, uint64(op.imm)
+		return func(m *vm) error {
+			m.regs[dst] = v
+			return next(m)
+		}, nil
+
+	case irMovReg:
+		dst, src := op.dst, op.src
+		return func(m *vm) error {
+			m.regs[dst] = m.regs[src]
+			return next(m)
+		}, nil
+
+	case irALU:
+		return emitALU(op, next), nil
+
+	case irLoadCtx:
+		dst, off := op.dst, op.off
+		switch op.size {
+		case 1:
+			return func(m *vm) error {
+				m.regs[dst] = uint64(m.ctx[off])
+				return next(m)
+			}, nil
+		case 2:
+			return func(m *vm) error {
+				m.regs[dst] = uint64(binary.LittleEndian.Uint16(m.ctx[off:]))
+				return next(m)
+			}, nil
+		case 4:
+			return func(m *vm) error {
+				m.regs[dst] = uint64(binary.LittleEndian.Uint32(m.ctx[off:]))
+				return next(m)
+			}, nil
+		case 8:
+			return func(m *vm) error {
+				m.regs[dst] = binary.LittleEndian.Uint64(m.ctx[off:])
+				return next(m)
+			}, nil
+		}
+		return nil, fmt.Errorf("%w: ctx load size %d", errLower, op.size)
+
+	case irLoadStack:
+		dst, off := op.dst, op.off
+		switch op.size {
+		case 1:
+			return func(m *vm) error {
+				m.regs[dst] = uint64(m.stack[off])
+				return next(m)
+			}, nil
+		case 2:
+			return func(m *vm) error {
+				m.regs[dst] = uint64(binary.LittleEndian.Uint16(m.stack[off:]))
+				return next(m)
+			}, nil
+		case 4:
+			return func(m *vm) error {
+				m.regs[dst] = uint64(binary.LittleEndian.Uint32(m.stack[off:]))
+				return next(m)
+			}, nil
+		case 8:
+			return func(m *vm) error {
+				m.regs[dst] = binary.LittleEndian.Uint64(m.stack[off:])
+				return next(m)
+			}, nil
+		}
+		return nil, fmt.Errorf("%w: stack load size %d", errLower, op.size)
+
+	case irLoadDyn:
+		dst, src, off, size, pc := op.dst, op.src, op.off, op.size, op.origPC
+		return func(m *vm) error {
+			v, err := m.load(m.regs[src]+uint64(off), size)
+			if err != nil {
+				return wrapInsn(err, pc)
+			}
+			m.regs[dst] = v
+			return next(m)
+		}, nil
+
+	case irStoreStack:
+		src, off := op.src, op.off
+		switch op.size {
+		case 1:
+			return func(m *vm) error {
+				m.stack[off] = byte(m.regs[src])
+				return next(m)
+			}, nil
+		case 2:
+			return func(m *vm) error {
+				binary.LittleEndian.PutUint16(m.stack[off:], uint16(m.regs[src]))
+				return next(m)
+			}, nil
+		case 4:
+			return func(m *vm) error {
+				binary.LittleEndian.PutUint32(m.stack[off:], uint32(m.regs[src]))
+				return next(m)
+			}, nil
+		case 8:
+			return func(m *vm) error {
+				binary.LittleEndian.PutUint64(m.stack[off:], m.regs[src])
+				return next(m)
+			}, nil
+		}
+		return nil, fmt.Errorf("%w: stack store size %d", errLower, op.size)
+
+	case irStoreStackImm:
+		off := op.off
+		switch op.size {
+		case 1:
+			v := byte(uint64(op.imm))
+			return func(m *vm) error {
+				m.stack[off] = v
+				return next(m)
+			}, nil
+		case 2:
+			v := uint16(uint64(op.imm))
+			return func(m *vm) error {
+				binary.LittleEndian.PutUint16(m.stack[off:], v)
+				return next(m)
+			}, nil
+		case 4:
+			v := uint32(uint64(op.imm))
+			return func(m *vm) error {
+				binary.LittleEndian.PutUint32(m.stack[off:], v)
+				return next(m)
+			}, nil
+		case 8:
+			v := uint64(op.imm)
+			return func(m *vm) error {
+				binary.LittleEndian.PutUint64(m.stack[off:], v)
+				return next(m)
+			}, nil
+		}
+		return nil, fmt.Errorf("%w: stack store size %d", errLower, op.size)
+
+	case irStoreDyn:
+		dst, src, off, size, pc := op.dst, op.src, op.off, op.size, op.origPC
+		return func(m *vm) error {
+			if err := m.store(m.regs[dst]+uint64(off), size, m.regs[src]); err != nil {
+				return wrapInsn(err, pc)
+			}
+			return next(m)
+		}, nil
+
+	case irStoreDynImm:
+		dst, off, size, v, pc := op.dst, op.off, op.size, uint64(op.imm), op.origPC
+		return func(m *vm) error {
+			if err := m.store(m.regs[dst]+uint64(off), size, v); err != nil {
+				return wrapInsn(err, pc)
+			}
+			return next(m)
+		}, nil
+
+	case irCopyCtxStack:
+		return emitCopyCtxStack(op, next)
+
+	case irCopyBatch:
+		ops := op.batch
+		for i := range ops {
+			if ops[i].code == mcGeneric && (!validSize(ops[i].ls) || !validSize(ops[i].ss)) {
+				return nil, fmt.Errorf("%w: batch copy sizes %d/%d", errLower, ops[i].ls, ops[i].ss)
+			}
+		}
+		return func(m *vm) error {
+			ctx := m.ctx
+			for i := range ops {
+				o := &ops[i]
+				switch o.code {
+				case mcCopy44:
+					binary.LittleEndian.PutUint32(m.stack[o.so:], binary.LittleEndian.Uint32(ctx[o.co:]))
+				case mcCopy88:
+					binary.LittleEndian.PutUint64(m.stack[o.so:], binary.LittleEndian.Uint64(ctx[o.co:]))
+				case mcCopy42:
+					binary.LittleEndian.PutUint16(m.stack[o.so:], uint16(binary.LittleEndian.Uint32(ctx[o.co:])))
+				case mcCopy41:
+					m.stack[o.so] = byte(binary.LittleEndian.Uint32(ctx[o.co:]))
+				case mcImm8:
+					m.stack[o.so] = byte(o.imm)
+				case mcImm16:
+					binary.LittleEndian.PutUint16(m.stack[o.so:], uint16(o.imm))
+				case mcImm32:
+					binary.LittleEndian.PutUint32(m.stack[o.so:], uint32(o.imm))
+				case mcImm64:
+					binary.LittleEndian.PutUint64(m.stack[o.so:], o.imm)
+				default:
+					storeLE(m.stack[:], o.so, o.ss, loadLE(ctx, o.co, o.ls))
+				}
+			}
+			return next(m)
+		}, nil
+
+	case irHelper:
+		id, pc := op.helper, op.origPC
+		return func(m *vm) error {
+			if err := m.call(id); err != nil {
+				return wrapInsn(err, pc)
+			}
+			return next(m)
+		}, nil
+
+	case irKtime:
+		return func(m *vm) error {
+			m.stats.HelperCalls++
+			m.regs[R0] = m.env.KtimeNs()
+			return next(m)
+		}, nil
+
+	case irSmpID:
+		return func(m *vm) error {
+			m.stats.HelperCalls++
+			m.regs[R0] = uint64(m.env.SMPProcessorID())
+			return next(m)
+		}, nil
+
+	case irPrandom:
+		return func(m *vm) error {
+			m.stats.HelperCalls++
+			m.regs[R0] = uint64(m.env.PrandomU32())
+			return next(m)
+		}, nil
+
+	case irPerfEmitStack:
+		lo, hi := op.off, op.off+op.size
+		return func(m *vm) error {
+			m.stats.HelperCalls++
+			data := m.stack[lo:hi]
+			m.stats.PerfBytes += len(data)
+			if m.env.PerfEventOutput(data) {
+				m.regs[R0] = 0
+			} else {
+				m.regs[R0] = ^uint64(0) - 104 // -ENOBUFS
+			}
+			return next(m)
+		}, nil
+
+	case irMapLookupStack:
+		mp, lo, hi := maps[op.mapIdx], op.off, op.off+op.size
+		return func(m *vm) error {
+			m.stats.HelperCalls++
+			// The key slice is read within the call and never retained, so
+			// passing VM stack memory directly avoids the per-call copy.
+			val, ok := mp.Lookup(m.stack[lo:hi])
+			if !ok {
+				m.regs[R0] = 0
+				return next(m)
+			}
+			m.regions = append(m.regions, val)
+			m.regs[R0] = m.ptr(len(m.regions)-1, 0)
+			return next(m)
+		}, nil
+
+	case irMapUpdateStack:
+		mp := maps[op.mapIdx]
+		k0, k1 := op.off, op.off+op.size
+		v0, v1 := op.valOff, op.valOff+int64(mp.ValueSize())
+		flags := op.flags
+		return func(m *vm) error {
+			m.stats.HelperCalls++
+			if err := mp.Update(m.stack[k0:k1], m.stack[v0:v1], flags); err != nil {
+				m.regs[R0] = ^uint64(0)
+			} else {
+				m.regs[R0] = 0
+			}
+			return next(m)
+		}, nil
+
+	case irMapDeleteStack:
+		mp, lo, hi := maps[op.mapIdx], op.off, op.off+op.size
+		return func(m *vm) error {
+			m.stats.HelperCalls++
+			if err := mp.Delete(m.stack[lo:hi]); err != nil {
+				m.regs[R0] = ^uint64(0)
+			} else {
+				m.regs[R0] = 0
+			}
+			return next(m)
+		}, nil
+	}
+	return nil, fmt.Errorf("%w: ir op %d", errLower, op.kind)
+}
+
+// emitALU specializes the hot 64-bit forms; everything else goes through
+// aluOp, mirroring the interpreter's truncation and div/mod semantics.
+func emitALU(op *irInsn, next blockFn) blockFn {
+	dst, src := op.dst, op.src
+	if op.is64 && !op.useReg {
+		imm := uint64(op.imm)
+		switch op.aluOp {
+		case ALUAdd:
+			return func(m *vm) error {
+				m.regs[dst] += imm
+				return next(m)
+			}
+		case ALUSub:
+			return func(m *vm) error {
+				m.regs[dst] -= imm
+				return next(m)
+			}
+		case ALUAnd:
+			return func(m *vm) error {
+				m.regs[dst] &= imm
+				return next(m)
+			}
+		case ALUOr:
+			return func(m *vm) error {
+				m.regs[dst] |= imm
+				return next(m)
+			}
+		case ALUXor:
+			return func(m *vm) error {
+				m.regs[dst] ^= imm
+				return next(m)
+			}
+		case ALUMul:
+			return func(m *vm) error {
+				m.regs[dst] *= imm
+				return next(m)
+			}
+		case ALULsh:
+			sh := imm & 63
+			return func(m *vm) error {
+				m.regs[dst] <<= sh
+				return next(m)
+			}
+		case ALURsh:
+			sh := imm & 63
+			return func(m *vm) error {
+				m.regs[dst] >>= sh
+				return next(m)
+			}
+		}
+	}
+	if op.is64 && op.useReg {
+		switch op.aluOp {
+		case ALUAdd:
+			return func(m *vm) error {
+				m.regs[dst] += m.regs[src]
+				return next(m)
+			}
+		case ALUSub:
+			return func(m *vm) error {
+				m.regs[dst] -= m.regs[src]
+				return next(m)
+			}
+		case ALUAnd:
+			return func(m *vm) error {
+				m.regs[dst] &= m.regs[src]
+				return next(m)
+			}
+		case ALUOr:
+			return func(m *vm) error {
+				m.regs[dst] |= m.regs[src]
+				return next(m)
+			}
+		case ALUXor:
+			return func(m *vm) error {
+				m.regs[dst] ^= m.regs[src]
+				return next(m)
+			}
+		}
+	}
+	if !op.is64 && op.useReg && op.aluOp == ALUMov {
+		return func(m *vm) error {
+			m.regs[dst] = uint64(uint32(m.regs[src]))
+			return next(m)
+		}
+	}
+	aop, is64, useReg, imm, pc := op.aluOp, op.is64, op.useReg, uint64(op.imm), op.origPC
+	return func(m *vm) error {
+		s := imm
+		if useReg {
+			s = m.regs[src]
+		}
+		d := m.regs[dst]
+		if !is64 {
+			s = uint64(uint32(s))
+			d = uint64(uint32(d))
+		}
+		res, err := aluOp(aop, d, s, is64)
+		if err != nil {
+			return wrapInsn(err, pc)
+		}
+		if !is64 {
+			res = uint64(uint32(res))
+		}
+		m.regs[dst] = res
+		return next(m)
+	}
+}
+
+// emitCopyCtxStack compiles the fused ctx-to-stack copy. The common
+// record-script shapes get dedicated closures; remaining width pairs use
+// a generic load-then-truncate form.
+func emitCopyCtxStack(op *irInsn, next blockFn) (blockFn, error) {
+	co, so := op.ctxOff, op.off
+	switch {
+	case op.loadSize == 4 && op.size == 4:
+		return func(m *vm) error {
+			binary.LittleEndian.PutUint32(m.stack[so:], binary.LittleEndian.Uint32(m.ctx[co:]))
+			return next(m)
+		}, nil
+	case op.loadSize == 8 && op.size == 8:
+		return func(m *vm) error {
+			binary.LittleEndian.PutUint64(m.stack[so:], binary.LittleEndian.Uint64(m.ctx[co:]))
+			return next(m)
+		}, nil
+	case op.loadSize == 4 && op.size == 2:
+		return func(m *vm) error {
+			binary.LittleEndian.PutUint16(m.stack[so:], uint16(binary.LittleEndian.Uint32(m.ctx[co:])))
+			return next(m)
+		}, nil
+	case op.loadSize == 4 && op.size == 1:
+		return func(m *vm) error {
+			m.stack[so] = byte(binary.LittleEndian.Uint32(m.ctx[co:]))
+			return next(m)
+		}, nil
+	case op.loadSize == 2 && op.size == 2:
+		return func(m *vm) error {
+			binary.LittleEndian.PutUint16(m.stack[so:], binary.LittleEndian.Uint16(m.ctx[co:]))
+			return next(m)
+		}, nil
+	case op.loadSize == 1 && op.size == 1:
+		return func(m *vm) error {
+			m.stack[so] = m.ctx[co]
+			return next(m)
+		}, nil
+	}
+	ls, ss := op.loadSize, op.size
+	if !validSize(ls) || !validSize(ss) {
+		return nil, fmt.Errorf("%w: copy sizes %d/%d", errLower, ls, ss)
+	}
+	return func(m *vm) error {
+		v := loadLE(m.ctx, co, ls)
+		storeLE(m.stack[:], so, ss, v)
+		return next(m)
+	}, nil
+}
+
+func validSize(n int64) bool { return n == 1 || n == 2 || n == 4 || n == 8 }
+
+func loadLE(mem []byte, off, size int64) uint64 {
+	switch size {
+	case 1:
+		return uint64(mem[off])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(mem[off:]))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(mem[off:]))
+	default:
+		return binary.LittleEndian.Uint64(mem[off:])
+	}
+}
+
+func storeLE(mem []byte, off, size int64, v uint64) {
+	switch size {
+	case 1:
+		mem[off] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(mem[off:], uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(mem[off:], uint32(v))
+	default:
+		binary.LittleEndian.PutUint64(mem[off:], v)
+	}
+}
+
+// emitTerm compiles a block terminator into a closure that continues
+// directly into the successor chain. The fused 32-bit ctx compare (the
+// filter-check shape) gets branch-specific closures; other branches
+// evaluate through jmpCond exactly like the interpreter. An unconditional
+// jump IS the successor chain — zero runtime cost.
+func emitTerm(t *irTerm, chains []blockFn) (blockFn, error) {
+	succ := func(i int) (blockFn, error) {
+		if i < 0 || i >= len(chains) || chains[i] == nil {
+			return nil, fmt.Errorf("%w: unemitted successor block %d", errLower, i)
+		}
+		return chains[i], nil
+	}
+	switch t.kind {
+	case termExit:
+		return func(m *vm) error { return nil }, nil
+
+	case termJump:
+		return succ(t.taken)
+
+	case termBranch:
+		taken, err := succ(t.taken)
+		if err != nil {
+			return nil, err
+		}
+		fall, err := succ(t.fall)
+		if err != nil {
+			return nil, err
+		}
+		if t.ctxFused && !t.useReg && !t.is64 {
+			co, k := t.ctxOff, uint32(uint64(t.imm))
+			switch t.op {
+			case JmpEq:
+				return func(m *vm) error {
+					if binary.LittleEndian.Uint32(m.ctx[co:]) == k {
+						return taken(m)
+					}
+					return fall(m)
+				}, nil
+			case JmpNe:
+				return func(m *vm) error {
+					if binary.LittleEndian.Uint32(m.ctx[co:]) != k {
+						return taken(m)
+					}
+					return fall(m)
+				}, nil
+			case JmpGt:
+				return func(m *vm) error {
+					if binary.LittleEndian.Uint32(m.ctx[co:]) > k {
+						return taken(m)
+					}
+					return fall(m)
+				}, nil
+			case JmpLt:
+				return func(m *vm) error {
+					if binary.LittleEndian.Uint32(m.ctx[co:]) < k {
+						return taken(m)
+					}
+					return fall(m)
+				}, nil
+			case JmpSet:
+				return func(m *vm) error {
+					if binary.LittleEndian.Uint32(m.ctx[co:])&k != 0 {
+						return taken(m)
+					}
+					return fall(m)
+				}, nil
+			}
+		}
+		if t.ctxFused {
+			co := t.ctxOff
+			op, is64, useReg, src, imm, pc := t.op, t.is64, t.useReg, t.src, uint64(t.imm), t.origPC
+			return func(m *vm) error {
+				s := imm
+				if useReg {
+					s = m.regs[src]
+				}
+				d := uint64(binary.LittleEndian.Uint32(m.ctx[co:]))
+				if !is64 {
+					s = uint64(uint32(s))
+				}
+				take, err := jmpCond(op, d, s, is64)
+				if err != nil {
+					return wrapInsn(err, pc)
+				}
+				if take {
+					return taken(m)
+				}
+				return fall(m)
+			}, nil
+		}
+		op, is64, useReg, dst, src, imm, pc := t.op, t.is64, t.useReg, t.dst, t.src, uint64(t.imm), t.origPC
+		return func(m *vm) error {
+			s := imm
+			if useReg {
+				s = m.regs[src]
+			}
+			d := m.regs[dst]
+			if !is64 {
+				s = uint64(uint32(s))
+				d = uint64(uint32(d))
+			}
+			take, err := jmpCond(op, d, s, is64)
+			if err != nil {
+				return wrapInsn(err, pc)
+			}
+			if take {
+				return taken(m)
+			}
+			return fall(m)
+		}, nil
+	}
+	return nil, fmt.Errorf("%w: terminator %d", errLower, t.kind)
+}
+
+// runOptimized executes a compiled program: one call into the entry
+// chain. Instruction counts are charged per block by each block's charge
+// closure. There is no step-budget check: lowering rejects back edges, so
+// every block executes at most once and total work is bounded by the
+// verifier's MaxInsns — the budget is unreachable by construction.
+func runOptimized(p *optProg, maps []Map, ctx []byte, env Env) (uint64, ExecStats, error) {
+	m := p.cache.Swap(nil)
+	if m == nil {
+		m = vmPool.Get().(*vm)
+	}
+	initVM(m, maps, ctx, env)
+
+	err := p.entry(m)
+	r0, stats := m.regs[R0], m.stats
+
+	resetVM(m)
+	if !p.cache.CompareAndSwap(nil, m) {
+		vmPool.Put(m)
+	}
+	if err != nil {
+		return 0, stats, err
+	}
+	return r0, stats, nil
+}

@@ -2,6 +2,10 @@ package ebpf_test
 
 import (
 	"encoding/binary"
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
 	"testing"
 
 	"vnettracer/internal/core"
@@ -67,12 +71,15 @@ func fuzzMaps(t *testing.T) []ebpf.Map {
 	return []ebpf.Map{h, a, p}
 }
 
-// fuzzEnv is a deterministic helper environment: both execution engines
-// must observe identical helper results for the differential check to be
-// meaningful.
+// fuzzEnv is a deterministic helper environment that records every
+// observable side channel (perf stream, printk log): the execution
+// engines must observe identical helper results and produce identical
+// side effects for the differential check to be meaningful.
 type fuzzEnv struct {
-	ktime uint64
-	prand uint32
+	ktime  uint64
+	prand  uint32
+	perf   []string
+	printk []string
 }
 
 func (e *fuzzEnv) KtimeNs() uint64 { e.ktime += 1000; return e.ktime }
@@ -81,38 +88,148 @@ func (e *fuzzEnv) SMPProcessorID() uint32 { return 1 }
 
 func (e *fuzzEnv) PrandomU32() uint32 { e.prand = e.prand*1664525 + 1013904223; return e.prand }
 
-func (e *fuzzEnv) PerfEventOutput(data []byte) bool { return true }
+func (e *fuzzEnv) PerfEventOutput(data []byte) bool {
+	// data may alias VM stack memory reused after the call; copy it.
+	e.perf = append(e.perf, string(data))
+	return true
+}
 
-func (e *fuzzEnv) TracePrintk(msg string) {}
+func (e *fuzzEnv) TracePrintk(msg string) { e.printk = append(e.printk, msg) }
+
+// fuzzSentinels are the error identities the engines must agree on.
+// Comparing through errors.Is (rather than error presence or message
+// text) is deliberate: it catches wrapping regressions where a tier
+// breaks the chain with %v/%s and callers lose errors.Is matching.
+var fuzzSentinels = []error{
+	ebpf.ErrRuntimeMem,
+	ebpf.ErrRuntimeSteps,
+	ebpf.ErrBadOpcode,
+	ebpf.ErrBadHelper,
+	ebpf.ErrBadMapRef,
+	ebpf.ErrNotLoaded,
+}
+
+// errIdentity classifies an error by which sentinel it wraps.
+func errIdentity(err error) string {
+	if err == nil {
+		return "<nil>"
+	}
+	for _, s := range fuzzSentinels {
+		if errors.Is(err, s) {
+			return s.Error()
+		}
+	}
+	return "<unclassified>"
+}
+
+// tierResult captures everything observable about one execution: the
+// result register, execution statistics, error identity, final map
+// contents, and the perf/printk side-effect streams.
+type tierResult struct {
+	r0     uint64
+	stats  ebpf.ExecStats
+	err    error
+	maps   []string
+	perf   []string
+	printk []string
+}
+
+// dumpMaps renders final map state as sorted strings so deep comparison
+// is order-independent.
+func dumpMaps(maps []ebpf.Map) []string {
+	var out []string
+	for i, m := range maps {
+		m.ForEach(func(k, v []byte) {
+			out = append(out, fmt.Sprintf("map%d %x=%x", i, k, v))
+		})
+	}
+	sort.Strings(out)
+	return out
+}
+
+// runTier loads the program against fresh maps and executes it on one
+// engine with a fresh deterministic env, so no state leaks between
+// engines.
+func runTier(t *testing.T, insns []ebpf.Insn, tier ebpf.Tier) tierResult {
+	t.Helper()
+	maps := fuzzMaps(t)
+	prog, err := ebpf.Load(ebpf.ProgramSpec{
+		Name:    "fuzz",
+		Type:    ebpf.ProgTypeKprobe,
+		Insns:   insns,
+		Maps:    maps,
+		CtxSize: core.CtxSize,
+	})
+	if err != nil {
+		t.Fatalf("Verify accepted but Load rejected: %v", err)
+	}
+	if prog.Tier() != ebpf.TierOptimized {
+		// Every verifier-accepted program must lower: the conditions that
+		// abort lowering (back edges, bad targets, unknown opcodes) are
+		// all verifier rejections too.
+		t.Fatalf("verifier accepted but optimized lowering declined (tier %v)", prog.Tier())
+	}
+	env := &fuzzEnv{}
+	ctx := make([]byte, core.CtxSize)
+	var res tierResult
+	switch tier {
+	case ebpf.TierInterpreter:
+		res.r0, res.stats, res.err = prog.RunInterpreted(ctx, env)
+	case ebpf.TierThreaded:
+		res.r0, res.stats, res.err = prog.RunThreaded(ctx, env)
+	case ebpf.TierOptimized:
+		res.r0, res.stats, res.err = prog.RunOptimized(ctx, env)
+	}
+	res.maps = dumpMaps(maps)
+	res.perf = env.perf
+	res.printk = env.printk
+	return res
+}
+
+// seedScript compiles a script spec into seed bytes, failing loudly so a
+// compiler regression cannot silently drop fuzz coverage.
+func seedScript(f *testing.F, spec script.Spec) []byte {
+	f.Helper()
+	insns, _, err := script.CompileToInsns(spec)
+	if err != nil {
+		f.Fatalf("compile seed script %q: %v", spec.Name, err)
+	}
+	return insnsToBytes(insns)
+}
 
 // FuzzVerifyProgram throws arbitrary instruction streams at the
 // verifier. The verifier must reject malformed programs with an error —
 // never panic, regardless of opcode garbage, out-of-range registers, or
 // wild jump offsets. Programs it accepts are its soundness claim, so
-// they then actually execute on both engines (threaded code and the
-// interpreter) against a 64-byte ctx: execution may fail at runtime
-// (division by zero, map misses), but it must not panic, and both
-// engines must agree on the result — a divergence is a miscompile.
+// they then execute as a three-way differential oracle across all
+// execution tiers (interpreter, threaded code, optimized closures):
+// every tier must produce the same R0, the same execution statistics,
+// the same error identity under errors.Is, and identical side effects
+// (final map contents, perf event stream, printk log). Any divergence
+// is a miscompile in one of the tiers.
 func FuzzVerifyProgram(f *testing.F) {
-	// Seed with real accepted programs: the trivial return, a compiled
-	// record script (the production codepath), and small map/helper
+	// Seed with real accepted programs: the trivial return, compiled
+	// scripts (the production codepath, covering the record fast path and
+	// the map-backed count/cpuhist actions), and small map/helper/branch
 	// exercises — plus near-miss mutations the verifier must reject.
 	f.Add(insnsToBytes([]ebpf.Insn{
 		ebpf.Mov64Imm(ebpf.R0, 0),
 		ebpf.Exit(),
 	}))
-	spec := script.Spec{
+	f.Add(seedScript(f, script.Spec{
 		Name:    "fuzzseed",
 		TPID:    7,
 		Attach:  core.AttachPoint{Kind: core.AttachKProbe, Site: kernel.SiteUDPRecvmsg},
 		Filter:  script.Filter{Proto: vnet.ProtoUDP},
 		Actions: []script.Action{script.ActionRecord},
-	}
-	if insns, _, err := script.CompileToInsns(spec); err == nil {
-		f.Add(insnsToBytes(insns))
-	} else {
-		f.Fatalf("compile seed script: %v", err)
-	}
+	}))
+	f.Add(seedScript(f, script.Spec{
+		Name:    "fuzzseed-count",
+		TPID:    9,
+		Attach:  core.AttachPoint{Kind: core.AttachKProbe, Site: kernel.SiteUDPRecvmsg},
+		Filter:  script.Filter{Proto: vnet.ProtoUDP, DstPort: 9000},
+		Actions: []script.Action{script.ActionCount, script.ActionCPUHist},
+	}))
 	f.Add(insnsToBytes([]ebpf.Insn{ // ctx load + ALU + helper call
 		ebpf.LoadMem(ebpf.R1, ebpf.R1, 0, ebpf.SizeW),
 		ebpf.Mov64Reg(ebpf.R0, ebpf.R1),
@@ -120,6 +237,42 @@ func FuzzVerifyProgram(f *testing.F) {
 		ebpf.Call(ebpf.HelperKtimeGetNs),
 		ebpf.Exit(),
 	}))
+	// Hash map round trip: update, look the value back up, delete. Leaves
+	// helper-driven map state behind for the side-effect comparison.
+	mapFD := ebpf.LoadMapFD(ebpf.R1, 0)
+	mapSeed := []ebpf.Insn{
+		ebpf.StoreImm(ebpf.R10, -4, 7, ebpf.SizeW),    // key = 7
+		ebpf.StoreImm(ebpf.R10, -12, 99, ebpf.SizeDW), // value = 99
+	}
+	mapSeed = append(mapSeed, mapFD[:]...)
+	mapSeed = append(mapSeed,
+		ebpf.Mov64Reg(ebpf.R2, ebpf.R10),
+		ebpf.ALU64Imm(ebpf.ALUAdd, ebpf.R2, -4),
+		ebpf.Mov64Reg(ebpf.R3, ebpf.R10),
+		ebpf.ALU64Imm(ebpf.ALUAdd, ebpf.R3, -12),
+		ebpf.Mov64Imm(ebpf.R4, 0),
+		ebpf.Call(ebpf.HelperMapUpdateElem),
+	)
+	mapSeed = append(mapSeed, mapFD[:]...)
+	mapSeed = append(mapSeed,
+		ebpf.Mov64Reg(ebpf.R2, ebpf.R10),
+		ebpf.ALU64Imm(ebpf.ALUAdd, ebpf.R2, -4),
+		ebpf.Call(ebpf.HelperMapLookupElem),
+		ebpf.JumpImm(ebpf.JmpEq, ebpf.R0, 0, 1), // NULL check
+		ebpf.LoadMem(ebpf.R0, ebpf.R0, 0, ebpf.SizeDW),
+		ebpf.Exit(),
+	)
+	f.Add(insnsToBytes(mapSeed))
+	// Wide immediate load plus a JMP32 comparison on its low half.
+	wideImm := ebpf.LoadImm64(ebpf.R6, 0x1122334455667788)
+	wideSeed := append([]ebpf.Insn{}, wideImm[:]...)
+	wideSeed = append(wideSeed,
+		ebpf.Mov64Reg(ebpf.R0, ebpf.R6),
+		ebpf.Insn{Op: ebpf.ClassJMP32 | ebpf.JmpEq, Dst: ebpf.R0, Off: 1, Imm: 0x55667788},
+		ebpf.Mov64Imm(ebpf.R0, 1),
+		ebpf.Exit(),
+	)
+	f.Add(insnsToBytes(wideSeed))
 	f.Add(insnsToBytes([]ebpf.Insn{ // unterminated: must be rejected
 		ebpf.Mov64Imm(ebpf.R0, 0),
 	}))
@@ -134,32 +287,37 @@ func FuzzVerifyProgram(f *testing.F) {
 		if err := ebpf.Verify(insns, fuzzMaps(t), core.CtxSize); err != nil {
 			return // rejected cleanly — exactly what the verifier is for
 		}
-		run := func(interp bool) (uint64, error) {
-			prog, err := ebpf.Load(ebpf.ProgramSpec{
-				Name:    "fuzz",
-				Type:    ebpf.ProgTypeKprobe,
-				Insns:   insns,
-				Maps:    fuzzMaps(t), // fresh maps per engine: runs must not share state
-				CtxSize: core.CtxSize,
-			})
-			if err != nil {
-				t.Fatalf("Verify accepted but Load rejected: %v", err)
+		interp := runTier(t, insns, ebpf.TierInterpreter)
+		threaded := runTier(t, insns, ebpf.TierThreaded)
+		opt := runTier(t, insns, ebpf.TierOptimized)
+		for _, other := range []struct {
+			name string
+			res  tierResult
+		}{{"threaded", threaded}, {"optimized", opt}} {
+			if got, want := errIdentity(other.res.err), errIdentity(interp.err); got != want {
+				t.Fatalf("%s disagrees on error identity: %s err=%v (%s), interp err=%v (%s)",
+					other.name, other.name, other.res.err, got, interp.err, want)
 			}
-			ctx := make([]byte, core.CtxSize)
-			if interp {
-				r0, _, err := prog.RunInterpreted(ctx, &fuzzEnv{})
-				return r0, err
+			if interp.err == nil {
+				if other.res.r0 != interp.r0 {
+					t.Fatalf("%s disagrees on r0: %#x, interp %#x", other.name, other.res.r0, interp.r0)
+				}
+				if other.res.stats != interp.stats {
+					t.Fatalf("%s disagrees on stats: %+v, interp %+v", other.name, other.res.stats, interp.stats)
+				}
 			}
-			r0, _, err := prog.Run(ctx, &fuzzEnv{})
-			return r0, err
-		}
-		r0Threaded, errThreaded := run(false)
-		r0Interp, errInterp := run(true)
-		if (errThreaded == nil) != (errInterp == nil) {
-			t.Fatalf("engines disagree on failure: threaded err=%v, interp err=%v", errThreaded, errInterp)
-		}
-		if errThreaded == nil && r0Threaded != r0Interp {
-			t.Fatalf("engines disagree on r0: threaded %#x, interp %#x", r0Threaded, r0Interp)
+			if !reflect.DeepEqual(other.res.maps, interp.maps) {
+				t.Fatalf("%s disagrees on final map state:\n%s: %v\ninterp: %v",
+					other.name, other.name, other.res.maps, interp.maps)
+			}
+			if !reflect.DeepEqual(other.res.perf, interp.perf) {
+				t.Fatalf("%s disagrees on perf stream:\n%s: %q\ninterp: %q",
+					other.name, other.name, other.res.perf, interp.perf)
+			}
+			if !reflect.DeepEqual(other.res.printk, interp.printk) {
+				t.Fatalf("%s disagrees on printk log:\n%s: %q\ninterp: %q",
+					other.name, other.name, other.res.printk, interp.printk)
+			}
 		}
 	})
 }

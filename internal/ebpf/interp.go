@@ -40,6 +40,7 @@ type vm struct {
 	regs    [NumRegs]uint64
 	stack   [StackSize]byte
 	regions [][]byte // regions[0] = stack, regions[1] = ctx, rest = map values
+	ctx     []byte   // alias of regions[1]; the optimized tier's fast ctx path
 	maps    []Map
 	env     Env
 	stats   ExecStats
@@ -117,9 +118,8 @@ func (m *vm) readBytes(p uint64, n int64) ([]byte, error) {
 // make zeroing between runs unnecessary.
 var vmPool = sync.Pool{New: func() any { return new(vm) }}
 
-// getVM prepares a pooled vm for one execution.
-func getVM(maps []Map, ctx []byte, env Env) *vm {
-	m := vmPool.Get().(*vm)
+// initVM prepares a recycled vm for one execution.
+func initVM(m *vm, maps []Map, ctx []byte, env Env) {
 	m.maps = maps
 	m.env = env
 	m.stats = ExecStats{}
@@ -129,26 +129,43 @@ func getVM(maps []Map, ctx []byte, env Env) *vm {
 	m.regions = m.regions[:2]
 	m.regions[0] = m.stack[:]
 	m.regions[1] = ctx
+	m.ctx = ctx
 	m.regs[R1] = m.ptr(1, 0) // ctx pointer
 	m.regs[R10] = m.ptr(0, StackSize)
 
-	// Bind per-CPU maps to the executing CPU.
-	cpu := int(env.SMPProcessorID())
+	// Bind per-CPU maps to the executing CPU. The CPU id is only fetched
+	// when a per-CPU map is actually present.
+	cpu := -1
 	for _, mp := range maps {
 		if pc, ok := mp.(*PerCPUArray); ok {
+			if cpu < 0 {
+				cpu = int(env.SMPProcessorID())
+			}
 			pc.SetCurrentCPU(cpu)
 		}
 	}
+}
+
+// resetVM drops references that would pin caller memory across reuse.
+func resetVM(m *vm) {
+	m.maps = nil
+	m.env = nil
+	m.regions = m.regions[:2]
+	m.regions[1] = nil
+	m.ctx = nil
+}
+
+// getVM prepares a pooled vm for one execution.
+func getVM(maps []Map, ctx []byte, env Env) *vm {
+	m := vmPool.Get().(*vm)
+	initVM(m, maps, ctx, env)
 	return m
 }
 
 // putVM returns a vm to the pool, dropping references that would pin
 // caller memory.
 func putVM(m *vm) {
-	m.maps = nil
-	m.env = nil
-	m.regions = m.regions[:2]
-	m.regions[1] = nil
+	resetVM(m)
 	vmPool.Put(m)
 }
 
@@ -201,7 +218,7 @@ func run(insns []Insn, maps []Map, ctx []byte, env Env) (uint64, ExecStats, erro
 			}
 			res, err := aluOp(in.Op&0xf0, dst, src, is64)
 			if err != nil {
-				return 0, m.stats, fmt.Errorf("%s at insn %d", err, pc)
+				return 0, m.stats, fmt.Errorf("%w at insn %d", err, pc)
 			}
 			if !is64 {
 				res = uint64(uint32(res))
@@ -214,7 +231,7 @@ func run(insns []Insn, maps []Map, ctx []byte, env Env) (uint64, ExecStats, erro
 			size := sizeBytes(in.Op & 0x18)
 			v, err := m.load(m.regs[in.Src]+uint64(int64(in.Off)), size)
 			if err != nil {
-				return 0, m.stats, fmt.Errorf("%s at insn %d", err, pc)
+				return 0, m.stats, fmt.Errorf("%w at insn %d", err, pc)
 			}
 			m.regs[in.Dst] = v
 			pc++
@@ -223,7 +240,7 @@ func run(insns []Insn, maps []Map, ctx []byte, env Env) (uint64, ExecStats, erro
 		case in.Class() == ClassSTX:
 			size := sizeBytes(in.Op & 0x18)
 			if err := m.store(m.regs[in.Dst]+uint64(int64(in.Off)), size, m.regs[in.Src]); err != nil {
-				return 0, m.stats, fmt.Errorf("%s at insn %d", err, pc)
+				return 0, m.stats, fmt.Errorf("%w at insn %d", err, pc)
 			}
 			pc++
 			continue
@@ -231,7 +248,7 @@ func run(insns []Insn, maps []Map, ctx []byte, env Env) (uint64, ExecStats, erro
 		case in.Class() == ClassST:
 			size := sizeBytes(in.Op & 0x18)
 			if err := m.store(m.regs[in.Dst]+uint64(int64(in.Off)), size, uint64(int64(in.Imm))); err != nil {
-				return 0, m.stats, fmt.Errorf("%s at insn %d", err, pc)
+				return 0, m.stats, fmt.Errorf("%w at insn %d", err, pc)
 			}
 			pc++
 			continue
@@ -243,7 +260,7 @@ func run(insns []Insn, maps []Map, ctx []byte, env Env) (uint64, ExecStats, erro
 				return m.regs[R0], m.stats, nil
 			case JmpCall:
 				if err := m.call(HelperID(in.Imm)); err != nil {
-					return 0, m.stats, fmt.Errorf("%s at insn %d", err, pc)
+					return 0, m.stats, fmt.Errorf("%w at insn %d", err, pc)
 				}
 				pc++
 				continue
@@ -264,7 +281,7 @@ func run(insns []Insn, maps []Map, ctx []byte, env Env) (uint64, ExecStats, erro
 			}
 			take, err := jmpCond(op, dst, src, in.Class() == ClassJMP)
 			if err != nil {
-				return 0, m.stats, fmt.Errorf("%s at insn %d", err, pc)
+				return 0, m.stats, fmt.Errorf("%w at insn %d", err, pc)
 			}
 			if take {
 				pc += 1 + int(in.Off)

@@ -190,7 +190,7 @@ func runCompiled(steps []step, maps []Map, ctx []byte, env Env) (uint64, ExecSta
 		}
 		next, err := steps[pc](m)
 		if err != nil {
-			return 0, m.stats, fmt.Errorf("%s at insn %d", err, pc)
+			return 0, m.stats, fmt.Errorf("%w at insn %d", err, pc)
 		}
 		if next == progExit {
 			return m.regs[R0], m.stats, nil

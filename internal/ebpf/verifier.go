@@ -103,25 +103,143 @@ func (s *vState) clone() *vState {
 	return &c
 }
 
+// memFact is what the verifier proved about one memory-access
+// instruction's base pointer, merged over every path that reaches it. The
+// optimized compilation tier uses these facts to resolve addresses at
+// compile time and elide the runtime bounds checks the proof makes
+// redundant; a fact that differs between paths degrades to !ok and the
+// instruction falls back to the fully checked path.
+type memFact struct {
+	seen   bool
+	ok     bool
+	kind   regKind // kindCtx, kindStack (FP normalized), or kindMapVal
+	off    int64   // base pointer offset within its region, before Insn.Off
+	mapIdx int
+}
+
+// callFact is the proved state of the argument registers R1-R5 at a call
+// site, again merged over all paths. When ok, the optimized tier may
+// inline the helper with statically resolved arguments.
+type callFact struct {
+	seen bool
+	ok   bool
+	args [5]regState // R1..R5
+}
+
+// progFacts carries the verifier's per-instruction proof artifacts out of
+// verification so later compilation stages can reuse them.
+type progFacts struct {
+	mem  []memFact
+	call []callFact
+	// reach marks the instructions the verifier actually explored. The
+	// verifier tolerates unreachable code after an exit or a statically
+	// decided branch (it proves nothing about it), so lowering must skip
+	// those instructions rather than try to compile them.
+	reach []bool
+}
+
+func newProgFacts(n int) *progFacts {
+	return &progFacts{mem: make([]memFact, n), call: make([]callFact, n), reach: make([]bool, n)}
+}
+
+func (f *progFacts) markReach(pc int) {
+	if f != nil && pc < len(f.reach) {
+		f.reach[pc] = true
+	}
+}
+
+// normReg canonicalizes a register state for fact merging: the frame
+// pointer is just a stack pointer at StackSize, and fields that do not
+// apply to a kind are zeroed so equality is structural.
+func normReg(rs regState) regState {
+	if rs.kind == kindFP {
+		return regState{kind: kindStack, off: StackSize}
+	}
+	switch rs.kind {
+	case kindScalar:
+		if !rs.known {
+			return regState{kind: kindScalar}
+		}
+		return regState{kind: kindScalar, known: true, val: rs.val}
+	case kindCtx, kindStack:
+		return regState{kind: rs.kind, off: rs.off}
+	case kindMapPtr, kindMapVal, kindMapValNul:
+		return regState{kind: rs.kind, off: rs.off, mapIdx: rs.mapIdx}
+	}
+	return regState{kind: rs.kind}
+}
+
+func (f *progFacts) noteMem(pc int, rs regState) {
+	if f == nil {
+		return
+	}
+	n := normReg(rs)
+	m := &f.mem[pc]
+	if !m.seen {
+		*m = memFact{seen: true, ok: true, kind: n.kind, off: n.off, mapIdx: n.mapIdx}
+		return
+	}
+	if m.ok && (m.kind != n.kind || m.off != n.off || m.mapIdx != n.mapIdx) {
+		m.ok = false
+	}
+}
+
+// noteCall merges the states of the nargs argument registers the helper
+// consumes; registers beyond the prototype are ignored so stale values in
+// unused argument slots cannot degrade the fact.
+func (f *progFacts) noteCall(pc, nargs int, regs *[NumRegs]regState) {
+	if f == nil {
+		return
+	}
+	c := &f.call[pc]
+	if !c.seen {
+		c.seen, c.ok = true, true
+		for i := 0; i < nargs; i++ {
+			c.args[i] = normReg(regs[R1+Reg(i)])
+		}
+		return
+	}
+	if !c.ok {
+		return
+	}
+	for i := 0; i < nargs; i++ {
+		if c.args[i] != normReg(regs[R1+Reg(i)]) {
+			c.ok = false
+			return
+		}
+	}
+}
+
 // Verify statically checks the program against the supplied maps and
 // context size. On success the program is safe to interpret: every memory
 // access is in bounds, every register is written before read, control flow
 // is a DAG reaching exit, and every helper call is well-typed.
 func Verify(insns []Insn, maps []Map, ctxSize int) error {
+	_, err := verifyProgram(insns, maps, ctxSize)
+	return err
+}
+
+// verifyProgram runs verification and returns the proof facts the
+// optimized compilation tier consumes.
+func verifyProgram(insns []Insn, maps []Map, ctxSize int) (*progFacts, error) {
 	if len(insns) == 0 {
-		return ErrEmptyProg
+		return nil, ErrEmptyProg
 	}
 	if len(insns) > MaxInsns {
-		return fmt.Errorf("%w: %d instructions", ErrProgTooLarge, len(insns))
+		return nil, fmt.Errorf("%w: %d instructions", ErrProgTooLarge, len(insns))
 	}
 	if err := checkStructure(insns); err != nil {
-		return err
+		return nil, err
 	}
-	v := &verifier{insns: insns, maps: maps, ctxSize: int64(ctxSize)}
+	facts := newProgFacts(len(insns))
+	v := &verifier{insns: insns, maps: maps, ctxSize: int64(ctxSize), facts: facts}
 	init := &vState{}
 	init.regs[R1] = regState{kind: kindCtx}
 	init.regs[R10] = regState{kind: kindFP, off: StackSize}
-	return v.explore(init)
+	if err := v.explore(init); err != nil {
+		return nil, err
+	}
+	return facts, nil
 }
 
 // checkStructure validates opcodes, jump targets, the absence of back
@@ -184,6 +302,7 @@ type verifier struct {
 	maps    []Map
 	ctxSize int64
 	states  int
+	facts   *progFacts
 }
 
 // explore walks every control-flow path from st. Because checkStructure
@@ -199,12 +318,14 @@ func (v *verifier) explore(st *vState) error {
 			return fmt.Errorf("%w: pc=%d", ErrFallthrough, st.pc)
 		}
 		in := v.insns[st.pc]
+		v.facts.markReach(st.pc)
 
 		switch {
 		case in.IsWide():
 			if err := v.checkWide(st, in); err != nil {
 				return err
 			}
+			v.facts.markReach(st.pc + 1)
 			st.pc += 2
 			continue
 		case in.Class() == ClassALU || in.Class() == ClassALU64:
@@ -482,6 +603,7 @@ func (v *verifier) checkLoad(st *vState, in Insn) error {
 	default:
 		return fmt.Errorf("%w: load via %s (insn %d)", ErrBadMemAccess, src.kind, st.pc)
 	}
+	v.facts.noteMem(st.pc, src)
 	st.regs[in.Dst] = regState{kind: kindScalar}
 	return nil
 }
@@ -530,6 +652,7 @@ func (v *verifier) checkStore(st *vState, in Insn) error {
 	default:
 		return fmt.Errorf("%w: store via %s (insn %d)", ErrBadMemAccess, dst.kind, st.pc)
 	}
+	v.facts.noteMem(st.pc, dst)
 	return nil
 }
 
@@ -581,6 +704,7 @@ func (v *verifier) checkCall(st *vState, in Insn) error {
 			}
 		}
 	}
+	v.facts.noteCall(st.pc, len(proto.args), &st.regs)
 	// Clobber caller-saved registers.
 	for r := R1; r <= R5; r++ {
 		st.regs[r] = regState{}
