@@ -57,6 +57,7 @@ fuzz:
 	$(GO) test -run NONE -fuzz FuzzTraceIDStrip -fuzztime $(FUZZTIME) ./internal/vnet
 	$(GO) test -run NONE -fuzz FuzzVerifyProgram -fuzztime $(FUZZTIME) ./internal/ebpf
 	$(GO) test -run NONE -fuzz FuzzSegmentDecode -fuzztime $(FUZZTIME) ./internal/tracedb
+	$(GO) test -run NONE -fuzz FuzzDecodeAggFrame -fuzztime $(FUZZTIME) ./internal/control
 
 # Coverage summary over the whole module.
 .PHONY: cover
@@ -84,3 +85,5 @@ bench-json:
 		-benchmem -benchtime 100x . | $(GO) run ./cmd/benchjson -o BENCH_pr6.json
 	$(GO) test -run NONE -bench 'BenchmarkEBPF(Interp|Threaded|Compiled)RecordScript' \
 		-benchmem -benchtime 100000x . | $(GO) run ./cmd/benchjson -o BENCH_pr7.json
+	$(GO) test -run NONE -bench 'BenchmarkAggregationAblation' \
+		-benchmem -benchtime 1000x . | $(GO) run ./cmd/benchjson -o BENCH_pr8.json

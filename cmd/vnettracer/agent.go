@@ -109,6 +109,10 @@ func runAgent(args []string) error {
 				fmt.Fprintf(os.Stderr, "ring drops at shutdown: %d total across %d per-CPU rings %v\n",
 					rs.Drops, rs.Rings, rs.PerRingDrops)
 			}
+			if as := agent.AggShipStats(); as.Enabled {
+				fmt.Fprintf(os.Stderr, "aggregate shipping: %d frames shipped, %d spooled, %d ship errors, %d rejected, %d evicted\n",
+					as.FramesShipped, as.FramesSpooled, as.ShipErrs, as.Rejected, as.Evicted)
+			}
 			if ds := agent.DegradeStats(); ds.Degradations > 0 {
 				fmt.Fprintf(os.Stderr, "overload degradation: entered %d times (recovered %d), %d stretched flushes, %d ring writes sampled away\n",
 					ds.Degradations, ds.Recoveries, ds.StretchedIntervals, ds.SampleDrops)

@@ -21,6 +21,7 @@ func runCollector(args []string) error {
 	fs := flag.NewFlagSet("collector", flag.ExitOnError)
 	listen := fs.String("listen", ":7701", "address to listen on")
 	out := fs.String("out", "", "append record batches as JSON lines to this file")
+	aggOut := fs.String("agg-out", "", "append aggregate frames as JSON lines to this file (vntquery agg reads it)")
 	workers := fs.Int("workers", 4, "ingest worker goroutines")
 	queue := fs.Int("queue", 1024, "ingest queue depth (full queue drops batches)")
 	segBytes := fs.Int("segment-bytes", tracedb.DefaultSegmentBytes, "raw bytes per table head before sealing a compressed segment")
@@ -41,13 +42,25 @@ func runCollector(args []string) error {
 	col.StartIngest(*workers, *queue)
 	defer col.StopIngest()
 	var sink control.RecordSink = col
-	if *out != "" {
-		f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			return fmt.Errorf("open -out: %w", err)
+	if *out != "" || *aggOut != "" {
+		tee := &teeSink{next: col, agg: col}
+		if *out != "" {
+			f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return fmt.Errorf("open -out: %w", err)
+			}
+			defer f.Close()
+			tee.file = f
 		}
-		defer f.Close()
-		sink = &teeSink{next: col, file: f}
+		if *aggOut != "" {
+			f, err := os.OpenFile(*aggOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return fmt.Errorf("open -agg-out: %w", err)
+			}
+			defer f.Close()
+			tee.aggFile = f
+		}
+		sink = tee
 	}
 
 	ln, err := net.Listen("tcp", *listen)
@@ -73,6 +86,11 @@ func runCollector(args []string) error {
 			fencedB, fencedR := col.FencedStats()
 			fmt.Printf("\nshutting down: %d batches, %d records, %d ring drops, %d dropped batches, %d dup batches (%d records), %d missing batches, %d fenced batches (%d records), %d tables\n",
 				batches, records, drops, dropped, dupB, dupR, missing, fencedB, fencedR, len(db.Tables()))
+			if at := col.Aggregates().Totals(); at.FramesMerged+at.FramesDup+at.FramesFenced > 0 {
+				fmt.Printf("aggregates: %d frames merged (%d dup, %d fenced, %d unsupported), %d rows over %d scripts / %d flows\n",
+					at.FramesMerged, at.FramesDup, at.FramesFenced, srv.UnsupportedAggFrames(),
+					at.RowsMerged, at.Scripts, at.Flows)
+			}
 			db.SealAll() // flush heads so a data dir holds the full history
 			st := db.StorageTotals()
 			fmt.Printf("storage: %d records in %d segments (%d spilled), %s resident, %s on disk, %.1fx compression, %d records evicted\n",
@@ -106,18 +124,37 @@ func fmtBytes(n uint64) string {
 	return fmt.Sprintf("%dB", n)
 }
 
-// teeSink forwards batches and appends them to a JSONL file.
+// teeSink forwards batches and aggregate frames and appends them to
+// JSONL files (records and aggregates dumped separately, since they are
+// replayed through different ledgers).
 type teeSink struct {
-	next control.RecordSink
-	mu   sync.Mutex
-	file *os.File
+	next    control.RecordSink
+	agg     control.AggSink
+	mu      sync.Mutex
+	file    *os.File
+	aggFile *os.File
 }
 
 func (t *teeSink) HandleBatch(b control.RecordBatch) error {
 	if err := t.next.HandleBatch(b); err != nil {
 		return err
 	}
+	if t.file == nil {
+		return nil
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return writeJSON(t.file, b)
+}
+
+func (t *teeSink) HandleAgg(b control.AggBatch) error {
+	if err := t.agg.HandleAgg(b); err != nil {
+		return err
+	}
+	if t.aggFile == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return writeJSON(t.aggFile, b)
 }

@@ -47,7 +47,8 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  vnettracer collector -listen ADDR [-out FILE]      run the raw data collector
+  vnettracer collector -listen ADDR [-out FILE] [-agg-out FILE]
+                                                     run the raw data collector
   vnettracer agent -name NAME -listen ADDR -collector ADDR
                                                      run an agent with a demo machine
   vnettracer dispatch -agent ADDR -package FILE      push a control package (JSON)
@@ -61,7 +62,8 @@ A control package file looks like:
       "filter": {"proto": 17, "dst_port": 9000},
       "actions": [1]
     }],
-    "flush_interval_ns": 100000000
+    "flush_interval_ns": 100000000,
+    "ship_aggregates": true
   }`)
 }
 

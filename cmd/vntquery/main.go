@@ -9,6 +9,7 @@
 //	vntquery -in records.jsonl -from 1 -to 2 -skew 150000
 //	vntquery agents -in records.jsonl               # per-agent supervision ledger
 //	vntquery storage -in records.jsonl              # segment-store accounting
+//	vntquery agg -in agg.jsonl                      # merged in-probe aggregates
 //
 // The agents subcommand replays the dump through the epoch-aware delivery
 // ledger and reports, per agent: the registration epoch, last heartbeat,
@@ -19,6 +20,13 @@
 // size, spill dir, and retention configurable by flags) and reports, per
 // table: segment counts, resident vs on-disk bytes, compression ratio,
 // and evicted-record counts.
+//
+// The agg subcommand replays an aggregate-frame dump (produced by
+// `vnettracer collector -agg-out agg.jsonl`) through the same
+// exactly-once aggregate store the live collector runs, and prints the
+// merged in-probe metrics per script: event counters, per-CPU hit
+// spread, latency-histogram percentiles (exact to one log2 bucket), and
+// per-flow packet/byte sums.
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 
 	"vnettracer/internal/control"
 	"vnettracer/internal/metrics"
+	"vnettracer/internal/script"
 	"vnettracer/internal/tracedb"
 )
 
@@ -46,6 +55,24 @@ func main() {
 			os.Exit(2)
 		}
 		if err := runAgents(*in, *stale); err != nil {
+			fmt.Fprintf(os.Stderr, "vntquery: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "agg" {
+		fs := flag.NewFlagSet("agg", flag.ExitOnError)
+		in := fs.String("in", "", "agg.jsonl produced by the collector's -agg-out")
+		only := fs.String("script", "", "only print this script's aggregates")
+		topFlows := fs.Int("top-flows", 20, "print at most this many flows per script (0 = all)")
+		if err := fs.Parse(os.Args[2:]); err != nil {
+			os.Exit(2)
+		}
+		if *in == "" {
+			fs.Usage()
+			os.Exit(2)
+		}
+		if err := runAgg(*in, *only, *topFlows); err != nil {
 			fmt.Fprintf(os.Stderr, "vntquery: %v\n", err)
 			os.Exit(1)
 		}
@@ -139,6 +166,81 @@ func runAgents(path string, staleNs int64) error {
 		if l.FencedBatches > 0 {
 			fmt.Printf("  fenced: %d stale-epoch batches rejected, %d records lost to fencing\n",
 				l.FencedBatches, l.FencedRecords)
+		}
+	}
+	return nil
+}
+
+// runAgg replays an aggregate-frame dump through the collector's
+// exactly-once aggregate store and prints the merged per-script metrics.
+func runAgg(path, only string, topFlows int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	store := tracedb.NewAggStore()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lines := 0
+	for sc.Scan() {
+		var frame control.AggBatch
+		if err := json.Unmarshal(sc.Bytes(), &frame); err != nil {
+			return fmt.Errorf("line %d: %w", lines+1, err)
+		}
+		store.Admit(frame.Agent, frame.Epoch, frame.Seq, frame.Scripts, frame.AgentTimeNs, frame.Degraded)
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	tot := store.Totals()
+	fmt.Printf("replayed %d frames: %d merged, %d dup, %d fenced — %d scripts, %d flows\n",
+		lines, tot.FramesMerged, tot.FramesDup, tot.FramesFenced, tot.Scripts, tot.Flows)
+
+	names := store.Scripts()
+	if only != "" {
+		names = []string{only}
+	}
+	for _, name := range names {
+		agg, ok := store.Get(name)
+		if !ok {
+			return fmt.Errorf("no aggregates for script %q", name)
+		}
+		fmt.Printf("script %s:\n", name)
+		if len(agg.Counters) > 0 {
+			var pkts, bytes uint64
+			if len(agg.Counters) > script.SlotPackets {
+				pkts = agg.Counters[script.SlotPackets]
+			}
+			if len(agg.Counters) > script.SlotBytes {
+				bytes = agg.Counters[script.SlotBytes]
+			}
+			fmt.Printf("  counters: %d packets, %d bytes\n", pkts, bytes)
+		}
+		if n := metrics.HistCount(agg.CPUHits); n > 0 {
+			fmt.Printf("  cpu hits:")
+			for cpu, hits := range agg.CPUHits {
+				if hits > 0 {
+					fmt.Printf(" cpu%d=%d", cpu, hits)
+				}
+			}
+			fmt.Println()
+		}
+		if hs := metrics.HistSummarize(agg.Hist); hs.Count > 0 {
+			fmt.Printf("  latency histogram over %d samples (log2-bucket upper bounds):\n", hs.Count)
+			fmt.Printf("    mean~%.1fus p50<=%.1fus p99<=%.1fus p99.9<=%.1fus max<=%.1fus\n",
+				hs.MeanNs/1e3, float64(hs.P50Ns)/1e3, float64(hs.P99Ns)/1e3,
+				float64(hs.P999Ns)/1e3, float64(hs.MaxNs)/1e3)
+		}
+		for i, fl := range agg.Flows {
+			if topFlows > 0 && i == topFlows {
+				fmt.Printf("  ... %d more flows\n", len(agg.Flows)-i)
+				break
+			}
+			key := metrics.FlowKey{SrcIP: fl.SrcIP, DstIP: fl.DstIP, SrcPort: fl.SrcPort, DstPort: fl.DstPort, Proto: fl.Proto}
+			fmt.Printf("  %-40s %8d pkts %12d bytes\n", key, fl.Packets, fl.Bytes)
 		}
 	}
 	return nil

@@ -44,6 +44,15 @@ func TestScenarioCorpus(t *testing.T) {
 			}
 			return "unattended fires in the dead window", r.UnattendedFires
 		},
+		"in-probe-aggregation": func(r *Result) (string, uint64) {
+			if sumAgents(r, func(a AgentReport) uint64 { return a.RingDrops }) == 0 {
+				return "ring drops alongside exact aggregates", 0
+			}
+			if r.AggRejected == 0 {
+				return "rejected aggregate deliveries", 0
+			}
+			return "deduped aggregate frames", r.AggFramesDup
+		},
 		"zombie-epoch-fencing": func(r *Result) (string, uint64) {
 			if r.FencedBatches == 0 {
 				return "fenced batches", 0
@@ -106,7 +115,7 @@ func TestCorpusCoversFaultMatrix(t *testing.T) {
 		t.Fatalf("corpus has %d scenarios, want >= 10", len(corpus))
 	}
 	var bursts, skew, outage, ackLoss, restart, spool, wireLoss, forever bool
-	var kill, zombie, overload bool
+	var kill, zombie, overload, aggregation bool
 	names := make(map[string]bool)
 	for _, sc := range corpus {
 		if names[sc.Name] {
@@ -124,6 +133,7 @@ func TestCorpusCoversFaultMatrix(t *testing.T) {
 		kill = kill || sc.KillRebootAfterNs > 0
 		zombie = zombie || sc.ZombieFlushAtNs > 0
 		overload = overload || sc.OverloadCap > 0
+		aggregation = aggregation || sc.ShipAggregates
 	}
 	for axis, covered := range map[string]bool{
 		"bursty emit":        bursts,
@@ -136,7 +146,8 @@ func TestCorpusCoversFaultMatrix(t *testing.T) {
 		"sink down forever":  forever,
 		"kill and reboot":    kill,
 		"zombie stale epoch": zombie,
-		"collector overload": overload,
+		"collector overload":   overload,
+		"in-probe aggregation": aggregation,
 	} {
 		if !covered {
 			t.Errorf("fault axis %q not covered by any corpus scenario", axis)
@@ -240,6 +251,7 @@ func TestSeedSweep(t *testing.T) {
 	for _, name := range []string{
 		"baseline-steady", "bursty-emit-ring-drops", "spool-overflow", "kitchen-sink",
 		"agent-restart-reprovision", "zombie-epoch-fencing", "collector-overload-degrade",
+		"in-probe-aggregation",
 	} {
 		base, ok := byName[name]
 		if !ok {

@@ -45,9 +45,18 @@ type faultSink struct {
 	acksLost     uint64
 	acksLostSeq  uint64 // acks lost on sequenced (Seq != 0) batches
 	overloadAcks uint64 // acks that reported the overloaded queue
+
+	// Aggregate-frame delivery shares the outage window and the ack-loss
+	// cadence but keeps its own counters (and its own ingest count for the
+	// cadence), since frames ride a dedicated sequence space.
+	aggAttempts uint64
+	aggRejected uint64
+	aggAcksLost uint64
+	aggIngests  int
 }
 
 var _ control.AckingRecordSink = (*faultSink)(nil)
+var _ control.AggSink = (*faultSink)(nil)
 
 func newFaultSink(inner *control.Collector, eng *sim.Engine, sc Scenario, dig *digest) *faultSink {
 	return &faultSink{
@@ -116,6 +125,37 @@ func (s *faultSink) HandleBatchAck(b control.RecordBatch) (control.BatchAck, err
 	s.dig.logf("deliver t=%d agent=%s epoch=%d seq=%d recs=%d drops=%d outcome=ok",
 		now, b.Agent, b.Epoch, b.Seq, len(b.Records), b.RingDrops)
 	return s.ack(now), nil
+}
+
+// HandleAgg implements control.AggSink under the same transport faults:
+// an outage rejects the frame outright (the agent keeps it spooled and
+// retries), and a lost "ack" — an error returned after the collector
+// already merged — forces a duplicate delivery the aggregate ledger must
+// absorb, or every counter it carries would double.
+func (s *faultSink) HandleAgg(b control.AggBatch) error {
+	now := s.eng.Now()
+	s.aggAttempts++
+	if s.down(now) {
+		s.aggRejected++
+		s.dig.logf("deliver-agg t=%d agent=%s epoch=%d seq=%d scripts=%d outcome=down",
+			now, b.Agent, b.Epoch, b.Seq, len(b.Scripts))
+		return errSinkDown
+	}
+	if err := s.inner.HandleAgg(b); err != nil {
+		s.dig.logf("deliver-agg t=%d agent=%s epoch=%d seq=%d scripts=%d outcome=err",
+			now, b.Agent, b.Epoch, b.Seq, len(b.Scripts))
+		return err
+	}
+	s.aggIngests++
+	if !s.healed && s.ackLossEvery > 0 && s.aggIngests%s.ackLossEvery == 0 {
+		s.aggAcksLost++
+		s.dig.logf("deliver-agg t=%d agent=%s epoch=%d seq=%d scripts=%d outcome=acklost",
+			now, b.Agent, b.Epoch, b.Seq, len(b.Scripts))
+		return errAckLost
+	}
+	s.dig.logf("deliver-agg t=%d agent=%s epoch=%d seq=%d scripts=%d outcome=ok",
+		now, b.Agent, b.Epoch, b.Seq, len(b.Scripts))
+	return nil
 }
 
 // ack builds the backpressure report for a successful delivery at time

@@ -6,6 +6,7 @@ import (
 	"vnettracer/internal/control"
 	"vnettracer/internal/core"
 	"vnettracer/internal/metrics"
+	"vnettracer/internal/script"
 	"vnettracer/internal/tracedb"
 )
 
@@ -149,6 +150,7 @@ func check(sc Scenario, cluster []*agentState, truth *groundTruth, db *tracedb.D
 
 	checkMetrics(sc, cluster, truth, db, res)
 	checkSupervision(sc, cluster, res)
+	checkAggregates(sc, cluster, truth, col, sink, res, dig)
 
 	// Fold the final accounting into the digest so a run that delivers
 	// the same event trace but different statistics still diverges.
@@ -224,6 +226,100 @@ func checkSupervision(sc Scenario, cluster []*agentState, res *Result) {
 			}
 		}
 	}
+}
+
+// checkAggregates reconciles the collector's merged in-probe aggregates
+// against the attended-fire ground truth. Unlike records, aggregation
+// never touches the ring or the spool-eviction path, so the check is
+// exact even on scenarios whose record path drops: every attended fire
+// at the receive probe must appear in the merged counters, the per-CPU
+// and latency histograms, and the per-flow sums — and a retried frame
+// (lost ack) must never double any of them.
+func checkAggregates(sc Scenario, cluster []*agentState, truth *groundTruth, col *control.Collector, sink *faultSink, res *Result, dig *digest) {
+	if !sc.ShipAggregates {
+		return
+	}
+	store := col.Aggregates()
+	tot := store.Totals()
+	res.AggFramesMerged, res.AggFramesDup, res.AggFramesFenced = tot.FramesMerged, tot.FramesDup, tot.FramesFenced
+	res.AggRowsMerged, res.AggRejected = tot.RowsMerged, sink.aggRejected
+
+	for _, st := range cluster {
+		name := st.name + "/agg"
+		as := st.agent.AggShipStats()
+		if as.Evicted != 0 {
+			res.violatef("agent %s: %d aggregate frames evicted — conservation broken by scenario shape", st.name, as.Evicted)
+		}
+		if sc.SinkDownForever {
+			continue
+		}
+		if as.FramesSpooled != 0 {
+			res.violatef("agent %s: %d aggregate frames still spooled after quiesce with a healthy sink",
+				st.name, as.FramesSpooled)
+		}
+		tt := truth.table(st.dstTP)
+		agg, ok := store.Get(name)
+		if tt.fires == 0 {
+			if ok && counterAt(agg.Counters, script.SlotPackets) != 0 {
+				res.violatef("agent %s: aggregates report %d packets, ground truth fired none",
+					st.name, counterAt(agg.Counters, script.SlotPackets))
+			}
+			continue
+		}
+		if !ok {
+			res.violatef("agent %s: no merged aggregates for %s after %d fires", st.name, name, tt.fires)
+			continue
+		}
+		if got := counterAt(agg.Counters, script.SlotPackets); got != tt.fires {
+			res.violatef("agent %s: aggregated packets %d, ground truth %d", st.name, got, tt.fires)
+		}
+		// The in-probe byte counter sums wire lengths; table truth tracks
+		// payload net of the embedded trace ID.
+		wantBytes := tt.bytes + uint64(metrics.TraceIDBytes)*tt.fires
+		if got := counterAt(agg.Counters, script.SlotBytes); got != wantBytes {
+			res.violatef("agent %s: aggregated bytes %d, ground truth %d", st.name, got, wantBytes)
+		}
+		if n := metrics.HistCount(agg.Hist); n != tt.fires {
+			res.violatef("agent %s: latency histogram holds %d samples, ground truth %d fires", st.name, n, tt.fires)
+		}
+		if n := metrics.HistCount(agg.CPUHits); n != tt.fires {
+			res.violatef("agent %s: per-CPU hits sum to %d, ground truth %d fires", st.name, n, tt.fires)
+		}
+		gotFlows := make(map[metrics.FlowKey]uint64, len(agg.Flows))
+		for _, fl := range agg.Flows {
+			gotFlows[metrics.FlowKey{SrcIP: fl.SrcIP, DstIP: fl.DstIP, SrcPort: fl.SrcPort, DstPort: fl.DstPort, Proto: fl.Proto}] = fl.Packets
+		}
+		for _, key := range sortedFlowKeys(tt.perFlow) {
+			if gotFlows[key] != tt.perFlow[key] {
+				res.violatef("agent %s flow %v: aggregated %d packets, ground truth %d",
+					st.name, key, gotFlows[key], tt.perFlow[key])
+			}
+		}
+		if len(gotFlows) != len(tt.perFlow) {
+			res.violatef("agent %s: aggregates hold %d flows, ground truth %d", st.name, len(gotFlows), len(tt.perFlow))
+		}
+	}
+
+	// Exactly-once at frame granularity mirrors the record-batch check:
+	// with no evictions (asserted above), every lost aggregate ack causes
+	// exactly one duplicate frame, which the ledger must absorb.
+	if !sc.SinkDownForever && tot.FramesDup != sink.aggAcksLost {
+		res.violatef("aggregate ledger deduped %d frames, %d aggregate acks were lost", tot.FramesDup, sink.aggAcksLost)
+	}
+	if sc.KillAtNs <= 0 && tot.FramesFenced != 0 {
+		res.violatef("aggregate ledger fenced %d frames with no kill fault injected", tot.FramesFenced)
+	}
+	dig.logf("account aggregates merged=%d dup=%d fenced=%d rows=%d attempts=%d rejected=%d ackslost=%d",
+		tot.FramesMerged, tot.FramesDup, tot.FramesFenced, tot.RowsMerged,
+		sink.aggAttempts, sink.aggRejected, sink.aggAcksLost)
+}
+
+// counterAt reads a dense counter slot, 0 when the slice is short.
+func counterAt(counters []uint64, slot int) uint64 {
+	if slot < len(counters) {
+		return counters[slot]
+	}
+	return 0
 }
 
 // checkTable verifies per-table invariants: exactly-once per trace ID,

@@ -135,6 +135,10 @@ type Result struct {
 	UnattendedFires                         uint64
 	OverloadAcks                            uint64
 
+	// Aggregate-frame totals (ShipAggregates scenarios).
+	AggFramesMerged, AggFramesDup, AggFramesFenced uint64
+	AggRowsMerged, AggRejected                     uint64
+
 	// Supervisor snapshots the control-plane supervision counters
 	// (pushes, retries, re-provisions) at quiesce.
 	Supervisor control.SupervisorStats
@@ -281,6 +285,10 @@ func buildAgent(sc Scenario, i int, eng *sim.Engine, sink control.RecordSink, di
 		},
 		FlushIntervalNs: sc.FlushEveryNs,
 	}
+	if sc.ShipAggregates {
+		pkg.Install = append(pkg.Install, aggSpec(name+"/agg", uint32(1000+i)))
+		pkg.ShipAggregates = true
+	}
 	if err := sup.Desire(name, pkg, eng.Now()); err != nil {
 		return nil, fmt.Errorf("conformance: %s: %w", sc.Name, err)
 	}
@@ -293,6 +301,22 @@ func recordSpec(name string, tpid uint32, site string) script.Spec {
 		TPID:    tpid,
 		Attach:  core.AttachPoint{Kind: core.AttachKProbe, Site: site},
 		Actions: []script.Action{script.ActionRecord},
+	}
+}
+
+// aggSpec is a record-free in-probe aggregation script at the receive
+// probe: every fire updates maps (event counters, per-CPU hits, a log2
+// latency histogram, per-flow packet/byte sums) and emits nothing to the
+// ring.
+func aggSpec(name string, tpid uint32) script.Spec {
+	return script.Spec{
+		Name:   name,
+		TPID:   tpid,
+		Attach: core.AttachPoint{Kind: core.AttachKProbe, Site: kernel.SiteUDPRecvmsg},
+		Actions: []script.Action{
+			script.ActionCount, script.ActionCPUHist,
+			script.ActionHist, script.ActionFlowCount,
+		},
 	}
 }
 
@@ -515,6 +539,9 @@ func quiesce(sc Scenario, cluster []*agentState, sink *faultSink, dig *digest) {
 			if st.agent.SpoolStats().Batches > 0 {
 				pending = true
 			}
+			if st.agent.AggShipStats().FramesSpooled > 0 {
+				pending = true
+			}
 			// A zombie's leftovers must also surface before the books
 			// close: shipped stale-epoch batches land as fenced counts,
 			// never as records.
@@ -531,8 +558,10 @@ func quiesce(sc Scenario, cluster []*agentState, sink *faultSink, dig *digest) {
 	}
 	for _, st := range cluster {
 		ss := st.agent.SpoolStats()
-		dig.logf("quiesce agent=%s spooledBatches=%d spooledRecords=%d evicted=%d",
-			st.name, ss.Batches, ss.Records, ss.EvictedRecords)
+		as := st.agent.AggShipStats()
+		dig.logf("quiesce agent=%s spooledBatches=%d spooledRecords=%d evicted=%d aggShipped=%d aggSpooled=%d aggEvicted=%d",
+			st.name, ss.Batches, ss.Records, ss.EvictedRecords,
+			as.FramesShipped, as.FramesSpooled, as.Evicted)
 	}
 }
 

@@ -119,6 +119,14 @@ type Scenario struct {
 	OverloadDepth   int
 	OverloadCap     int
 
+	// ShipAggregates installs a record-free in-probe aggregation script
+	// (counters, per-CPU hits, latency histogram, per-flow sums) on every
+	// agent's receive probe and turns on the agents' periodic aggregate
+	// drain. At quiesce the collector's merged aggregates must equal the
+	// attended-fire ground truth exactly — aggregation bypasses the ring,
+	// so even ring drops and transport faults may not perturb it.
+	ShipAggregates bool
+
 	// Storage: SegmentBytes is the trace store's head-seal threshold in
 	// raw record bytes (default 4096, small enough that every scenario
 	// exercises sealed segments); SpillDir, when set, spills sealed
@@ -307,6 +315,25 @@ func Corpus() []Scenario {
 			OverloadUntilNs:  60 * sim.Millisecond,
 			OverloadDepth:    95,
 			OverloadCap:      100,
+		},
+		{
+			// In-probe aggregation under faults: bursts overflow the tiny
+			// rings (records legitimately drop) while an outage window and
+			// lost acks batter the transport — yet the merged aggregates at
+			// the collector must match the fired ground truth exactly,
+			// because map updates bypass the ring and the aggregate ledger
+			// dedups every retried frame.
+			Name:            "in-probe-aggregation",
+			Seed:            15,
+			Agents:          3,
+			Packets:         600,
+			Flows:           6,
+			RingBytes:       480, // 10 records per CPU
+			BurstLen:        60,
+			ShipAggregates:  true,
+			AckLossEvery:    4,
+			SinkDownFromNs:  30 * sim.Millisecond,
+			SinkDownUntilNs: 55 * sim.Millisecond,
 		},
 		{
 			// Everything at once: four skewed agents, bursts, ack loss, an

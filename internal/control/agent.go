@@ -11,6 +11,7 @@ import (
 	"vnettracer/internal/core"
 	"vnettracer/internal/script"
 	"vnettracer/internal/sim"
+	"vnettracer/internal/tracedb"
 )
 
 // DefaultSpoolBytes bounds the in-agent delivery spool: records drained
@@ -107,6 +108,21 @@ type Agent struct {
 	// shipped batch; the collector fences batches from older epochs.
 	epoch uint64
 
+	// Aggregate shipping state (guarded by mu; mutated under flushMu).
+	// When shipAggs is set, each flush snapshot-and-resets the loaded
+	// scripts' aggregation maps and spools the drain as one v5 frame in a
+	// sequence space of its own. Off by default: draining resets the maps,
+	// so direct map readers (ReadCounter et al.) and aggregate shipping
+	// are mutually exclusive consumers.
+	shipAggs    bool
+	aggSpool    []spooledAgg
+	nextAggSeq  uint64
+	aggShipped  uint64
+	aggShipErrs uint64
+	aggRejected uint64
+	aggEvicted  uint64
+	lastAggErr  error
+
 	// Degradation state (guarded by mu): flushStretch multiplies the
 	// periodic flush interval; degradeLevel is 0 (full capture),
 	// 1 (stretched flush), or 2 (stretched + ring sampling).
@@ -118,6 +134,22 @@ type Agent struct {
 
 	// Batches counts flushes that carried at least one record.
 	Batches uint64
+}
+
+// maxAggSpoolFrames bounds the aggregate-frame spool. Aggregate frames
+// are tiny, so the bound is about retry-window length, not memory: the
+// oldest frames are evicted (counted; their sequence numbers surface as
+// gaps in the collector's aggregate ledger) once a collector outage
+// outlasts the window.
+const maxAggSpoolFrames = 256
+
+// spooledAgg is one drained-but-unshipped aggregate frame. Like
+// spooledBatch, it keeps its drain timestamp and sequence number across
+// retries so the collector's ledger sees a stable identity.
+type spooledAgg struct {
+	seq     uint64
+	timeNs  int64
+	scripts []tracedb.ScriptAgg
 }
 
 // spooledBatch is one drained-but-unshipped batch awaiting delivery. It
@@ -169,6 +201,7 @@ func NewAgent(name string, machine *core.Machine, sink RecordSink) *Agent {
 		loaded:      make(map[string]*loadedScript),
 		spoolLimit:  DefaultSpoolBytes,
 		nextSeq:     1,
+		nextAggSeq:  1,
 		backoffNext: 1,
 		// Seeding jitter from the agent's name keeps runs replayable
 		// (same cluster, same schedules) while guaranteeing different
@@ -225,6 +258,9 @@ func (a *Agent) Apply(pkg ControlPackage) error {
 			ls.handle.Detach()
 			delete(a.loaded, name)
 		}
+		a.shipAggs = pkg.ShipAggregates
+	} else if pkg.ShipAggregates {
+		a.shipAggs = true
 	}
 	for _, name := range pkg.Uninstall {
 		ls, ok := a.loaded[name]
@@ -343,13 +379,175 @@ func (a *Agent) flush(force bool) error {
 	if len(recs) > 0 || delta > 0 || a.carryDrops > 0 {
 		a.enqueueLocked(recs, now, delta)
 	}
+	if a.shipAggs {
+		a.drainAggLocked(now)
+	}
 	if !force && a.backoffSkips > 0 {
 		a.backoffSkips--
 		a.mu.Unlock()
 		return nil
 	}
 	a.mu.Unlock()
-	return a.ship(now)
+	err = a.ship(now)
+	aggErr := a.shipAgg()
+	if err != nil {
+		return err
+	}
+	return aggErr
+}
+
+// drainAggLocked snapshot-and-resets every loaded script's aggregation
+// maps and spools the non-empty result as one sequence-numbered frame.
+// The map drains transfer counts atomically, so probe invocations racing
+// the drain land in exactly one frame. Callers hold a.mu and a.flushMu.
+func (a *Agent) drainAggLocked(now int64) {
+	names := make([]string, 0, len(a.loaded))
+	for name, ls := range a.loaded {
+		if ls.compiled.HasAggregates() {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var scripts []tracedb.ScriptAgg
+	for _, name := range names {
+		snap := a.loaded[name].compiled.DrainAggregates()
+		if snap.Empty() {
+			continue
+		}
+		sa := tracedb.ScriptAgg{
+			Script:   name,
+			Counters: snap.Counters,
+			CPUHits:  snap.CPUHits,
+			Hist:     snap.Hist,
+		}
+		for _, f := range snap.Flows {
+			sa.Flows = append(sa.Flows, tracedb.FlowAgg{
+				SrcIP: uint32(f.SrcIP), DstIP: uint32(f.DstIP),
+				SrcPort: f.SrcPort, DstPort: f.DstPort, Proto: f.Proto,
+				Packets: f.Packets, Bytes: f.Bytes,
+			})
+		}
+		scripts = append(scripts, sa)
+	}
+	if len(scripts) == 0 {
+		// Nothing aggregated since the last drain: no frame, no sequence
+		// number consumed — an idle script costs zero wire bytes.
+		return
+	}
+	a.aggSpool = append(a.aggSpool, spooledAgg{seq: a.nextAggSeq, timeNs: now, scripts: scripts})
+	a.nextAggSeq++
+	for len(a.aggSpool) > maxAggSpoolFrames {
+		a.aggSpool[0] = spooledAgg{}
+		a.aggSpool = a.aggSpool[1:]
+		a.aggEvicted++
+	}
+}
+
+// shipAgg delivers spooled aggregate frames oldest-first. A transport
+// failure leaves the remainder spooled for the next flush; a remote
+// rejection (a v5-unaware collector refusing aggregate frames) drops the
+// frame as counted loss — retrying a deterministic rejection forever
+// would only evict newer data. Callers hold a.flushMu but not a.mu.
+func (a *Agent) shipAgg() error {
+	aggSink, sinkOK := a.sink.(AggSink)
+	for {
+		a.mu.Lock()
+		if len(a.aggSpool) == 0 {
+			a.mu.Unlock()
+			return nil
+		}
+		if !sinkOK {
+			// Fail closed: the sink cannot ingest aggregate frames at all.
+			a.aggRejected += uint64(len(a.aggSpool))
+			a.aggShipErrs++
+			a.lastAggErr = errNoAggSink
+			a.aggSpool = nil
+			a.mu.Unlock()
+			return errNoAggSink
+		}
+		sb := a.aggSpool[0]
+		epoch, degraded := a.epoch, a.degradeLevel
+		a.mu.Unlock()
+		err := aggSink.HandleAgg(AggBatch{
+			Agent:       a.name,
+			AgentTimeNs: sb.timeNs,
+			Scripts:     sb.scripts,
+			Seq:         sb.seq,
+			Epoch:       epoch,
+			Degraded:    degraded,
+		})
+		a.mu.Lock()
+		if err != nil {
+			a.aggShipErrs++
+			a.lastAggErr = err
+			var remote *RemoteError
+			if errors.As(err, &remote) && len(a.aggSpool) > 0 && a.aggSpool[0].seq == sb.seq {
+				a.aggSpool[0] = spooledAgg{}
+				a.aggSpool = a.aggSpool[1:]
+				a.aggRejected++
+			}
+			a.mu.Unlock()
+			return err
+		}
+		if len(a.aggSpool) > 0 && a.aggSpool[0].seq == sb.seq {
+			a.aggSpool[0] = spooledAgg{}
+			a.aggSpool = a.aggSpool[1:]
+		}
+		a.aggShipped++
+		a.lastAggErr = nil
+		a.mu.Unlock()
+	}
+}
+
+var errNoAggSink = errors.New("control: sink does not support aggregate frames")
+
+// SetAggShipping turns the periodic aggregate drain on or off. While on,
+// every flush snapshot-and-resets the loaded scripts' aggregation maps
+// and ships the result as a compact v5 frame, so userspace map readers
+// (ReadCounter, ReadCPUHist, ...) will observe only the residue since
+// the last drain.
+func (a *Agent) SetAggShipping(on bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.shipAggs = on
+}
+
+// AggShipStats reports the agent-side aggregate delivery state for
+// shutdown summaries and tests.
+type AggShipStats struct {
+	// Enabled mirrors the drain-loop switch.
+	Enabled bool
+	// FramesShipped counts delivered frames; FramesSpooled is the current
+	// retry backlog.
+	FramesShipped uint64
+	FramesSpooled int
+	// ShipErrs counts failed ship attempts; LastErr is the most recent
+	// failure (nil once a later attempt succeeded).
+	ShipErrs uint64
+	LastErr  error
+	// Rejected counts frames dropped because the far end (or the local
+	// sink) cannot ingest aggregates; Evicted counts frames lost to the
+	// bounded spool. Both surface as sequence gaps at the collector.
+	Rejected uint64
+	Evicted  uint64
+	// NextSeq is the next unassigned aggregate sequence number.
+	NextSeq uint64
+}
+
+// AggShipStats snapshots the aggregate delivery state.
+func (a *Agent) AggShipStats() AggShipStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AggShipStats{
+		Enabled:       a.shipAggs,
+		FramesShipped: a.aggShipped,
+		FramesSpooled: len(a.aggSpool),
+		ShipErrs:      a.aggShipErrs,
+		LastErr:       a.lastAggErr,
+		Rejected:      a.aggRejected,
+		Evicted:       a.aggEvicted,
+		NextSeq:       a.nextAggSeq,
+	}
 }
 
 // enqueueLocked appends a freshly drained batch to the spool, assigning

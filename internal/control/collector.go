@@ -18,7 +18,8 @@ import (
 // counted (backpressure is visible in IngestStats, and trace loss is
 // already a first-class concept via ring drops).
 type Collector struct {
-	db *tracedb.DB
+	db   *tracedb.DB
+	aggs *tracedb.AggStore
 
 	mu             sync.Mutex
 	batches        uint64
@@ -37,13 +38,31 @@ type Collector struct {
 
 // NewCollector creates a collector over a trace database.
 func NewCollector(db *tracedb.DB) *Collector {
-	c := &Collector{db: db}
+	c := &Collector{db: db, aggs: tracedb.NewAggStore()}
 	c.ingestFn = c.ingest
 	return c
 }
 
 // DB returns the backing trace database.
 func (c *Collector) DB() *tracedb.DB { return c.db }
+
+// Aggregates returns the aggregate store merged from in-probe aggregate
+// frames, living beside the record database.
+func (c *Collector) Aggregates() *tracedb.AggStore { return c.aggs }
+
+// HandleAgg implements AggSink: it admits the frame through the
+// aggregate ledger (exactly-once, epoch-fenced — the aggregate analogue
+// of record-batch ingest) and merges fresh payloads into the aggregate
+// store. Aggregate frames are small and pre-reduced, so ingest is always
+// synchronous; there is no queue to backpressure on. Non-fenced frames
+// advance the agent's liveness clock like record batches do.
+func (c *Collector) HandleAgg(b AggBatch) error {
+	st := c.aggs.Admit(b.Agent, b.Epoch, b.Seq, b.Scripts, b.AgentTimeNs, b.Degraded)
+	if st != tracedb.BatchFenced {
+		c.db.Heartbeat(b.Agent, b.AgentTimeNs)
+	}
+	return nil
+}
 
 // StorageStats returns the trace database's aggregate segment-store
 // accounting (resident vs spilled bytes, compression ratio, evictions).

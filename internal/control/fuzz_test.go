@@ -2,6 +2,7 @@ package control
 
 import (
 	"encoding/binary"
+	"reflect"
 	"testing"
 
 	"vnettracer/internal/core"
@@ -105,6 +106,68 @@ func FuzzDecodeBatchFrame(f *testing.F) {
 			if rt.Records[i] != got.Records[i] {
 				t.Fatalf("round trip changed record %d: %+v vs %+v", i, rt.Records[i], got.Records[i])
 			}
+		}
+	})
+}
+
+// FuzzDecodeAggFrame feeds the v5 aggregate-frame decoder arbitrary
+// bytes plus mutations of valid frames. The decoder must never panic and
+// never size an allocation from a count field the body cannot back (all
+// counts are attacker-controlled varints). Whatever decodes must survive
+// an encode/decode round trip unchanged — the delta/sparse packing is
+// lossless by construction, and the fuzzer holds it to that.
+func FuzzDecodeAggFrame(f *testing.F) {
+	full := wireAgg()
+	v5, err := EncodeAggFrame(&full)
+	if err != nil {
+		f.Fatal(err)
+	}
+	empty, err := EncodeAggFrame(&AggBatch{Agent: "hb", AgentTimeNs: 5, Seq: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{aggMagic})
+	f.Add(v5)
+	f.Add(empty)
+	f.Add(v5[:len(v5)-1])     // truncated flow tail
+	f.Add(v5[:aggHeaderSize]) // header only, body missing
+	bad := append([]byte(nil), v5...)
+	bad[1] = 9 // unsupported version
+	f.Add(bad)
+	huge := append([]byte(nil), v5[:aggHeaderSize+len(full.Agent)]...)
+	huge = binary.AppendUvarint(huge, 1<<40) // hostile script count
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		got, err := DecodeAggFrame(body)
+		if err != nil {
+			return
+		}
+		// Nothing decoded may outweigh the body it came from by more than
+		// the sparse-series bound: every flow row costs >= 7 body bytes and
+		// each dense counter >= 1, so a decoded shape far beyond that means
+		// a count field was trusted over the data.
+		rows := 0
+		for i := range got.Scripts {
+			rows += len(got.Scripts[i].Counters) + len(got.Scripts[i].Flows)*7
+			if len(got.Scripts[i].CPUHits) > maxAggSparseLen || len(got.Scripts[i].Hist) > maxAggSparseLen {
+				t.Fatalf("sparse series beyond cap: %d/%d", len(got.Scripts[i].CPUHits), len(got.Scripts[i].Hist))
+			}
+		}
+		if rows > len(body) {
+			t.Fatalf("decoded %d weighted rows from a %d-byte frame", rows, len(body))
+		}
+		reenc, err := AppendAggFrame(nil, &got)
+		if err != nil {
+			t.Fatalf("re-encode of decodable frame failed: %v", err)
+		}
+		rt, err := DecodeAggFrame(reenc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(rt, got) {
+			t.Fatalf("round trip changed frame:\n %+v\nvs %+v", rt, got)
 		}
 	})
 }

@@ -13,6 +13,7 @@ package control
 import (
 	"vnettracer/internal/core"
 	"vnettracer/internal/script"
+	"vnettracer/internal/tracedb"
 )
 
 // ControlPackage is the unit the dispatcher ships to an agent: scripts to
@@ -26,6 +27,12 @@ type ControlPackage struct {
 	Uninstall []string `json:"uninstall,omitempty"`
 	// FlushIntervalNs, when positive, re-arms the agent's periodic flush.
 	FlushIntervalNs int64 `json:"flush_interval_ns,omitempty"`
+	// ShipAggregates turns on the agent's periodic aggregate drain: each
+	// flush snapshot-and-resets the scripts' aggregation maps and ships
+	// the result as a compact v5 frame instead of leaving the metrics for
+	// userspace map readers. A Replace package re-asserts the flag's
+	// value; an incremental package can only turn it on.
+	ShipAggregates bool `json:"ship_aggregates,omitempty"`
 	// Replace makes the package a full desired-state declaration: the
 	// agent detaches and unloads everything currently installed before
 	// applying Install, making the push idempotent. The supervisor uses
@@ -61,6 +68,37 @@ type RecordBatch struct {
 	// shipped: 0 full capture, 1 stretched flush, 2 sampling. Recorded
 	// in the ledger for operator visibility.
 	Degraded uint8 `json:"degraded,omitempty"`
+}
+
+// AggBatch is an aggregate frame: the agent's periodic snapshot-and-reset
+// drain of its scripts' in-probe aggregation maps (counters, per-CPU
+// hits, log2 latency histograms, per-flow sums). It carries the same
+// heartbeat/sequence/epoch identity as RecordBatch, but sequence numbers
+// live in a dedicated space — agents number record batches and aggregate
+// frames independently — admitted by the collector's aggregate ledger
+// with identical exactly-once and zombie-fencing semantics. Aggregates
+// are additive, so dedup is what keeps a retried frame from doubling
+// every metric it carries.
+type AggBatch struct {
+	Agent       string              `json:"agent"`
+	AgentTimeNs int64               `json:"agent_time_ns"`
+	Scripts     []tracedb.ScriptAgg `json:"scripts,omitempty"`
+	// Seq is the frame's number in the agent's aggregate sequence space,
+	// assigned at drain time and stable across retries. Zero is never
+	// shipped: empty drains are skipped without consuming a number.
+	Seq uint64 `json:"seq,omitempty"`
+	// Epoch is the agent's registration lease (see RecordBatch.Epoch).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Degraded is the agent's degradation level at drain time.
+	Degraded uint8 `json:"degraded,omitempty"`
+}
+
+// AggSink consumes aggregate frames (the collector, or a transport to
+// it). Sinks that predate in-probe aggregation simply do not implement
+// it; agents detect that and fail closed with a counted error instead of
+// shipping frames the far end cannot ingest.
+type AggSink interface {
+	HandleAgg(b AggBatch) error
 }
 
 // BatchAck is the collector's reply to a batch: backpressure telemetry

@@ -48,6 +48,7 @@ type desiredState struct {
 	specs           map[string]script.Spec
 	order           []string // install order, kept stable across re-pushes
 	flushIntervalNs int64
+	shipAggregates  bool // desired aggregate-drain mode, survives re-pushes
 	applied         bool   // desired state successfully pushed at appliedEpoch
 	appliedEpoch    uint64 // epoch the last successful push targeted
 	failures        int    // consecutive push failures
@@ -145,6 +146,9 @@ func (s *Supervisor) Desire(agent string, pkg ControlPackage, nowNs int64) error
 	if pkg.FlushIntervalNs > 0 {
 		ds.flushIntervalNs = pkg.FlushIntervalNs
 	}
+	if pkg.ShipAggregates {
+		ds.shipAggregates = true
+	}
 	ds.applied = false // state changed: must re-push even if it was in sync
 	err := s.pushLocked(agent, ds, nowNs)
 	s.mu.Unlock()
@@ -165,7 +169,7 @@ func (s *Supervisor) Desired(agent string) (ControlPackage, bool) {
 
 // packageLocked builds the idempotent full-state push for this agent.
 func (ds *desiredState) packageLocked() ControlPackage {
-	pkg := ControlPackage{Replace: true, FlushIntervalNs: ds.flushIntervalNs}
+	pkg := ControlPackage{Replace: true, FlushIntervalNs: ds.flushIntervalNs, ShipAggregates: ds.shipAggregates}
 	for _, name := range ds.order {
 		pkg.Install = append(pkg.Install, ds.specs[name])
 	}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 )
 
 // maxFrameBytes bounds a single protocol frame (defense against corrupt
@@ -104,7 +105,17 @@ type Server struct {
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
+
+	// unsupportedAggFrames counts v5 aggregate frames rejected because the
+	// sink does not implement AggSink — a fail-closed path: the frame is
+	// refused with an error (the agent keeps or drops it by its own
+	// policy), never half-ingested into the record ledger.
+	unsupportedAggFrames atomic.Uint64
 }
+
+// UnsupportedAggFrames reports how many aggregate frames were refused
+// because the sink cannot ingest them.
+func (s *Server) UnsupportedAggFrames() uint64 { return s.unsupportedAggFrames.Load() }
 
 // Serve starts accepting connections on ln. Close the server to stop.
 func Serve(ln net.Listener, agent ControlClient, sink RecordSink) *Server {
@@ -192,8 +203,24 @@ func (s *Server) sinkHandle(b RecordBatch) (*BatchAck, error) {
 }
 
 // dispatch routes one frame body. Binary batch bodies (first byte
-// batchMagic) go straight to the sink; everything else is a JSON envelope.
+// batchMagic) and aggregate bodies (aggMagic) go straight to the sink;
+// everything else is a JSON envelope.
 func (s *Server) dispatch(body []byte) envelope {
+	if len(body) > 0 && body[0] == aggMagic {
+		agg, ok := s.sink.(AggSink)
+		if s.sink == nil || !ok {
+			s.unsupportedAggFrames.Add(1)
+			return envelope{Type: frameError, Error: "collector does not support aggregate frames"}
+		}
+		batch, err := DecodeAggFrame(body)
+		if err != nil {
+			return envelope{Type: frameError, Error: err.Error()}
+		}
+		if err := agg.HandleAgg(batch); err != nil {
+			return envelope{Type: frameError, Error: err.Error()}
+		}
+		return envelope{Type: frameOK}
+	}
 	if len(body) > 0 && body[0] == batchMagic {
 		if s.sink == nil {
 			return envelope{Type: frameError, Error: "not a collector endpoint"}
@@ -395,4 +422,22 @@ func (s *TCPSink) HandleBatchAck(b RecordBatch) (BatchAck, error) {
 		return *reply.Ack, nil
 	}
 	return BatchAck{}, nil
+}
+
+var _ AggSink = (*TCPSink)(nil)
+
+// HandleAgg implements AggSink over TCP with the v5 binary aggregate
+// frame. A pre-v5 collector answers with an error frame, which surfaces
+// here as a RemoteError — the agent's fail-closed signal.
+func (s *TCPSink) HandleAgg(b AggBatch) error {
+	bufp := encodeBufPool.Get().(*[]byte)
+	body, err := AppendAggFrame((*bufp)[:0], &b)
+	if err != nil {
+		encodeBufPool.Put(bufp)
+		return err
+	}
+	_, err = s.roundTrip(body)
+	*bufp = body[:0]
+	encodeBufPool.Put(bufp)
+	return err
 }

@@ -355,6 +355,102 @@ func emitOp(op *irInsn, maps []Map, next blockFn) (blockFn, error) {
 			}
 			return next(m)
 		}, nil
+
+	case irMapIncStack:
+		// The map implementation is known at compile time, so each form
+		// binds its fast path directly: no type switch, no key copy, no
+		// allocation on the aggregating hot path. Delta comes from R3 at
+		// runtime (it is often a packet length, not a constant).
+		k0, k1, valOff := op.off, op.off+op.size, op.valOff
+		switch t := maps[op.mapIdx].(type) {
+		case *HashMap:
+			return func(m *vm) error {
+				m.stats.HelperCalls++
+				if t.Inc(m.stack[k0:k1], valOff, m.regs[R3]) {
+					m.regs[R0] = 0
+				} else {
+					m.regs[R0] = ^uint64(0)
+				}
+				return next(m)
+			}, nil
+		case *ArrayMap:
+			return func(m *vm) error {
+				m.stats.HelperCalls++
+				ok := false
+				if idx, okIdx := t.index(m.stack[k0:k1]); okIdx {
+					ok = t.IncSlot(idx, valOff, m.regs[R3])
+				}
+				if ok {
+					m.regs[R0] = 0
+				} else {
+					m.regs[R0] = ^uint64(0)
+				}
+				return next(m)
+			}, nil
+		case *PerCPUArray:
+			return func(m *vm) error {
+				m.stats.HelperCalls++
+				ok := false
+				if idx, okIdx := t.index(m.stack[k0:k1]); okIdx {
+					ok = t.IncSlotCPU(idx, int(m.env.SMPProcessorID()), valOff, m.regs[R3])
+				}
+				if ok {
+					m.regs[R0] = 0
+				} else {
+					m.regs[R0] = ^uint64(0)
+				}
+				return next(m)
+			}, nil
+		}
+		mp := maps[op.mapIdx]
+		return func(m *vm) error {
+			m.stats.HelperCalls++
+			if m.mapInc(mp, m.stack[k0:k1], valOff, m.regs[R3]) {
+				m.regs[R0] = 0
+			} else {
+				m.regs[R0] = ^uint64(0)
+			}
+			return next(m)
+		}, nil
+
+	case irHistObserve:
+		switch t := maps[op.mapIdx].(type) {
+		case *ArrayMap:
+			maxE := t.MaxEntries()
+			return func(m *vm) error {
+				m.stats.HelperCalls++
+				b := histBucket(m.regs[R2], maxE)
+				if t.IncSlot(b, 0, 1) {
+					m.regs[R0] = uint64(b)
+				} else {
+					m.regs[R0] = ^uint64(0)
+				}
+				return next(m)
+			}, nil
+		case *PerCPUArray:
+			maxE := t.MaxEntries()
+			return func(m *vm) error {
+				m.stats.HelperCalls++
+				b := histBucket(m.regs[R2], maxE)
+				if t.IncSlotCPU(b, int(m.env.SMPProcessorID()), 0, 1) {
+					m.regs[R0] = uint64(b)
+				} else {
+					m.regs[R0] = ^uint64(0)
+				}
+				return next(m)
+			}, nil
+		}
+		mp := maps[op.mapIdx]
+		return func(m *vm) error {
+			m.stats.HelperCalls++
+			b := histBucket(m.regs[R2], mp.MaxEntries())
+			if m.histInc(mp, b) {
+				m.regs[R0] = uint64(b)
+			} else {
+				m.regs[R0] = ^uint64(0)
+			}
+			return next(m)
+		}, nil
 	}
 	return nil, fmt.Errorf("%w: ir op %d", errLower, op.kind)
 }

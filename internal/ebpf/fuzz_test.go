@@ -230,6 +230,51 @@ func FuzzVerifyProgram(f *testing.F) {
 		Filter:  script.Filter{Proto: vnet.ProtoUDP, DstPort: 9000},
 		Actions: []script.Action{script.ActionCount, script.ActionCPUHist},
 	}))
+	f.Add(seedScript(f, script.Spec{
+		Name:    "fuzzseed-agg",
+		TPID:    11,
+		Attach:  core.AttachPoint{Kind: core.AttachKProbe, Site: kernel.SiteUDPRecvmsg},
+		Filter:  script.Filter{Proto: vnet.ProtoUDP},
+		Actions: []script.Action{script.ActionCount, script.ActionCPUHist, script.ActionHist, script.ActionFlowCount},
+	}))
+	// Aggregation fast-path helpers, hand-built: map_inc_elem fetch-adds a
+	// delta into map0's 8-byte lane, then hist_observe buckets a sample
+	// into the same map. Both leave map state for the side-effect diff,
+	// and mutations explore the offset/delta geometry the verifier gates.
+	aggFD := ebpf.LoadMapFD(ebpf.R1, 0)
+	aggSeed := []ebpf.Insn{
+		ebpf.StoreImm(ebpf.R10, -4, 3, ebpf.SizeW), // key = 3
+	}
+	aggSeed = append(aggSeed, aggFD[:]...)
+	aggSeed = append(aggSeed,
+		ebpf.Mov64Reg(ebpf.R2, ebpf.R10),
+		ebpf.ALU64Imm(ebpf.ALUAdd, ebpf.R2, -4),
+		ebpf.Mov64Imm(ebpf.R3, 5), // delta
+		ebpf.Mov64Imm(ebpf.R4, 0), // lane offset
+		ebpf.Call(ebpf.HelperMapIncElem),
+	)
+	aggSeed = append(aggSeed, aggFD[:]...)
+	aggSeed = append(aggSeed,
+		ebpf.Mov64Imm(ebpf.R2, 777), // sample -> log2 bucket
+		ebpf.Call(ebpf.HelperHistObserve),
+		ebpf.Exit(),
+	)
+	f.Add(insnsToBytes(aggSeed))
+	// Near miss the verifier must reject: the 8-byte counter lane at
+	// offset 4 overhangs map0's 8-byte value.
+	oobSeed := []ebpf.Insn{
+		ebpf.StoreImm(ebpf.R10, -4, 3, ebpf.SizeW),
+	}
+	oobSeed = append(oobSeed, aggFD[:]...)
+	oobSeed = append(oobSeed,
+		ebpf.Mov64Reg(ebpf.R2, ebpf.R10),
+		ebpf.ALU64Imm(ebpf.ALUAdd, ebpf.R2, -4),
+		ebpf.Mov64Imm(ebpf.R3, 1),
+		ebpf.Mov64Imm(ebpf.R4, 4),
+		ebpf.Call(ebpf.HelperMapIncElem),
+		ebpf.Exit(),
+	)
+	f.Add(insnsToBytes(oobSeed))
 	f.Add(insnsToBytes([]ebpf.Insn{ // ctx load + ALU + helper call
 		ebpf.LoadMem(ebpf.R1, ebpf.R1, 0, ebpf.SizeW),
 		ebpf.Mov64Reg(ebpf.R0, ebpf.R1),

@@ -27,6 +27,22 @@ const (
 	// Emits a raw trace record to the per-program ring buffer (the
 	// paper's kernel memory buffer mmap'd to /proc).
 	HelperPerfEventOutput HelperID = 25
+
+	// The aggregation fast paths below have no Linux UAPI counterpart;
+	// their ids sit far outside the kernel's helper range.
+
+	// HelperMapIncElem: r1=map, r2=key ptr, r3=delta, r4=byte offset into
+	// the value (must be a known constant). Atomically adds delta to the
+	// little-endian u64 at value[off], creating a zeroed entry in hash
+	// maps when absent — the bpf_map_inc-style fetch-add that replaces the
+	// lookup/add/update round trip in aggregating trace scripts. Returns 0
+	// on success, -1 on failure.
+	HelperMapIncElem HelperID = 200
+	// HelperHistObserve: r1=map (4-byte keys, values >= 8 bytes),
+	// r2=sample. Increments the sample's log2 bucket: bucket 0 holds
+	// zero, bucket b >= 1 holds [2^(b-1), 2^b), and the map's last slot
+	// absorbs everything beyond it. Returns the bucket index.
+	HelperHistObserve HelperID = 201
 )
 
 // Env supplies the ambient kernel facilities helpers need. Each simulated
@@ -59,6 +75,7 @@ const (
 	argMapPtr
 	argStackPtr // pointer into stack or a map value, readable
 	argSize     // scalar, bounds the preceding pointer
+	argConst    // scalar whose exact value the verifier must know
 )
 
 type helperProto struct {
@@ -100,6 +117,14 @@ var helperProtos = map[HelperID]helperProto{
 	HelperPerfEventOutput: {
 		name: "perf_event_output",
 		args: []argKind{argCtx, argScalar, argStackPtr, argSize},
+	},
+	HelperMapIncElem: {
+		name: "map_inc_elem",
+		args: []argKind{argMapPtr, argStackPtr, argScalar, argConst},
+	},
+	HelperHistObserve: {
+		name: "hist_observe",
+		args: []argKind{argMapPtr, argScalar},
 	},
 }
 

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 	"sync"
 )
 
@@ -458,6 +459,34 @@ func (m *vm) call(id HelperID) error {
 		}
 		m.env.TracePrintk(string(data))
 		m.regs[R0] = uint64(len(data))
+	case HelperMapIncElem:
+		mp, err := m.mapArg(m.regs[R1])
+		if err != nil {
+			return err
+		}
+		ks := int64(mp.KeySize())
+		mem, off, err := m.resolve(m.regs[R2], ks)
+		if err != nil {
+			return err
+		}
+		// The key slice aliases VM memory; Inc reads it within the call
+		// and never retains it, so no copy is needed.
+		if m.mapInc(mp, mem[off:off+ks], int64(m.regs[R4]), m.regs[R3]) {
+			m.regs[R0] = 0
+		} else {
+			m.regs[R0] = ^uint64(0)
+		}
+	case HelperHistObserve:
+		mp, err := m.mapArg(m.regs[R1])
+		if err != nil {
+			return err
+		}
+		b := histBucket(m.regs[R2], mp.MaxEntries())
+		if m.histInc(mp, b) {
+			m.regs[R0] = uint64(b)
+		} else {
+			m.regs[R0] = ^uint64(0)
+		}
 	default:
 		return fmt.Errorf("%w: id %d", ErrBadHelper, id)
 	}
@@ -467,6 +496,56 @@ func (m *vm) call(id HelperID) error {
 		m.regs[r] = 0xdead_beef_dead_beef
 	}
 	return nil
+}
+
+// histBucket maps a sample to its log2 bucket: bucket 0 holds zero,
+// bucket b >= 1 holds [2^(b-1), 2^b), and the map's last slot absorbs
+// everything beyond it. Every execution tier routes through this one
+// function so the tiers cannot disagree on bucket boundaries.
+func histBucket(v uint64, maxEntries int) int {
+	b := bits.Len64(v)
+	if b >= maxEntries {
+		b = maxEntries - 1
+	}
+	return b
+}
+
+// mapInc dispatches the map_inc_elem fast path per map type. The per-CPU
+// form indexes the executing CPU's slots directly — no shared current-CPU
+// state — so concurrent probes on different simulated CPUs never contend.
+func (m *vm) mapInc(mp Map, key []byte, off int64, delta uint64) bool {
+	switch t := mp.(type) {
+	case *HashMap:
+		return t.Inc(key, off, delta)
+	case *ArrayMap:
+		idx, ok := t.index(key)
+		if !ok {
+			return false
+		}
+		return t.IncSlot(idx, off, delta)
+	case *PerCPUArray:
+		idx, ok := t.index(key)
+		if !ok {
+			return false
+		}
+		return t.IncSlotCPU(idx, int(m.env.SMPProcessorID()), off, delta)
+	}
+	return false
+}
+
+// histInc bumps histogram bucket b by one.
+func (m *vm) histInc(mp Map, b int) bool {
+	switch t := mp.(type) {
+	case *ArrayMap:
+		return t.IncSlot(b, 0, 1)
+	case *PerCPUArray:
+		return t.IncSlotCPU(b, int(m.env.SMPProcessorID()), 0, 1)
+	case *HashMap:
+		var key [4]byte
+		binary.LittleEndian.PutUint32(key[:], uint32(b))
+		return t.Inc(key[:], 0, 1)
+	}
+	return false
 }
 
 func (m *vm) mapArg(handle uint64) (Map, error) {

@@ -62,6 +62,13 @@ const (
 	// irMapDeleteStack inlines map_delete_elem with the key at a proved
 	// stack offset.
 	irMapDeleteStack
+	// irMapIncStack inlines map_inc_elem with the key at a proved stack
+	// offset and a verified constant value offset: one locked fetch-add
+	// on the addressed counter lane, delta read from R3 at runtime.
+	irMapIncStack
+	// irHistObserve inlines hist_observe: a log2-bucket increment for
+	// the sample in R2.
+	irHistObserve
 	// irCopyBatch executes a run of fused ctx-to-stack copies and constant
 	// stack stores (the record-build shape) in one closure, driven by a
 	// descriptor list instead of one closure per store.

@@ -384,6 +384,25 @@ func lowerCall(in Insn, pc int, maps []Map, facts *progFacts) irInsn {
 					valOff: valOff, flags: uint64(flags), origPC: pc}
 			}
 		}
+	case HelperMapIncElem:
+		// r1=map, r2=key ptr, r3=delta (runtime), r4=value offset (const).
+		idx, okMap := mapArg(0)
+		keyOff, okKey := stackArg(1)
+		valOff, okOff := constArg(3)
+		if okMap && okKey && okOff {
+			ks := int64(maps[idx].KeySize())
+			if keyOff >= 0 && keyOff+ks <= StackSize &&
+				valOff >= 0 && valOff+8 <= int64(maps[idx].ValueSize()) {
+				return irInsn{kind: irMapIncStack, mapIdx: idx, off: keyOff, size: ks,
+					valOff: valOff, origPC: pc}
+			}
+		}
+	case HelperHistObserve:
+		// r1=map, r2=sample (runtime). The map pointer is the only static
+		// argument, so inlining needs nothing from the stack.
+		if idx, okMap := mapArg(0); okMap {
+			return irInsn{kind: irHistObserve, mapIdx: idx, origPC: pc}
+		}
 	}
 	return generic
 }

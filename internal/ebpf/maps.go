@@ -1,6 +1,7 @@
 package ebpf
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -192,6 +193,46 @@ func (m *HashMap) ForEach(fn func(key, value []byte)) {
 	}
 }
 
+// Inc atomically adds delta to the little-endian u64 at value[off] for
+// key, creating a zeroed entry when the key is absent — the map_inc_elem
+// aggregation fast path: one lock round trip instead of a lookup/update
+// pair, and no allocation once the entry exists. It reports whether the
+// add was applied; a wrong key size, an offset overrunning the value, or
+// a full map leave the map untouched.
+func (m *HashMap) Inc(key []byte, off int64, delta uint64) bool {
+	if len(key) != m.keySize || off < 0 || off+8 > int64(m.valueSize) {
+		return false
+	}
+	m.mu.Lock()
+	v, ok := m.entries[string(key)]
+	if !ok {
+		if len(m.entries) >= m.maxEntries {
+			m.mu.Unlock()
+			return false
+		}
+		v = make([]byte, m.valueSize)
+		m.entries[string(key)] = v
+	}
+	binary.LittleEndian.PutUint64(v[off:], binary.LittleEndian.Uint64(v[off:])+delta)
+	m.mu.Unlock()
+	return true
+}
+
+// Drain removes every entry and hands each (key, value) pair to fn.
+// Entry ownership transfers out in one critical section, so a count
+// accumulated concurrently lands either in this drain or in the map
+// afterwards — never lost, never double-counted. The agent's aggregate
+// flush loop uses this as its snapshot-and-reset primitive.
+func (m *HashMap) Drain(fn func(key, value []byte)) {
+	m.mu.Lock()
+	stolen := m.entries
+	m.entries = make(map[string][]byte, len(stolen))
+	m.mu.Unlock()
+	for k, v := range stolen {
+		fn([]byte(k), v)
+	}
+}
+
 // ArrayMap is a fixed-size array of values indexed by a 4-byte
 // little-endian key. All slots exist from creation, as in the kernel.
 type ArrayMap struct {
@@ -281,6 +322,40 @@ func (m *ArrayMap) Delete(key []byte) error {
 	return errors.New("ebpf: array map entries cannot be deleted")
 }
 
+// IncSlot adds delta to the little-endian u64 at value[off] of slot idx:
+// the map_inc_elem fast path for counter and histogram arrays, skipping
+// the key decode that Lookup/Update pay.
+func (m *ArrayMap) IncSlot(idx int, off int64, delta uint64) bool {
+	if idx < 0 || idx >= len(m.values) || off < 0 || off+8 > int64(m.valueSize) {
+		return false
+	}
+	m.mu.Lock()
+	v := m.values[idx]
+	binary.LittleEndian.PutUint64(v[off:], binary.LittleEndian.Uint64(v[off:])+delta)
+	m.mu.Unlock()
+	return true
+}
+
+// DrainU64 appends the leading u64 of every slot to dst and zeroes the
+// slot in the same critical section, so concurrent increments land
+// either in this drain or the next — the agent's snapshot-and-reset for
+// counter and histogram arrays. Maps with values narrower than 8 bytes
+// are returned unchanged.
+func (m *ArrayMap) DrainU64(dst []uint64) []uint64 {
+	if m.valueSize < 8 {
+		return dst
+	}
+	m.mu.Lock()
+	for _, v := range m.values {
+		dst = append(dst, binary.LittleEndian.Uint64(v))
+		for i := range v {
+			v[i] = 0
+		}
+	}
+	m.mu.Unlock()
+	return dst
+}
+
 // ForEach implements Map.
 func (m *ArrayMap) ForEach(fn func(key, value []byte)) {
 	m.mu.Lock()
@@ -299,12 +374,17 @@ func (m *ArrayMap) ForEach(fn func(key, value []byte)) {
 
 // PerCPUArray stores one value slot per (index, cpu) pair. Programs access
 // the slot for the CPU they execute on; userspace reads all CPUs' slots.
+// Slot contents are guarded per CPU: operations that know their CPU
+// (IncSlotCPU, LookupCPU, drains) take only that CPU's lock, so probe
+// invocations on different simulated CPUs never contend with each other.
 type PerCPUArray struct {
+	// mu guards cur; slot contents for CPU c are guarded by locks[c].
 	mu        sync.Mutex
 	valueSize int
 	numCPU    int
 	// values[idx][cpu]
 	values [][][]byte
+	locks  []sync.Mutex
 	// cur selects the CPU whose slot Lookup returns; the interpreter sets
 	// it to the executing CPU before each run.
 	cur int
@@ -326,7 +406,12 @@ func NewPerCPUArray(valueSize, maxEntries, numCPU int) (*PerCPUArray, error) {
 			values[i][c] = make([]byte, valueSize)
 		}
 	}
-	return &PerCPUArray{valueSize: valueSize, numCPU: numCPU, values: values}, nil
+	return &PerCPUArray{
+		valueSize: valueSize,
+		numCPU:    numCPU,
+		values:    values,
+		locks:     make([]sync.Mutex, numCPU),
+	}, nil
 }
 
 // Type implements Map.
@@ -375,8 +460,9 @@ func (m *PerCPUArray) Lookup(key []byte) ([]byte, bool) {
 		return nil, false
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.values[idx][m.cur], true
+	cur := m.cur
+	m.mu.Unlock()
+	return m.values[idx][cur], true
 }
 
 // LookupCPU returns the slot for a specific CPU; used by userspace readers.
@@ -385,8 +471,8 @@ func (m *PerCPUArray) LookupCPU(key []byte, cpu int) ([]byte, bool) {
 	if !ok || cpu < 0 || cpu >= m.numCPU {
 		return nil, false
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.locks[cpu].Lock()
+	defer m.locks[cpu].Unlock()
 	out := make([]byte, m.valueSize)
 	copy(out, m.values[idx][cpu])
 	return out, true
@@ -408,9 +494,55 @@ func (m *PerCPUArray) Update(key, value []byte, flags uint64) error {
 		return ErrOutOfRange
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	copy(m.values[idx][m.cur], value)
+	cur := m.cur
+	m.mu.Unlock()
+	m.locks[cur].Lock()
+	defer m.locks[cur].Unlock()
+	copy(m.values[idx][cur], value)
 	return nil
+}
+
+// IncSlotCPU adds delta to the little-endian u64 at value[off] of slot
+// idx on the given CPU — the map_inc_elem fast path for per-CPU maps.
+// Only the target CPU's lock is taken, so concurrent probe invocations
+// on different simulated CPUs proceed without contention. Out-of-range
+// CPUs wrap, matching the per-CPU ring-buffer convention.
+func (m *PerCPUArray) IncSlotCPU(idx, cpu int, off int64, delta uint64) bool {
+	if idx < 0 || idx >= len(m.values) || off < 0 || off+8 > int64(m.valueSize) {
+		return false
+	}
+	if cpu < 0 || cpu >= m.numCPU {
+		cpu %= m.numCPU
+		if cpu < 0 {
+			cpu += m.numCPU
+		}
+	}
+	l := &m.locks[cpu]
+	l.Lock()
+	v := m.values[idx][cpu]
+	binary.LittleEndian.PutUint64(v[off:], binary.LittleEndian.Uint64(v[off:])+delta)
+	l.Unlock()
+	return true
+}
+
+// DrainU64CPUs appends the leading u64 of slot idx for every CPU to dst,
+// zeroing each in its own critical section — the agent's
+// snapshot-and-reset for per-CPU counters. Values narrower than 8 bytes
+// or an out-of-range idx return dst unchanged.
+func (m *PerCPUArray) DrainU64CPUs(idx int, dst []uint64) []uint64 {
+	if idx < 0 || idx >= len(m.values) || m.valueSize < 8 {
+		return dst
+	}
+	for c := 0; c < m.numCPU; c++ {
+		m.locks[c].Lock()
+		v := m.values[idx][c]
+		dst = append(dst, binary.LittleEndian.Uint64(v))
+		for i := range v {
+			v[i] = 0
+		}
+		m.locks[c].Unlock()
+	}
+	return dst
 }
 
 // Delete implements Map.
@@ -425,13 +557,15 @@ func (m *PerCPUArray) Delete(key []byte) error {
 func (m *PerCPUArray) ForEach(fn func(key, value []byte)) {
 	m.mu.Lock()
 	cur := m.cur
+	m.mu.Unlock()
+	m.locks[cur].Lock()
 	snapshot := make([][]byte, len(m.values))
 	for i := range m.values {
 		c := make([]byte, m.valueSize)
 		copy(c, m.values[i][cur])
 		snapshot[i] = c
 	}
-	m.mu.Unlock()
+	m.locks[cur].Unlock()
 	for i, v := range snapshot {
 		key := []byte{byte(i), byte(i >> 8), byte(i >> 16), byte(i >> 24)}
 		fn(key, v)

@@ -78,7 +78,8 @@ func constPropBlock(blk *irBlock) {
 				clobber(r)
 			}
 		case irKtime, irSmpID, irPrandom, irPerfEmitStack,
-			irMapLookupStack, irMapUpdateStack, irMapDeleteStack:
+			irMapLookupStack, irMapUpdateStack, irMapDeleteStack,
+			irMapIncStack, irHistObserve:
 			// Inlined helpers write only R0 at runtime.
 			clobber(R0)
 		}
@@ -112,6 +113,10 @@ func opUses(op *irInsn) regMask {
 		for r := R1; r <= R5; r++ {
 			u.add(r)
 		}
+	case irMapIncStack:
+		u.add(R3) // delta
+	case irHistObserve:
+		u.add(R2) // sample
 	}
 	return u
 }
@@ -127,7 +132,8 @@ func opDefs(op *irInsn) regMask {
 			d.add(r)
 		}
 	case irKtime, irSmpID, irPrandom, irPerfEmitStack,
-		irMapLookupStack, irMapUpdateStack, irMapDeleteStack:
+		irMapLookupStack, irMapUpdateStack, irMapDeleteStack,
+		irMapIncStack, irHistObserve:
 		d.add(R0)
 	}
 	return d

@@ -702,7 +702,15 @@ func (v *verifier) checkCall(st *vState, in Insn) error {
 				return fmt.Errorf("%w: %s arg%d must be a known-constant size (insn %d)",
 					ErrBadHelperArg, proto.name, i+1, st.pc)
 			}
+		case argConst:
+			if rs.kind != kindScalar || !rs.known {
+				return fmt.Errorf("%w: %s arg%d must be a known constant (insn %d)",
+					ErrBadHelperArg, proto.name, i+1, st.pc)
+			}
 		}
+	}
+	if err := v.checkHelperGeometry(st, HelperID(in.Imm), callMapIdx); err != nil {
+		return fmt.Errorf("%w (insn %d)", err, st.pc)
 	}
 	v.facts.noteCall(st.pc, len(proto.args), &st.regs)
 	// Clobber caller-saved registers.
@@ -717,10 +725,38 @@ func (v *verifier) checkCall(st *vState, in Insn) error {
 	return nil
 }
 
+// checkHelperGeometry applies helper-specific constraints the generic
+// argument kinds cannot express: the aggregation helpers address a fixed
+// 8-byte lane inside map values, so the lane must fit.
+func (v *verifier) checkHelperGeometry(st *vState, id HelperID, mapIdx int) error {
+	switch id {
+	case HelperMapIncElem:
+		if mapIdx < 0 {
+			return ErrBadHelperArg
+		}
+		off := st.regs[R4].val
+		vs := int64(v.maps[mapIdx].ValueSize())
+		if off < 0 || off+8 > vs {
+			return fmt.Errorf("%w: map_inc_elem counter [%d:%d) outside value of %d bytes",
+				ErrBadHelperArg, off, off+8, vs)
+		}
+	case HelperHistObserve:
+		if mapIdx < 0 {
+			return ErrBadHelperArg
+		}
+		m := v.maps[mapIdx]
+		if m.KeySize() != 4 || m.ValueSize() < 8 {
+			return fmt.Errorf("%w: hist_observe needs 4-byte keys and >=8-byte values, map has %d/%d",
+				ErrBadHelperArg, m.KeySize(), m.ValueSize())
+		}
+	}
+	return nil
+}
+
 // helperSpan computes how many bytes a pointer argument must cover.
 func (v *verifier) helperSpan(st *vState, id HelperID, argIdx, mapIdx int) (int64, error) {
 	switch id {
-	case HelperMapLookupElem, HelperMapDeleteElem:
+	case HelperMapLookupElem, HelperMapDeleteElem, HelperMapIncElem:
 		if mapIdx < 0 {
 			return 0, ErrBadHelperArg
 		}

@@ -1,0 +1,105 @@
+package metrics
+
+import "math"
+
+// Log2-bucket histogram analysis. In-probe aggregation ships latency
+// distributions as 64-slot log2 histograms (bucket 0 holds exact zeros,
+// bucket b >= 1 holds samples in [2^(b-1), 2^b)), trading per-sample
+// fidelity for a constant-size frame. These helpers recover the
+// percentile statistics the paper's figures report from those buckets;
+// every estimate is exact to within one log2 bucket by construction.
+
+// HistBucketBounds returns the half-open value range [lo, hi) a log2
+// bucket covers. Bucket 0 is the singleton {0} (returned as [0, 1)).
+func HistBucketBounds(bucket int) (lo, hi uint64) {
+	if bucket <= 0 {
+		return 0, 1
+	}
+	if bucket >= 64 {
+		return 1 << 63, math.MaxUint64
+	}
+	return 1 << (bucket - 1), 1 << bucket
+}
+
+// HistCount sums a histogram's sample counts.
+func HistCount(buckets []uint64) uint64 {
+	var n uint64
+	for _, v := range buckets {
+		n += v
+	}
+	return n
+}
+
+// HistPercentile returns the p-th percentile (0 < p <= 100) of a log2
+// histogram as the inclusive upper bound of the bucket holding the
+// nearest-rank sample — a conservative estimate no more than one bucket
+// above the true value, matching the fidelity the encoding retains.
+// Empty histograms return 0.
+func HistPercentile(buckets []uint64, p float64) uint64 {
+	total := HistCount(buckets)
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var seen uint64
+	for b, v := range buckets {
+		seen += v
+		if seen >= rank {
+			if b == 0 {
+				return 0
+			}
+			_, hi := HistBucketBounds(b)
+			return hi - 1
+		}
+	}
+	return 0
+}
+
+// HistMean estimates the histogram's mean using each bucket's geometric
+// midpoint (3*2^(b-2) for b >= 1, the arithmetic center of [2^(b-1), 2^b)).
+func HistMean(buckets []uint64) float64 {
+	total := HistCount(buckets)
+	if total == 0 {
+		return 0
+	}
+	var sum float64
+	for b, v := range buckets {
+		if v == 0 || b == 0 {
+			continue
+		}
+		lo, hi := HistBucketBounds(b)
+		sum += float64(v) * (float64(lo) + float64(hi)) / 2
+	}
+	return sum / float64(total)
+}
+
+// HistSummary bundles the percentile statistics recoverable from a log2
+// histogram, mirroring Summary for exact samples.
+type HistSummary struct {
+	Count  uint64
+	MeanNs float64
+	P50Ns  uint64
+	P99Ns  uint64
+	P999Ns uint64
+	MaxNs  uint64
+}
+
+// HistSummarize computes a HistSummary over log2 buckets.
+func HistSummarize(buckets []uint64) HistSummary {
+	s := HistSummary{Count: HistCount(buckets)}
+	if s.Count == 0 {
+		return s
+	}
+	s.MeanNs = HistMean(buckets)
+	s.P50Ns = HistPercentile(buckets, 50)
+	s.P99Ns = HistPercentile(buckets, 99)
+	s.P999Ns = HistPercentile(buckets, 99.9)
+	s.MaxNs = HistPercentile(buckets, 100)
+	return s
+}

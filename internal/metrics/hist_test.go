@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+// histBucketOf mirrors the probe-side bucketing: bucket 0 for zero,
+// bucket b = bits.Len64(v) otherwise.
+func histBucketOf(v uint64, n int) int {
+	b := bits.Len64(v)
+	if b >= n {
+		b = n - 1
+	}
+	return b
+}
+
+func TestHistBucketBounds(t *testing.T) {
+	cases := []struct {
+		bucket int
+		lo, hi uint64
+	}{
+		{0, 0, 1}, {1, 1, 2}, {2, 2, 4}, {3, 4, 8}, {10, 512, 1024},
+	}
+	for _, c := range cases {
+		lo, hi := HistBucketBounds(c.bucket)
+		if lo != c.lo || hi != c.hi {
+			t.Fatalf("bounds(%d) = [%d,%d), want [%d,%d)", c.bucket, lo, hi, c.lo, c.hi)
+		}
+	}
+	// Every nonzero value lands inside its own bucket's bounds.
+	for _, v := range []uint64{1, 2, 3, 7, 8, 1023, 1024, 1 << 40} {
+		b := histBucketOf(v, 64)
+		lo, hi := HistBucketBounds(b)
+		if v < lo || v >= hi {
+			t.Fatalf("value %d outside bucket %d bounds [%d,%d)", v, b, lo, hi)
+		}
+	}
+}
+
+// TestHistPercentileWithinLog2 pins the accuracy contract: for random
+// sample sets, the histogram-derived percentile is >= the exact
+// nearest-rank percentile and < 2x it (one log2 bucket).
+func TestHistPercentileWithinLog2(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 100 + rng.Intn(2000)
+		vals := make([]int64, n)
+		buckets := make([]uint64, 64)
+		for i := range vals {
+			v := uint64(rng.Int63n(1 << 30))
+			vals[i] = int64(v)
+			buckets[histBucketOf(v, 64)]++
+		}
+		for _, p := range []float64{50, 90, 99, 99.9, 100} {
+			exact := uint64(Percentile(vals, p))
+			est := HistPercentile(buckets, p)
+			if est < exact {
+				t.Fatalf("p%.1f estimate %d below exact %d", p, est, exact)
+			}
+			if exact > 0 && est >= 2*exact {
+				t.Fatalf("p%.1f estimate %d not within log2 of exact %d", p, est, exact)
+			}
+		}
+	}
+}
+
+func TestHistPercentileEdges(t *testing.T) {
+	if got := HistPercentile(nil, 50); got != 0 {
+		t.Fatalf("empty histogram p50 = %d", got)
+	}
+	zeroOnly := make([]uint64, 64)
+	zeroOnly[0] = 10
+	if got := HistPercentile(zeroOnly, 99); got != 0 {
+		t.Fatalf("all-zero-sample histogram p99 = %d", got)
+	}
+	// One sample in bucket 3 ([4,8)): every percentile reports 7.
+	one := make([]uint64, 64)
+	one[3] = 1
+	for _, p := range []float64{1, 50, 100} {
+		if got := HistPercentile(one, p); got != 7 {
+			t.Fatalf("single-sample p%v = %d, want 7", p, got)
+		}
+	}
+}
+
+func TestHistSummarize(t *testing.T) {
+	buckets := make([]uint64, 64)
+	buckets[5] = 90 // [16,32)
+	buckets[10] = 9 // [512,1024)
+	buckets[20] = 1 // [524288,1048576)
+	s := HistSummarize(buckets)
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.P50Ns != 31 {
+		t.Fatalf("p50 = %d, want 31", s.P50Ns)
+	}
+	if s.P99Ns != 1023 {
+		t.Fatalf("p99 = %d, want 1023", s.P99Ns)
+	}
+	if s.MaxNs != 1048575 {
+		t.Fatalf("max = %d, want 1048575", s.MaxNs)
+	}
+	if s.MeanNs <= 0 {
+		t.Fatalf("mean = %v", s.MeanNs)
+	}
+	empty := HistSummarize(nil)
+	if empty.Count != 0 || empty.MaxNs != 0 {
+		t.Fatalf("empty summary = %+v", empty)
+	}
+}

@@ -7,7 +7,9 @@
 package script
 
 import (
+	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"vnettracer/internal/core"
 	"vnettracer/internal/ebpf"
@@ -28,6 +30,14 @@ const (
 	// ActionCPUHist counts invocations per CPU in a per-CPU map (case
 	// study III's softirq distribution measurement).
 	ActionCPUHist
+	// ActionHist observes probe latency (ktime minus the context
+	// timestamp) into a log2-bucket histogram — per-packet timing at a
+	// tiny fixed map footprint instead of a 48-byte record per packet.
+	ActionHist
+	// ActionFlowCount sums packets and bytes per 5-tuple flow in a hash
+	// map ("sum by flow"): the in-probe aggregation that replaces
+	// shipping every record for throughput metrics.
+	ActionFlowCount
 )
 
 func (a Action) String() string {
@@ -38,6 +48,10 @@ func (a Action) String() string {
 		return "count"
 	case ActionCPUHist:
 		return "cpuhist"
+	case ActionHist:
+		return "hist"
+	case ActionFlowCount:
+		return "flowcount"
 	}
 	return fmt.Sprintf("action(%d)", int(a))
 }
@@ -63,6 +77,10 @@ type Spec struct {
 	Actions []Action        `json:"actions"`
 	// NumCPU sizes the per-CPU histogram map; defaults to 64.
 	NumCPU int `json:"num_cpu,omitempty"`
+	// MaxFlows caps the flow-count hash map; defaults to 1024. Flows
+	// beyond the cap are dropped by the probe (inc fails), mirroring a
+	// full kernel map.
+	MaxFlows int `json:"max_flows,omitempty"`
 }
 
 // Compiled is a loaded trace script with handles to its maps for userspace
@@ -76,12 +94,33 @@ type Compiled struct {
 	// CPUHist is non-nil when ActionCPUHist is present: slot 0 counts per
 	// CPU.
 	CPUHist *ebpf.PerCPUArray
+	// Hist is non-nil when ActionHist is present: HistBuckets log2
+	// latency buckets (bucket 0 = zero, bucket b = [2^(b-1), 2^b) ns).
+	Hist *ebpf.ArrayMap
+	// Flows is non-nil when ActionFlowCount is present: per-flow
+	// packet/byte sums keyed by the packed 5-tuple.
+	Flows *ebpf.HashMap
 }
 
 // Counter map slots.
 const (
 	SlotPackets = 0
 	SlotBytes   = 1
+)
+
+// Aggregation map geometry.
+const (
+	// HistBuckets is the log2 histogram width: bucket 63 absorbs every
+	// sample of 2^62 ns and beyond.
+	HistBuckets = 64
+	// FlowKeySize packs srcIP(4) dstIP(4) sport(2) dport(2) proto(1)
+	// pad(3).
+	FlowKeySize = 16
+	// FlowValueSize holds packets at offset FlowValPackets and bytes at
+	// FlowValBytes.
+	FlowValueSize  = 16
+	FlowValPackets = 0
+	FlowValBytes   = 8
 )
 
 // CompileToInsns compiles the spec to raw instructions and a map table
@@ -128,6 +167,9 @@ func build(spec Spec) (*Compiled, *ebpf.Builder, error) {
 	if spec.NumCPU <= 0 {
 		spec.NumCPU = 64
 	}
+	if spec.MaxFlows <= 0 {
+		spec.MaxFlows = 1024
+	}
 
 	c := &Compiled{Spec: spec}
 	b := ebpf.NewBuilder()
@@ -158,7 +200,25 @@ func build(spec Spec) (*Compiled, *ebpf.Builder, error) {
 				}
 				c.CPUHist = m
 			}
-			emitIncrMap(b, c.CPUHist, "cpuhit")
+			emitIncrMap(b, c.CPUHist)
+		case ActionHist:
+			if c.Hist == nil {
+				m, err := ebpf.NewArrayMap(8, HistBuckets)
+				if err != nil {
+					return nil, nil, fmt.Errorf("script: %q: %w", spec.Name, err)
+				}
+				c.Hist = m
+			}
+			emitHist(b, c.Hist)
+		case ActionFlowCount:
+			if c.Flows == nil {
+				m, err := ebpf.NewHashMap(FlowKeySize, FlowValueSize, spec.MaxFlows)
+				if err != nil {
+					return nil, nil, fmt.Errorf("script: %q: %w", spec.Name, err)
+				}
+				c.Flows = m
+			}
+			emitFlowCount(b, c.Flows)
 		default:
 			return nil, nil, fmt.Errorf("script: %q: unknown action %d", spec.Name, a)
 		}
@@ -250,51 +310,73 @@ func emitRecord(b *ebpf.Builder, tpid uint32) {
 	b.Call(ebpf.HelperPerfEventOutput)
 }
 
+// emitInc emits one map_inc_elem call: map[stack key at keyOff] gets
+// value[valOff] += r3, which the caller has already loaded. The fetch-add
+// replaces the old lookup/branch/add/store sequence — no NULL check, no
+// branch, and the optimized tier inlines it to one locked add.
+func emitInc(b *ebpf.Builder, m ebpf.Map, keyOff int16, valOff int32) {
+	b.LoadMapFD(ebpf.R1, m)
+	b.Mov(ebpf.R2, ebpf.R10)
+	b.ALUImm(ebpf.ALUAdd, ebpf.R2, int32(keyOff))
+	b.MovImm(ebpf.R4, valOff)
+	b.Call(ebpf.HelperMapIncElem)
+}
+
 // emitCount increments the packet counter (slot 0) and adds the packet
 // length to the byte counter (slot 1).
 func emitCount(b *ebpf.Builder, m ebpf.Map) {
-	// Packets: counters[0]++.
-	lbl := fmt.Sprintf("skip_pkt_%d", b.Len())
+	// Packets: counters[0] += 1.
 	b.Emit(ebpf.StoreImm(ebpf.R10, -4, SlotPackets, ebpf.SizeW))
-	b.LoadMapFD(ebpf.R1, m)
-	b.Mov(ebpf.R2, ebpf.R10)
-	b.ALUImm(ebpf.ALUAdd, ebpf.R2, -4)
-	b.Call(ebpf.HelperMapLookupElem)
-	b.JumpImmTo(ebpf.JmpEq, ebpf.R0, 0, lbl)
-	b.Load(ebpf.R2, ebpf.R0, 0, ebpf.SizeDW)
-	b.ALUImm(ebpf.ALUAdd, ebpf.R2, 1)
-	b.Store(ebpf.R0, 0, ebpf.R2, ebpf.SizeDW)
-	b.Label(lbl)
-
+	b.MovImm(ebpf.R3, 1)
+	emitInc(b, m, -4, 0)
 	// Bytes: counters[1] += ctx.len.
-	lbl2 := fmt.Sprintf("skip_bytes_%d", b.Len())
 	b.Emit(ebpf.StoreImm(ebpf.R10, -4, SlotBytes, ebpf.SizeW))
-	b.LoadMapFD(ebpf.R1, m)
-	b.Mov(ebpf.R2, ebpf.R10)
-	b.ALUImm(ebpf.ALUAdd, ebpf.R2, -4)
-	b.Call(ebpf.HelperMapLookupElem)
-	b.JumpImmTo(ebpf.JmpEq, ebpf.R0, 0, lbl2)
-	b.Load(ebpf.R2, ebpf.R0, 0, ebpf.SizeDW)
 	b.Load(ebpf.R3, ebpf.R6, core.CtxLen, ebpf.SizeW)
-	b.ALUReg(ebpf.ALUAdd, ebpf.R2, ebpf.R3)
-	b.Store(ebpf.R0, 0, ebpf.R2, ebpf.SizeDW)
-	b.Label(lbl2)
+	emitInc(b, m, -4, 0)
 }
 
 // emitIncrMap increments slot 0 of m (the executing CPU's replica for
-// per-CPU maps).
-func emitIncrMap(b *ebpf.Builder, m ebpf.Map, tag string) {
-	lbl := fmt.Sprintf("skip_%s_%d", tag, b.Len())
+// per-CPU maps, taken contention-free through the per-CPU fast path).
+func emitIncrMap(b *ebpf.Builder, m ebpf.Map) {
 	b.Emit(ebpf.StoreImm(ebpf.R10, -4, 0, ebpf.SizeW))
+	b.MovImm(ebpf.R3, 1)
+	emitInc(b, m, -4, 0)
+}
+
+// emitHist observes ktime_get_ns() - ctx.time_ns — the probe-to-probe
+// latency of the traced packet — into the log2 histogram. A sample that
+// would be negative (skewed clock) wraps and lands in the top bucket.
+func emitHist(b *ebpf.Builder, m ebpf.Map) {
+	b.Call(ebpf.HelperKtimeGetNs)
+	b.Mov(ebpf.R2, ebpf.R0)
+	b.Load(ebpf.R1, ebpf.R6, core.CtxTimeNs, ebpf.SizeDW)
+	b.ALUReg(ebpf.ALUSub, ebpf.R2, ebpf.R1)
 	b.LoadMapFD(ebpf.R1, m)
-	b.Mov(ebpf.R2, ebpf.R10)
-	b.ALUImm(ebpf.ALUAdd, ebpf.R2, -4)
-	b.Call(ebpf.HelperMapLookupElem)
-	b.JumpImmTo(ebpf.JmpEq, ebpf.R0, 0, lbl)
-	b.Load(ebpf.R2, ebpf.R0, 0, ebpf.SizeDW)
-	b.ALUImm(ebpf.ALUAdd, ebpf.R2, 1)
-	b.Store(ebpf.R0, 0, ebpf.R2, ebpf.SizeDW)
-	b.Label(lbl)
+	b.Call(ebpf.HelperHistObserve)
+}
+
+// emitFlowCount packs the 5-tuple key at r10-64 (below the record build
+// area at r10-48) and bumps both value lanes: packets and bytes.
+func emitFlowCount(b *ebpf.Builder, m ebpf.Map) {
+	const base = -64
+	copyKey := func(ctxOff, keyOff int16, size uint8) {
+		b.Load(ebpf.R2, ebpf.R6, ctxOff, ebpf.SizeW)
+		b.Store(ebpf.R10, base+keyOff, ebpf.R2, size)
+	}
+	copyKey(core.CtxSrcIP, 0, ebpf.SizeW)
+	copyKey(core.CtxDstIP, 4, ebpf.SizeW)
+	copyKey(core.CtxSrcPort, 8, ebpf.SizeH)
+	copyKey(core.CtxDstPort, 10, ebpf.SizeH)
+	copyKey(core.CtxIPProto, 12, ebpf.SizeB)
+	b.Emit(ebpf.StoreImm(ebpf.R10, base+13, 0, ebpf.SizeB))
+	b.Emit(ebpf.StoreImm(ebpf.R10, base+14, 0, ebpf.SizeH))
+
+	// flows[key].packets += 1; flows[key].bytes += ctx.len. The key stays
+	// initialized on the stack across both calls.
+	b.MovImm(ebpf.R3, 1)
+	emitInc(b, m, base, FlowValPackets)
+	b.Load(ebpf.R3, ebpf.R6, core.CtxLen, ebpf.SizeW)
+	emitInc(b, m, base, FlowValBytes)
 }
 
 // ReadCounter reads a counter slot from a compiled script's array map.
@@ -323,6 +405,139 @@ func (c *Compiled) ReadCPUHist() []uint64 {
 		}
 	}
 	return out
+}
+
+// ReadHist returns the log2 latency histogram buckets without resetting
+// them, or nil when the script has no hist action.
+func (c *Compiled) ReadHist() []uint64 {
+	if c.Hist == nil {
+		return nil
+	}
+	out := make([]uint64, HistBuckets)
+	key := make([]byte, 4)
+	for b := range out {
+		binary.LittleEndian.PutUint32(key, uint32(b))
+		if v, ok := c.Hist.Lookup(key); ok && len(v) >= 8 {
+			out[b] = leU64(v)
+		}
+	}
+	return out
+}
+
+// FlowStat is one per-flow aggregate row decoded from the flow map.
+type FlowStat struct {
+	SrcIP   vnet.IPv4
+	DstIP   vnet.IPv4
+	SrcPort uint16
+	DstPort uint16
+	Proto   uint8
+	Packets uint64
+	Bytes   uint64
+}
+
+// ReadFlows returns the per-flow sums sorted by 5-tuple, without
+// resetting the map. Nil when the script has no flowcount action.
+func (c *Compiled) ReadFlows() []FlowStat {
+	if c.Flows == nil {
+		return nil
+	}
+	var out []FlowStat
+	c.Flows.ForEach(func(k, v []byte) {
+		out = append(out, flowStatFromKV(k, v))
+	})
+	sortFlows(out)
+	return out
+}
+
+// AggSnapshot is one drained (snapshot-and-reset) view of a script's
+// aggregation maps. Slices are nil for actions the script lacks.
+type AggSnapshot struct {
+	Counters []uint64   // SlotPackets, SlotBytes
+	CPUHits  []uint64   // invocations per CPU
+	Hist     []uint64   // log2 latency buckets
+	Flows    []FlowStat // per-flow sums, sorted by 5-tuple
+}
+
+// Empty reports whether the snapshot carries no nonzero data — the agent
+// skips shipping such frames.
+func (s *AggSnapshot) Empty() bool {
+	for _, v := range s.Counters {
+		if v != 0 {
+			return false
+		}
+	}
+	for _, v := range s.CPUHits {
+		if v != 0 {
+			return false
+		}
+	}
+	for _, v := range s.Hist {
+		if v != 0 {
+			return false
+		}
+	}
+	return len(s.Flows) == 0
+}
+
+// HasAggregates reports whether the script maintains any aggregation map
+// worth draining.
+func (c *Compiled) HasAggregates() bool {
+	return c.Counters != nil || c.CPUHist != nil || c.Hist != nil || c.Flows != nil
+}
+
+// DrainAggregates atomically snapshots and resets every aggregation map.
+// Counts observed by concurrent probe invocations land in exactly one
+// snapshot (the map drain primitives transfer ownership under their
+// locks), so periodic drains never lose or double-count.
+func (c *Compiled) DrainAggregates() AggSnapshot {
+	var s AggSnapshot
+	if c.Counters != nil {
+		s.Counters = c.Counters.DrainU64(nil)
+	}
+	if c.CPUHist != nil {
+		s.CPUHits = c.CPUHist.DrainU64CPUs(0, nil)
+	}
+	if c.Hist != nil {
+		s.Hist = c.Hist.DrainU64(nil)
+	}
+	if c.Flows != nil {
+		c.Flows.Drain(func(k, v []byte) {
+			s.Flows = append(s.Flows, flowStatFromKV(k, v))
+		})
+		sortFlows(s.Flows)
+	}
+	return s
+}
+
+func flowStatFromKV(k, v []byte) FlowStat {
+	return FlowStat{
+		SrcIP:   vnet.IPv4(binary.LittleEndian.Uint32(k[0:])),
+		DstIP:   vnet.IPv4(binary.LittleEndian.Uint32(k[4:])),
+		SrcPort: binary.LittleEndian.Uint16(k[8:]),
+		DstPort: binary.LittleEndian.Uint16(k[10:]),
+		Proto:   k[12],
+		Packets: binary.LittleEndian.Uint64(v[FlowValPackets:]),
+		Bytes:   binary.LittleEndian.Uint64(v[FlowValBytes:]),
+	}
+}
+
+func sortFlows(fs []FlowStat) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := &fs[i], &fs[j]
+		if a.SrcIP != b.SrcIP {
+			return a.SrcIP < b.SrcIP
+		}
+		if a.DstIP != b.DstIP {
+			return a.DstIP < b.DstIP
+		}
+		if a.SrcPort != b.SrcPort {
+			return a.SrcPort < b.SrcPort
+		}
+		if a.DstPort != b.DstPort {
+			return a.DstPort < b.DstPort
+		}
+		return a.Proto < b.Proto
+	})
 }
 
 func leU64(b []byte) uint64 {

@@ -40,6 +40,10 @@ func TestCompiledScriptsTierParity(t *testing.T) {
 		{ActionCPUHist},
 		{ActionRecord, ActionCount},
 		{ActionRecord, ActionCount, ActionCPUHist},
+		{ActionHist},
+		{ActionFlowCount},
+		{ActionHist, ActionFlowCount},
+		{ActionRecord, ActionCount, ActionCPUHist, ActionHist, ActionFlowCount},
 	}
 	ctxs := map[string][]byte{
 		"match": core.BuildCtx(nil, &kernel.ProbeCtx{

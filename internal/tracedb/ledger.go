@@ -181,7 +181,14 @@ const (
 func (db *DB) AdmitBatch(agent string, epoch, seq uint64, records int, nowNs int64, degraded uint8) BatchStatus {
 	db.hbMu.Lock()
 	defer db.hbMu.Unlock()
-	l := db.ledgerEntry(agent)
+	return db.ledgerEntry(agent).admit(epoch, seq, records, nowNs, degraded)
+}
+
+// admit implements AdmitBatch's classification on one agent's ledger.
+// It is shared by the record path (DB) and the aggregate path (AggStore),
+// which run separate sequence spaces over identical epoch/seq semantics.
+// Callers hold the mutex guarding l.
+func (l *agentLedger) admit(epoch, seq uint64, records int, nowNs int64, degraded uint8) BatchStatus {
 	if epoch > l.epoch {
 		l.missingPrior += l.maxSeq - l.hwm - uint64(len(l.pending))
 		l.prevMaxSeq = l.maxSeq
@@ -238,6 +245,12 @@ func (db *DB) Ledger(agent string) (AgentLedger, bool) {
 	if !ok {
 		return AgentLedger{}, false
 	}
+	return l.snapshot(), true
+}
+
+// snapshot exports the ledger's public view. Callers hold the mutex
+// guarding l.
+func (l *agentLedger) snapshot() AgentLedger {
 	return AgentLedger{
 		LastSeenNs:     l.lastSeenNs,
 		HighWaterSeq:   l.hwm,
@@ -249,7 +262,7 @@ func (db *DB) Ledger(agent string) (AgentLedger, bool) {
 		FencedBatches:  l.fencedBatches,
 		FencedRecords:  l.fencedRecords,
 		Degraded:       l.degraded,
-	}, true
+	}
 }
 
 // DeadAgents lists agents not heard from within timeout of nowNs.
