@@ -87,3 +87,5 @@ bench-json:
 		-benchmem -benchtime 100000x . | $(GO) run ./cmd/benchjson -o BENCH_pr7.json
 	$(GO) test -run NONE -bench 'BenchmarkAggregationAblation' \
 		-benchmem -benchtime 1000x . | $(GO) run ./cmd/benchjson -o BENCH_pr8.json
+	$(GO) test -run NONE -bench 'BenchmarkClusterIngest' \
+		-benchmem -benchtime 20000x . | $(GO) run ./cmd/benchjson -o BENCH_pr9.json

@@ -6,6 +6,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -24,7 +25,7 @@ func runAgent(args []string) error {
 	fs := flag.NewFlagSet("agent", flag.ExitOnError)
 	name := fs.String("name", "agent0", "agent name")
 	listen := fs.String("listen", ":7702", "address to accept control packages on")
-	collector := fs.String("collector", "", "collector address (host:port)")
+	collector := fs.String("collector", "", "collector address (host:port), or a comma-separated list of the tier's collectors; with a list the agent homes onto one by consistent hashing on its name, matching the cluster's placement")
 	rate := fs.Int("pps", 1000, "demo workload packets per second")
 	epoch := fs.Uint64("epoch", 0, "registration epoch lease; stamp a higher value after a restart so the collector fences the old incarnation's stragglers")
 	if err := fs.Parse(args); err != nil {
@@ -68,7 +69,21 @@ func runAgent(args []string) error {
 	}
 	eng.Schedule(0, pump)
 
-	sink := control.NewTCPSink(*collector)
+	// A multi-collector tier: home onto one collector by the same
+	// consistent hash the cluster uses, so every component agrees on
+	// placement without coordination.
+	home := *collector
+	if addrs := strings.Split(*collector, ","); len(addrs) > 1 {
+		ring := control.NewHashRing(0)
+		for _, a := range addrs {
+			ring.Add(strings.TrimSpace(a))
+		}
+		var ok bool
+		if home, ok = ring.Owner(*name); !ok {
+			return fmt.Errorf("agent: empty collector list")
+		}
+	}
+	sink := control.NewTCPSink(home)
 	defer sink.Close()
 	agent := control.NewAgent(*name, machine, sink)
 	if *epoch > 0 {
@@ -87,7 +102,7 @@ func runAgent(args []string) error {
 	srv := control.Serve(ln, &locked, nil)
 	defer srv.Close()
 	fmt.Printf("agent %s on %s, demo flow %d pps to :9000, collector %s\n",
-		*name, srv.Addr(), *rate, *collector)
+		*name, srv.Addr(), *rate, home)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

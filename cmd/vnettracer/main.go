@@ -49,8 +49,10 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   vnettracer collector -listen ADDR [-out FILE] [-agg-out FILE]
                                                      run the raw data collector
-  vnettracer agent -name NAME -listen ADDR -collector ADDR
-                                                     run an agent with a demo machine
+  vnettracer agent -name NAME -listen ADDR -collector ADDR[,ADDR...]
+                                                     run an agent with a demo machine;
+                                                     a collector list homes the agent by
+                                                     consistent hash on its name
   vnettracer dispatch -agent ADDR -package FILE      push a control package (JSON)
 
 A control package file looks like:

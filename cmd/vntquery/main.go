@@ -10,6 +10,20 @@
 //	vntquery agents -in records.jsonl               # per-agent supervision ledger
 //	vntquery storage -in records.jsonl              # segment-store accounting
 //	vntquery agg -in agg.jsonl                      # merged in-probe aggregates
+//	vntquery cluster -in col0.jsonl -in col1.jsonl  # merged multi-collector view
+//	vntquery cluster -in c0.jsonl -in c1.jsonl -from 1 -to 2
+//	vntquery cluster -in c0.jsonl -in c1.jsonl -tp 1 -top 10
+//	vntquery cluster -agg-in a0.jsonl -agg-in a1.jsonl -script udp-rx
+//
+// The cluster subcommand takes one dump per collector of a scaled-out
+// tier and answers through the merge layer: table listings and
+// throughput k-way merge the per-collector partitions on aligned
+// timestamps, latency/loss joins pair trace IDs across collector
+// boundaries (an agent re-homed by a collector failure leaves its
+// stream split over two dumps), -top merges per-collector top-K flow
+// sketches with exact overflow accounting, and -script merges in-probe
+// aggregate sketches (log2 histogram buckets and counters add, flows
+// merge by key).
 //
 // The agents subcommand replays the dump through the epoch-aware delivery
 // ledger and reports, per agent: the registration epoch, last heartbeat,
@@ -73,6 +87,13 @@ func main() {
 			os.Exit(2)
 		}
 		if err := runAgg(*in, *only, *topFlows); err != nil {
+			fmt.Fprintf(os.Stderr, "vntquery: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "cluster" {
+		if err := runClusterCmd(os.Args[2:]); err != nil {
 			fmt.Fprintf(os.Stderr, "vntquery: %v\n", err)
 			os.Exit(1)
 		}

@@ -32,12 +32,18 @@ func TestScenarioCorpus(t *testing.T) {
 	// visibly nonzero in the result — a scenario whose fault silently
 	// stops firing is testing nothing.
 	engagement := map[string]func(*Result) (string, uint64){
-		"bursty-emit-ring-drops": func(r *Result) (string, uint64) { return "ring drops", sumAgents(r, func(a AgentReport) uint64 { return a.RingDrops }) },
-		"flaky-sink-window":      func(r *Result) (string, uint64) { return "rejected deliveries", r.Rejected },
-		"ack-loss":               func(r *Result) (string, uint64) { return "deduped batches", r.DupBatches },
-		"spool-overflow":         func(r *Result) (string, uint64) { return "evicted records", sumAgents(r, func(a AgentReport) uint64 { return a.Evicted }) },
-		"sink-down-forever":      func(r *Result) (string, uint64) { return "records spooled at quiesce", sumAgents(r, func(a AgentReport) uint64 { return a.Spooled }) },
-		"kitchen-sink":           func(r *Result) (string, uint64) { return "deduped batches", r.DupBatches },
+		"bursty-emit-ring-drops": func(r *Result) (string, uint64) {
+			return "ring drops", sumAgents(r, func(a AgentReport) uint64 { return a.RingDrops })
+		},
+		"flaky-sink-window": func(r *Result) (string, uint64) { return "rejected deliveries", r.Rejected },
+		"ack-loss":          func(r *Result) (string, uint64) { return "deduped batches", r.DupBatches },
+		"spool-overflow": func(r *Result) (string, uint64) {
+			return "evicted records", sumAgents(r, func(a AgentReport) uint64 { return a.Evicted })
+		},
+		"sink-down-forever": func(r *Result) (string, uint64) {
+			return "records spooled at quiesce", sumAgents(r, func(a AgentReport) uint64 { return a.Spooled })
+		},
+		"kitchen-sink": func(r *Result) (string, uint64) { return "deduped batches", r.DupBatches },
 		"agent-restart-reprovision": func(r *Result) (string, uint64) {
 			if r.Supervisor.Reprovisions == 0 {
 				return "supervisor re-provisions", 0
@@ -58,6 +64,36 @@ func TestScenarioCorpus(t *testing.T) {
 				return "fenced batches", 0
 			}
 			return "fenced records", r.FencedRecords
+		},
+		"collector-crash-rehome": func(r *Result) (string, uint64) {
+			if r.Rehomes == 0 {
+				return "re-homed agents", 0
+			}
+			if r.Rejected == 0 {
+				return "rejected deliveries at the crashed collector", 0
+			}
+			if r.DupBatches == 0 {
+				return "re-shipped batches deduped across the handoff", 0
+			}
+			return "aggregate frames deduped", r.AggFramesDup
+		},
+		"skewed-agent-load": func(r *Result) (string, uint64) {
+			var min, max uint64
+			for i, pc := range r.PerCollector {
+				if i == 0 || pc.Records < min {
+					min = pc.Records
+				}
+				if pc.Records > max {
+					max = pc.Records
+				}
+			}
+			if len(r.PerCollector) < 2 || min == 0 {
+				return "ingest at every collector", 0
+			}
+			if max < 2*min {
+				return "visible ingest skew (max >= 2*min)", 0
+			}
+			return "skewed per-collector ingest", max
 		},
 		"collector-overload-degrade": func(r *Result) (string, uint64) {
 			if r.OverloadAcks == 0 {
@@ -116,6 +152,7 @@ func TestCorpusCoversFaultMatrix(t *testing.T) {
 	}
 	var bursts, skew, outage, ackLoss, restart, spool, wireLoss, forever bool
 	var kill, zombie, overload, aggregation bool
+	var multiCollector, rehome, skewedLoad bool
 	names := make(map[string]bool)
 	for _, sc := range corpus {
 		if names[sc.Name] {
@@ -134,20 +171,26 @@ func TestCorpusCoversFaultMatrix(t *testing.T) {
 		zombie = zombie || sc.ZombieFlushAtNs > 0
 		overload = overload || sc.OverloadCap > 0
 		aggregation = aggregation || sc.ShipAggregates
+		multiCollector = multiCollector || sc.Collectors > 1
+		rehome = rehome || sc.CollectorFailAtNs > 0
+		skewedLoad = skewedLoad || len(sc.AgentWeights) > 0
 	}
 	for axis, covered := range map[string]bool{
-		"bursty emit":        bursts,
-		"clock skew":         skew,
-		"sink outage":        outage,
-		"ack loss":           ackLoss,
-		"agent restart":      restart,
-		"spool overflow":     spool,
-		"wire loss":          wireLoss,
-		"sink down forever":  forever,
-		"kill and reboot":    kill,
-		"zombie stale epoch": zombie,
-		"collector overload":   overload,
-		"in-probe aggregation": aggregation,
+		"bursty emit":            bursts,
+		"clock skew":             skew,
+		"sink outage":            outage,
+		"ack loss":               ackLoss,
+		"agent restart":          restart,
+		"spool overflow":         spool,
+		"wire loss":              wireLoss,
+		"sink down forever":      forever,
+		"kill and reboot":        kill,
+		"zombie stale epoch":     zombie,
+		"collector overload":     overload,
+		"in-probe aggregation":   aggregation,
+		"multi-collector tier":   multiCollector,
+		"collector crash rehome": rehome,
+		"skewed agent load":      skewedLoad,
 	} {
 		if !covered {
 			t.Errorf("fault axis %q not covered by any corpus scenario", axis)
@@ -251,7 +294,7 @@ func TestSeedSweep(t *testing.T) {
 	for _, name := range []string{
 		"baseline-steady", "bursty-emit-ring-drops", "spool-overflow", "kitchen-sink",
 		"agent-restart-reprovision", "zombie-epoch-fencing", "collector-overload-degrade",
-		"in-probe-aggregation",
+		"in-probe-aggregation", "collector-crash-rehome", "skewed-agent-load",
 	} {
 		base, ok := byName[name]
 		if !ok {

@@ -12,24 +12,26 @@ var (
 	errAckLost  = errors.New("conformance: ack lost")
 )
 
-// faultSink wraps the collector with the scenario's transport faults:
-// outage windows (delivery rejected outright, batch never ingested) and
-// ack loss (batch ingested, then the acknowledgement "lost" — the agent
-// sees an error and retries a batch the collector already has, which the
-// dedup ledger must absorb). Every delivery attempt and its outcome goes
-// into the digest; the whole run is single-threaded on the sim engine, so
-// plain counters suffice.
-type faultSink struct {
-	inner *control.Collector
-	eng   *sim.Engine
-	dig   *digest
+// faultState is the scenario's transport-fault machinery, shared by every
+// collector's sink: outage windows (delivery rejected outright, batch
+// never ingested) and ack loss (batch ingested, then the acknowledgement
+// "lost" — the agent sees an error and retries a batch the collector
+// already has, which the dedup ledger must absorb). The ack-loss cadence
+// and all delivery counters are cluster-global, so the exactly-once
+// reconciliation (duplicates vs lost acks) closes across collectors no
+// matter where each batch landed. Every delivery attempt and its outcome
+// goes into the digest; the whole run is single-threaded on the sim
+// engine, so plain counters suffice.
+type faultState struct {
+	eng *sim.Engine
+	dig *digest
 
 	downFrom  int64
 	downUntil int64
 	downOpen  bool // downUntil ignored; heal() ends the outage
 
 	ackLossEvery int
-	ingests      int // successful inner ingests, for ack-loss cadence
+	ingests      int // successful ingests (all collectors), for ack-loss cadence
 	healed       bool
 
 	// Collector-overload injection: inside the window every ack reports
@@ -55,12 +57,8 @@ type faultSink struct {
 	aggIngests  int
 }
 
-var _ control.AckingRecordSink = (*faultSink)(nil)
-var _ control.AggSink = (*faultSink)(nil)
-
-func newFaultSink(inner *control.Collector, eng *sim.Engine, sc Scenario, dig *digest) *faultSink {
-	return &faultSink{
-		inner:         inner,
+func newFaultState(eng *sim.Engine, sc Scenario, dig *digest) *faultState {
+	return &faultState{
 		eng:           eng,
 		dig:           dig,
 		downFrom:      sc.SinkDownFromNs,
@@ -74,18 +72,40 @@ func newFaultSink(inner *control.Collector, eng *sim.Engine, sc Scenario, dig *d
 	}
 }
 
-func (s *faultSink) down(now int64) bool {
-	if s.healed {
+func (f *faultState) down(now int64) bool {
+	if f.healed {
 		return false
 	}
-	if s.downOpen {
-		return now >= s.downFrom
+	if f.downOpen {
+		return now >= f.downFrom
 	}
-	return s.downFrom < s.downUntil && now >= s.downFrom && now < s.downUntil
+	return f.downFrom < f.downUntil && now >= f.downFrom && now < f.downUntil
 }
 
 // heal ends all transport faults; quiesce calls it so spools can drain.
-func (s *faultSink) heal() { s.healed = true }
+// A crashed collector stays crashed — its sink is dead, not faulty.
+func (f *faultState) heal() { f.healed = true }
+
+// faultSink fronts one collector with the shared fault machinery. The
+// crashed flag models that collector's process death: every delivery
+// errors unconditionally (and is never ingested) until the agents
+// re-home away from it.
+type faultSink struct {
+	f       *faultState
+	name    string
+	inner   *control.Collector
+	crashed bool
+}
+
+var _ control.AckingRecordSink = (*faultSink)(nil)
+var _ control.AggSink = (*faultSink)(nil)
+
+func newFaultSink(name string, inner *control.Collector, f *faultState) *faultSink {
+	return &faultSink{f: f, name: name, inner: inner}
+}
+
+// crash kills this collector's ingest path permanently.
+func (s *faultSink) crash() { s.crashed = true }
 
 func (s *faultSink) HandleBatch(b control.RecordBatch) error {
 	_, err := s.HandleBatchAck(b)
@@ -99,32 +119,39 @@ func (s *faultSink) HandleBatch(b control.RecordBatch) error {
 // the window and empty (same capacity) outside it; other scenarios return
 // the zero ack — no pressure signal, degradation controller inert.
 func (s *faultSink) HandleBatchAck(b control.RecordBatch) (control.BatchAck, error) {
-	now := s.eng.Now()
-	s.attempts++
-	if s.down(now) {
-		s.rejected++
-		s.dig.logf("deliver t=%d agent=%s epoch=%d seq=%d recs=%d drops=%d outcome=down",
-			now, b.Agent, b.Epoch, b.Seq, len(b.Records), b.RingDrops)
+	f := s.f
+	now := f.eng.Now()
+	f.attempts++
+	if s.crashed {
+		f.rejected++
+		f.dig.logf("deliver col=%s t=%d agent=%s epoch=%d seq=%d recs=%d drops=%d outcome=crash",
+			s.name, now, b.Agent, b.Epoch, b.Seq, len(b.Records), b.RingDrops)
+		return control.BatchAck{}, errSinkDown
+	}
+	if f.down(now) {
+		f.rejected++
+		f.dig.logf("deliver col=%s t=%d agent=%s epoch=%d seq=%d recs=%d drops=%d outcome=down",
+			s.name, now, b.Agent, b.Epoch, b.Seq, len(b.Records), b.RingDrops)
 		return control.BatchAck{}, errSinkDown
 	}
 	if err := s.inner.HandleBatch(b); err != nil {
-		s.dig.logf("deliver t=%d agent=%s epoch=%d seq=%d recs=%d drops=%d outcome=err",
-			now, b.Agent, b.Epoch, b.Seq, len(b.Records), b.RingDrops)
+		f.dig.logf("deliver col=%s t=%d agent=%s epoch=%d seq=%d recs=%d drops=%d outcome=err",
+			s.name, now, b.Agent, b.Epoch, b.Seq, len(b.Records), b.RingDrops)
 		return control.BatchAck{}, err
 	}
-	s.ingests++
-	if !s.healed && s.ackLossEvery > 0 && s.ingests%s.ackLossEvery == 0 {
-		s.acksLost++
+	f.ingests++
+	if !f.healed && f.ackLossEvery > 0 && f.ingests%f.ackLossEvery == 0 {
+		f.acksLost++
 		if b.Seq != 0 {
-			s.acksLostSeq++
+			f.acksLostSeq++
 		}
-		s.dig.logf("deliver t=%d agent=%s epoch=%d seq=%d recs=%d drops=%d outcome=acklost",
-			now, b.Agent, b.Epoch, b.Seq, len(b.Records), b.RingDrops)
+		f.dig.logf("deliver col=%s t=%d agent=%s epoch=%d seq=%d recs=%d drops=%d outcome=acklost",
+			s.name, now, b.Agent, b.Epoch, b.Seq, len(b.Records), b.RingDrops)
 		return control.BatchAck{}, errAckLost
 	}
-	s.dig.logf("deliver t=%d agent=%s epoch=%d seq=%d recs=%d drops=%d outcome=ok",
-		now, b.Agent, b.Epoch, b.Seq, len(b.Records), b.RingDrops)
-	return s.ack(now), nil
+	f.dig.logf("deliver col=%s t=%d agent=%s epoch=%d seq=%d recs=%d drops=%d outcome=ok",
+		s.name, now, b.Agent, b.Epoch, b.Seq, len(b.Records), b.RingDrops)
+	return f.ack(now), nil
 }
 
 // HandleAgg implements control.AggSink under the same transport faults:
@@ -133,40 +160,47 @@ func (s *faultSink) HandleBatchAck(b control.RecordBatch) (control.BatchAck, err
 // already merged — forces a duplicate delivery the aggregate ledger must
 // absorb, or every counter it carries would double.
 func (s *faultSink) HandleAgg(b control.AggBatch) error {
-	now := s.eng.Now()
-	s.aggAttempts++
-	if s.down(now) {
-		s.aggRejected++
-		s.dig.logf("deliver-agg t=%d agent=%s epoch=%d seq=%d scripts=%d outcome=down",
-			now, b.Agent, b.Epoch, b.Seq, len(b.Scripts))
+	f := s.f
+	now := f.eng.Now()
+	f.aggAttempts++
+	if s.crashed {
+		f.aggRejected++
+		f.dig.logf("deliver-agg col=%s t=%d agent=%s epoch=%d seq=%d scripts=%d outcome=crash",
+			s.name, now, b.Agent, b.Epoch, b.Seq, len(b.Scripts))
+		return errSinkDown
+	}
+	if f.down(now) {
+		f.aggRejected++
+		f.dig.logf("deliver-agg col=%s t=%d agent=%s epoch=%d seq=%d scripts=%d outcome=down",
+			s.name, now, b.Agent, b.Epoch, b.Seq, len(b.Scripts))
 		return errSinkDown
 	}
 	if err := s.inner.HandleAgg(b); err != nil {
-		s.dig.logf("deliver-agg t=%d agent=%s epoch=%d seq=%d scripts=%d outcome=err",
-			now, b.Agent, b.Epoch, b.Seq, len(b.Scripts))
+		f.dig.logf("deliver-agg col=%s t=%d agent=%s epoch=%d seq=%d scripts=%d outcome=err",
+			s.name, now, b.Agent, b.Epoch, b.Seq, len(b.Scripts))
 		return err
 	}
-	s.aggIngests++
-	if !s.healed && s.ackLossEvery > 0 && s.aggIngests%s.ackLossEvery == 0 {
-		s.aggAcksLost++
-		s.dig.logf("deliver-agg t=%d agent=%s epoch=%d seq=%d scripts=%d outcome=acklost",
-			now, b.Agent, b.Epoch, b.Seq, len(b.Scripts))
+	f.aggIngests++
+	if !f.healed && f.ackLossEvery > 0 && f.aggIngests%f.ackLossEvery == 0 {
+		f.aggAcksLost++
+		f.dig.logf("deliver-agg col=%s t=%d agent=%s epoch=%d seq=%d scripts=%d outcome=acklost",
+			s.name, now, b.Agent, b.Epoch, b.Seq, len(b.Scripts))
 		return errAckLost
 	}
-	s.dig.logf("deliver-agg t=%d agent=%s epoch=%d seq=%d scripts=%d outcome=ok",
-		now, b.Agent, b.Epoch, b.Seq, len(b.Scripts))
+	f.dig.logf("deliver-agg col=%s t=%d agent=%s epoch=%d seq=%d scripts=%d outcome=ok",
+		s.name, now, b.Agent, b.Epoch, b.Seq, len(b.Scripts))
 	return nil
 }
 
 // ack builds the backpressure report for a successful delivery at time
 // now.
-func (s *faultSink) ack(now int64) control.BatchAck {
-	if s.overloadCap <= 0 {
+func (f *faultState) ack(now int64) control.BatchAck {
+	if f.overloadCap <= 0 {
 		return control.BatchAck{}
 	}
-	if !s.healed && now >= s.overloadFrom && now < s.overloadUntil {
-		s.overloadAcks++
-		return control.BatchAck{QueueDepth: s.overloadDepth, QueueCap: s.overloadCap}
+	if !f.healed && now >= f.overloadFrom && now < f.overloadUntil {
+		f.overloadAcks++
+		return control.BatchAck{QueueDepth: f.overloadDepth, QueueCap: f.overloadCap}
 	}
-	return control.BatchAck{QueueDepth: 0, QueueCap: s.overloadCap}
+	return control.BatchAck{QueueDepth: 0, QueueCap: f.overloadCap}
 }

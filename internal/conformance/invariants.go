@@ -11,13 +11,22 @@ import (
 )
 
 // check reconciles the whole pipeline against the workload's ground
-// truth. Conservation and ordering invariants hold unconditionally;
-// metric-consistency checks apply only where the record path was
+// truth. Conservation and ordering invariants hold unconditionally and
+// cluster-wide: per-agent tables partition across collector stores, so
+// stored counts, fence counters, and gap accounting sum over the tier.
+// Metric-consistency checks apply only where the record path was
 // verifiably lossless (no ring drops, no evictions, nothing still
 // spooled), because a lossy path legitimately stores fewer records than
 // the ground truth injected.
-func check(sc Scenario, cluster []*agentState, truth *groundTruth, db *tracedb.DB, col *control.Collector, sink *faultSink, res *Result, dig *digest) {
+func check(sc Scenario, cluster []*agentState, truth *groundTruth, cols []*collectorState, clu *control.Cluster, fs *faultState, res *Result, dig *digest) {
 	var totalStored, totalEvictedBatches, totalSpooledBatches uint64
+
+	perColAgents := make(map[string]int)
+	for _, st := range cluster {
+		if h, ok := clu.Home(st.name); ok {
+			perColAgents[h]++
+		}
+	}
 
 	for _, st := range cluster {
 		rs := st.agent.RingStats()
@@ -27,10 +36,21 @@ func check(sc Scenario, cluster []*agentState, truth *groundTruth, db *tracedb.D
 			zs = st.zombie.SpoolStats()
 		}
 		ds := st.agent.DegradeStats()
-		led, ledOK := db.Ledger(st.name)
-		st.fencedBatches, st.fencedRecords = led.FencedBatches, led.FencedRecords
+		// The home collector holds the live lease; after a re-homing, the
+		// fence and gap accounting may be spread across collectors, so
+		// those sum over every ledger the agent ever touched.
+		led, ledOK := clu.Ledger(st.name)
+		var fencedB, fencedR, missing uint64
+		for _, cs := range cols {
+			if l, ok := cs.db.Ledger(st.name); ok {
+				fencedB += l.FencedBatches
+				fencedR += l.FencedRecords
+				missing += l.MissingBatches
+			}
+		}
+		st.fencedBatches, st.fencedRecords = fencedB, fencedR
 		fires := truth.table(st.srcTP).fires + truth.table(st.dstTP).fires
-		stored := uint64(tableLen(db, st.srcTP) + tableLen(db, st.dstTP))
+		stored := uint64(tableLen(cols, st.srcTP) + tableLen(cols, st.dstTP))
 		rep := AgentReport{
 			Name:               st.name,
 			Fires:              fires,
@@ -43,8 +63,8 @@ func check(sc Scenario, cluster []*agentState, truth *groundTruth, db *tracedb.D
 			SkewEstNs:          st.est.SkewNs,
 			SkewTrueNs:         st.offsetNs,
 			Epoch:              led.Epoch,
-			FencedBatches:      led.FencedBatches,
-			FencedRecords:      led.FencedRecords,
+			FencedBatches:      fencedB,
+			FencedRecords:      fencedR,
 			ZombieSpooled:      uint64(zs.Records),
 			ZombieEvicted:      zs.EvictedRecords,
 			DegradeLevel:       ds.Level,
@@ -76,10 +96,10 @@ func check(sc Scenario, cluster []*agentState, truth *groundTruth, db *tracedb.D
 		// stored, still spooled (by the live agent or a zombie), confirmed
 		// evicted, or confirmed fenced — the four terminal states, summing
 		// exactly.
-		if rs.Writes != stored+uint64(ss.Records+zs.Records)+ss.EvictedRecords+zs.EvictedRecords+led.FencedRecords {
+		if rs.Writes != stored+uint64(ss.Records+zs.Records)+ss.EvictedRecords+zs.EvictedRecords+fencedR {
 			res.violatef("agent %s: ring writes %d != stored %d + spooled %d+%d + evicted %d+%d + fenced %d",
 				st.name, rs.Writes, stored, ss.Records, zs.Records,
-				ss.EvictedRecords, zs.EvictedRecords, led.FencedRecords)
+				ss.EvictedRecords, zs.EvictedRecords, fencedR)
 		}
 		// Ledger gap accounting: once the spools drain, sequence gaps at
 		// the collector exist exactly where a spool evicted (fenced gap
@@ -98,30 +118,52 @@ func check(sc Scenario, cluster []*agentState, truth *groundTruth, db *tracedb.D
 				res.violatef("agent %s: zombie still holds %d batches after quiesce with a healthy sink",
 					st.name, zs.Batches)
 			}
-			if led.MissingBatches != evictedBatches {
+			if missing != evictedBatches {
 				res.violatef("agent %s: ledger missing %d batches, spools evicted %d",
-					st.name, led.MissingBatches, evictedBatches)
+					st.name, missing, evictedBatches)
 			}
-		} else if led.MissingBatches > evictedBatches {
+		} else if missing > evictedBatches {
 			res.violatef("agent %s: ledger missing %d batches exceeds evicted %d",
-				st.name, led.MissingBatches, evictedBatches)
+				st.name, missing, evictedBatches)
 		}
 
-		checkTable(sc, st, st.srcTP, truth, db, res)
-		checkTable(sc, st, st.dstTP, truth, db, res)
+		checkTable(sc, st, st.srcTP, truth, cols, res)
+		checkTable(sc, st, st.dstTP, truth, cols, res)
 	}
 
-	// Collector totals agree with the tables.
-	colBatches, colRecords, colRingDrops := col.Stats()
-	if colRecords != totalStored {
-		res.violatef("collector ingested %d records, tables hold %d", colRecords, totalStored)
+	// Collector totals, summed across the tier, agree with the tables.
+	var colBatches, colRecords, colRingDrops uint64
+	var dup, dupRecs, missing uint64
+	var fencedB, fencedR uint64
+	for _, cs := range cols {
+		b, r, rd := cs.col.Stats()
+		colBatches += b
+		colRecords += r
+		colRingDrops += rd
+		d, dr, m := cs.col.DeliveryStats()
+		dup += d
+		dupRecs += dr
+		missing += m
+		fb, fr := cs.col.FencedStats()
+		fencedB += fb
+		fencedR += fr
+		res.PerCollector = append(res.PerCollector, CollectorReport{
+			Name:    cs.name,
+			Batches: b,
+			Records: r,
+			Agents:  perColAgents[cs.name],
+			Crashed: cs.sink.crashed,
+		})
 	}
-	dup, dupRecs, missing := col.DeliveryStats()
+	res.Rehomes = clu.Rehomes()
+	if colRecords != totalStored {
+		res.violatef("collectors ingested %d records, tables hold %d", colRecords, totalStored)
+	}
 	res.Batches, res.Records, res.RingDrops = colBatches, colRecords, colRingDrops
 	res.DupBatches, res.DupRecords, res.MissingBatches = dup, dupRecs, missing
-	res.DeliveryAttempts, res.Rejected, res.AcksLost = sink.attempts, sink.rejected, sink.acksLost
-	res.FencedBatches, res.FencedRecords = col.FencedStats()
-	res.OverloadAcks = sink.overloadAcks
+	res.DeliveryAttempts, res.Rejected, res.AcksLost = fs.attempts, fs.rejected, fs.acksLost
+	res.FencedBatches, res.FencedRecords = fencedB, fencedR
+	res.OverloadAcks = fs.overloadAcks
 
 	// The epoch fence fires only when a kill fault created a zombie; any
 	// fenced batch outside that is the ledger fencing a live agent.
@@ -135,22 +177,22 @@ func check(sc Scenario, cluster []*agentState, truth *groundTruth, db *tracedb.D
 	// evicted after its ack was lost never redelivers, so under spool
 	// pressure only the upper bound applies.
 	if totalEvictedBatches == 0 && uint64(totalSpooledBatches) == 0 {
-		if dup != sink.acksLostSeq {
-			res.violatef("collector deduped %d batches, %d sequenced acks were lost", dup, sink.acksLostSeq)
+		if dup != fs.acksLostSeq {
+			res.violatef("collectors deduped %d batches, %d sequenced acks were lost", dup, fs.acksLostSeq)
 		}
-	} else if dup > sink.acksLostSeq {
-		res.violatef("collector deduped %d batches, only %d sequenced acks were lost", dup, sink.acksLostSeq)
+	} else if dup > fs.acksLostSeq {
+		res.violatef("collectors deduped %d batches, only %d sequenced acks were lost", dup, fs.acksLostSeq)
 	}
-	if sc.AckLossEvery == 0 && sink.acksLost == 0 && dup != 0 {
-		res.violatef("collector saw %d duplicate batches with no ack loss injected", dup)
+	if sc.AckLossEvery == 0 && fs.acksLost == 0 && dup != 0 {
+		res.violatef("collectors saw %d duplicate batches with no ack loss injected", dup)
 	}
 	if !sc.SinkDownForever && missing != totalEvictedBatches {
-		res.violatef("collector missing %d batches, agents evicted %d", missing, totalEvictedBatches)
+		res.violatef("collectors missing %d batches, agents evicted %d", missing, totalEvictedBatches)
 	}
 
-	checkMetrics(sc, cluster, truth, db, res)
+	checkMetrics(sc, cluster, truth, cols, res)
 	checkSupervision(sc, cluster, res)
-	checkAggregates(sc, cluster, truth, col, sink, res, dig)
+	checkAggregates(sc, cluster, truth, cols, fs, res, dig)
 
 	// Fold the final accounting into the digest so a run that delivers
 	// the same event trace but different statistics still diverges.
@@ -160,9 +202,13 @@ func check(sc Scenario, cluster []*agentState, truth *groundTruth, db *tracedb.D
 			rep.Evicted, rep.SkewEstNs, rep.Epoch, rep.FencedBatches, rep.FencedRecords, rep.ZombieSpooled,
 			rep.Degradations, rep.Recoveries, rep.DegradeLevel, rep.SampleDrops)
 	}
-	dig.logf("account collector records=%d dup=%d missing=%d attempts=%d rejected=%d ackslost=%d fenced=%d/%d overloadacks=%d",
-		colRecords, dup, missing, sink.attempts, sink.rejected, sink.acksLost,
-		res.FencedBatches, res.FencedRecords, res.OverloadAcks)
+	for _, pc := range res.PerCollector {
+		dig.logf("account collector=%s batches=%d records=%d agents=%d crashed=%v",
+			pc.Name, pc.Batches, pc.Records, pc.Agents, pc.Crashed)
+	}
+	dig.logf("account collector records=%d dup=%d missing=%d attempts=%d rejected=%d ackslost=%d fenced=%d/%d overloadacks=%d rehomes=%d",
+		colRecords, dup, missing, fs.attempts, fs.rejected, fs.acksLost,
+		res.FencedBatches, res.FencedRecords, res.OverloadAcks, res.Rehomes)
 	dig.logf("account supervisor pushes=%d failures=%d retries=%d reprovisions=%d pending=%d",
 		res.Supervisor.Pushes, res.Supervisor.Failures, res.Supervisor.Retries,
 		res.Supervisor.Reprovisions, res.Supervisor.PendingRetries)
@@ -201,6 +247,23 @@ func checkSupervision(sc Scenario, cluster []*agentState, res *Result) {
 				st.name, st.fencedBatches, st.fencedRecords)
 		}
 	}
+	if sc.Collectors > 1 && sc.CollectorFailAtNs > 0 && sc.CollectorRehomeAfterNs > 0 {
+		if res.Rehomes == 0 {
+			res.violatef("collector crash re-homed no agents")
+		}
+		crashed := 0
+		for _, pc := range res.PerCollector {
+			if pc.Crashed {
+				crashed++
+				if pc.Agents != 0 {
+					res.violatef("crashed collector %s still homes %d agents at quiesce", pc.Name, pc.Agents)
+				}
+			}
+		}
+		if crashed != 1 {
+			res.violatef("%d collectors crashed, fault injects exactly 1", crashed)
+		}
+	}
 	if sc.OverloadCap > 0 {
 		if res.OverloadAcks == 0 {
 			res.violatef("overload window injected no pressured acks")
@@ -235,14 +298,22 @@ func checkSupervision(sc Scenario, cluster []*agentState, res *Result) {
 // at the receive probe must appear in the merged counters, the per-CPU
 // and latency histograms, and the per-flow sums — and a retried frame
 // (lost ack) must never double any of them.
-func checkAggregates(sc Scenario, cluster []*agentState, truth *groundTruth, col *control.Collector, sink *faultSink, res *Result, dig *digest) {
+func checkAggregates(sc Scenario, cluster []*agentState, truth *groundTruth, cols []*collectorState, fs *faultState, res *Result, dig *digest) {
 	if !sc.ShipAggregates {
 		return
 	}
-	store := col.Aggregates()
-	tot := store.Totals()
+	// Frame accounting sums over the tier; a re-homed agent's frames merge
+	// on two collectors and dedup wherever the retry lands.
+	var tot tracedb.AggTotals
+	for _, cs := range cols {
+		t := cs.col.Aggregates().Totals()
+		tot.FramesMerged += t.FramesMerged
+		tot.FramesDup += t.FramesDup
+		tot.FramesFenced += t.FramesFenced
+		tot.RowsMerged += t.RowsMerged
+	}
 	res.AggFramesMerged, res.AggFramesDup, res.AggFramesFenced = tot.FramesMerged, tot.FramesDup, tot.FramesFenced
-	res.AggRowsMerged, res.AggRejected = tot.RowsMerged, sink.aggRejected
+	res.AggRowsMerged, res.AggRejected = tot.RowsMerged, fs.aggRejected
 
 	for _, st := range cluster {
 		name := st.name + "/agg"
@@ -258,7 +329,16 @@ func checkAggregates(sc Scenario, cluster []*agentState, truth *groundTruth, col
 				st.name, as.FramesSpooled)
 		}
 		tt := truth.table(st.dstTP)
-		agg, ok := store.Get(name)
+		// The queryable aggregate is the cross-collector merge of every
+		// store's view of this script.
+		var parts []tracedb.ScriptAgg
+		for _, cs := range cols {
+			if a, got := cs.col.Aggregates().Get(name); got {
+				parts = append(parts, a)
+			}
+		}
+		ok := len(parts) > 0
+		agg := tracedb.MergeAggs(parts...)
 		if tt.fires == 0 {
 			if ok && counterAt(agg.Counters, script.SlotPackets) != 0 {
 				res.violatef("agent %s: aggregates report %d packets, ground truth fired none",
@@ -303,15 +383,15 @@ func checkAggregates(sc Scenario, cluster []*agentState, truth *groundTruth, col
 	// Exactly-once at frame granularity mirrors the record-batch check:
 	// with no evictions (asserted above), every lost aggregate ack causes
 	// exactly one duplicate frame, which the ledger must absorb.
-	if !sc.SinkDownForever && tot.FramesDup != sink.aggAcksLost {
-		res.violatef("aggregate ledger deduped %d frames, %d aggregate acks were lost", tot.FramesDup, sink.aggAcksLost)
+	if !sc.SinkDownForever && tot.FramesDup != fs.aggAcksLost {
+		res.violatef("aggregate ledger deduped %d frames, %d aggregate acks were lost", tot.FramesDup, fs.aggAcksLost)
 	}
 	if sc.KillAtNs <= 0 && tot.FramesFenced != 0 {
 		res.violatef("aggregate ledger fenced %d frames with no kill fault injected", tot.FramesFenced)
 	}
 	dig.logf("account aggregates merged=%d dup=%d fenced=%d rows=%d attempts=%d rejected=%d ackslost=%d",
 		tot.FramesMerged, tot.FramesDup, tot.FramesFenced, tot.RowsMerged,
-		sink.aggAttempts, sink.aggRejected, sink.aggAcksLost)
+		fs.aggAttempts, fs.aggRejected, fs.aggAcksLost)
 }
 
 // counterAt reads a dense counter slot, 0 when the slice is short.
@@ -322,12 +402,14 @@ func counterAt(counters []uint64, slot int) uint64 {
 	return 0
 }
 
-// checkTable verifies per-table invariants: exactly-once per trace ID,
-// per-flow conservation, and per-CPU intra-ring ordering.
-func checkTable(sc Scenario, st *agentState, tpid uint32, truth *groundTruth, db *tracedb.DB, res *Result) {
-	tbl, ok := db.Table(tpid)
-	if !ok {
-		res.violatef("agent %s: table %d missing", st.name, tpid)
+// checkTable verifies per-table invariants across the table's collector
+// partitions: exactly-once per trace ID cluster-wide, per-flow
+// conservation, per-(partition, CPU) intra-ring ordering, and the merge
+// layer losing nothing.
+func checkTable(sc Scenario, st *agentState, tpid uint32, truth *groundTruth, cols []*collectorState, res *Result) {
+	parts := partitions(cols, tpid)
+	if len(parts) == 0 {
+		res.violatef("agent %s: table %d missing on every collector", st.name, tpid)
 		return
 	}
 	tt := truth.table(tpid)
@@ -340,35 +422,53 @@ func checkTable(sc Scenario, st *agentState, tpid uint32, truth *groundTruth, db
 		pktSeq uint64
 		seen   bool
 	}
-	cursors := make(map[uint32]*cpuCursor)
-	tbl.Scan(func(r core.Record) bool {
-		storedIDs[r.TraceID]++
-		storedFlows[flowKeyOfRecord(r)]++
-		cur := cursors[r.CPU]
-		if cur == nil {
-			cur = &cpuCursor{}
-			cursors[r.CPU] = cur
-		}
-		if cur.seen {
-			// Within one table and one CPU the ring preserves emit
-			// order: timestamps never run backwards and the machine's
-			// packet sequence strictly increases.
-			if r.TimeNs < cur.timeNs {
-				res.violatef("table %d cpu %d: time %d after %d — intra-ring order broken",
-					tpid, r.CPU, r.TimeNs, cur.timeNs)
-				return false
+	stored := 0
+	for _, tbl := range parts {
+		stored += tbl.Len()
+		// Cursors are per partition: a re-homed agent's stream splits at
+		// the handoff point, and each partition preserves emit order for
+		// its own span.
+		cursors := make(map[uint32]*cpuCursor)
+		tbl.Scan(func(r core.Record) bool {
+			storedIDs[r.TraceID]++
+			storedFlows[flowKeyOfRecord(r)]++
+			cur := cursors[r.CPU]
+			if cur == nil {
+				cur = &cpuCursor{}
+				cursors[r.CPU] = cur
 			}
-			if r.Seq <= cur.pktSeq {
-				res.violatef("table %d cpu %d: pkt seq %d after %d — intra-ring order broken",
-					tpid, r.CPU, r.Seq, cur.pktSeq)
-				return false
+			if cur.seen {
+				// Within one partition and one CPU the ring preserves emit
+				// order: timestamps never run backwards and the machine's
+				// packet sequence strictly increases.
+				if r.TimeNs < cur.timeNs {
+					res.violatef("table %d cpu %d: time %d after %d — intra-ring order broken",
+						tpid, r.CPU, r.TimeNs, cur.timeNs)
+					return false
+				}
+				if r.Seq <= cur.pktSeq {
+					res.violatef("table %d cpu %d: pkt seq %d after %d — intra-ring order broken",
+						tpid, r.CPU, r.Seq, cur.pktSeq)
+					return false
+				}
 			}
-		}
-		cur.seen = true
-		cur.timeNs = r.TimeNs
-		cur.pktSeq = r.Seq
+			cur.seen = true
+			cur.timeNs = r.TimeNs
+			cur.pktSeq = r.Seq
+			return true
+		})
+	}
+
+	// The k-way merged view loses nothing: it streams exactly the union
+	// of the partitions.
+	mergedCount := 0
+	tracedb.Merge(parts...).ScanAligned(func(core.Record) bool {
+		mergedCount++
 		return true
 	})
+	if mergedCount != stored {
+		res.violatef("table %d: merged view streams %d records, partitions hold %d", tpid, mergedCount, stored)
+	}
 
 	// Exactly-once: no trace ID may be stored more often than it was
 	// emitted (each ID fires once per table); a clean machine stores
@@ -411,7 +511,7 @@ func checkTable(sc Scenario, st *agentState, tpid uint32, truth *groundTruth, db
 // reconciles them with the injected ground truth, within the
 // skew-correction bounds. Only lossless paths qualify: a drop anywhere on
 // the path changes the metric legitimately.
-func checkMetrics(sc Scenario, cluster []*agentState, truth *groundTruth, db *tracedb.DB, res *Result) {
+func checkMetrics(sc Scenario, cluster []*agentState, truth *groundTruth, cols []*collectorState, res *Result) {
 	for i, src := range cluster {
 		dst := cluster[(i+1)%len(cluster)]
 		path := truth.paths[i]
@@ -420,11 +520,15 @@ func checkMetrics(sc Scenario, cluster []*agentState, truth *groundTruth, db *tr
 		}
 		srcClean := machineClean(src) && src.skewTolNs > 0
 		dstClean := machineClean(dst) && dst.skewTolNs > 0
-		srcTbl, okS := db.Table(src.srcTP)
-		dstTbl, okD := db.Table(dst.dstTP)
-		if !okS || !okD {
+		srcParts := partitions(cols, src.srcTP)
+		dstParts := partitions(cols, dst.dstTP)
+		if len(srcParts) == 0 || len(dstParts) == 0 {
 			continue // table-missing violations already reported
 		}
+		// Queries run against the k-way merged cross-collector view — the
+		// same layer vntquery's cluster mode uses.
+		srcTbl := tracedb.Merge(srcParts...)
+		dstTbl := tracedb.Merge(dstParts...)
 
 		// Throughput at the send probe: bytes on the true time span vs
 		// bytes on the skew-aligned span.
@@ -449,7 +553,7 @@ func checkMetrics(sc Scenario, cluster []*agentState, truth *groundTruth, db *tr
 		if srcClean && dstClean {
 			// Loss: distinct trace IDs that left the send probe and never
 			// hit the receive probe == injected wire drops.
-			lost, _ := metrics.Loss(srcTbl, dstTbl)
+			lost, _ := metrics.LossOf(srcTbl, dstTbl)
 			if uint64(lost) != path.dropped {
 				res.violatef("path %d: measured loss %d, injected %d drops", i, lost, path.dropped)
 			}
@@ -457,7 +561,9 @@ func checkMetrics(sc Scenario, cluster []*agentState, truth *groundTruth, db *tr
 			// Latency: mean skew-aligned hop latency vs the mean of the
 			// realized transit delays, within both agents' skew bounds.
 			if len(path.delays) > 0 {
-				samples := metrics.Latencies(srcTbl, dstTbl)
+				samples := metrics.LatenciesOf(
+					metrics.SourceFunc(srcTbl.ScanAligned),
+					metrics.SourceFunc(dstTbl.ScanAligned))
 				if len(samples) != len(path.delays) {
 					res.violatef("path %d: %d latency samples, %d packets delivered",
 						i, len(samples), len(path.delays))
@@ -504,11 +610,27 @@ func flowKeyOfRecord(r core.Record) metrics.FlowKey {
 	}
 }
 
-func tableLen(db *tracedb.DB, tpid uint32) int {
-	if tbl, ok := db.Table(tpid); ok {
-		return tbl.Len()
+// tableLen sums a tracepoint's record count over its collector
+// partitions.
+func tableLen(cols []*collectorState, tpid uint32) int {
+	n := 0
+	for _, cs := range cols {
+		if tbl, ok := cs.db.Table(tpid); ok {
+			n += tbl.Len()
+		}
 	}
-	return 0
+	return n
+}
+
+// partitions collects a tracepoint's per-collector table partitions.
+func partitions(cols []*collectorState, tpid uint32) []*tracedb.Table {
+	out := make([]*tracedb.Table, 0, len(cols))
+	for _, cs := range cols {
+		if tbl, ok := cs.db.Table(tpid); ok {
+			out = append(out, tbl)
+		}
+	}
+	return out
 }
 
 func sortedIDKeys(m map[uint32]uint64) []uint32 {

@@ -2,6 +2,8 @@ package conformance
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"vnettracer/internal/clocksync"
 	"vnettracer/internal/control"
@@ -21,6 +23,16 @@ const (
 	syncSamples   = 25
 	syncSpacingNs = 40 * sim.Microsecond
 )
+
+// collectorState is one collector slot in the scaled-out tier: its own
+// trace store (per-agent tables partition across these), its dedup
+// collector, and the fault-injecting sink agents ship to.
+type collectorState struct {
+	name string
+	db   *tracedb.DB
+	col  *control.Collector
+	sink *faultSink
+}
 
 // agentState is one traced machine in the simulated cluster.
 type agentState struct {
@@ -127,13 +139,18 @@ type Result struct {
 	Violations []string
 	Agents     []AgentReport
 
-	// Collector-side totals.
-	Batches, Records, RingDrops             uint64
-	DupBatches, DupRecords, MissingBatches  uint64
-	DeliveryAttempts, Rejected, AcksLost    uint64
-	FencedBatches, FencedRecords            uint64
-	UnattendedFires                         uint64
-	OverloadAcks                            uint64
+	// Collector-side totals, summed across the tier.
+	Batches, Records, RingDrops            uint64
+	DupBatches, DupRecords, MissingBatches uint64
+	DeliveryAttempts, Rejected, AcksLost   uint64
+	FencedBatches, FencedRecords           uint64
+	UnattendedFires                        uint64
+	OverloadAcks                           uint64
+
+	// Cluster-tier accounting: agent moves after a collector failure and
+	// the per-collector ingest split.
+	Rehomes      uint64
+	PerCollector []CollectorReport
 
 	// Aggregate-frame totals (ShipAggregates scenarios).
 	AggFramesMerged, AggFramesDup, AggFramesFenced uint64
@@ -146,6 +163,15 @@ type Result struct {
 	// Storage aggregates the trace store's segment accounting at quiesce
 	// (after heads seal), so runs can assert on residency and spill.
 	Storage tracedb.StorageStats
+}
+
+// CollectorReport is one collector's share of the run.
+type CollectorReport struct {
+	Name    string
+	Batches uint64
+	Records uint64
+	Agents  int // agents homed here at quiesce
+	Crashed bool
 }
 
 // AgentReport is the per-machine accounting the invariants reconcile.
@@ -193,17 +219,36 @@ func Run(sc Scenario) (*Result, error) {
 
 	eng := sim.NewEngine(sc.Seed)
 	dist := sim.NewDist(eng)
-	db := tracedb.NewWith(tracedb.Config{SegmentBytes: sc.SegmentBytes, DataDir: sc.SpillDir})
-	col := control.NewCollector(db)
-	sink := newFaultSink(col, eng, sc, dig)
+	fs := newFaultState(eng, sc, dig)
+	cols := make([]*collectorState, sc.Collectors)
 	disp := control.NewDispatcher()
+	clu := control.NewCluster(disp)
+	for c := range cols {
+		name := fmt.Sprintf("col-%d", c)
+		dir := sc.SpillDir
+		if dir != "" && sc.Collectors > 1 {
+			// Each collector spills into its own subdirectory: extent
+			// filenames are per-table, and a rehomed agent's table has
+			// partitions on two collectors.
+			dir = filepath.Join(dir, name)
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return nil, fmt.Errorf("conformance: %s: %w", sc.Name, err)
+			}
+		}
+		db := tracedb.NewWith(tracedb.Config{SegmentBytes: sc.SegmentBytes, DataDir: dir})
+		col := control.NewCollector(db)
+		cols[c] = &collectorState{name: name, db: db, col: col, sink: newFaultSink(name, col, fs)}
+		if err := clu.AddCollector(name, col, cols[c].sink); err != nil {
+			return nil, fmt.Errorf("conformance: %s: %w", sc.Name, err)
+		}
+	}
 	sup := control.NewSupervisor(disp)
-	sup.SetLedger(db)
+	sup.SetLedger(clu)
 	sup.SetJitterSeed(sc.Seed)
 
 	cluster := make([]*agentState, sc.Agents)
 	for i := range cluster {
-		st, err := buildAgent(sc, i, eng, sink, disp, sup, db)
+		st, err := buildAgent(sc, i, eng, cols, clu, disp, sup)
 		if err != nil {
 			return nil, err
 		}
@@ -215,29 +260,31 @@ func Run(sc Scenario) (*Result, error) {
 	if err := scheduleWorkload(sc, eng, dist, cluster, truth, dig); err != nil {
 		return nil, err
 	}
-	scheduleFaults(sc, eng, cluster, disp, sink, dig)
+	scheduleFaults(sc, eng, cluster, cols, clu, disp, dig)
 	scheduleSupervision(sc, eng, sup)
 
 	eng.Run(sc.HorizonNs)
-	quiesce(sc, cluster, sink, dig)
-	estimateSkews(sc, cluster, db, res)
+	quiesce(sc, cluster, fs, dig)
+	estimateSkews(sc, cluster, cols, res)
 
 	res.Supervisor = sup.Stats()
 	// Seal every head before checking: the invariants then run against
 	// fully sealed (and, with SpillDir, spilled) segments, and the
 	// storage accounting reflects the whole run's history.
-	db.SealAll()
-	res.Storage = db.StorageTotals()
+	for _, cs := range cols {
+		cs.db.SealAll()
+		res.Storage.Add(cs.db.StorageTotals())
+	}
 	dig.logf("storage records=%d extents=%d spilled=%d stored=%d raw=%d evicted=%d readerrs=%d",
 		res.Storage.Records(), res.Storage.Extents, res.Storage.SpilledExtents,
 		res.Storage.StoredBytes(), res.Storage.SealedRawBytes,
 		res.Storage.EvictedRecords, res.Storage.ReadErrors)
-	check(sc, cluster, truth, db, col, sink, res, dig)
+	check(sc, cluster, truth, cols, clu, fs, res, dig)
 	res.Digest = dig.sum()
 	return res, nil
 }
 
-func buildAgent(sc Scenario, i int, eng *sim.Engine, sink control.RecordSink, disp *control.Dispatcher, sup *control.Supervisor, db *tracedb.DB) (*agentState, error) {
+func buildAgent(sc Scenario, i int, eng *sim.Engine, cols []*collectorState, clu *control.Cluster, disp *control.Dispatcher, sup *control.Supervisor) (*agentState, error) {
 	name := fmt.Sprintf("agent-%d", i)
 	st := &agentState{
 		idx:      i,
@@ -261,20 +308,33 @@ func buildAgent(sc Scenario, i int, eng *sim.Engine, sink control.RecordSink, di
 		return nil, fmt.Errorf("conformance: %s: %w", sc.Name, err)
 	}
 	st.machine = machine
-	st.agent = control.NewAgent(name, machine, sink)
+	st.agent = control.NewAgent(name, machine, nil)
 	if sc.SpoolBytes > 0 {
 		st.agent.SetSpoolLimit(sc.SpoolBytes)
 	}
 	if err := disp.Register(name, st.agent); err != nil {
 		return nil, fmt.Errorf("conformance: %s: %w", sc.Name, err)
 	}
-	st.agent.SetEpoch(disp.Epoch(name))
-	if _, err := db.CreateTable(st.srcTP, name+"/send"); err != nil {
+	// Placement: the cluster homes the agent by consistent hash and hands
+	// back the home's (fault-injecting) sink.
+	_, sink, err := clu.Register(name, st.agent)
+	if err != nil {
 		return nil, fmt.Errorf("conformance: %s: %w", sc.Name, err)
 	}
-	if _, err := db.CreateTable(st.dstTP, name+"/recv"); err != nil {
-		return nil, fmt.Errorf("conformance: %s: %w", sc.Name, err)
+	st.agent.Retarget(sink, disp.Epoch(name))
+	// Every collector carries (possibly empty) partitions of every
+	// agent's tables: after a re-homing, records for the same tracepoint
+	// land on the successor's store and queries read the merged view.
+	for _, cs := range cols {
+		if _, err := cs.db.CreateTable(st.srcTP, name+"/send"); err != nil {
+			return nil, fmt.Errorf("conformance: %s: %w", sc.Name, err)
+		}
+		if _, err := cs.db.CreateTable(st.dstTP, name+"/recv"); err != nil {
+			return nil, fmt.Errorf("conformance: %s: %w", sc.Name, err)
+		}
 	}
+	clu.OwnTable(name, st.srcTP)
+	clu.OwnTable(name, st.dstTP)
 	// Provisioning goes through the supervisor: it records the desired
 	// state (and pushes it immediately), so a later kill/reboot fault gets
 	// the same tracepoints re-pushed without the harness re-declaring them.
@@ -368,6 +428,22 @@ func scheduleWorkload(sc Scenario, eng *sim.Engine, dist sim.Dist, cluster []*ag
 		gap = 1
 	}
 
+	// sched expands AgentWeights into a source rotation: agent i appears
+	// weight(i) times per cycle. Uniform weights reduce to the plain
+	// round-robin the single-collector scenarios always used.
+	sched := make([]int, 0, sc.Agents)
+	for i := 0; i < sc.Agents; i++ {
+		w := 1
+		if len(sc.AgentWeights) > 0 {
+			if got := sc.AgentWeights[i%len(sc.AgentWeights)]; got > 1 {
+				w = got
+			}
+		}
+		for j := 0; j < w; j++ {
+			sched = append(sched, i)
+		}
+	}
+
 	fire := func(st *agentState, site string, tpid uint32, f flowTuple, id uint32, cpu int) {
 		pkt := &vnet.Packet{
 			Eth:     vnet.EthernetHeader{EtherType: vnet.EtherTypeIPv4},
@@ -413,8 +489,8 @@ func scheduleWorkload(sc Scenario, eng *sim.Engine, dist sim.Dist, cluster []*ag
 
 	for k := 0; k < sc.Packets; k++ {
 		id := uint32(k + 1)
-		srcIdx := k % sc.Agents
-		dstIdx := (k + 1) % sc.Agents
+		srcIdx := sched[k%len(sched)]
+		dstIdx := (srcIdx + 1) % sc.Agents
 		src, dst := cluster[srcIdx], cluster[dstIdx]
 		fl := flowOf(k % sc.Flows)
 		burst := k / sc.BurstLen
@@ -443,16 +519,16 @@ func scheduleWorkload(sc Scenario, eng *sim.Engine, dist sim.Dist, cluster []*ag
 
 func flowOf(i int) flowTuple {
 	return flowTuple{
-		src:   vnet.IPv4(0x0a000000 + uint32(i) + 1),          // 10.0.0.x
-		dst:   vnet.IPv4(0x0a000100 + uint32(i) + 1),          // 10.0.1.x
+		src:   vnet.IPv4(0x0a000000 + uint32(i) + 1), // 10.0.0.x
+		dst:   vnet.IPv4(0x0a000100 + uint32(i) + 1), // 10.0.1.x
 		sport: uint16(5000 + i),
 		dport: uint16(9000 + i),
 	}
 }
 
-// scheduleFaults arms the agent-restart and kill/reboot faults (transport
-// faults live in the sink itself).
-func scheduleFaults(sc Scenario, eng *sim.Engine, cluster []*agentState, disp *control.Dispatcher, sink *faultSink, dig *digest) {
+// scheduleFaults arms the agent-restart, kill/reboot, and collector-crash
+// faults (transport faults live in the sinks themselves).
+func scheduleFaults(sc Scenario, eng *sim.Engine, cluster []*agentState, cols []*collectorState, clu *control.Cluster, disp *control.Dispatcher, dig *digest) {
 	if sc.RestartAtNs > 0 && sc.RestartForNs > 0 {
 		st := cluster[sc.RestartAgent%len(cluster)]
 		eng.Schedule(sc.RestartAtNs, func() {
@@ -483,12 +559,19 @@ func scheduleFaults(sc Scenario, eng *sim.Engine, cluster []*agentState, disp *c
 		eng.Schedule(sc.KillAtNs+sc.KillRebootAfterNs, func() {
 			// Reboot: a fresh process takes over the machine under the next
 			// epoch lease, with nothing installed and no flush loop — the
-			// supervisor's next tick must re-push the desired state.
-			fresh := control.NewAgent(st.name, st.machine, sink)
+			// supervisor's next tick must re-push the desired state. The
+			// cluster re-registration keeps the sticky home and refreshes
+			// the retargeter to the fresh process.
+			fresh := control.NewAgent(st.name, st.machine, nil)
 			if sc.SpoolBytes > 0 {
 				fresh.SetSpoolLimit(sc.SpoolBytes)
 			}
-			fresh.SetEpoch(disp.Reregister(st.name, fresh))
+			epoch := disp.Reregister(st.name, fresh)
+			_, sink, err := clu.Register(st.name, fresh)
+			if err != nil {
+				panic(err) // the home collector cannot vanish mid-reboot
+			}
+			fresh.Retarget(sink, epoch)
 			st.agent = fresh
 			dig.logf("reboot t=%d agent=%s epoch=%d", eng.Now(), st.name, fresh.Epoch())
 		})
@@ -503,6 +586,33 @@ func scheduleFaults(sc Scenario, eng *sim.Engine, cluster []*agentState, disp *c
 			err := st.zombie.ShipSpooled()
 			ss := st.zombie.SpoolStats()
 			dig.logf("zombie-flush t=%d agent=%s err=%v leftBatches=%d", eng.Now(), st.name, err, ss.Batches)
+		})
+	}
+
+	if sc.Collectors > 1 && sc.CollectorFailAtNs > 0 && sc.CollectorRehomeAfterNs > 0 {
+		// The victim is whichever collector homes agent FailAgentHome —
+		// resolved at crash time so the fault always lands on a collector
+		// with tenants.
+		anchor := cluster[sc.FailAgentHome%len(cluster)]
+		var victim string
+		eng.Schedule(sc.CollectorFailAtNs, func() {
+			victim, _ = clu.Home(anchor.name)
+			for _, cs := range cols {
+				if cs.name == victim {
+					cs.sink.crash()
+				}
+			}
+			dig.logf("collector-crash t=%d col=%s", eng.Now(), victim)
+		})
+		eng.Schedule(sc.CollectorFailAtNs+sc.CollectorRehomeAfterNs, func() {
+			moves, err := clu.FailCollector(victim)
+			if err != nil {
+				panic(err) // the victim exists and fails exactly once
+			}
+			for _, mv := range moves {
+				dig.logf("rehome t=%d agent=%s from=%s to=%s epoch=%d",
+					eng.Now(), mv.Agent, mv.From, mv.To, mv.Epoch)
+			}
 		})
 	}
 }
@@ -525,12 +635,12 @@ func scheduleSupervision(sc Scenario, eng *sim.Engine, sup *control.Supervisor) 
 // quiesce stops the flush loops (their timers would otherwise re-arm
 // forever), heals the transport unless the scenario keeps it down, and
 // force-flushes until every spool drains or stops making progress.
-func quiesce(sc Scenario, cluster []*agentState, sink *faultSink, dig *digest) {
+func quiesce(sc Scenario, cluster []*agentState, fs *faultState, dig *digest) {
 	for _, st := range cluster {
 		st.agent.StopFlushing()
 	}
 	if !sc.SinkDownForever {
-		sink.heal()
+		fs.heal()
 	}
 	for round := 0; round < 64; round++ {
 		pending := false
@@ -566,10 +676,10 @@ func quiesce(sc Scenario, cluster []*agentState, sink *faultSink, dig *digest) {
 }
 
 // estimateSkews runs Cristian's estimate per agent over the samples
-// collected during the sync window and installs the skew on both of the
-// machine's tables, mirroring what a real deployment does before
-// cross-node metric queries.
-func estimateSkews(sc Scenario, cluster []*agentState, db *tracedb.DB, res *Result) {
+// collected during the sync window and installs the skew on every
+// collector's partition of the machine's tables, mirroring what a real
+// deployment does before cross-node metric queries.
+func estimateSkews(sc Scenario, cluster []*agentState, cols []*collectorState, res *Result) {
 	for _, st := range cluster {
 		est, err := clocksync.EstimateSkew(st.samples)
 		if err != nil {
@@ -577,8 +687,10 @@ func estimateSkews(sc Scenario, cluster []*agentState, db *tracedb.DB, res *Resu
 			continue
 		}
 		st.est = est
-		db.SetSkew(st.srcTP, est.SkewNs)
-		db.SetSkew(st.dstTP, est.SkewNs)
+		for _, cs := range cols {
+			cs.db.SetSkew(st.srcTP, est.SkewNs)
+			cs.db.SetSkew(st.dstTP, est.SkewNs)
+		}
 		drift := st.driftPPB
 		if drift < 0 {
 			drift = -drift

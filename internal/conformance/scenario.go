@@ -37,6 +37,18 @@ type Scenario struct {
 	CPUs      int // simulated CPUs (= per-CPU rings) per machine (default 2)
 	RingBytes int // per-CPU ring capacity in bytes (default 16 KiB)
 
+	// Collectors scales out the collector tier (default 1). With more
+	// than one, agents are placed onto collectors by consistent hashing
+	// on the agent name and every invariant is checked cluster-wide:
+	// per-agent tables partition across collector stores and the checks
+	// run against the k-way merged view.
+	Collectors int
+
+	// AgentWeights skews the workload across agents: agent i sources a
+	// packet share proportional to AgentWeights[i % len]. Empty means
+	// uniform (the pre-cluster behavior). Weights below 1 clamp to 1.
+	AgentWeights []int
+
 	// Per-agent clock error, cycled across agents. Offsets must be
 	// non-negative (a monotonic clock never reads negative).
 	ClockOffsetsNs []int64
@@ -102,6 +114,17 @@ type Scenario struct {
 	KillRebootAfterNs int64
 	KillAgent         int
 
+	// Collector crash: the home collector of agent FailAgentHome stops
+	// accepting deliveries at CollectorFailAtNs (its tenants spool and
+	// back off), and CollectorRehomeAfterNs later the control plane
+	// declares it dead — every tenant re-homes to its consistent-hash
+	// successor under an advanced epoch lease, with the record and
+	// aggregate ledgers handed off so delivery stays exactly-once across
+	// the move. Requires Collectors > 1.
+	CollectorFailAtNs      int64
+	CollectorRehomeAfterNs int64
+	FailAgentHome          int
+
 	// ZombieFlushAtNs makes the killed agent's zombie ship its leftover
 	// spool at this time (schedule it after the reboot): every batch
 	// carries the stale epoch and the collector must fence it — counted,
@@ -148,6 +171,9 @@ func (s Scenario) withDefaults() Scenario {
 	}
 	if s.RingBytes <= 0 {
 		s.RingBytes = 16 * 1024
+	}
+	if s.Collectors <= 0 {
+		s.Collectors = 1
 	}
 	if s.FlushEveryNs <= 0 {
 		s.FlushEveryNs = sim.Millisecond
@@ -334,6 +360,37 @@ func Corpus() []Scenario {
 			AckLossEvery:    4,
 			SinkDownFromNs:  30 * sim.Millisecond,
 			SinkDownUntilNs: 55 * sim.Millisecond,
+		},
+		{
+			// One of three collectors crashes mid-traffic: its tenants spool
+			// against the dead sink, then re-home to their consistent-hash
+			// successors under advanced epoch leases. Exactly-once must hold
+			// across the handoff — spool re-ships (including aggregate
+			// frames whose acks died with the old collector) dedup against
+			// the imported ledgers, and conservation closes cluster-wide.
+			Name:                   "collector-crash-rehome",
+			Seed:                   16,
+			Agents:                 5,
+			Collectors:             3,
+			Packets:                600,
+			Flows:                  6,
+			AckLossEvery:           4,
+			ShipAggregates:         true,
+			CollectorFailAtNs:      35 * sim.Millisecond,
+			CollectorRehomeAfterNs: 8 * sim.Millisecond,
+		},
+		{
+			// Consistent hashing under a 10:1 agent load skew: the collector
+			// owning the hot agent ingests a visibly larger share, every
+			// collector still sees work, and all cluster-wide invariants
+			// (conservation, exactly-once, merged-view metrics) stay exact.
+			Name:         "skewed-agent-load",
+			Seed:         17,
+			Agents:       6,
+			Collectors:   3,
+			Packets:      600,
+			Flows:        6,
+			AgentWeights: []int{10, 1, 1, 1, 1, 1},
 		},
 		{
 			// Everything at once: four skewed agents, bursts, ack loss, an

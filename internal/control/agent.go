@@ -226,6 +226,30 @@ func (a *Agent) SetEpoch(epoch uint64) {
 	a.epoch = epoch
 }
 
+// Retarget atomically swaps the agent's delivery sink and epoch lease —
+// the cluster re-homing path. Unlike a restart, the process survives: it
+// keeps its spool and its batch sequence space, so spooled batches ship
+// to the new collector under the new epoch with their original sequence
+// numbers, and the successor's imported ledger dedups any the failed
+// collector already ingested. The retry backoff resets so the spool
+// starts draining toward the new home on the next flush instead of
+// serving out a penalty earned against the dead one. A nil sink keeps
+// the current one (epoch-only retarget).
+func (a *Agent) Retarget(sink RecordSink, epoch uint64) {
+	// Lock order matches flush: flushMu first (a.sink is read under
+	// flushMu without a.mu on the ship path), then a.mu.
+	a.flushMu.Lock()
+	defer a.flushMu.Unlock()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if sink != nil {
+		a.sink = sink
+	}
+	a.epoch = epoch
+	a.backoffSkips = 0
+	a.backoffNext = 1
+}
+
 // Epoch returns the agent's current registration lease.
 func (a *Agent) Epoch() uint64 {
 	a.mu.Lock()

@@ -1,0 +1,263 @@
+package control
+
+import (
+	"fmt"
+	"testing"
+
+	"vnettracer/internal/tracedb"
+)
+
+// fakeRetargeter records the sink/epoch the cluster hands an agent.
+type fakeRetargeter struct {
+	sink    RecordSink
+	epoch   uint64
+	retargs int
+}
+
+func (f *fakeRetargeter) Retarget(sink RecordSink, epoch uint64) {
+	if sink != nil {
+		f.sink = sink
+	}
+	f.epoch = epoch
+	f.retargs++
+}
+
+type clusterFixture struct {
+	disp *Dispatcher
+	clu  *Cluster
+	cols map[string]*Collector
+	rts  map[string]*fakeRetargeter
+}
+
+func newClusterFixture(t *testing.T, nCols, nAgents int) *clusterFixture {
+	t.Helper()
+	f := &clusterFixture{
+		disp: NewDispatcher(),
+		cols: make(map[string]*Collector),
+		rts:  make(map[string]*fakeRetargeter),
+	}
+	f.clu = NewCluster(f.disp)
+	for i := 0; i < nCols; i++ {
+		name := fmt.Sprintf("col-%d", i)
+		col := NewCollector(tracedb.New())
+		f.cols[name] = col
+		if err := f.clu.AddCollector(name, col, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < nAgents; i++ {
+		name := fmt.Sprintf("agent-%02d", i)
+		if err := f.disp.Register(name, nil); err != nil {
+			t.Fatal(err)
+		}
+		rt := &fakeRetargeter{}
+		home, sink, err := f.clu.Register(name, rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt.Retarget(sink, f.disp.Epoch(name))
+		if got, _ := f.clu.Home(name); got != home {
+			t.Fatalf("Home(%s) = %s right after Register returned %s", name, got, home)
+		}
+		f.rts[name] = rt
+	}
+	return f
+}
+
+// send ships an empty batch for an agent at its current lease and seq.
+func (f *clusterFixture) send(t *testing.T, agent string, seq uint64) {
+	t.Helper()
+	rt := f.rts[agent]
+	err := rt.sink.HandleBatch(RecordBatch{
+		Agent: agent, AgentTimeNs: int64(1000 * seq), Seq: seq, Epoch: rt.epoch,
+	})
+	if err != nil {
+		t.Fatalf("HandleBatch(%s seq %d): %v", agent, seq, err)
+	}
+}
+
+// TestClusterPlacementSticky: placement matches the hash ring, every
+// collector in a small fixture gets work eventually, and re-registering
+// an agent (the restart path) keeps its home.
+func TestClusterPlacementSticky(t *testing.T) {
+	f := newClusterFixture(t, 3, 12)
+	perCol := make(map[string]int)
+	for agent := range f.rts {
+		home, _ := f.clu.Home(agent)
+		perCol[home]++
+	}
+	for name := range f.cols {
+		if perCol[name] == 0 {
+			t.Fatalf("collector %s owns no agents in a 12-agent fixture (placement: %v)", name, perCol)
+		}
+	}
+	agent := "agent-00"
+	before, _ := f.clu.Home(agent)
+	rt2 := &fakeRetargeter{}
+	home, _, err := f.clu.Register(agent, rt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if home != before {
+		t.Fatalf("re-registration moved %s: %s -> %s", agent, before, home)
+	}
+}
+
+// TestClusterFailCollectorRehome is the end-to-end handoff: agents on
+// the failed collector move to survivors with an advanced epoch and
+// imported ledgers; spool re-ships dedup at the new home; stragglers and
+// heartbeats fence at the old home; nobody else moves.
+func TestClusterFailCollectorRehome(t *testing.T) {
+	f := newClusterFixture(t, 3, 12)
+	for agent := range f.rts {
+		for seq := uint64(1); seq <= 3; seq++ {
+			f.send(t, agent, seq)
+		}
+	}
+	const victim = "col-0"
+	victimCol := f.cols[victim]
+	homesBefore := make(map[string]string)
+	var victims []string
+	for agent := range f.rts {
+		homesBefore[agent], _ = f.clu.Home(agent)
+		if homesBefore[agent] == victim {
+			victims = append(victims, agent)
+		}
+	}
+	if len(victims) == 0 {
+		t.Fatal("fixture gave the victim collector no agents")
+	}
+
+	moves, err := f.clu.FailCollector(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != len(victims) {
+		t.Fatalf("%d rehomes for %d victim agents", len(moves), len(victims))
+	}
+	if got := f.clu.Rehomes(); got != uint64(len(victims)) {
+		t.Fatalf("Rehomes() = %d, want %d", got, len(victims))
+	}
+	if live := f.clu.Collectors(); len(live) != 2 {
+		t.Fatalf("live collectors after failure: %v", live)
+	}
+
+	for _, mv := range moves {
+		if mv.From != victim {
+			t.Fatalf("rehome %+v claims to move from %s", mv, mv.From)
+		}
+		rt := f.rts[mv.Agent]
+		if rt.epoch != mv.Epoch || rt.epoch != f.disp.Epoch(mv.Agent) {
+			t.Fatalf("agent %s retargeted at epoch %d, dispatcher says %d, move says %d",
+				mv.Agent, rt.epoch, f.disp.Epoch(mv.Agent), mv.Epoch)
+		}
+		home, _ := f.clu.Home(mv.Agent)
+		if home != mv.To || home == victim {
+			t.Fatalf("agent %s homed at %s, move says %s", mv.Agent, home, mv.To)
+		}
+		// The supervisor's ledger view follows the agent to its new home.
+		l, ok := f.clu.Ledger(mv.Agent)
+		if !ok || l.Epoch != mv.Epoch || l.HighWaterSeq != 3 {
+			t.Fatalf("cluster ledger for %s: ok=%v epoch=%d hwm=%d, want epoch %d hwm 3",
+				mv.Agent, ok, l.Epoch, l.HighWaterSeq, mv.Epoch)
+		}
+	}
+	// Survivors' agents did not move and were not retargeted again.
+	for agent, before := range homesBefore {
+		if before == victim {
+			continue
+		}
+		if now, _ := f.clu.Home(agent); now != before {
+			t.Fatalf("bystander %s moved %s -> %s", agent, before, now)
+		}
+		if f.rts[agent].retargs != 1 {
+			t.Fatalf("bystander %s retargeted %d times", agent, f.rts[agent].retargs)
+		}
+	}
+
+	moved := moves[0].Agent
+	newCol := f.cols[moves[0].To]
+	// Spool re-ships (original seqs, new epoch, acks lost with the old
+	// collector) dedup at the new home: exactly-once across the handoff.
+	batchesBefore, _, _ := newCol.Stats()
+	for seq := uint64(1); seq <= 3; seq++ {
+		f.send(t, moved, seq)
+	}
+	dupB, _, _ := newCol.DeliveryStats()
+	if dupB != 3 {
+		t.Fatalf("re-shipped batches marked duplicate: %d, want 3", dupB)
+	}
+	if b, _, _ := newCol.Stats(); b != batchesBefore {
+		t.Fatalf("re-ships were ingested: batches %d -> %d", batchesBefore, b)
+	}
+	// Fresh sequence numbers continue the same space.
+	f.send(t, moved, 4)
+	if l, _ := f.clu.Ledger(moved); l.HighWaterSeq != 4 || l.MissingBatches != 0 {
+		t.Fatalf("post-rehome ledger: hwm=%d missing=%d, want 4/0", l.HighWaterSeq, l.MissingBatches)
+	}
+
+	// A straggler batch still addressed to the dead collector under the
+	// old lease is fenced there, not ingested.
+	oldEpoch := f.rts[moved].epoch - 1
+	if err := victimCol.HandleBatch(RecordBatch{Agent: moved, Seq: 9, Epoch: oldEpoch, AgentTimeNs: 99999}); err != nil {
+		t.Fatal(err)
+	}
+	fencedB, _ := victimCol.FencedStats()
+	if fencedB != 1 {
+		t.Fatalf("straggler not fenced at old home: fencedBatches = %d", fencedB)
+	}
+
+	// Failing a collector twice, or an unknown one, is an error.
+	if _, err := f.clu.FailCollector(victim); err == nil {
+		t.Fatal("double failure not rejected")
+	}
+	if _, err := f.clu.FailCollector("nope"); err == nil {
+		t.Fatal("unknown collector not rejected")
+	}
+}
+
+// TestClusterStaleHeartbeatDoesNotResurrect is the regression test for
+// the handoff heartbeat bug: after an agent re-homes, an aggregate frame
+// (or bare heartbeat) routed to the OLD collector under the stale lease
+// must not advance the agent's liveness clock there — the old collector
+// would otherwise keep the stale assignment looking healthy and the
+// monitor would never notice the agent left.
+func TestClusterStaleHeartbeatDoesNotResurrect(t *testing.T) {
+	f := newClusterFixture(t, 2, 8)
+	for agent := range f.rts {
+		f.send(t, agent, 1)
+	}
+	const victim = "col-0"
+	moves, err := f.clu.FailCollector(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) == 0 {
+		t.Fatal("no agents to rehome")
+	}
+	moved := moves[0].Agent
+	oldCol := f.cols[victim]
+	before, ok := oldCol.DB().Ledger(moved)
+	if !ok {
+		t.Fatalf("old collector lost %s's ledger", moved)
+	}
+	// An aggregate frame under the stale lease, stamped far in the
+	// future: HandleAgg must fence it out of the liveness path.
+	err = oldCol.HandleAgg(AggBatch{Agent: moved, Epoch: moves[0].Epoch - 1, Seq: 7, AgentTimeNs: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, _ := oldCol.DB().Ledger(moved)
+	if after.LastSeenNs != before.LastSeenNs {
+		t.Fatalf("stale aggregate frame resurrected liveness: %d -> %d", before.LastSeenNs, after.LastSeenNs)
+	}
+	// The same frame at the NEW home (current lease) does count.
+	newCol := f.cols[moves[0].To]
+	err = newCol.HandleAgg(AggBatch{Agent: moved, Epoch: moves[0].Epoch, Seq: 1, AgentTimeNs: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l, _ := newCol.DB().Ledger(moved); l.LastSeenNs != 1<<40 {
+		t.Fatalf("live aggregate frame did not heartbeat: LastSeenNs = %d", l.LastSeenNs)
+	}
+}

@@ -59,9 +59,56 @@ func (c *Collector) Aggregates() *tracedb.AggStore { return c.aggs }
 func (c *Collector) HandleAgg(b AggBatch) error {
 	st := c.aggs.Admit(b.Agent, b.Epoch, b.Seq, b.Scripts, b.AgentTimeNs, b.Degraded)
 	if st != tracedb.BatchFenced {
-		c.db.Heartbeat(b.Agent, b.AgentTimeNs)
+		// Epoch-aware liveness: a frame that cleared the aggregate fence
+		// can still be stale relative to the record ledger (the agent was
+		// re-homed and this collector's record epoch already closed); an
+		// epoch-blind heartbeat here would resurrect the stale assignment.
+		c.db.HeartbeatEpoch(b.Agent, b.Epoch, b.AgentTimeNs, b.Degraded)
 	}
 	return nil
+}
+
+// AgentHandoff bundles the per-agent delivery state that travels when an
+// agent is re-homed to another collector: the record-batch ledger and the
+// aggregate-frame ledger (independent sequence spaces, same semantics).
+type AgentHandoff struct {
+	Records    tracedb.LedgerHandoff
+	HasRecords bool
+	Aggs       tracedb.LedgerHandoff
+	HasAggs    bool
+}
+
+// ExportAgent snapshots an agent's delivery ledgers for handoff to a
+// successor collector. In a real deployment this reads the failed
+// collector's persisted ledger; here the in-memory state doubles as it.
+func (c *Collector) ExportAgent(agent string) AgentHandoff {
+	var h AgentHandoff
+	h.Records, h.HasRecords = c.db.ExportLedger(agent)
+	h.Aggs, h.HasAggs = c.aggs.ExportLedger(agent)
+	return h
+}
+
+// ImportAgent installs exported ledger state at the given epoch — the
+// successor collector's half of a re-homing. The imported high-water
+// marks are what keep delivery exactly-once across the move: the agent's
+// spool re-ships batches the failed collector already ingested (their
+// acks were lost with it), and the imported ledger dedups them here.
+func (c *Collector) ImportAgent(agent string, epoch uint64, h AgentHandoff) {
+	if h.HasRecords {
+		c.db.ImportLedger(agent, epoch, h.Records)
+	}
+	if h.HasAggs {
+		c.aggs.ImportLedger(agent, epoch, h.Aggs)
+	}
+}
+
+// FenceAgent closes both of an agent's ledgers at the new epoch — the
+// old home's half of a re-homing. Stragglers still routed here (spooled
+// batches from before the retarget, aggregate frames, heartbeats) are
+// fenced instead of ingested or counted as liveness.
+func (c *Collector) FenceAgent(agent string, epoch uint64) {
+	c.db.CloseAgentEpoch(agent, epoch)
+	c.aggs.CloseAgentEpoch(agent, epoch)
 }
 
 // StorageStats returns the trace database's aggregate segment-store

@@ -59,6 +59,19 @@ func (d *Dispatcher) Reregister(name string, client ControlClient) uint64 {
 	return d.epochs[name]
 }
 
+// AdvanceEpoch bumps an agent's epoch lease without replacing its
+// control client — the re-homing path: the same agent process gets a new
+// lease when its home collector fails, so batches still in flight toward
+// the old collector are fenced while the agent itself keeps running (and
+// keeps its sequence space). The granted epoch is returned for the caller
+// to stamp into the agent and the successor collector's ledger.
+func (d *Dispatcher) AdvanceEpoch(name string) uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.epochs[name]++
+	return d.epochs[name]
+}
+
 // Epoch returns the agent's current epoch lease (0 = never registered).
 func (d *Dispatcher) Epoch(name string) uint64 {
 	d.mu.Lock()

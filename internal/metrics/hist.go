@@ -21,6 +21,23 @@ func HistBucketBounds(bucket int) (lo, hi uint64) {
 	return 1 << (bucket - 1), 1 << bucket
 }
 
+// HistMerge adds src's bucket counts into dst and returns dst (grown if
+// src is wider). Log2 histograms are mergeable sketches: bucket-wise
+// addition of per-collector histograms equals the histogram of the union
+// stream, so cluster queries merge first and summarize once without any
+// loss beyond the buckets' own one-log2-bucket resolution.
+func HistMerge(dst, src []uint64) []uint64 {
+	if len(src) > len(dst) {
+		grown := make([]uint64, len(src))
+		copy(grown, dst)
+		dst = grown
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+	return dst
+}
+
 // HistCount sums a histogram's sample counts.
 func HistCount(buckets []uint64) uint64 {
 	var n uint64

@@ -111,3 +111,26 @@ func TestHistSummarize(t *testing.T) {
 		t.Fatalf("empty summary = %+v", empty)
 	}
 }
+
+func TestHistMerge(t *testing.T) {
+	// Merging per-collector histograms must equal histogramming the
+	// union stream: bucket-wise addition, growing to the wider side.
+	a := []uint64{1, 2, 3}
+	b := []uint64{0, 5, 0, 7}
+	got := HistMerge(append([]uint64(nil), a...), b)
+	want := []uint64{1, 7, 3, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged = %v, want %v", got, want)
+		}
+	}
+	if HistCount(got) != HistCount(a)+HistCount(b) {
+		t.Fatalf("count %d, want %d", HistCount(got), HistCount(a)+HistCount(b))
+	}
+	if HistPercentile(got, 100) != HistPercentile(b, 100) {
+		t.Fatal("max percentile lost in merge")
+	}
+	if out := HistMerge(nil, nil); len(out) != 0 {
+		t.Fatalf("nil merge = %v", out)
+	}
+}

@@ -101,9 +101,18 @@ type LatencySample struct {
 // instead). The join is two streaming passes — one over each table — so
 // it never decodes a sealed segment more than once per side.
 func Latencies(a, b *tracedb.Table) []LatencySample {
-	// First occurrence per trace ID on the b side, aligned.
+	return LatenciesOf(SourceFunc(a.ScanAligned), SourceFunc(b.ScanAligned))
+}
+
+// LatenciesOf is the source-generic latency join: the same two-pass
+// first-occurrence join as Latencies over any record streams — a merged
+// cross-collector view (tracedb.Merged.ScanAligned), a filtered stream,
+// or an in-memory slice. Callers pass already-aligned sources; each side
+// is scanned exactly once.
+func LatenciesOf(a, b RecordSource) []LatencySample {
+	// First occurrence per trace ID on the b side.
 	bFirst := make(map[uint32]uint64)
-	b.ScanAligned(func(r core.Record) bool {
+	b.Scan(func(r core.Record) bool {
 		if r.TraceID != 0 {
 			if _, seen := bFirst[r.TraceID]; !seen {
 				bFirst[r.TraceID] = r.TimeNs
@@ -113,7 +122,7 @@ func Latencies(a, b *tracedb.Table) []LatencySample {
 	})
 	var out []LatencySample
 	seen := make(map[uint32]struct{})
-	a.ScanAligned(func(r core.Record) bool {
+	a.Scan(func(r core.Record) bool {
 		if r.TraceID == 0 {
 			return true // untraced packets cannot be joined
 		}
@@ -182,9 +191,21 @@ func JitterRange(samples []LatencySample) (minNs, maxNs int64) {
 	return minNs, maxNs
 }
 
+// TraceIDCounter counts the distinct packet IDs a record store holds;
+// *tracedb.Table and *tracedb.Merged both satisfy it.
+type TraceIDCounter interface {
+	NumTraceIDs() int
+}
+
 // Loss computes packet loss between two tracepoints: N_loss = N_i - N_j
 // and R_loss = N_loss / N_i, over distinct packet IDs.
 func Loss(a, b *tracedb.Table) (lost int64, rate float64) {
+	return LossOf(a, b)
+}
+
+// LossOf is the source-generic loss metric, usable with merged
+// cross-collector views as well as single tables.
+func LossOf(a, b TraceIDCounter) (lost int64, rate float64) {
 	ni := int64(a.NumTraceIDs())
 	nj := int64(b.NumTraceIDs())
 	lost = ni - nj

@@ -1,0 +1,191 @@
+package metrics
+
+import (
+	"sort"
+
+	"vnettracer/internal/core"
+)
+
+// TopKFlows is a mergeable heavy-hitters sketch over flows with exact
+// overflow accounting. It keeps at most K resident flows with running
+// packet/byte counts; when a new flow arrives at capacity, the smallest
+// resident (fewest packets, then fewest bytes, then key order) is
+// evicted and its mass folded into the overflow bucket. The invariants
+// that make it honest:
+//
+//   - Totals (packets, bytes) are exact: resident + overflow always
+//     equals everything observed, nothing is silently dropped.
+//   - A resident count is a lower bound on the flow's true count — mass
+//     the flow lost to an earlier eviction sits in overflow, never
+//     misattributed to another flow (unlike space-saving sketches, no
+//     count is ever inflated).
+//   - With zero evictions every resident count is exact.
+//
+// Sketches merge associatively: merging per-collector sketches gives
+// the same totals as one sketch over the union stream, and residents
+// fold deterministically (sorted key order), so cluster queries can
+// combine partial top-K results without shipping raw flows.
+type TopKFlows struct {
+	k         int
+	flows     map[FlowKey]*FlowCount
+	ovPackets uint64
+	ovBytes   uint64
+	evictions uint64
+}
+
+// FlowCount is one resident flow's running tally.
+type FlowCount struct {
+	Flow    FlowKey
+	Packets uint64
+	Bytes   uint64
+}
+
+// NewTopKFlows returns a sketch keeping at most k resident flows
+// (minimum 1).
+func NewTopKFlows(k int) *TopKFlows {
+	if k < 1 {
+		k = 1
+	}
+	return &TopKFlows{k: k, flows: make(map[FlowKey]*FlowCount)}
+}
+
+// K returns the sketch capacity.
+func (t *TopKFlows) K() int { return t.k }
+
+// Add observes packets/bytes for a flow. A flow already resident just
+// accumulates; a new flow at capacity either evicts the smallest
+// resident (if the newcomer would not immediately be the smallest,
+// its first observation still lands resident) or joins after the
+// eviction — the evicted flow's mass moves to overflow exactly.
+func (t *TopKFlows) Add(key FlowKey, packets, bytes uint64) {
+	if packets == 0 && bytes == 0 {
+		return
+	}
+	if fc, ok := t.flows[key]; ok {
+		fc.Packets += packets
+		fc.Bytes += bytes
+		return
+	}
+	if len(t.flows) >= t.k {
+		t.evictSmallest()
+	}
+	t.flows[key] = &FlowCount{Flow: key, Packets: packets, Bytes: bytes}
+}
+
+// evictSmallest moves the smallest resident into overflow.
+func (t *TopKFlows) evictSmallest() {
+	var victim *FlowCount
+	for _, fc := range t.flows {
+		if victim == nil || countLess(fc, victim) {
+			victim = fc
+		}
+	}
+	if victim == nil {
+		return
+	}
+	delete(t.flows, victim.Flow)
+	t.ovPackets += victim.Packets
+	t.ovBytes += victim.Bytes
+	t.evictions++
+}
+
+// countLess orders flow tallies for eviction: fewest packets first,
+// then fewest bytes, then key order for determinism.
+func countLess(a, b *FlowCount) bool {
+	if a.Packets != b.Packets {
+		return a.Packets < b.Packets
+	}
+	if a.Bytes != b.Bytes {
+		return a.Bytes < b.Bytes
+	}
+	return flowKeyLess(a.Flow, b.Flow)
+}
+
+func flowKeyLess(a, b FlowKey) bool {
+	if a.SrcIP != b.SrcIP {
+		return a.SrcIP < b.SrcIP
+	}
+	if a.DstIP != b.DstIP {
+		return a.DstIP < b.DstIP
+	}
+	if a.SrcPort != b.SrcPort {
+		return a.SrcPort < b.SrcPort
+	}
+	if a.DstPort != b.DstPort {
+		return a.DstPort < b.DstPort
+	}
+	return a.Proto < b.Proto
+}
+
+// Merge folds another sketch into this one: the other's residents are
+// re-added in sorted key order (deterministic evictions), then its
+// overflow bucket sums in. Totals stay exact; residency after a merge
+// reflects the combined counts.
+func (t *TopKFlows) Merge(other *TopKFlows) {
+	if other == nil {
+		return
+	}
+	keys := make([]FlowKey, 0, len(other.flows))
+	for k := range other.flows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return flowKeyLess(keys[i], keys[j]) })
+	for _, k := range keys {
+		fc := other.flows[k]
+		t.Add(k, fc.Packets, fc.Bytes)
+	}
+	t.ovPackets += other.ovPackets
+	t.ovBytes += other.ovBytes
+	t.evictions += other.evictions
+}
+
+// Top returns the resident flows ordered by descending packets (ties:
+// descending bytes, then key order).
+func (t *TopKFlows) Top() []FlowCount {
+	out := make([]FlowCount, 0, len(t.flows))
+	for _, fc := range t.flows {
+		out = append(out, *fc)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Packets != out[j].Packets {
+			return out[i].Packets > out[j].Packets
+		}
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		return flowKeyLess(out[i].Flow, out[j].Flow)
+	})
+	return out
+}
+
+// Overflow reports the mass evicted from residency: exact packet and
+// byte sums plus the eviction count. Zero evictions means every
+// resident count is exact.
+func (t *TopKFlows) Overflow() (packets, bytes, evictions uint64) {
+	return t.ovPackets, t.ovBytes, t.evictions
+}
+
+// Totals returns the exact packet and byte totals observed, resident
+// plus overflow.
+func (t *TopKFlows) Totals() (packets, bytes uint64) {
+	for _, fc := range t.flows {
+		packets += fc.Packets
+		bytes += fc.Bytes
+	}
+	return packets + t.ovPackets, bytes + t.ovBytes
+}
+
+// TopKOf builds a sketch over one record stream, counting payload bytes
+// the way the throughput metrics do (S_i minus the embedded trace ID).
+func TopKOf(src RecordSource, k int) *TopKFlows {
+	t := NewTopKFlows(k)
+	src.Scan(func(r core.Record) bool {
+		var b uint64
+		if r.Len > TraceIDBytes {
+			b = uint64(r.Len) - TraceIDBytes
+		}
+		t.Add(keyOf(r), 1, b)
+		return true
+	})
+	return t
+}

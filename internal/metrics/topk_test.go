@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+
+	"vnettracer/internal/core"
+)
+
+func fk(n uint32) FlowKey {
+	return FlowKey{SrcIP: n, DstIP: n + 1, SrcPort: uint16(n), DstPort: uint16(n + 1), Proto: 6}
+}
+
+// TestTopKExactWithoutEviction: under capacity every resident count is
+// exact and the overflow bucket stays empty.
+func TestTopKExactWithoutEviction(t *testing.T) {
+	tk := NewTopKFlows(8)
+	for i := uint32(1); i <= 5; i++ {
+		tk.Add(fk(i), uint64(i), uint64(i*100))
+		tk.Add(fk(i), uint64(i), uint64(i*100)) // resident: accumulates
+	}
+	top := tk.Top()
+	if len(top) != 5 {
+		t.Fatalf("residents = %d, want 5", len(top))
+	}
+	if top[0].Flow != fk(5) || top[0].Packets != 10 || top[0].Bytes != 1000 {
+		t.Fatalf("top flow = %+v, want flow 5 with 10 pkts / 1000 bytes", top[0])
+	}
+	if p, b, e := tk.Overflow(); p != 0 || b != 0 || e != 0 {
+		t.Fatalf("overflow = %d/%d/%d, want zeros", p, b, e)
+	}
+	wantP, wantB := uint64(2+4+6+8+10), uint64(200+400+600+800+1000)
+	if p, b := tk.Totals(); p != wantP || b != wantB {
+		t.Fatalf("totals = %d/%d, want %d/%d", p, b, wantP, wantB)
+	}
+}
+
+// TestTopKOverflowExact: evictions move mass to the overflow bucket and
+// totals stay exact — nothing observed is ever lost or inflated.
+func TestTopKOverflowExact(t *testing.T) {
+	tk := NewTopKFlows(2)
+	tk.Add(fk(1), 10, 1000)
+	tk.Add(fk(2), 5, 500)
+	tk.Add(fk(3), 1, 100) // at capacity: flow 2 (smallest) evicts to overflow
+	if p, b := tk.Totals(); p != 16 || b != 1600 {
+		t.Fatalf("totals = %d/%d, want 16/1600", p, b)
+	}
+	_, _, evictions := tk.Overflow()
+	if evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", evictions)
+	}
+	top := tk.Top()
+	if len(top) != 2 || top[0].Flow != fk(1) || top[0].Packets != 10 {
+		t.Fatalf("heaviest flow lost residency: %+v", top)
+	}
+	// Resident counts are lower bounds: sum(resident) + overflow == total.
+	var resP, resB uint64
+	for _, fc := range top {
+		resP += fc.Packets
+		resB += fc.Bytes
+	}
+	ovP, ovB, _ := tk.Overflow()
+	if resP+ovP != 16 || resB+ovB != 1600 {
+		t.Fatalf("conservation broken: resident %d/%d + overflow %d/%d != 16/1600", resP, resB, ovP, ovB)
+	}
+}
+
+// TestTopKMergeConservesAndOrders: merging per-collector sketches keeps
+// totals exact, is order-insensitive on totals, and with enough capacity
+// reproduces the exact union counts.
+func TestTopKMergeConservesAndOrders(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mkSketch := func(k int, n int) (*TopKFlows, map[FlowKey][2]uint64) {
+		tk := NewTopKFlows(k)
+		truth := make(map[FlowKey][2]uint64)
+		for i := 0; i < n; i++ {
+			key := fk(uint32(rng.Intn(12) + 1))
+			p, b := uint64(rng.Intn(5)+1), uint64(rng.Intn(500)+1)
+			tk.Add(key, p, b)
+			v := truth[key]
+			truth[key] = [2]uint64{v[0] + p, v[1] + b}
+		}
+		return tk, truth
+	}
+	a, truthA := mkSketch(4, 60)
+	b, truthB := mkSketch(4, 60)
+	var wantP, wantB uint64
+	for _, v := range truthA {
+		wantP += v[0]
+		wantB += v[1]
+	}
+	for _, v := range truthB {
+		wantP += v[0]
+		wantB += v[1]
+	}
+	a.Merge(b)
+	if p, bb := a.Totals(); p != wantP || bb != wantB {
+		t.Fatalf("merged totals = %d/%d, want %d/%d", p, bb, wantP, wantB)
+	}
+
+	// Large capacity: no evictions anywhere, merge must equal the exact
+	// union per flow.
+	c, truthC := mkSketch(64, 80)
+	d, truthD := mkSketch(64, 80)
+	c.Merge(d)
+	if _, _, ev := c.Overflow(); ev != 0 {
+		t.Fatalf("unexpected evictions at k=64: %d", ev)
+	}
+	for _, fc := range c.Top() {
+		want := [2]uint64{truthC[fc.Flow][0] + truthD[fc.Flow][0], truthC[fc.Flow][1] + truthD[fc.Flow][1]}
+		if fc.Packets != want[0] || fc.Bytes != want[1] {
+			t.Fatalf("flow %v merged to %d/%d, want %d/%d", fc.Flow, fc.Packets, fc.Bytes, want[0], want[1])
+		}
+	}
+}
+
+// TestTopKOf: building from a record stream counts payload bytes net of
+// the embedded trace ID, like every other throughput metric here.
+func TestTopKOf(t *testing.T) {
+	recs := Records([]core.Record{
+		{TraceID: 1, Len: 104, SrcIP: 1, DstIP: 2, SrcPort: 10, DstPort: 20, Proto: 6},
+		{TraceID: 2, Len: 104, SrcIP: 1, DstIP: 2, SrcPort: 10, DstPort: 20, Proto: 6},
+		{TraceID: 3, Len: 54, SrcIP: 3, DstIP: 4, SrcPort: 30, DstPort: 40, Proto: 17},
+	})
+	tk := TopKOf(recs, 4)
+	top := tk.Top()
+	if len(top) != 2 {
+		t.Fatalf("flows = %d, want 2", len(top))
+	}
+	if top[0].Packets != 2 || top[0].Bytes != 200 {
+		t.Fatalf("top flow = %+v, want 2 pkts / 200 bytes", top[0])
+	}
+	if top[1].Packets != 1 || top[1].Bytes != 50 {
+		t.Fatalf("second flow = %+v, want 1 pkt / 50 bytes", top[1])
+	}
+}

@@ -1,0 +1,258 @@
+package tracedb
+
+import "sort"
+
+// This file implements ledger handoff: the state that travels when an
+// agent is re-homed from a failed collector to a survivor. The agent
+// process itself outlives the collector, so unlike a restart its sequence
+// space continues — the importing collector must know the exporter's
+// high-water mark or it would re-ingest every spooled batch the old
+// collector already has. Ownership rules:
+//
+//   - the agent's record and aggregate ledgers live only on its current
+//     home collector;
+//   - re-homing advances the agent's epoch; the new home imports the old
+//     ledger state AT the new epoch (seqs continue), while the old home
+//     closes the epoch with a tombstone that fences stragglers;
+//   - gap accounting (missing batches) travels with the export and is
+//     zeroed in the tombstone, so a cluster-wide sum never double-counts
+//     a missing batch.
+
+// LedgerHandoff is one agent's exportable delivery-ledger state: the
+// sequence bookkeeping a successor collector needs to continue
+// exactly-once ingest for the same agent process.
+type LedgerHandoff struct {
+	// Epoch is the lease the state was recorded under.
+	Epoch uint64
+	// HighWater/MaxSeq/Pending mirror the live ledger's sequence state.
+	HighWater uint64
+	MaxSeq    uint64
+	Pending   []uint64
+	// MissingPrior carries gap counts from epochs closed before the
+	// handoff; the current epoch's gap re-derives from the seq state.
+	MissingPrior uint64
+	// Dups preserves the duplicate-drop history for reporting continuity.
+	Dups uint64
+	// LastSeenNs is the newest heartbeat on the agent's clock.
+	LastSeenNs int64
+	// Degraded is the agent's last self-reported degradation level.
+	Degraded uint8
+}
+
+// export snapshots the handoff state. Callers hold the mutex guarding l.
+func (l *agentLedger) export() LedgerHandoff {
+	h := LedgerHandoff{
+		Epoch:        l.epoch,
+		HighWater:    l.hwm,
+		MaxSeq:       l.maxSeq,
+		MissingPrior: l.missingPrior,
+		Dups:         l.dups,
+		LastSeenNs:   l.lastSeenNs,
+		Degraded:     l.degraded,
+	}
+	for seq := range l.pending {
+		h.Pending = append(h.Pending, seq)
+	}
+	sort.Slice(h.Pending, func(i, j int) bool { return h.Pending[i] < h.Pending[j] })
+	return h
+}
+
+// importHandoff installs exported state at the given (newer) epoch,
+// never regressing what this ledger already knows. On an epoch advance
+// the imported sequence state becomes both the current state (the agent
+// keeps its sequence space across a re-homing, so retried batches the
+// exporter already ingested must dedup here) and the frozen
+// previous-epoch view (so batches still carrying the pre-handoff epoch
+// dedup-aware fence instead of double-counting). At an equal epoch the
+// import merges monotonically — repeated handoffs cannot move the
+// high-water mark backwards. Callers hold the mutex guarding l.
+func (l *agentLedger) importHandoff(epoch uint64, h LedgerHandoff) {
+	if epoch < l.epoch {
+		return // stale import: this ledger has already moved on
+	}
+	if epoch > l.epoch {
+		// Close out whatever this ledger held (normally nothing: the
+		// importer never owned the agent, or closed it on a prior move).
+		l.missingPrior += l.maxSeq - l.hwm - uint64(len(l.pending))
+		l.prevMaxSeq = h.MaxSeq
+		l.prevHwm = h.HighWater
+		l.prevPending = seqSet(h.Pending)
+		l.prevFenced = make(map[uint64]struct{})
+		l.hwm = h.HighWater
+		l.maxSeq = h.MaxSeq
+		l.pending = seqSet(h.Pending)
+		l.missingPrior += h.MissingPrior
+		l.dups += h.Dups
+		l.degraded = h.Degraded
+		l.epoch = epoch
+	} else {
+		// Same epoch (a repeated handoff): merge without regressing.
+		if h.HighWater > l.hwm {
+			l.hwm = h.HighWater
+		}
+		if h.MaxSeq > l.maxSeq {
+			l.maxSeq = h.MaxSeq
+		}
+		for _, seq := range h.Pending {
+			if seq > l.hwm {
+				l.pending[seq] = struct{}{}
+			}
+		}
+		for seq := range l.pending {
+			if seq <= l.hwm {
+				delete(l.pending, seq)
+			}
+		}
+		for {
+			if _, ok := l.pending[l.hwm+1]; !ok {
+				break
+			}
+			delete(l.pending, l.hwm+1)
+			l.hwm++
+		}
+	}
+	if h.LastSeenNs > l.lastSeenNs {
+		l.lastSeenNs = h.LastSeenNs
+	}
+}
+
+// closeEpoch is the exporter-side tombstone after a handoff: like the
+// epoch-advance branch of admit it freezes the old sequence state for
+// dedup-aware fencing and resets the live counters, but it does NOT fold
+// the outstanding gap into missingPrior — that accounting traveled with
+// the export, and counting it on both collectors would double every
+// missing batch in cluster-wide sums. Callers hold the mutex guarding l.
+func (l *agentLedger) closeEpoch(epoch uint64) {
+	if epoch <= l.epoch {
+		return
+	}
+	l.prevMaxSeq = l.maxSeq
+	l.prevHwm = l.hwm
+	l.prevPending = l.pending
+	l.prevFenced = make(map[uint64]struct{})
+	l.hwm, l.maxSeq = 0, 0
+	l.pending = make(map[uint64]struct{})
+	l.missingPrior = 0
+	l.epoch = epoch
+}
+
+func seqSet(seqs []uint64) map[uint64]struct{} {
+	m := make(map[uint64]struct{}, len(seqs))
+	for _, s := range seqs {
+		m[s] = struct{}{}
+	}
+	return m
+}
+
+// ExportLedger snapshots an agent's record-batch ledger for handoff.
+func (db *DB) ExportLedger(agent string) (LedgerHandoff, bool) {
+	db.hbMu.Lock()
+	defer db.hbMu.Unlock()
+	l, ok := db.ledger[agent]
+	if !ok {
+		return LedgerHandoff{}, false
+	}
+	return l.export(), true
+}
+
+// ImportLedger installs handoff state for an agent at the given epoch
+// (the lease granted by the re-homing). Imports never regress: a stale
+// epoch is ignored, and an equal-epoch import merges monotonically.
+func (db *DB) ImportLedger(agent string, epoch uint64, h LedgerHandoff) {
+	db.hbMu.Lock()
+	defer db.hbMu.Unlock()
+	db.ledgerEntry(agent).importHandoff(epoch, h)
+}
+
+// CloseAgentEpoch is the old home's side of a handoff: it advances the
+// agent's ledger to the new epoch with no live state, so any straggler
+// still routed here — a record batch, an aggregate frame's heartbeat, a
+// bare heartbeat — is fenced instead of resurrecting the assignment. Gap
+// accounting is zeroed here because it traveled with the export.
+func (db *DB) CloseAgentEpoch(agent string, epoch uint64) {
+	db.hbMu.Lock()
+	defer db.hbMu.Unlock()
+	db.ledgerEntry(agent).closeEpoch(epoch)
+}
+
+// HeartbeatEpoch is the epoch-aware liveness update: it behaves exactly
+// like admitting an unsequenced batch — a current lease advances the
+// agent's last-seen clock, a newer lease closes the old epoch first, and
+// a stale lease is fenced without touching liveness or any counter. The
+// aggregate-frame path uses it so a frame routed to an agent's OLD
+// collector after a re-homing cannot resurrect the stale assignment.
+// Epoch 0 (unleased) is never fenced.
+func (db *DB) HeartbeatEpoch(agent string, epoch uint64, nowNs int64, degraded uint8) BatchStatus {
+	return db.AdmitBatch(agent, epoch, 0, 0, nowNs, degraded)
+}
+
+// ExportLedger snapshots an agent's aggregate-frame ledger for handoff.
+func (s *AggStore) ExportLedger(agent string) (LedgerHandoff, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.ledger[agent]
+	if !ok {
+		return LedgerHandoff{}, false
+	}
+	return l.export(), true
+}
+
+// ImportLedger installs aggregate-ledger handoff state at the given
+// epoch, with the same never-regress semantics as DB.ImportLedger.
+func (s *AggStore) ImportLedger(agent string, epoch uint64, h LedgerHandoff) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.ledger[agent]
+	if !ok {
+		l = &agentLedger{pending: make(map[uint64]struct{})}
+		s.ledger[agent] = l
+	}
+	l.importHandoff(epoch, h)
+}
+
+// CloseAgentEpoch fences an agent's aggregate stream on the old home
+// after a handoff; see DB.CloseAgentEpoch.
+func (s *AggStore) CloseAgentEpoch(agent string, epoch uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.ledger[agent]
+	if !ok {
+		l = &agentLedger{pending: make(map[uint64]struct{})}
+		s.ledger[agent] = l
+	}
+	l.closeEpoch(epoch)
+}
+
+// MergeAggs folds script-aggregate snapshots of the same script into one:
+// counters, per-CPU hits, and histogram buckets sum slot-wise; flows sum
+// per 5-tuple (sorted deterministically). This is the cross-collector
+// merge for a partitioned tier, where an agent's frames may have landed
+// on different collectors across a re-homing; it is exact because every
+// frame was merged exactly once on exactly one collector.
+func MergeAggs(parts ...ScriptAgg) ScriptAgg {
+	var out ScriptAgg
+	flows := make(map[flowKey]*FlowAgg)
+	for _, p := range parts {
+		if out.Script == "" {
+			out.Script = p.Script
+		}
+		out.Counters = addU64(out.Counters, p.Counters)
+		out.CPUHits = addU64(out.CPUHits, p.CPUHits)
+		out.Hist = addU64(out.Hist, p.Hist)
+		for _, f := range p.Flows {
+			k := flowKey{f.SrcIP, f.DstIP, f.SrcPort, f.DstPort, f.Proto}
+			fv, ok := flows[k]
+			if !ok {
+				fv = &FlowAgg{SrcIP: f.SrcIP, DstIP: f.DstIP, SrcPort: f.SrcPort, DstPort: f.DstPort, Proto: f.Proto}
+				flows[k] = fv
+			}
+			fv.Packets += f.Packets
+			fv.Bytes += f.Bytes
+		}
+	}
+	for _, fv := range flows {
+		out.Flows = append(out.Flows, *fv)
+	}
+	sort.Slice(out.Flows, func(i, j int) bool { return flowLess(&out.Flows[i], &out.Flows[j]) })
+	return out
+}

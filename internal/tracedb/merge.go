@@ -1,0 +1,224 @@
+package tracedb
+
+import (
+	"sort"
+
+	"vnettracer/internal/core"
+)
+
+// Merged is the cluster-query view of one tracepoint whose records are
+// partitioned across collectors: after a re-homing, an agent's table has
+// a prefix on its old collector and a suffix on its new one. Merged
+// presents the union as a single record stream. ScanAligned is a k-way
+// merge on aligned timestamps, so when each partition is time-sorted
+// (per-CPU ring order survives segment sealing) the merged stream is
+// globally time-sorted — what the latency join and throughput span
+// calculations assume of a single-collector table.
+type Merged struct {
+	parts []*Table
+}
+
+// Merge builds a merged view over the given table partitions; nil
+// entries are skipped (a collector without this table contributes
+// nothing).
+func Merge(parts ...*Table) *Merged {
+	m := &Merged{}
+	for _, t := range parts {
+		if t != nil {
+			m.parts = append(m.parts, t)
+		}
+	}
+	return m
+}
+
+// Parts reports how many partitions back the view.
+func (m *Merged) Parts() int { return len(m.parts) }
+
+// Name returns the first partition's table name (partitions of one
+// tracepoint share it).
+func (m *Merged) Name() string {
+	if len(m.parts) == 0 {
+		return ""
+	}
+	return m.parts[0].Name
+}
+
+// Len sums the record counts of all partitions.
+func (m *Merged) Len() int {
+	n := 0
+	for _, t := range m.parts {
+		n += t.Len()
+	}
+	return n
+}
+
+// Scan streams every partition's records in raw timestamps, k-way merged
+// on TimeNs.
+func (m *Merged) Scan(fn func(core.Record) bool) { m.scanMerged(false, fn) }
+
+// ScanAligned streams every partition's records with per-table skew
+// correction applied, k-way merged on the aligned TimeNs — the
+// cross-collector equivalent of Table.ScanAligned.
+func (m *Merged) ScanAligned(fn func(core.Record) bool) { m.scanMerged(true, fn) }
+
+// mergeStream adapts one partition's push-based scan into a pullable
+// record stream: a goroutine runs the scan and feeds a buffered channel,
+// stopping early when the consumer closes stop.
+type mergeStream struct {
+	ch   chan core.Record
+	stop chan struct{}
+	cur  core.Record
+	ok   bool
+}
+
+func (s *mergeStream) advance() {
+	s.cur, s.ok = <-s.ch
+}
+
+// scanMerged runs the k-way merge. Ties on TimeNs break by partition
+// index, so the merged order is deterministic for a fixed partition
+// list.
+func (m *Merged) scanMerged(align bool, fn func(core.Record) bool) {
+	if len(m.parts) == 1 {
+		// Single partition: no goroutine machinery needed.
+		if align {
+			m.parts[0].ScanAligned(fn)
+		} else {
+			m.parts[0].Scan(fn)
+		}
+		return
+	}
+	streams := make([]*mergeStream, len(m.parts))
+	for i, t := range m.parts {
+		s := &mergeStream{ch: make(chan core.Record, 64), stop: make(chan struct{})}
+		streams[i] = s
+		go func(t *Table, s *mergeStream) {
+			defer close(s.ch)
+			emit := func(r core.Record) bool {
+				select {
+				case s.ch <- r:
+					return true
+				case <-s.stop:
+					return false
+				}
+			}
+			if align {
+				t.ScanAligned(emit)
+			} else {
+				t.Scan(emit)
+			}
+		}(t, s)
+	}
+	defer func() {
+		// Unblock and drain every producer so no goroutine leaks when the
+		// consumer stops early.
+		for _, s := range streams {
+			close(s.stop)
+			for range s.ch {
+			}
+		}
+	}()
+
+	// heap holds the stream indices with a live head record, a binary
+	// min-heap on (cur.TimeNs, stream index).
+	heap := make([]int, 0, len(streams))
+	less := func(a, b int) bool {
+		if streams[a].cur.TimeNs != streams[b].cur.TimeNs {
+			return streams[a].cur.TimeNs < streams[b].cur.TimeNs
+		}
+		return a < b
+	}
+	up := func(i int) {
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !less(heap[i], heap[parent]) {
+				break
+			}
+			heap[i], heap[parent] = heap[parent], heap[i]
+			i = parent
+		}
+	}
+	down := func(i int) {
+		for {
+			least, l, r := i, 2*i+1, 2*i+2
+			if l < len(heap) && less(heap[l], heap[least]) {
+				least = l
+			}
+			if r < len(heap) && less(heap[r], heap[least]) {
+				least = r
+			}
+			if least == i {
+				return
+			}
+			heap[i], heap[least] = heap[least], heap[i]
+			i = least
+		}
+	}
+	for i, s := range streams {
+		s.advance()
+		if s.ok {
+			heap = append(heap, i)
+			up(len(heap) - 1)
+		}
+	}
+	for len(heap) > 0 {
+		i := heap[0]
+		s := streams[i]
+		if !fn(s.cur) {
+			return
+		}
+		s.advance()
+		if s.ok {
+			down(0)
+			continue
+		}
+		heap[0] = heap[len(heap)-1]
+		heap = heap[:len(heap)-1]
+		down(0)
+	}
+}
+
+// TraceIDs returns the distinct packet IDs across all partitions, sorted.
+func (m *Merged) TraceIDs() []uint32 {
+	set := make(map[uint32]struct{})
+	for _, t := range m.parts {
+		for _, id := range t.TraceIDs() {
+			set[id] = struct{}{}
+		}
+	}
+	out := make([]uint32, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumTraceIDs counts distinct packet IDs across all partitions.
+func (m *Merged) NumTraceIDs() int {
+	set := make(map[uint32]struct{})
+	for _, t := range m.parts {
+		for _, id := range t.TraceIDs() {
+			set[id] = struct{}{}
+		}
+	}
+	return len(set)
+}
+
+// FirstByTraceID returns the record with the earliest aligned timestamp
+// for a packet ID across all partitions — the cross-collector trace-ID
+// join primitive behind latency decomposition. Ties break toward the
+// earliest partition.
+func (m *Merged) FirstByTraceID(id uint32) (core.Record, bool) {
+	var best core.Record
+	found := false
+	for _, t := range m.parts {
+		if r, ok := t.FirstByTraceID(id); ok {
+			if !found || r.TimeNs < best.TimeNs {
+				best = r
+				found = true
+			}
+		}
+	}
+	return best, found
+}

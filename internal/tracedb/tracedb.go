@@ -230,8 +230,9 @@ func (s StorageStats) CompressionRatio() float64 {
 	return float64(s.SealedRawBytes) / float64(stored)
 }
 
-// add merges another table's stats into an aggregate.
-func (s *StorageStats) add(o StorageStats) {
+// Add merges another table's stats into an aggregate — also the way
+// cluster tooling folds per-collector storage totals into one view.
+func (s *StorageStats) Add(o StorageStats) {
 	s.HeadRecords += o.HeadRecords
 	s.SealedRecords += o.SealedRecords
 	s.Extents += o.Extents
@@ -262,7 +263,7 @@ func (db *DB) StorageStats() []StorageStats {
 func (db *DB) StorageTotals() StorageStats {
 	var total StorageStats
 	for _, s := range db.StorageStats() {
-		total.add(s)
+		total.Add(s)
 	}
 	total.TPID, total.Name = 0, ""
 	return total

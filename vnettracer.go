@@ -117,6 +117,16 @@ type (
 	Extent = tracedb.Extent
 	// StorageStats is a snapshot of segment-store accounting.
 	StorageStats = tracedb.StorageStats
+	// Merged is a k-way merged read-only view over partitions of one
+	// tracepoint's table spread across collectors.
+	Merged = tracedb.Merged
+	// ScriptAgg is one script's merged in-probe aggregate state.
+	ScriptAgg = tracedb.ScriptAgg
+	// TopKFlows is a mergeable top-K flow sketch with exact overflow
+	// accounting.
+	TopKFlows = metrics.TopKFlows
+	// FlowCount is one flow's packet/byte sums inside a TopKFlows sketch.
+	FlowCount = metrics.FlowCount
 	// Agent is a per-machine tracing daemon.
 	Agent = control.Agent
 	// Dispatcher pushes control packages to agents.
