@@ -58,6 +58,7 @@ fuzz:
 	$(GO) test -run NONE -fuzz FuzzVerifyProgram -fuzztime $(FUZZTIME) ./internal/ebpf
 	$(GO) test -run NONE -fuzz FuzzSegmentDecode -fuzztime $(FUZZTIME) ./internal/tracedb
 	$(GO) test -run NONE -fuzz FuzzDecodeAggFrame -fuzztime $(FUZZTIME) ./internal/control
+	$(GO) test -run NONE -fuzz FuzzWALDecode -fuzztime $(FUZZTIME) ./internal/tracedb
 
 # Coverage summary over the whole module.
 .PHONY: cover
@@ -66,7 +67,7 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -1
 
 .PHONY: check
-check: tier1 vet staticcheck race faults fuzz cover bench-json
+check: tier1 vet staticcheck race faults crash fuzz cover bench-json
 
 .PHONY: bench-wire
 bench-wire:
@@ -89,3 +90,16 @@ bench-json:
 		-benchmem -benchtime 1000x . | $(GO) run ./cmd/benchjson -o BENCH_pr8.json
 	$(GO) test -run NONE -bench 'BenchmarkClusterIngest' \
 		-benchmem -benchtime 20000x . | $(GO) run ./cmd/benchjson -o BENCH_pr9.json
+	( $(GO) test -run NONE -bench 'BenchmarkWALIngest' -benchmem -benchtime 1000x . && \
+	  $(GO) test -run NONE -bench 'BenchmarkWALRecovery' -benchmem -benchtime 10x . ) \
+		| $(GO) run ./cmd/benchjson -o BENCH_pr10.json
+
+# Crash-recovery conformance: the kill -9 collector scenarios (recover
+# mid-traffic from WAL + checkpoint; recovery racing the ring's agent
+# re-homing) swept across CONFORMANCE_SEEDS seeds under the race
+# detector. The acceptance bar for the durable collector.
+.PHONY: crash
+crash:
+	CONFORMANCE_SEEDS=$(CONFORMANCE_SEEDS) $(GO) test -race -count=1 \
+		-run 'TestScenarioCorpus/(collector-kill-recover|recover-vs-rehome)|TestSeedSweep/(collector-kill-recover|recover-vs-rehome)' \
+		./internal/conformance

@@ -27,6 +27,9 @@ func runCollector(args []string) error {
 	segBytes := fs.Int("segment-bytes", tracedb.DefaultSegmentBytes, "raw bytes per table head before sealing a compressed segment")
 	retention := fs.Int64("retention", 0, "max compressed sealed bytes per table; oldest whole segments evicted beyond this (0 = keep forever)")
 	dataDir := fs.String("data-dir", "", "spill sealed segments to this directory instead of keeping them resident")
+	walDir := fs.String("wal", "", "write-ahead-log + checkpoint directory; enables crash durability (requires -data-dir)")
+	fsyncMode := fs.String("fsync", "interval", "WAL fsync policy: always, interval, or never")
+	ckptEvery := fs.Duration("checkpoint-interval", 30*time.Second, "snapshot ledgers and aggregates this often, truncating the WAL (0 = only at shutdown)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -36,7 +39,34 @@ func runCollector(args []string) error {
 		DataDir:      *dataDir,
 		RetainBytes:  *retention,
 	})
-	col := control.NewCollector(db)
+	var col *control.Collector
+	var dur *tracedb.Durability
+	if *walDir != "" {
+		if *dataDir == "" {
+			return fmt.Errorf("-wal requires -data-dir: recovery reopens spilled segments from it")
+		}
+		policy, err := tracedb.ParseFsyncPolicy(*fsyncMode)
+		if err != nil {
+			return err
+		}
+		aggs := tracedb.NewAggStore()
+		col = control.NewCollectorWith(db, aggs)
+		d, rec, err := tracedb.Recover(db, aggs, tracedb.DurabilityConfig{Dir: *walDir, Fsync: policy})
+		if err != nil {
+			return fmt.Errorf("recover: %w", err)
+		}
+		col.SetDurability(d)
+		dur = d
+		fmt.Printf("recovered: checkpoint=%v lsn=%d, adopted %d extents (%d records), replayed %d WAL entries (%d records, %d agg frames, %d dup), next lsn %d\n",
+			rec.CheckpointLoaded, rec.CheckpointLSN, rec.AdoptedExtents, rec.AdoptedRecords,
+			rec.ReplayedEntries, rec.ReplayedRecords, rec.ReplayedFrames, rec.ReplayedDup, rec.NextLSN)
+		if rec.DroppedExtents+rec.CorruptExtents+rec.TornTails+rec.SweptTmp > 0 {
+			fmt.Printf("  repair: %d post-checkpoint extents dropped, %d corrupt extents skipped, %d torn WAL tails truncated, %d tmp files swept\n",
+				rec.DroppedExtents, rec.CorruptExtents, rec.TornTails, rec.SweptTmp)
+		}
+	} else {
+		col = control.NewCollector(db)
+	}
 	// Move DB inserts off the transport goroutines onto the bounded
 	// ingest queue; a full queue drops batches rather than stalling agents.
 	col.StartIngest(*workers, *queue)
@@ -75,9 +105,19 @@ func runCollector(args []string) error {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	tick := time.NewTicker(time.Second)
 	defer tick.Stop()
+	var ckptC <-chan time.Time
+	if dur != nil && *ckptEvery > 0 {
+		ct := time.NewTicker(*ckptEvery)
+		defer ct.Stop()
+		ckptC = ct.C
+	}
 	var lastRecords uint64
 	for {
 		select {
+		case <-ckptC:
+			if err := dur.Checkpoint(); err != nil {
+				fmt.Fprintf(os.Stderr, "checkpoint: %v\n", err)
+			}
 		case <-stop:
 			col.StopIngest() // drain queued batches before reporting
 			batches, records, drops := col.Stats()
@@ -97,6 +137,25 @@ func runCollector(args []string) error {
 				st.Records(), st.Extents, st.SpilledExtents,
 				fmtBytes(st.ResidentBytes), fmtBytes(st.SpilledBytes),
 				st.CompressionRatio(), st.EvictedRecords)
+			if st.SpillErrors > 0 {
+				fmt.Printf("  spill errors: %d (last: %s)\n", st.SpillErrors, st.LastSpillError)
+			}
+			if dur != nil {
+				// Final checkpoint so a clean restart replays nothing.
+				if err := dur.Checkpoint(); err != nil {
+					fmt.Fprintf(os.Stderr, "final checkpoint: %v\n", err)
+				}
+				ds := dur.Stats()
+				fmt.Printf("durability: fsync=%s, %d WAL entries (%s, %d syncs, %d errors), %d checkpoints (%d failed), last checkpoint lsn %d\n",
+					ds.Policy, ds.WALEntries, fmtBytes(ds.WALBytes), ds.WALSyncs, ds.WALErrors,
+					ds.Checkpoints, ds.CheckpointErrors, ds.LastCheckpointLSN)
+				if ds.LastError != "" {
+					fmt.Printf("  last durability error: %s\n", ds.LastError)
+				}
+				if err := dur.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "wal close: %v\n", err)
+				}
+			}
 			return nil
 		case <-tick.C:
 			_, records, _ := col.Stats()

@@ -3,7 +3,7 @@
 // node, an agent daemon per monitored machine, and a control data
 // dispatcher that pushes trace scripts to agents.
 //
-//	vnettracer collector -listen :7701 [-out records.jsonl]
+//	vnettracer collector -listen :7701 [-out records.jsonl] [-data-dir d -wal w]
 //	vnettracer agent -name agent0 -listen :7702 -collector 127.0.0.1:7701
 //	vnettracer dispatch -agent 127.0.0.1:7702 -package pkg.json
 //
@@ -48,7 +48,10 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   vnettracer collector -listen ADDR [-out FILE] [-agg-out FILE]
-                                                     run the raw data collector
+                       [-data-dir DIR -wal DIR]      run the raw data collector;
+                                                     -wal enables crash durability
+                                                     (WAL + checkpoints, recovery
+                                                     on restart)
   vnettracer agent -name NAME -listen ADDR -collector ADDR[,ADDR...]
                                                      run an agent with a demo machine;
                                                      a collector list homes the agent by

@@ -9,6 +9,7 @@
 //	vntquery -in records.jsonl -from 1 -to 2 -skew 150000
 //	vntquery agents -in records.jsonl               # per-agent supervision ledger
 //	vntquery storage -in records.jsonl              # segment-store accounting
+//	vntquery storage -data-dir d -wal w             # crash-recovery inspection
 //	vntquery agg -in agg.jsonl                      # merged in-probe aggregates
 //	vntquery cluster -in col0.jsonl -in col1.jsonl  # merged multi-collector view
 //	vntquery cluster -in c0.jsonl -in c1.jsonl -from 1 -to 2
@@ -105,14 +106,15 @@ func main() {
 		segBytes := fs.Int("segment-bytes", tracedb.DefaultSegmentBytes, "raw bytes per table head before sealing a segment")
 		dataDir := fs.String("data-dir", "", "spill sealed segments to this directory")
 		retention := fs.Int64("retention", 0, "max compressed sealed bytes per table (0 = keep all)")
+		walDir := fs.String("wal", "", "recover from this WAL/checkpoint directory instead of replaying a dump (requires -data-dir)")
 		if err := fs.Parse(os.Args[2:]); err != nil {
 			os.Exit(2)
 		}
-		if *in == "" {
+		if *in == "" && *walDir == "" {
 			fs.Usage()
 			os.Exit(2)
 		}
-		if err := runStorage(*in, tracedb.Config{SegmentBytes: *segBytes, DataDir: *dataDir, RetainBytes: *retention}); err != nil {
+		if err := runStorage(*in, *walDir, tracedb.Config{SegmentBytes: *segBytes, DataDir: *dataDir, RetainBytes: *retention}); err != nil {
 			fmt.Fprintf(os.Stderr, "vntquery: %v\n", err)
 			os.Exit(1)
 		}
@@ -270,32 +272,53 @@ func runAgg(path, only string, topFlows int) error {
 // runStorage loads a trace dump into a segment store under the given
 // configuration, seals the heads, and prints per-table and aggregate
 // storage accounting — a dry run of what the live collector's resident
-// footprint would be under those settings.
-func runStorage(path string, cfg tracedb.Config) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-
+// footprint would be under those settings. With a WAL directory it
+// instead runs the collector's crash-recovery path against the on-disk
+// state (checkpoint + WAL replay + spilled extents) and reports what a
+// restarted collector would resume with; note recovery repairs in
+// place, truncating torn WAL tails and sweeping orphaned tmp files.
+func runStorage(path, walDir string, cfg tracedb.Config) error {
 	db := tracedb.NewWith(cfg)
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
-	lines := 0
-	for sc.Scan() {
-		var batch control.RecordBatch
-		if err := json.Unmarshal(sc.Bytes(), &batch); err != nil {
-			return fmt.Errorf("line %d: %w", lines+1, err)
+	if walDir != "" {
+		if cfg.DataDir == "" {
+			return fmt.Errorf("-wal requires -data-dir: recovery reopens spilled segments from it")
 		}
-		db.Insert(batch.Records)
-		lines++
+		dur, rec, err := tracedb.Recover(db, tracedb.NewAggStore(), tracedb.DurabilityConfig{Dir: walDir, Fsync: tracedb.FsyncNever})
+		if err != nil {
+			return fmt.Errorf("recover: %w", err)
+		}
+		defer dur.Close()
+		fmt.Printf("recovered from %q (data-dir %q)\n", walDir, cfg.DataDir)
+		fmt.Printf("  checkpoint loaded=%v lsn=%d, next lsn %d\n", rec.CheckpointLoaded, rec.CheckpointLSN, rec.NextLSN)
+		fmt.Printf("  extents: %d adopted (%d records), %d dropped past checkpoint, %d corrupt\n",
+			rec.AdoptedExtents, rec.AdoptedRecords, rec.DroppedExtents, rec.CorruptExtents)
+		fmt.Printf("  WAL: %d entries replayed (%d records, %d agg frames, %d dup), %d torn tails truncated, %d tmp files swept\n",
+			rec.ReplayedEntries, rec.ReplayedRecords, rec.ReplayedFrames, rec.ReplayedDup, rec.TornTails, rec.SweptTmp)
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1<<20), 1<<24)
+		lines := 0
+		for sc.Scan() {
+			var batch control.RecordBatch
+			if err := json.Unmarshal(sc.Bytes(), &batch); err != nil {
+				return fmt.Errorf("line %d: %w", lines+1, err)
+			}
+			db.Insert(batch.Records)
+			lines++
+		}
+		if err := sc.Err(); err != nil {
+			return err
+		}
+		db.SealAll()
+		fmt.Printf("loaded %d batches (segment-bytes %d, retention %d, data-dir %q)\n",
+			lines, db.Config().SegmentBytes, cfg.RetainBytes, cfg.DataDir)
 	}
-	if err := sc.Err(); err != nil {
-		return err
-	}
-	db.SealAll()
-	fmt.Printf("loaded %d batches (segment-bytes %d, retention %d, data-dir %q)\n",
-		lines, db.Config().SegmentBytes, cfg.RetainBytes, cfg.DataDir)
 
 	printStats := func(label string, s tracedb.StorageStats) {
 		fmt.Printf("%s: %d records (%d head, %d sealed), %d segments (%d spilled)\n",
@@ -305,6 +328,9 @@ func runStorage(path string, cfg tracedb.Config) error {
 		if s.EvictedRecords > 0 || s.ReadErrors > 0 {
 			fmt.Printf("  evicted %d records in %d segments, %d read errors\n",
 				s.EvictedRecords, s.EvictedExtents, s.ReadErrors)
+		}
+		if s.SpillErrors > 0 {
+			fmt.Printf("  spill errors: %d (last: %s)\n", s.SpillErrors, s.LastSpillError)
 		}
 	}
 	for _, s := range db.StorageStats() {

@@ -77,6 +77,36 @@ func TestScenarioCorpus(t *testing.T) {
 			}
 			return "aggregate frames deduped", r.AggFramesDup
 		},
+		"collector-kill-recover": func(r *Result) (string, uint64) {
+			if r.RecoveredCollectors == 0 {
+				return "recovered collectors", 0
+			}
+			if !r.Recovery.CheckpointLoaded {
+				return "checkpoint loaded at recovery", 0
+			}
+			if r.Recovery.ReplayedRecords == 0 {
+				return "WAL-replayed records", 0
+			}
+			if r.CrashSpooledBatches == 0 || r.CrashSpooledFrames == 0 {
+				return "batches and frames spooled at the crash instant", 0
+			}
+			return "re-shipped batches deduped by the recovered collector", r.DupAfterRecovery
+		},
+		"recover-vs-rehome": func(r *Result) (string, uint64) {
+			if r.RecoveredCollectors == 0 {
+				return "recovered collectors", 0
+			}
+			if r.Rehomes == 0 {
+				return "re-homed agents", 0
+			}
+			if !r.Recovery.CheckpointLoaded {
+				return "checkpoint loaded at recovery", 0
+			}
+			if r.Recovery.ReplayedRecords == 0 {
+				return "WAL-replayed records", 0
+			}
+			return "re-shipped batches deduped after the rehome", r.DupBatches
+		},
 		"skewed-agent-load": func(r *Result) (string, uint64) {
 			var min, max uint64
 			for i, pc := range r.PerCollector {
@@ -153,6 +183,7 @@ func TestCorpusCoversFaultMatrix(t *testing.T) {
 	var bursts, skew, outage, ackLoss, restart, spool, wireLoss, forever bool
 	var kill, zombie, overload, aggregation bool
 	var multiCollector, rehome, skewedLoad bool
+	var durable, killRecover, recoverVsRehome bool
 	names := make(map[string]bool)
 	for _, sc := range corpus {
 		if names[sc.Name] {
@@ -174,6 +205,9 @@ func TestCorpusCoversFaultMatrix(t *testing.T) {
 		multiCollector = multiCollector || sc.Collectors > 1
 		rehome = rehome || sc.CollectorFailAtNs > 0
 		skewedLoad = skewedLoad || len(sc.AgentWeights) > 0
+		durable = durable || sc.Durable
+		killRecover = killRecover || (sc.Durable && sc.CollectorCrashAtNs > 0)
+		recoverVsRehome = recoverVsRehome || (sc.Durable && sc.CollectorCrashAtNs > 0 && sc.CollectorFailAtNs > 0)
 	}
 	for axis, covered := range map[string]bool{
 		"bursty emit":            bursts,
@@ -191,6 +225,9 @@ func TestCorpusCoversFaultMatrix(t *testing.T) {
 		"multi-collector tier":   multiCollector,
 		"collector crash rehome": rehome,
 		"skewed agent load":      skewedLoad,
+		"durable WAL ingest":     durable,
+		"collector kill recover": killRecover,
+		"recover vs rehome":      recoverVsRehome,
 	} {
 		if !covered {
 			t.Errorf("fault axis %q not covered by any corpus scenario", axis)
@@ -295,6 +332,7 @@ func TestSeedSweep(t *testing.T) {
 		"baseline-steady", "bursty-emit-ring-drops", "spool-overflow", "kitchen-sink",
 		"agent-restart-reprovision", "zombie-epoch-fencing", "collector-overload-degrade",
 		"in-probe-aggregation", "collector-crash-rehome", "skewed-agent-load",
+		"collector-kill-recover", "recover-vs-rehome",
 	} {
 		base, ok := byName[name]
 		if !ok {

@@ -131,28 +131,42 @@ func check(sc Scenario, cluster []*agentState, truth *groundTruth, cols []*colle
 		checkTable(sc, st, st.dstTP, truth, cols, res)
 	}
 
-	// Collector totals, summed across the tier, agree with the tables.
+	// Collector totals, summed across the tier, agree with the tables. A
+	// recovered collector's process-local counters restarted at zero at
+	// the crash, so the snapshots the harness took at the crash instant
+	// are added back — the records themselves are in the recovered store
+	// and the per-table checks above already counted them.
 	var colBatches, colRecords, colRingDrops uint64
 	var dup, dupRecs, missing uint64
 	var fencedB, fencedR uint64
 	for _, cs := range cols {
 		b, r, rd := cs.col.Stats()
+		d, dr, m := cs.col.DeliveryStats()
+		if cs.recovered {
+			res.DupAfterRecovery += d
+		}
+		b += cs.lostBatches
+		r += cs.lostRecords
+		rd += cs.lostRingDrops
+		d += cs.lostDupBatches
+		dr += cs.lostDupRecords
 		colBatches += b
 		colRecords += r
 		colRingDrops += rd
-		d, dr, m := cs.col.DeliveryStats()
 		dup += d
 		dupRecs += dr
 		missing += m
 		fb, fr := cs.col.FencedStats()
 		fencedB += fb
 		fencedR += fr
+		res.Violations = append(res.Violations, cs.notes...)
 		res.PerCollector = append(res.PerCollector, CollectorReport{
-			Name:    cs.name,
-			Batches: b,
-			Records: r,
-			Agents:  perColAgents[cs.name],
-			Crashed: cs.sink.crashed,
+			Name:      cs.name,
+			Batches:   b,
+			Records:   r,
+			Agents:    perColAgents[cs.name],
+			Crashed:   cs.sink.crashed,
+			Recovered: cs.recovered,
 		})
 	}
 	res.Rehomes = clu.Rehomes()
@@ -203,8 +217,8 @@ func check(sc Scenario, cluster []*agentState, truth *groundTruth, cols []*colle
 			rep.Degradations, rep.Recoveries, rep.DegradeLevel, rep.SampleDrops)
 	}
 	for _, pc := range res.PerCollector {
-		dig.logf("account collector=%s batches=%d records=%d agents=%d crashed=%v",
-			pc.Name, pc.Batches, pc.Records, pc.Agents, pc.Crashed)
+		dig.logf("account collector=%s batches=%d records=%d agents=%d crashed=%v recovered=%v",
+			pc.Name, pc.Batches, pc.Records, pc.Agents, pc.Crashed, pc.Recovered)
 	}
 	dig.logf("account collector records=%d dup=%d missing=%d attempts=%d rejected=%d ackslost=%d fenced=%d/%d overloadacks=%d rehomes=%d",
 		colRecords, dup, missing, fs.attempts, fs.rejected, fs.acksLost,
@@ -253,15 +267,26 @@ func checkSupervision(sc Scenario, cluster []*agentState, res *Result) {
 		}
 		crashed := 0
 		for _, pc := range res.PerCollector {
-			if pc.Crashed {
+			// A collector that crashed and later recovered still counts as
+			// the fault's one victim; only a still-dead one must have shed
+			// every tenant (re-homing never moves agents back).
+			if pc.Crashed || pc.Recovered {
 				crashed++
-				if pc.Agents != 0 {
-					res.violatef("crashed collector %s still homes %d agents at quiesce", pc.Name, pc.Agents)
-				}
+			}
+			if pc.Crashed && pc.Agents != 0 {
+				res.violatef("crashed collector %s still homes %d agents at quiesce", pc.Name, pc.Agents)
 			}
 		}
 		if crashed != 1 {
 			res.violatef("%d collectors crashed, fault injects exactly 1", crashed)
+		}
+	}
+	if sc.Durable && sc.CollectorCrashAtNs > 0 && sc.CollectorRecoverAfterNs > 0 {
+		if res.RecoveredCollectors != 1 {
+			res.violatef("%d collectors recovered, kill/recover fault injects exactly 1", res.RecoveredCollectors)
+		}
+		if res.Recovery.ReplayedEntries == 0 && !res.Recovery.CheckpointLoaded {
+			res.violatef("recovery replayed nothing and loaded no checkpoint — the crash hit an empty collector")
 		}
 	}
 	if sc.OverloadCap > 0 {
@@ -308,8 +333,11 @@ func checkAggregates(sc Scenario, cluster []*agentState, truth *groundTruth, col
 	for _, cs := range cols {
 		t := cs.col.Aggregates().Totals()
 		tot.FramesMerged += t.FramesMerged
-		tot.FramesDup += t.FramesDup
-		tot.FramesFenced += t.FramesFenced
+		// Dup/fenced bookkeeping since a recovered collector's last
+		// checkpoint died with its process; the crash-instant deltas the
+		// harness snapshotted complete the cluster-wide reconciliation.
+		tot.FramesDup += t.FramesDup + cs.aggLost.FramesDup
+		tot.FramesFenced += t.FramesFenced + cs.aggLost.FramesFenced
 		tot.RowsMerged += t.RowsMerged
 	}
 	res.AggFramesMerged, res.AggFramesDup, res.AggFramesFenced = tot.FramesMerged, tot.FramesDup, tot.FramesFenced

@@ -26,12 +26,49 @@ const (
 
 // collectorState is one collector slot in the scaled-out tier: its own
 // trace store (per-agent tables partition across these), its dedup
-// collector, and the fault-injecting sink agents ship to.
+// collector, and the fault-injecting sink agents ship to. Durable
+// scenarios add the WAL/checkpoint layer plus the bookkeeping a
+// kill/recover fault needs: the in-memory counters the crash destroys
+// (monitoring state a real process loses, which the harness folds back
+// into the cluster reconciliation) and the crash-instant snapshots the
+// recovery-fidelity checks compare against.
 type collectorState struct {
 	name string
 	db   *tracedb.DB
 	col  *control.Collector
 	sink *faultSink
+
+	// Durable-scenario state: the durability layer and its directories
+	// (dataDir holds spilled extents, walDir the WAL and checkpoints).
+	dur     *tracedb.Durability
+	dataDir string
+	walDir  string
+
+	// wasCrashed marks the kill fault fired here; recovered marks the
+	// rebuild completed (the sink is fresh, so sink.crashed is false
+	// again afterwards).
+	wasCrashed bool
+	recovered  bool
+
+	// lost* snapshot the collector's in-memory ingest counters at the
+	// crash instant. Recovery rebuilds the store and ledgers from disk
+	// but process-local counters legitimately restart at zero, so the
+	// invariants add these back when reconciling cluster-wide totals.
+	lostBatches, lostRecords, lostRingDrops uint64
+	lostDupBatches, lostDupRecords          uint64
+	// aggLost holds the aggregate-store counter deltas the crash dropped
+	// (dup/fenced bookkeeping since the last checkpoint is deliberately
+	// transient; merged totals must survive exactly).
+	aggLost tracedb.AggTotals
+
+	// Crash-instant ground truth for the recovery-fidelity checks.
+	preRecords uint64
+	preTotals  tracedb.AggTotals
+	preLedgers map[string]tracedb.AgentLedger
+
+	// notes collects recovery-fidelity violations found at fault time;
+	// check() surfaces them with the other invariants.
+	notes []string
 }
 
 // agentState is one traced machine in the simulated cluster.
@@ -163,6 +200,17 @@ type Result struct {
 	// Storage aggregates the trace store's segment accounting at quiesce
 	// (after heads seal), so runs can assert on residency and spill.
 	Storage tracedb.StorageStats
+
+	// Durable-collector recovery accounting (Durable scenarios with a
+	// kill/recover fault). CrashSpooled* capture the agent-side backlog
+	// outstanding at the crash instant; DupAfterRecovery counts re-shipped
+	// batches the recovered collector deduped against its WAL-replayed
+	// ledgers; Recovery is the rebuilt collector's replay accounting.
+	RecoveredCollectors int
+	CrashSpooledBatches uint64
+	CrashSpooledFrames  uint64
+	DupAfterRecovery    uint64
+	Recovery            tracedb.RecoveryStats
 }
 
 // CollectorReport is one collector's share of the run.
@@ -170,8 +218,11 @@ type CollectorReport struct {
 	Name    string
 	Batches uint64
 	Records uint64
-	Agents  int // agents homed here at quiesce
-	Crashed bool
+	Agents  int  // agents homed here at quiesce
+	Crashed bool // sink still dead at quiesce
+	// Recovered marks a collector that crashed and was rebuilt from its
+	// WAL and checkpoints mid-run (its sink is live again at quiesce).
+	Recovered bool
 }
 
 // AgentReport is the per-machine accounting the invariants reconcile.
@@ -220,12 +271,24 @@ func Run(sc Scenario) (*Result, error) {
 	eng := sim.NewEngine(sc.Seed)
 	dist := sim.NewDist(eng)
 	fs := newFaultState(eng, sc, dig)
+	spillRoot := sc.SpillDir
+	if sc.Durable && spillRoot == "" {
+		// Durability needs real files; provision a throwaway root when the
+		// scenario didn't bring one (no path leaks into the digest, so the
+		// replay fingerprint stays location-independent).
+		tmp, err := os.MkdirTemp("", "vnt-conformance-")
+		if err != nil {
+			return nil, fmt.Errorf("conformance: %s: %w", sc.Name, err)
+		}
+		defer os.RemoveAll(tmp)
+		spillRoot = tmp
+	}
 	cols := make([]*collectorState, sc.Collectors)
 	disp := control.NewDispatcher()
 	clu := control.NewCluster(disp)
 	for c := range cols {
 		name := fmt.Sprintf("col-%d", c)
-		dir := sc.SpillDir
+		dir := spillRoot
 		if dir != "" && sc.Collectors > 1 {
 			// Each collector spills into its own subdirectory: extent
 			// filenames are per-table, and a rehomed agent's table has
@@ -235,10 +298,37 @@ func Run(sc Scenario) (*Result, error) {
 				return nil, fmt.Errorf("conformance: %s: %w", sc.Name, err)
 			}
 		}
-		db := tracedb.NewWith(tracedb.Config{SegmentBytes: sc.SegmentBytes, DataDir: dir})
-		col := control.NewCollector(db)
-		cols[c] = &collectorState{name: name, db: db, col: col, sink: newFaultSink(name, col, fs)}
-		if err := clu.AddCollector(name, col, cols[c].sink); err != nil {
+		cs := &collectorState{name: name}
+		dataDir := dir
+		if sc.Durable {
+			// Split the collector's directory: extents under data/, WAL and
+			// checkpoints under wal/ — the layout the CLI collector uses.
+			dataDir = filepath.Join(dir, "data")
+			cs.walDir = filepath.Join(dir, "wal")
+			if err := os.MkdirAll(dataDir, 0o755); err != nil {
+				return nil, fmt.Errorf("conformance: %s: %w", sc.Name, err)
+			}
+		}
+		cs.dataDir = dataDir
+		db := tracedb.NewWith(tracedb.Config{SegmentBytes: sc.SegmentBytes, DataDir: dataDir})
+		var col *control.Collector
+		if sc.Durable {
+			// Startup is the recovery path run against an empty directory:
+			// the same code cold-starts and crash-recovers.
+			aggs := tracedb.NewAggStore()
+			col = control.NewCollectorWith(db, aggs)
+			d, _, err := tracedb.Recover(db, aggs, tracedb.DurabilityConfig{Dir: cs.walDir, Fsync: tracedb.FsyncInterval})
+			if err != nil {
+				return nil, fmt.Errorf("conformance: %s: %w", sc.Name, err)
+			}
+			col.SetDurability(d)
+			cs.dur = d
+		} else {
+			col = control.NewCollector(db)
+		}
+		cs.db, cs.col, cs.sink = db, col, newFaultSink(name, col, fs)
+		cols[c] = cs
+		if err := clu.AddCollector(name, col, cs.sink); err != nil {
 			return nil, fmt.Errorf("conformance: %s: %w", sc.Name, err)
 		}
 	}
@@ -260,7 +350,8 @@ func Run(sc Scenario) (*Result, error) {
 	if err := scheduleWorkload(sc, eng, dist, cluster, truth, dig); err != nil {
 		return nil, err
 	}
-	scheduleFaults(sc, eng, cluster, cols, clu, disp, dig)
+	scheduleFaults(sc, eng, cluster, cols, clu, disp, fs, res, dig)
+	scheduleCheckpoints(sc, eng, cols, dig)
 	scheduleSupervision(sc, eng, sup)
 
 	eng.Run(sc.HorizonNs)
@@ -281,6 +372,11 @@ func Run(sc Scenario) (*Result, error) {
 		res.Storage.EvictedRecords, res.Storage.ReadErrors)
 	check(sc, cluster, truth, cols, clu, fs, res, dig)
 	res.Digest = dig.sum()
+	for _, cs := range cols {
+		if cs.dur != nil {
+			cs.dur.Close()
+		}
+	}
 	return res, nil
 }
 
@@ -526,9 +622,10 @@ func flowOf(i int) flowTuple {
 	}
 }
 
-// scheduleFaults arms the agent-restart, kill/reboot, and collector-crash
-// faults (transport faults live in the sinks themselves).
-func scheduleFaults(sc Scenario, eng *sim.Engine, cluster []*agentState, cols []*collectorState, clu *control.Cluster, disp *control.Dispatcher, dig *digest) {
+// scheduleFaults arms the agent-restart, kill/reboot, collector-crash,
+// and collector kill/recover faults (transport faults live in the sinks
+// themselves).
+func scheduleFaults(sc Scenario, eng *sim.Engine, cluster []*agentState, cols []*collectorState, clu *control.Cluster, disp *control.Dispatcher, fs *faultState, res *Result, dig *digest) {
 	if sc.RestartAtNs > 0 && sc.RestartForNs > 0 {
 		st := cluster[sc.RestartAgent%len(cluster)]
 		eng.Schedule(sc.RestartAtNs, func() {
@@ -614,6 +711,161 @@ func scheduleFaults(sc Scenario, eng *sim.Engine, cluster []*agentState, cols []
 					eng.Now(), mv.Agent, mv.From, mv.To, mv.Epoch)
 			}
 		})
+	}
+
+	if sc.Durable && sc.CollectorCrashAtNs > 0 && sc.CollectorRecoverAfterNs > 0 {
+		// The victim is whichever durable collector homes agent
+		// CrashAgentHome at the crash instant. The crash kills the sink
+		// and snapshots the in-memory state the process loses; the
+		// recovery event rebuilds everything from disk.
+		anchor := cluster[sc.CrashAgentHome%len(cluster)]
+		var victim *collectorState
+		eng.Schedule(sc.CollectorCrashAtNs, func() {
+			home, _ := clu.Home(anchor.name)
+			for _, cs := range cols {
+				if cs.name == home {
+					victim = cs
+				}
+			}
+			victim.sink.crash()
+			victim.wasCrashed = true
+			b, r, rd := victim.col.Stats()
+			dupB, dupR, _ := victim.col.DeliveryStats()
+			victim.lostBatches, victim.lostRecords, victim.lostRingDrops = b, r, rd
+			victim.lostDupBatches, victim.lostDupRecords = dupB, dupR
+			victim.preRecords = storeRecords(victim.db)
+			victim.preTotals = victim.col.Aggregates().Totals()
+			victim.preLedgers = make(map[string]tracedb.AgentLedger)
+			for _, agent := range victim.db.Agents() {
+				if l, ok := victim.db.Ledger(agent); ok {
+					victim.preLedgers[agent] = l
+				}
+			}
+			for _, st := range cluster {
+				res.CrashSpooledBatches += uint64(st.agent.SpoolStats().Batches)
+				res.CrashSpooledFrames += uint64(st.agent.AggShipStats().FramesSpooled)
+			}
+			dig.logf("collector-kill t=%d col=%s lostBatches=%d lostRecords=%d lostDup=%d stored=%d merged=%d spooled=%d/%d",
+				eng.Now(), victim.name, b, r, dupB, victim.preRecords,
+				victim.preTotals.FramesMerged, res.CrashSpooledBatches, res.CrashSpooledFrames)
+		})
+		eng.Schedule(sc.CollectorCrashAtNs+sc.CollectorRecoverAfterNs, func() {
+			recoverCollector(sc, eng, victim, clu, fs, res, dig)
+		})
+	}
+}
+
+// recoverCollector rebuilds a killed collector purely from its on-disk
+// state — adopted extents, the latest checkpoint, and the WAL tail — and
+// rejoins it to the tier via Cluster.RecoverCollector. The dead
+// incarnation's objects are abandoned unread: recovery must stand on
+// disk alone. Fidelity mismatches against the crash-instant snapshots
+// (records, merged aggregates, durable ledger fields) are recorded as
+// notes, which check() surfaces as invariant violations.
+func recoverCollector(sc Scenario, eng *sim.Engine, cs *collectorState, clu *control.Cluster, fs *faultState, res *Result, dig *digest) {
+	cs.dur.Close() // the dead incarnation's log handle
+	db := tracedb.NewWith(tracedb.Config{SegmentBytes: sc.SegmentBytes, DataDir: cs.dataDir})
+	aggs := tracedb.NewAggStore()
+	d, rec, err := tracedb.Recover(db, aggs, tracedb.DurabilityConfig{Dir: cs.walDir, Fsync: tracedb.FsyncInterval})
+	if err != nil {
+		panic(fmt.Sprintf("conformance: %s: recover %s: %v", sc.Name, cs.name, err))
+	}
+	col := control.NewCollectorWith(db, aggs)
+	col.SetDurability(d)
+	sink := newFaultSink(cs.name, col, fs)
+
+	// Recovery fidelity: the rebuilt store must hold exactly what the
+	// dead incarnation had ingested, and no durable ledger field may
+	// regress. Dup/heartbeat bookkeeping since the last checkpoint is
+	// deliberately transient; its lost deltas fold into aggLost and the
+	// lost* counters instead.
+	if got := storeRecords(db); got != cs.preRecords {
+		cs.notes = append(cs.notes, fmt.Sprintf(
+			"collector %s: recovered %d records, crashed holding %d", cs.name, got, cs.preRecords))
+	}
+	tot := aggs.Totals()
+	if tot.FramesMerged != cs.preTotals.FramesMerged || tot.RowsMerged != cs.preTotals.RowsMerged {
+		cs.notes = append(cs.notes, fmt.Sprintf(
+			"collector %s: recovered aggregates merged=%d rows=%d, crashed holding merged=%d rows=%d",
+			cs.name, tot.FramesMerged, tot.RowsMerged, cs.preTotals.FramesMerged, cs.preTotals.RowsMerged))
+	}
+	cs.aggLost = tracedb.AggTotals{
+		FramesDup:    satSub(cs.preTotals.FramesDup, tot.FramesDup),
+		FramesFenced: satSub(cs.preTotals.FramesFenced, tot.FramesFenced),
+	}
+	for agent, pre := range cs.preLedgers {
+		l, ok := db.Ledger(agent)
+		if !ok {
+			cs.notes = append(cs.notes, fmt.Sprintf(
+				"collector %s: agent %s ledger lost in recovery", cs.name, agent))
+			continue
+		}
+		if l.HighWaterSeq != pre.HighWaterSeq || l.MaxSeq != pre.MaxSeq || l.Epoch != pre.Epoch {
+			cs.notes = append(cs.notes, fmt.Sprintf(
+				"collector %s: agent %s ledger regressed: hwm %d->%d maxseq %d->%d epoch %d->%d",
+				cs.name, agent, pre.HighWaterSeq, l.HighWaterSeq, pre.MaxSeq, l.MaxSeq, pre.Epoch, l.Epoch))
+		}
+	}
+
+	moves, err := clu.RecoverCollector(cs.name, col, sink)
+	if err != nil {
+		panic(fmt.Sprintf("conformance: %s: rejoin %s: %v", sc.Name, cs.name, err))
+	}
+	cs.db, cs.col, cs.sink, cs.dur = db, col, sink, d
+	cs.recovered = true
+	res.RecoveredCollectors++
+	res.Recovery = rec
+	dig.logf("collector-recover t=%d col=%s ckpt=%v ckptlsn=%d adopted=%d/%d dropped=%d replayed=%d recs=%d frames=%d dup=%d torn=%d next=%d selfmoves=%d",
+		eng.Now(), cs.name, rec.CheckpointLoaded, rec.CheckpointLSN, rec.AdoptedExtents,
+		rec.AdoptedRecords, rec.DroppedExtents, rec.ReplayedEntries, rec.ReplayedRecords,
+		rec.ReplayedFrames, rec.ReplayedDup, rec.TornTails, rec.NextLSN, len(moves))
+	for _, mv := range moves {
+		dig.logf("recover-rehome t=%d agent=%s col=%s epoch=%d", eng.Now(), mv.Agent, mv.To, mv.Epoch)
+	}
+}
+
+// storeRecords sums live record counts across every table in a store.
+func storeRecords(db *tracedb.DB) uint64 {
+	var n uint64
+	for _, id := range db.Tables() {
+		if t, ok := db.Table(id); ok {
+			n += uint64(t.Len())
+		}
+	}
+	return n
+}
+
+func satSub(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
+// scheduleCheckpoints arms the periodic checkpoint tick on every durable
+// collector. A tick against a crashed collector is skipped — its process
+// is dead; checkpointing resumes on the recovered incarnation (cs.dur is
+// swapped at recovery).
+func scheduleCheckpoints(sc Scenario, eng *sim.Engine, cols []*collectorState, dig *digest) {
+	if !sc.Durable || sc.CheckpointEveryNs <= 0 {
+		return
+	}
+	for _, cs := range cols {
+		cs := cs
+		var tick func()
+		tick = func() {
+			if cs.dur != nil && !cs.sink.crashed {
+				if err := cs.dur.Checkpoint(); err != nil {
+					cs.notes = append(cs.notes, fmt.Sprintf("collector %s: checkpoint: %v", cs.name, err))
+				} else {
+					dig.logf("checkpoint t=%d col=%s lsn=%d", eng.Now(), cs.name, cs.dur.Stats().LastCheckpointLSN)
+				}
+			}
+			if eng.Now()+sc.CheckpointEveryNs <= sc.HorizonNs {
+				eng.Schedule(sc.CheckpointEveryNs, tick)
+			}
+		}
+		eng.Schedule(sc.CheckpointEveryNs, tick)
 	}
 }
 

@@ -131,6 +131,32 @@ type Scenario struct {
 	// never ingested.
 	ZombieFlushAtNs int64
 
+	// Durable fronts every collector's ingest with the crash-durability
+	// layer: admitted batches and aggregate frames append to a per-
+	// collector write-ahead log before they apply, and checkpoints
+	// snapshot the ledgers and stores to disk. When SpillDir is empty the
+	// harness provisions (and removes) a temporary directory per run.
+	Durable bool
+
+	// CheckpointEveryNs arms a periodic checkpoint on every durable
+	// collector; each checkpoint seals the heads, snapshots ledger and
+	// aggregate state, and retires the WAL generations it covers. 0
+	// leaves the whole run in the WAL tail.
+	CheckpointEveryNs int64
+
+	// Collector kill/recover: the home collector of agent CrashAgentHome
+	// loses its entire in-memory state at CollectorCrashAtNs — tables,
+	// ledgers, aggregate store, ingest counters — and
+	// CollectorRecoverAfterNs later is rebuilt purely from its data
+	// directory, checkpoints, and WAL tail, then rejoins the tier via
+	// RecoverCollector. Deliveries during the dead window fail and spool
+	// agent-side. Requires Durable; composes with the
+	// CollectorFailAtNs re-homing fault (crash first, re-home the
+	// tenants, then recover the empty shell).
+	CollectorCrashAtNs      int64
+	CollectorRecoverAfterNs int64
+	CrashAgentHome          int
+
 	// Collector overload: in [OverloadFromNs, OverloadUntilNs) every
 	// acknowledgement reports an ingest queue of OverloadDepth out of
 	// OverloadCap, driving the agents' adaptive degradation (stretched
@@ -391,6 +417,53 @@ func Corpus() []Scenario {
 			Packets:      600,
 			Flows:        6,
 			AgentWeights: []int{10, 1, 1, 1, 1, 1},
+		},
+		{
+			// The lone collector's process dies mid-traffic with spooled
+			// record batches and aggregate frames outstanding (an outage
+			// window guarantees backlog at the crash instant), taking every
+			// in-memory structure with it. Twenty milliseconds later it is
+			// rebuilt from its last checkpoint plus the WAL tail and the
+			// agents re-attach at a fresh epoch. Conservation must close
+			// including every WAL-replayed record, and spool re-ships of
+			// batches whose acks died with the crash must dedup against the
+			// replayed high-water marks — zero double ingests.
+			Name:                    "collector-kill-recover",
+			Seed:                    18,
+			Agents:                  3,
+			Packets:                 600,
+			Flows:                   6,
+			Durable:                 true,
+			CheckpointEveryNs:       10 * sim.Millisecond,
+			ShipAggregates:          true,
+			AckLossEvery:            3,
+			SinkDownFromNs:          33 * sim.Millisecond,
+			SinkDownUntilNs:         40 * sim.Millisecond,
+			CollectorCrashAtNs:      37 * sim.Millisecond,
+			CollectorRecoverAfterNs: 20 * sim.Millisecond,
+		},
+		{
+			// Recovery composed with re-homing: one of three collectors
+			// crashes; the ring declares it dead and re-homes its tenants to
+			// the survivors (spool re-ships dedup against the exported
+			// ledgers there); then the crashed collector recovers from disk
+			// while its agents live elsewhere. Its replayed ledgers must
+			// turn into fences — no ledger regression, no double ingest —
+			// and the cluster-wide merged view must stay exact.
+			Name:                    "recover-vs-rehome",
+			Seed:                    19,
+			Agents:                  5,
+			Collectors:              3,
+			Packets:                 600,
+			Flows:                   6,
+			Durable:                 true,
+			CheckpointEveryNs:       12 * sim.Millisecond,
+			ShipAggregates:          true,
+			AckLossEvery:            4,
+			CollectorFailAtNs:       35 * sim.Millisecond,
+			CollectorRehomeAfterNs:  8 * sim.Millisecond,
+			CollectorCrashAtNs:      35 * sim.Millisecond,
+			CollectorRecoverAfterNs: 20 * sim.Millisecond,
 		},
 		{
 			// Everything at once: four skewed agents, bursts, ack loss, an

@@ -216,6 +216,68 @@ func (c *Cluster) FailCollector(name string) ([]Rehome, error) {
 	return out, nil
 }
 
+// RecoverCollector brings a crashed collector back into the tier with a
+// freshly recovered Collector (built over tracedb.Recover's output). It
+// is the unplanned-failure complement to FailCollector, and the two
+// compose in either order:
+//
+//   - agents still homed on the recovered collector (the crash was never
+//     declared, or the ring had no survivor to take them) are re-imported
+//     from the collector's own recovered ledgers AT a fresh epoch — a
+//     handoff to self. The import's never-regress semantics make this
+//     safe even if a concurrent planned handoff raced it, and the fresh
+//     epoch fences any delivery still in flight toward the pre-crash
+//     incarnation. The agent retargets to the recovered sink and keeps
+//     its sequence space, so spool re-ships of batches whose acks died
+//     with the crash dedup against the replayed high-water mark.
+//
+//   - agents the ring re-homed to survivors during the outage stay
+//     where they are; the recovered collector closes their epochs so its
+//     replayed ledgers turn into fences — a WAL-replayed ledger can never
+//     regress the survivor's state or double-ingest a moved agent.
+//
+// If the collector had been declared failed, it rejoins the ring for
+// future placements (existing homes are sticky, like AddCollector).
+func (c *Cluster) RecoverCollector(name string, col *Collector, sink RecordSink) ([]Rehome, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.cols[name]
+	if !ok {
+		return nil, fmt.Errorf("control: cluster: unknown collector %q", name)
+	}
+	if sink == nil {
+		sink = col
+	}
+	if m.failed {
+		m.failed = false
+		c.ring.Add(name)
+	}
+	m.col, m.sink = col, sink
+	var agents []string
+	for agent := range c.homes {
+		agents = append(agents, agent)
+	}
+	sort.Strings(agents)
+	var out []Rehome
+	for _, agent := range agents {
+		if c.homes[agent] != name {
+			// Re-homed away during the outage: fence the recovered
+			// ledgers at the agent's current lease so stragglers and
+			// replayed state cannot resurrect the old assignment.
+			col.FenceAgent(agent, c.disp.Epoch(agent))
+			continue
+		}
+		epoch := c.disp.AdvanceEpoch(agent)
+		h := col.ExportAgent(agent)
+		col.ImportAgent(agent, epoch, h)
+		if rt := c.agents[agent]; rt != nil {
+			rt.Retarget(sink, epoch)
+		}
+		out = append(out, Rehome{Agent: agent, From: name, To: name, Epoch: epoch})
+	}
+	return out, nil
+}
+
 // Rehomes counts agent moves across all collector failures.
 func (c *Cluster) Rehomes() uint64 {
 	c.mu.Lock()

@@ -21,6 +21,11 @@ type Collector struct {
 	db   *tracedb.DB
 	aggs *tracedb.AggStore
 
+	// dur, when set, fronts ingest with the write-ahead log: fresh
+	// batches and frames are logged before they apply, so a crash can
+	// replay them. Nil keeps the original in-memory-only behavior.
+	dur *tracedb.Durability
+
 	mu             sync.Mutex
 	batches        uint64
 	records        uint64
@@ -38,9 +43,35 @@ type Collector struct {
 
 // NewCollector creates a collector over a trace database.
 func NewCollector(db *tracedb.DB) *Collector {
-	c := &Collector{db: db, aggs: tracedb.NewAggStore()}
+	return NewCollectorWith(db, tracedb.NewAggStore())
+}
+
+// NewCollectorWith creates a collector over an existing database and
+// aggregate store — the recovery path, where tracedb.Recover has already
+// rebuilt both from disk and the collector must serve them rather than
+// start empty.
+func NewCollectorWith(db *tracedb.DB, aggs *tracedb.AggStore) *Collector {
+	c := &Collector{db: db, aggs: aggs}
 	c.ingestFn = c.ingest
 	return c
+}
+
+// SetDurability routes ingest through a durability layer: fresh record
+// batches and aggregate frames append to its write-ahead log before they
+// apply. Set it before traffic starts (typically right after
+// tracedb.Recover); nil disables durable ingest.
+func (c *Collector) SetDurability(d *tracedb.Durability) {
+	c.mu.Lock()
+	c.dur = d
+	c.mu.Unlock()
+}
+
+// Durability returns the durability layer, nil when ingest is
+// in-memory only.
+func (c *Collector) Durability() *tracedb.Durability {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dur
 }
 
 // DB returns the backing trace database.
@@ -57,7 +88,15 @@ func (c *Collector) Aggregates() *tracedb.AggStore { return c.aggs }
 // synchronous; there is no queue to backpressure on. Non-fenced frames
 // advance the agent's liveness clock like record batches do.
 func (c *Collector) HandleAgg(b AggBatch) error {
-	st := c.aggs.Admit(b.Agent, b.Epoch, b.Seq, b.Scripts, b.AgentTimeNs, b.Degraded)
+	c.mu.Lock()
+	d := c.dur
+	c.mu.Unlock()
+	var st tracedb.BatchStatus
+	if d != nil {
+		st = d.AdmitAggFrame(b.Agent, b.Epoch, b.Seq, b.Scripts, b.AgentTimeNs, b.Degraded)
+	} else {
+		st = c.aggs.Admit(b.Agent, b.Epoch, b.Seq, b.Scripts, b.AgentTimeNs, b.Degraded)
+	}
 	if st != tracedb.BatchFenced {
 		// Epoch-aware liveness: a frame that cleared the aggregate fence
 		// can still be stale relative to the record ledger (the agent was
@@ -159,7 +198,18 @@ func (c *Collector) HandleBatchAck(b RecordBatch) (BatchAck, error) {
 // agent is demonstrably alive — but fenced batches do not: the zombie
 // must not keep its successor's identity looking healthy.
 func (c *Collector) ingest(b RecordBatch) {
-	switch c.db.AdmitBatch(b.Agent, b.Epoch, b.Seq, len(b.Records), b.AgentTimeNs, b.Degraded) {
+	c.mu.Lock()
+	d := c.dur
+	c.mu.Unlock()
+	var st tracedb.BatchStatus
+	if d != nil {
+		// Durable path: admit, WAL-append, insert as one barrier-shared
+		// unit so a checkpoint never cuts between them.
+		st = d.AdmitRecordBatchRaw(b.Agent, b.Epoch, b.Seq, b.Records, b.RawRecords, b.AgentTimeNs, b.Degraded)
+	} else {
+		st = c.db.AdmitBatch(b.Agent, b.Epoch, b.Seq, len(b.Records), b.AgentTimeNs, b.Degraded)
+	}
+	switch st {
 	case tracedb.BatchFenced:
 		return
 	case tracedb.BatchDuplicate:
@@ -169,7 +219,9 @@ func (c *Collector) ingest(b RecordBatch) {
 		c.mu.Unlock()
 		return
 	}
-	c.db.Insert(b.Records)
+	if d == nil {
+		c.db.Insert(b.Records)
+	}
 	c.mu.Lock()
 	c.batches++
 	c.records += uint64(len(b.Records))

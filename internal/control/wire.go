@@ -157,11 +157,17 @@ func decodeBatchBinary(body []byte) (RecordBatch, error) {
 		b.Degraded = body[40]
 	}
 	if count > 0 {
-		recs, err := core.UnmarshalRecords(body[headerSize+nameLen:])
+		raw := body[headerSize+nameLen:]
+		recs, err := core.UnmarshalRecords(raw)
 		if err != nil {
 			return RecordBatch{}, fmt.Errorf("control: binary batch records: %w", err)
 		}
 		b.Records = recs
+		// Keep the record section itself: readBody allocates a fresh
+		// buffer per frame, so the alias stays valid for the batch's
+		// lifetime and durable sinks can WAL the bytes without
+		// re-encoding.
+		b.RawRecords = raw
 	}
 	return b, nil
 }

@@ -1,6 +1,7 @@
 package control
 
 import (
+	"bytes"
 	"encoding/binary"
 	"net"
 	"reflect"
@@ -42,6 +43,17 @@ func TestBatchFrameRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("n=%d: decode binary: %v", n, err)
 		}
+		// Binary decode exposes the frame's record section verbatim so
+		// durable sinks can log it without re-encoding; it must match a
+		// fresh marshal of the decoded records.
+		var wantRaw []byte
+		for i := range gotBin.Records {
+			wantRaw = gotBin.Records[i].Marshal(wantRaw)
+		}
+		if !bytes.Equal(gotBin.RawRecords, wantRaw) {
+			t.Fatalf("n=%d: RawRecords = %d bytes, want %d matching a re-marshal", n, len(gotBin.RawRecords), len(wantRaw))
+		}
+		gotBin.RawRecords = nil // logical fields below
 		if !reflect.DeepEqual(gotBin, want) {
 			t.Fatalf("n=%d: binary round trip = %+v, want %+v", n, gotBin, want)
 		}
@@ -53,6 +65,9 @@ func TestBatchFrameRoundTrip(t *testing.T) {
 		gotJSON, err := DecodeBatchFrame(jsonBody)
 		if err != nil {
 			t.Fatalf("n=%d: decode JSON: %v", n, err)
+		}
+		if gotJSON.RawRecords != nil {
+			t.Fatalf("n=%d: JSON decode set RawRecords", n)
 		}
 		if !reflect.DeepEqual(gotJSON, gotBin) {
 			t.Fatalf("n=%d: JSON and binary decode differ: %+v vs %+v", n, gotJSON, gotBin)
@@ -176,6 +191,7 @@ func TestBatchFrameV2Compat(t *testing.T) {
 	if got.Epoch != 0 || got.Degraded != 0 {
 		t.Fatalf("v2 frame decoded Epoch/Degraded = %d/%d, want 0/0", got.Epoch, got.Degraded)
 	}
+	got.RawRecords = nil // decoder-only alias, absent from the literal
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("v2 round trip = %+v, want %+v", got, want)
 	}
@@ -202,6 +218,7 @@ func TestBatchFrameV3Compat(t *testing.T) {
 	if got.Epoch != 0 || got.Degraded != 0 {
 		t.Fatalf("v3 frame decoded Epoch/Degraded = %d/%d, want 0/0", got.Epoch, got.Degraded)
 	}
+	got.RawRecords = nil // decoder-only alias, absent from the literal
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("v3 round trip = %+v, want %+v", got, want)
 	}
@@ -227,6 +244,7 @@ func TestBatchFrameV4CarriesEpoch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	got.RawRecords = nil // decoder-only alias, absent from the literal
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("v4 round trip = %+v, want %+v", got, want)
 	}

@@ -1,0 +1,372 @@
+// Checkpoints snapshot the collector's non-record durable state — the
+// per-agent record and aggregate delivery ledgers (including the frozen
+// previous-epoch views and fenced accounting that keep zombie dedup
+// exact), the merged aggregate store, and per-table seal/eviction
+// counters — so recovery can restore exactly-once semantics and then
+// replay only the WAL tail written after the checkpoint. Record payloads
+// are NOT in the checkpoint: the checkpoint path seals every head segment
+// first, so records up to the checkpoint LSN are durable in spilled
+// extents and everything after it is durable in the WAL.
+//
+// A checkpoint file is named for the highest LSN it covers:
+//
+//	ckpt-<lsn:%016x>.ckpt
+//
+// and framed as: magic "vnck" | version byte | 8B big-endian LSN |
+// 4B big-endian CRC32(payload) | JSON payload. Files are written
+// temp-then-rename like extent spills, so a crash mid-checkpoint leaves
+// the previous checkpoint intact and at worst an orphaned *.tmp (swept on
+// startup).
+package tracedb
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+const checkpointVersion = 1
+
+var checkpointMagic = [4]byte{'v', 'n', 'c', 'k'}
+
+// ledgerState is the full serialized form of one agentLedger — richer
+// than LedgerHandoff because a recovering collector restores its own
+// complete state (frozen previous-epoch views, fenced counters) rather
+// than handing a successor the minimum to continue.
+type ledgerState struct {
+	LastSeenNs    int64    `json:"last_seen_ns,omitempty"`
+	HighWater     uint64   `json:"hwm,omitempty"`
+	MaxSeq        uint64   `json:"max_seq,omitempty"`
+	Pending       []uint64 `json:"pending,omitempty"`
+	Dups          uint64   `json:"dups,omitempty"`
+	Epoch         uint64   `json:"epoch,omitempty"`
+	PrevMaxSeq    uint64   `json:"prev_max_seq,omitempty"`
+	PrevHighWater uint64   `json:"prev_hwm,omitempty"`
+	PrevPending   []uint64 `json:"prev_pending,omitempty"`
+	PrevFenced    []uint64 `json:"prev_fenced,omitempty"`
+	MissingPrior  uint64   `json:"missing_prior,omitempty"`
+	FencedBatches uint64   `json:"fenced_batches,omitempty"`
+	FencedRecords uint64   `json:"fenced_records,omitempty"`
+	Degraded      uint8    `json:"degraded,omitempty"`
+}
+
+// exportState snapshots the complete ledger. Callers hold the mutex
+// guarding l.
+func (l *agentLedger) exportState() ledgerState {
+	return ledgerState{
+		LastSeenNs:    l.lastSeenNs,
+		HighWater:     l.hwm,
+		MaxSeq:        l.maxSeq,
+		Pending:       sortedSeqs(l.pending),
+		Dups:          l.dups,
+		Epoch:         l.epoch,
+		PrevMaxSeq:    l.prevMaxSeq,
+		PrevHighWater: l.prevHwm,
+		PrevPending:   sortedSeqs(l.prevPending),
+		PrevFenced:    sortedSeqs(l.prevFenced),
+		MissingPrior:  l.missingPrior,
+		FencedBatches: l.fencedBatches,
+		FencedRecords: l.fencedRecords,
+		Degraded:      l.degraded,
+	}
+}
+
+// restoreState overwrites the ledger with a checkpointed snapshot.
+// Callers hold the mutex guarding l.
+func (l *agentLedger) restoreState(s ledgerState) {
+	l.lastSeenNs = s.LastSeenNs
+	l.hwm = s.HighWater
+	l.maxSeq = s.MaxSeq
+	l.pending = seqSet(s.Pending)
+	l.dups = s.Dups
+	l.epoch = s.Epoch
+	l.prevMaxSeq = s.PrevMaxSeq
+	l.prevHwm = s.PrevHighWater
+	l.prevPending = nil
+	if s.PrevPending != nil {
+		l.prevPending = seqSet(s.PrevPending)
+	}
+	l.prevFenced = nil
+	if s.PrevFenced != nil {
+		l.prevFenced = seqSet(s.PrevFenced)
+	}
+	l.missingPrior = s.MissingPrior
+	l.fencedBatches = s.FencedBatches
+	l.fencedRecords = s.FencedRecords
+	l.degraded = s.Degraded
+}
+
+func sortedSeqs(m map[uint64]struct{}) []uint64 {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]uint64, 0, len(m))
+	for s := range m {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// exportLedgerStates snapshots every agent's record ledger.
+func (db *DB) exportLedgerStates() map[string]ledgerState {
+	db.hbMu.Lock()
+	defer db.hbMu.Unlock()
+	out := make(map[string]ledgerState, len(db.ledger))
+	for agent, l := range db.ledger {
+		out[agent] = l.exportState()
+	}
+	return out
+}
+
+// restoreLedgerStates overwrites the record ledgers with a checkpoint.
+func (db *DB) restoreLedgerStates(states map[string]ledgerState) {
+	db.hbMu.Lock()
+	defer db.hbMu.Unlock()
+	for agent, s := range states {
+		db.ledgerEntry(agent).restoreState(s)
+	}
+}
+
+// tableState is the per-table durable accounting: the seal sequence
+// fence (extents with seq below it are covered by the checkpoint; newer
+// ones rebuild from the WAL) plus eviction/error counters that would
+// otherwise reset to zero on restart.
+type tableState struct {
+	Name           string `json:"name"`
+	SealSeq        int    `json:"seal_seq"`
+	EvictedRecords uint64 `json:"evicted_records,omitempty"`
+	EvictedExtents uint64 `json:"evicted_extents,omitempty"`
+	SpillErrors    uint64 `json:"spill_errors,omitempty"`
+}
+
+// exportTableStates snapshots per-table durable counters. The head must
+// already be sealed (the checkpoint path calls SealAll first), so SealSeq
+// fences the complete record history.
+func (db *DB) exportTableStates() map[uint32]tableState {
+	out := make(map[uint32]tableState)
+	for _, id := range db.Tables() {
+		t, ok := db.Table(id)
+		if !ok {
+			continue
+		}
+		t.mu.RLock()
+		out[id] = tableState{
+			Name:           t.Name,
+			SealSeq:        t.sealSeq,
+			EvictedRecords: t.evictedRecords,
+			EvictedExtents: t.evictedExtents,
+			SpillErrors:    t.spillErrors,
+		}
+		t.mu.RUnlock()
+	}
+	return out
+}
+
+// aggState is the AggStore's serialized form: its per-agent ledgers, the
+// merged script aggregates, and the ingest counters.
+type aggState struct {
+	Ledgers      map[string]ledgerState `json:"ledgers,omitempty"`
+	Scripts      []ScriptAgg            `json:"scripts,omitempty"`
+	FramesMerged uint64                 `json:"frames_merged,omitempty"`
+	FramesDup    uint64                 `json:"frames_dup,omitempty"`
+	FramesFenced uint64                 `json:"frames_fenced,omitempty"`
+	RowsMerged   uint64                 `json:"rows_merged,omitempty"`
+}
+
+// exportState snapshots the aggregate store.
+func (s *AggStore) exportState() aggState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := aggState{
+		Ledgers:      make(map[string]ledgerState, len(s.ledger)),
+		FramesMerged: s.framesMerged,
+		FramesDup:    s.framesDup,
+		FramesFenced: s.framesFenced,
+		RowsMerged:   s.rowsMerged,
+	}
+	for agent, l := range s.ledger {
+		st.Ledgers[agent] = l.exportState()
+	}
+	names := make([]string, 0, len(s.scripts))
+	for name := range s.scripts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sa := s.scripts[name]
+		out := ScriptAgg{
+			Script:   name,
+			Counters: append([]uint64(nil), sa.counters...),
+			CPUHits:  append([]uint64(nil), sa.cpuHits...),
+			Hist:     append([]uint64(nil), sa.hist...),
+		}
+		for k, v := range sa.flows {
+			out.Flows = append(out.Flows, FlowAgg{
+				SrcIP: k.srcIP, DstIP: k.dstIP,
+				SrcPort: k.srcPort, DstPort: k.dstPort, Proto: k.proto,
+				Packets: v.packets, Bytes: v.bytes,
+			})
+		}
+		sort.Slice(out.Flows, func(i, j int) bool { return flowLess(&out.Flows[i], &out.Flows[j]) })
+		st.Scripts = append(st.Scripts, out)
+	}
+	return st
+}
+
+// restoreState overwrites the aggregate store with a checkpoint.
+func (s *AggStore) restoreState(st aggState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for agent, ls := range st.Ledgers {
+		l, ok := s.ledger[agent]
+		if !ok {
+			l = &agentLedger{pending: make(map[uint64]struct{})}
+			s.ledger[agent] = l
+		}
+		l.restoreState(ls)
+	}
+	for i := range st.Scripts {
+		s.merge(&st.Scripts[i])
+	}
+	s.framesMerged = st.FramesMerged
+	s.framesDup = st.FramesDup
+	s.framesFenced = st.FramesFenced
+	s.rowsMerged = st.RowsMerged
+}
+
+// checkpointPayload is the JSON body of a checkpoint file.
+type checkpointPayload struct {
+	LSN        uint64                 `json:"lsn"`
+	Ledgers    map[string]ledgerState `json:"ledgers,omitempty"`
+	Tables     map[uint32]tableState  `json:"tables,omitempty"`
+	Aggs       aggState               `json:"aggs"`
+	SealedAtNs int64                  `json:"sealed_at_ns,omitempty"`
+}
+
+// checkpointFileName returns the file name for a checkpoint at lsn.
+func checkpointFileName(lsn uint64) string {
+	return fmt.Sprintf("ckpt-%016x.ckpt", lsn)
+}
+
+// parseCheckpointFileName extracts the LSN from a checkpoint file name.
+func parseCheckpointFileName(name string) (uint64, bool) {
+	var lsn uint64
+	if n, err := fmt.Sscanf(name, "ckpt-%016x.ckpt", &lsn); n == 1 && err == nil {
+		return lsn, true
+	}
+	return 0, false
+}
+
+// writeCheckpoint persists a checkpoint payload atomically (temp+rename,
+// fsync before rename) and returns the final path.
+func writeCheckpoint(dir string, p *checkpointPayload) (string, error) {
+	body, err := json.Marshal(p)
+	if err != nil {
+		return "", err
+	}
+	buf := make([]byte, 0, len(body)+17)
+	buf = append(buf, checkpointMagic[:]...)
+	buf = append(buf, checkpointVersion)
+	buf = binary.BigEndian.AppendUint64(buf, p.LSN)
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(body))
+	buf = append(buf, body...)
+
+	final := filepath.Join(dir, checkpointFileName(p.LSN))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return "", err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	return final, nil
+}
+
+// readCheckpoint parses and validates one checkpoint file.
+func readCheckpoint(path string) (*checkpointPayload, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) < 17 {
+		return nil, fmt.Errorf("tracedb: checkpoint %s: short header", filepath.Base(path))
+	}
+	for i := range checkpointMagic {
+		if b[i] != checkpointMagic[i] {
+			return nil, fmt.Errorf("tracedb: checkpoint %s: bad magic", filepath.Base(path))
+		}
+	}
+	if b[4] != checkpointVersion {
+		return nil, fmt.Errorf("tracedb: checkpoint %s: unsupported version %d", filepath.Base(path), b[4])
+	}
+	lsn := binary.BigEndian.Uint64(b[5:13])
+	crc := binary.BigEndian.Uint32(b[13:17])
+	body := b[17:]
+	if crc32.ChecksumIEEE(body) != crc {
+		return nil, fmt.Errorf("tracedb: checkpoint %s: CRC mismatch", filepath.Base(path))
+	}
+	var p checkpointPayload
+	if err := json.Unmarshal(body, &p); err != nil {
+		return nil, fmt.Errorf("tracedb: checkpoint %s: %w", filepath.Base(path), err)
+	}
+	if p.LSN != lsn {
+		return nil, fmt.Errorf("tracedb: checkpoint %s: header LSN %d != payload LSN %d",
+			filepath.Base(path), lsn, p.LSN)
+	}
+	return &p, nil
+}
+
+// loadLatestCheckpoint scans dir for the newest checkpoint that parses
+// and CRC-validates, skipping corrupt ones. ok is false when no valid
+// checkpoint exists (first boot, or all candidates corrupt).
+func loadLatestCheckpoint(dir string) (*checkpointPayload, bool, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	type cand struct {
+		name string
+		lsn  uint64
+	}
+	var cands []cand
+	for _, ent := range ents {
+		if ent.IsDir() {
+			continue
+		}
+		if lsn, ok := parseCheckpointFileName(ent.Name()); ok {
+			cands = append(cands, cand{ent.Name(), lsn})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].lsn > cands[j].lsn })
+	for _, c := range cands {
+		p, err := readCheckpoint(filepath.Join(dir, c.name))
+		if err == nil {
+			return p, true, nil
+		}
+	}
+	return nil, false, nil
+}

@@ -1,0 +1,462 @@
+package tracedb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"vnettracer/internal/core"
+)
+
+// durTestEnv builds a durable DB/AggStore pair over fresh temp dirs.
+func durTestEnv(t *testing.T, cfg Config) (*DB, *AggStore, *Durability, DurabilityConfig) {
+	t.Helper()
+	base := t.TempDir()
+	cfg.DataDir = filepath.Join(base, "data")
+	if cfg.SegmentBytes == 0 {
+		cfg.SegmentBytes = 4 * core.RecordSize // seal often: exercise spill + adopt
+	}
+	dcfg := DurabilityConfig{Dir: filepath.Join(base, "wal")}
+	db := NewWith(cfg)
+	aggs := NewAggStore()
+	d, _, err := Recover(db, aggs, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, aggs, d, dcfg
+}
+
+// batchRecs builds a batch of n records for a tracepoint with unique
+// trace IDs derived from seq.
+func batchRecs(tpid uint32, seq uint64, n int) []core.Record {
+	recs := make([]core.Record, n)
+	for i := range recs {
+		recs[i] = core.Record{
+			TPID: tpid, TraceID: uint32(seq*100 + uint64(i)),
+			TimeNs: seq*1000 + uint64(i), Len: 64, Seq: seq,
+			SrcIP: 0x0a000001, DstIP: 0x0a000002, SrcPort: 80, DstPort: 443,
+			Proto: 6, Dir: 1,
+		}
+	}
+	return recs
+}
+
+func testScripts(seq uint64) []ScriptAgg {
+	return []ScriptAgg{{
+		Script:   "flows.vnt",
+		Counters: []uint64{seq, seq * 2},
+		Hist:     []uint64{1, 0, 3},
+		Flows: []FlowAgg{{
+			SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 6,
+			Packets: seq, Bytes: seq * 100,
+		}},
+	}}
+}
+
+// dbFingerprint summarizes a DB+AggStore's observable state for
+// recover-equivalence checks: per-table record sets, ledger snapshots,
+// and aggregate snapshots.
+func dbFingerprint(db *DB, aggs *AggStore) map[string]any {
+	fp := make(map[string]any)
+	for _, id := range db.Tables() {
+		tbl, _ := db.Table(id)
+		var recs []core.Record
+		tbl.Scan(func(r core.Record) bool { recs = append(recs, r); return true })
+		fp[fmt.Sprintf("table-%d", id)] = recs
+	}
+	for _, agent := range db.Agents() {
+		l, _ := db.Ledger(agent)
+		fp["ledger-"+agent] = l
+	}
+	for _, script := range aggs.Scripts() {
+		sa, _ := aggs.Get(script)
+		fp["agg-"+script] = sa
+	}
+	fp["agg-totals"] = aggs.Totals()
+	return fp
+}
+
+func TestDurabilityRecoverRoundTrip(t *testing.T) {
+	db, aggs, d, dcfg := durTestEnv(t, Config{})
+
+	// Admit sequenced batches across two agents and two tracepoints, a
+	// checkpoint in the middle, aggregate frames, and a duplicate.
+	for seq := uint64(1); seq <= 6; seq++ {
+		if st := d.AdmitRecordBatch("a1", 1, seq, batchRecs(1, seq, 3), int64(seq), 0); st != BatchFresh {
+			t.Fatalf("a1 seq %d: %v", seq, st)
+		}
+		if st := d.AdmitAggFrame("a1", 1, seq, testScripts(seq), int64(seq), 0); st != BatchFresh {
+			t.Fatalf("a1 agg seq %d: %v", seq, st)
+		}
+		if seq == 3 {
+			if err := d.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if st := d.AdmitRecordBatch("a2", 5, 1, batchRecs(2, 1, 4), 10, 1); st != BatchFresh {
+		t.Fatalf("a2: %v", st)
+	}
+	want := dbFingerprint(db, aggs)
+	// A duplicate after the capture: only fresh payloads are WAL-logged,
+	// so a duplicate's bookkeeping (dup count, heartbeat bump) is
+	// deliberately transient — the recovered state must match the
+	// fingerprint from before it.
+	if st := d.AdmitRecordBatch("a1", 1, 2, batchRecs(1, 2, 3), 99, 0); st != BatchDuplicate {
+		t.Fatalf("expected duplicate, got %v", st)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Crash": all in-memory state dropped; recover from disk alone.
+	db2 := NewWith(db.Config())
+	aggs2 := NewAggStore()
+	d2, stats, err := Recover(db2, aggs2, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if !stats.CheckpointLoaded {
+		t.Fatal("no checkpoint loaded")
+	}
+	got := dbFingerprint(db2, aggs2)
+	for k, w := range want {
+		if !reflect.DeepEqual(got[k], w) {
+			t.Errorf("%s mismatch after recovery:\n got %+v\nwant %+v", k, got[k], w)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("fingerprint key count: got %d want %d", len(got), len(want))
+	}
+
+	// Re-shipped (already-ingested) batches must dedup after recovery —
+	// the exactly-once property the WAL + checkpoint exist to preserve.
+	if st := d2.AdmitRecordBatch("a1", 1, 5, batchRecs(1, 5, 3), 100, 0); st != BatchDuplicate {
+		t.Fatalf("re-ship after recovery: got %v, want duplicate", st)
+	}
+	if st := d2.AdmitAggFrame("a1", 1, 4, testScripts(4), 100, 0); st != BatchDuplicate {
+		t.Fatalf("agg re-ship after recovery: got %v, want duplicate", st)
+	}
+	// And genuinely new traffic continues the sequence space.
+	if st := d2.AdmitRecordBatch("a1", 1, 7, batchRecs(1, 7, 2), 101, 0); st != BatchFresh {
+		t.Fatalf("new batch after recovery: got %v, want fresh", st)
+	}
+}
+
+// TestRecoverReplayIdempotent: recovering the same directory twice into
+// fresh stores yields identical state (recover twice ≡ recover once) —
+// the property that makes a crash during recovery harmless.
+func TestRecoverReplayIdempotent(t *testing.T) {
+	db, _, d, dcfg := durTestEnv(t, Config{})
+	for seq := uint64(1); seq <= 5; seq++ {
+		d.AdmitRecordBatch("a1", 1, seq, batchRecs(1, seq, 3), int64(seq), 0)
+		if seq == 2 {
+			if err := d.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	d.Close()
+
+	fps := make([]map[string]any, 2)
+	for i := range fps {
+		dbN := NewWith(db.Config())
+		aggsN := NewAggStore()
+		dN, _, err := Recover(dbN, aggsN, dcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fps[i] = dbFingerprint(dbN, aggsN)
+		dN.Close()
+	}
+	if !reflect.DeepEqual(fps[0], fps[1]) {
+		t.Errorf("recovery not idempotent:\nfirst  %+v\nsecond %+v", fps[0], fps[1])
+	}
+}
+
+// TestWALTornTailEveryOffset truncates the WAL at every byte offset.
+// Recovery must never panic and must recover exactly the prefix of
+// complete entries.
+func TestWALTornTailEveryOffset(t *testing.T) {
+	db, _, d, dcfg := durTestEnv(t, Config{SegmentBytes: 1 << 20}) // no seals: all state in WAL
+	const batches = 4
+	for seq := uint64(1); seq <= batches; seq++ {
+		d.AdmitRecordBatch("a1", 1, seq, batchRecs(1, seq, 2), int64(seq), 0)
+	}
+	d.Close()
+
+	files, err := listWALFiles(dcfg.Dir)
+	if err != nil || len(files) != 1 {
+		t.Fatalf("wal files: %v err %v", files, err)
+	}
+	walPath := filepath.Join(dcfg.Dir, files[0])
+	whole, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Frame boundaries of the intact log, so each truncation offset maps
+	// to the exact number of complete entries it preserves.
+	var boundaries []int // boundaries[i] = end offset of frame i
+	for pos := 0; pos+walFrameHeader <= len(whole); {
+		plen := int(binary.BigEndian.Uint32(whole[pos : pos+4]))
+		pos += walFrameHeader + plen
+		boundaries = append(boundaries, pos)
+	}
+	entriesBelow := func(off int) uint64 {
+		n := uint64(0)
+		for _, end := range boundaries {
+			if end <= off {
+				n++
+			}
+		}
+		return n
+	}
+	frameAligned := func(off int) bool {
+		if off == 0 {
+			return true
+		}
+		for _, end := range boundaries {
+			if end == off {
+				return true
+			}
+		}
+		return false
+	}
+
+	for off := 0; off <= len(whole); off++ {
+		tdir := t.TempDir()
+		wdir := filepath.Join(tdir, "wal")
+		os.MkdirAll(wdir, 0o755)
+		if err := os.WriteFile(filepath.Join(wdir, files[0]), whole[:off], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		dbN := NewWith(Config{SegmentBytes: 1 << 20, DataDir: filepath.Join(tdir, "data")})
+		aggsN := NewAggStore()
+		dN, stats, err := Recover(dbN, aggsN, DurabilityConfig{Dir: wdir})
+		if err != nil {
+			t.Fatalf("offset %d: %v", off, err)
+		}
+		wantEntries := entriesBelow(off)
+		if stats.ReplayedEntries != wantEntries {
+			t.Fatalf("offset %d: replayed %d entries, want %d", off, stats.ReplayedEntries, wantEntries)
+		}
+		tbl, ok := dbN.Table(1)
+		var gotRecs int
+		if ok {
+			gotRecs = tbl.Len()
+		}
+		if gotRecs != int(wantEntries)*2 {
+			t.Fatalf("offset %d: %d records, want %d", off, gotRecs, wantEntries*2)
+		}
+		// A prefix that isn't frame-aligned must be reported (and
+		// truncated) as a torn tail; a frame-aligned prefix is a clean
+		// shorter log.
+		if wantTorn := !frameAligned(off); (stats.TornTails == 1) != wantTorn {
+			t.Fatalf("offset %d: tornTails=%d, want torn=%v", off, stats.TornTails, wantTorn)
+		}
+		dN.Close()
+	}
+	_ = db
+}
+
+// TestConcurrentCheckpointIngest runs admissions and checkpoints
+// concurrently; under -race this pins down the barrier, and afterward a
+// recovery must see every admitted batch.
+func TestConcurrentCheckpointIngest(t *testing.T) {
+	db, _, d, dcfg := durTestEnv(t, Config{SegmentBytes: 8 * core.RecordSize})
+	const agents, perAgent = 4, 50
+	var wg sync.WaitGroup
+	for a := 0; a < agents; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			name := fmt.Sprintf("agent-%d", a)
+			for seq := uint64(1); seq <= perAgent; seq++ {
+				d.AdmitRecordBatch(name, 1, seq, batchRecs(uint32(a+1), seq, 2), int64(seq), 0)
+				d.AdmitAggFrame(name, 1, seq, testScripts(seq), int64(seq), 0)
+			}
+		}(a)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10; i++ {
+			if err := d.Checkpoint(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+
+	db2 := NewWith(db.Config())
+	aggs2 := NewAggStore()
+	d2, _, err := Recover(db2, aggs2, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	for a := 0; a < agents; a++ {
+		tbl, ok := db2.Table(uint32(a + 1))
+		if !ok || tbl.Len() != perAgent*2 {
+			n := 0
+			if ok {
+				n = tbl.Len()
+			}
+			t.Errorf("table %d: %d records after recovery, want %d", a+1, n, perAgent*2)
+		}
+		l, ok := db2.Ledger(fmt.Sprintf("agent-%d", a))
+		if !ok || l.HighWaterSeq != perAgent {
+			t.Errorf("agent-%d hwm %d, want %d", a, l.HighWaterSeq, perAgent)
+		}
+	}
+}
+
+// TestCheckpointRetiresWAL: after a checkpoint only the fresh generation
+// remains, and old checkpoints prune down to the keep limit.
+func TestCheckpointRetiresWAL(t *testing.T) {
+	_, _, d, dcfg := durTestEnv(t, Config{})
+	for i := 0; i < 4; i++ {
+		d.AdmitRecordBatch("a1", 1, uint64(i+1), batchRecs(1, uint64(i+1), 2), int64(i), 0)
+		if err := d.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Close()
+	files, _ := listWALFiles(dcfg.Dir)
+	if len(files) != 1 {
+		t.Errorf("wal generations after checkpoints: %v, want 1", files)
+	}
+	ents, _ := os.ReadDir(dcfg.Dir)
+	ckpts := 0
+	for _, e := range ents {
+		if _, ok := parseCheckpointFileName(e.Name()); ok {
+			ckpts++
+		}
+	}
+	if ckpts != checkpointsKept {
+		t.Errorf("checkpoints on disk: %d, want %d", ckpts, checkpointsKept)
+	}
+}
+
+func TestNewWithSweepsTmpFiles(t *testing.T) {
+	dir := t.TempDir()
+	orphan := filepath.Join(dir, "tp00000001-000003.vnx.tmp")
+	if err := os.WriteFile(orphan, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	keep := filepath.Join(dir, "keep.vnx")
+	os.WriteFile(keep, []byte("x"), 0o644)
+	NewWith(Config{DataDir: dir})
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Error("orphaned .tmp not swept on startup")
+	}
+	if _, err := os.Stat(keep); err != nil {
+		t.Error("non-tmp file removed by sweep")
+	}
+}
+
+func TestSpillErrorsSurfaced(t *testing.T) {
+	dir := t.TempDir()
+	db := NewWith(Config{SegmentBytes: 2 * core.RecordSize, DataDir: dir})
+	// Make the data dir unusable: replace it with a file so MkdirAll and
+	// writes fail.
+	os.RemoveAll(dir)
+	if err := os.WriteFile(dir, []byte("not a dir"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db.Insert(batchRecs(1, 1, 4)) // crosses SegmentBytes → seal → spill fails
+	tot := db.StorageTotals()
+	if tot.SpillErrors == 0 {
+		t.Fatal("spill failure not counted in StorageStats")
+	}
+	if tot.LastSpillError == "" {
+		t.Error("spill failure message not surfaced")
+	}
+	if tot.Records() != 4 {
+		t.Errorf("records lost on spill failure: %d", tot.Records())
+	}
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	for in, want := range map[string]FsyncPolicy{
+		"always": FsyncAlways, "interval": FsyncInterval, "never": FsyncNever,
+		"Always": FsyncAlways, " never ": FsyncNever,
+	} {
+		got, err := ParseFsyncPolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParseFsyncPolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseFsyncPolicy("sometimes"); err == nil {
+		t.Error("bad policy accepted")
+	}
+	for _, p := range []FsyncPolicy{FsyncNever, FsyncInterval, FsyncAlways} {
+		rt, err := ParseFsyncPolicy(p.String())
+		if err != nil || rt != p {
+			t.Errorf("round trip %v: %v, %v", p, rt, err)
+		}
+	}
+}
+
+func TestRecoverRequiresDirs(t *testing.T) {
+	db := New() // no DataDir
+	if _, _, err := Recover(db, NewAggStore(), DurabilityConfig{Dir: t.TempDir()}); err == nil {
+		t.Error("Recover accepted a DB without DataDir")
+	}
+	db2 := NewWith(Config{DataDir: t.TempDir()})
+	if _, _, err := Recover(db2, NewAggStore(), DurabilityConfig{}); err == nil {
+		t.Error("Recover accepted an empty durability dir")
+	}
+}
+
+// TestWALRawRecordsEncoding pins the raw-bytes fast path: an entry
+// carrying its records' canonical wire encoding (the transport's record
+// section) must produce a byte-identical frame to one that re-marshals
+// the records, and a raw slice of the wrong length must be ignored, not
+// logged.
+func TestWALRawRecordsEncoding(t *testing.T) {
+	recs := batchRecs(3, 7, 5)
+	var raw []byte
+	for i := range recs {
+		raw = recs[i].Marshal(raw)
+	}
+	mk := func(rawRecs []byte) walEntry {
+		return walEntry{
+			LSN: 12, Kind: walKindRecords, Agent: "a1", Epoch: 2, Seq: 7,
+			TimeNs: 99, Records: recs, RawRecords: rawRecs,
+		}
+	}
+	marshalled := mk(nil)
+	passthrough := mk(raw)
+	want := appendWALPayload(nil, &marshalled)
+	got := appendWALPayload(nil, &passthrough)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("raw passthrough encoded %d bytes differing from re-marshal (%d vs %d)", len(got), len(got), len(want))
+	}
+	// A wrong-length raw (stale after a Records mutation) falls back to
+	// marshalling instead of corrupting the frame.
+	bad := mk(raw[:len(raw)-1])
+	if got := appendWALPayload(nil, &bad); !bytes.Equal(got, want) {
+		t.Fatalf("wrong-length raw was not ignored")
+	}
+	e, err := decodeWALPayload(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(e.Records, recs) {
+		t.Fatalf("decoded records differ: %+v vs %+v", e.Records, recs)
+	}
+}

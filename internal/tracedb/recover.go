@@ -1,0 +1,696 @@
+// Crash recovery and the Durability coordinator. Recover is the single
+// startup path for a durable collector — first boot and post-crash are
+// the same call: sweep orphaned temp files, reopen the spilled extents
+// the latest checkpoint covers, restore the checkpointed ledgers and
+// aggregate store, replay the WAL tail through the normal exactly-once
+// admission path (so a torn, duplicated, or reordered tail can never
+// double-ingest), and resume the log at the next LSN. The returned
+// Durability then fronts ingest: admit → WAL append → apply, under a
+// shared/exclusive barrier that lets checkpoints cut a consistent
+// snapshot without stopping the world between batches.
+package tracedb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"vnettracer/internal/core"
+)
+
+// DefaultFsyncEvery is the group-commit period for FsyncInterval.
+const DefaultFsyncEvery = 50 * time.Millisecond
+
+// checkpointsKept is how many valid checkpoints survive a new one: the
+// newest plus one fallback in case the newest is lost with its disk
+// sector.
+const checkpointsKept = 2
+
+// DurabilityConfig configures the collector's durability layer.
+type DurabilityConfig struct {
+	// Dir holds the WAL generations and checkpoint files. Required.
+	Dir string
+	// Fsync selects the WAL flush policy (default FsyncNever).
+	Fsync FsyncPolicy
+	// FsyncEvery is the FsyncInterval period (default DefaultFsyncEvery).
+	FsyncEvery time.Duration
+}
+
+// RecoveryStats reports what one Recover call rebuilt.
+type RecoveryStats struct {
+	// CheckpointLoaded reports whether a valid checkpoint was found;
+	// CheckpointLSN is its LSN (0 on a cold start).
+	CheckpointLoaded bool
+	CheckpointLSN    uint64
+	// AdoptedExtents/AdoptedRecords count spilled extents reopened under
+	// the checkpoint's seal fence. DroppedExtents counts post-checkpoint
+	// extent files removed (their records replay from the WAL instead);
+	// CorruptExtents counts pre-checkpoint extents that failed to decode
+	// and were skipped.
+	AdoptedExtents int
+	AdoptedRecords uint64
+	DroppedExtents int
+	CorruptExtents int
+	// ReplayedEntries counts WAL entries applied (LSN past the
+	// checkpoint); ReplayedRecords/ReplayedFrames their fresh payloads;
+	// ReplayedDup entries that deduplicated against restored ledger state.
+	ReplayedEntries uint64
+	ReplayedRecords uint64
+	ReplayedFrames  uint64
+	ReplayedDup     uint64
+	// TornTails counts WAL files truncated at a torn or corrupt frame.
+	TornTails int
+	// SweptTmp counts orphaned *.tmp files removed from the WAL dir.
+	SweptTmp int
+	// NextLSN is the first LSN the resumed log will assign.
+	NextLSN uint64
+}
+
+// DurabilityStats is a live snapshot of the durability layer's counters.
+type DurabilityStats struct {
+	Dir    string
+	Policy FsyncPolicy
+	// WALEntries/WALBytes/WALSyncs count appended frames, framed bytes,
+	// and fsync calls since this process opened the log.
+	WALEntries uint64
+	WALBytes   uint64
+	WALSyncs   uint64
+	// WALErrors counts appends that failed to reach the log (the batch
+	// was still ingested; its durability is degraded and visible here).
+	WALErrors uint64
+	// NextLSN is the next LSN to be assigned.
+	NextLSN uint64
+	// Checkpoints/CheckpointErrors count completed and failed checkpoint
+	// attempts; LastCheckpointLSN is the newest durable cut.
+	Checkpoints       uint64
+	CheckpointErrors  uint64
+	LastCheckpointLSN uint64
+	// LastError is the most recent WAL or checkpoint failure, "" if none.
+	LastError string
+}
+
+// Durability fronts a DB + AggStore pair with a write-ahead log and
+// checkpointing. All methods are safe for concurrent use.
+type Durability struct {
+	db   *DB
+	aggs *AggStore
+	dir  string
+
+	// barrier orders ingest against checkpoints: admissions hold it
+	// shared, a checkpoint holds it exclusive, so the checkpoint's cut
+	// never observes an admitted-but-unapplied batch.
+	barrier sync.RWMutex
+
+	// wmu serializes WAL appends and guards the writer + error counters.
+	wmu        sync.Mutex
+	wal        walWriter
+	walErrors  uint64
+	lastWALErr error
+
+	cmu               sync.Mutex
+	checkpoints       uint64
+	checkpointErrors  uint64
+	lastCheckpointLSN uint64
+	lastCkptErr       error
+
+	// flushStop/flushWG manage the FsyncInterval group-commit flusher
+	// goroutine; stopOnce makes Close idempotent about stopping it.
+	// flushKick wakes the flusher early when the staged group passes the
+	// high-water mark, so a burst drains at disk speed instead of pooling
+	// in memory for a full period.
+	flushStop chan struct{}
+	flushKick chan struct{}
+	flushWG   sync.WaitGroup
+	stopOnce  sync.Once
+
+	recovery RecoveryStats
+}
+
+// Recover builds the durability layer over db and aggs, restoring any
+// state a previous incarnation persisted under cfg.Dir. db must have a
+// DataDir (checkpoints seal heads into spilled extents; without a data
+// directory the WAL could never truncate safely). A cold start — empty
+// directory — recovers to an empty state and is the normal first boot.
+func Recover(db *DB, aggs *AggStore, cfg DurabilityConfig) (*Durability, RecoveryStats, error) {
+	if cfg.Dir == "" {
+		return nil, RecoveryStats{}, fmt.Errorf("tracedb: durability requires a directory")
+	}
+	if db.Config().DataDir == "" {
+		return nil, RecoveryStats{}, fmt.Errorf("tracedb: durability requires the DB to have a DataDir (checkpoints spill head segments there)")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, RecoveryStats{}, err
+	}
+	if cfg.FsyncEvery <= 0 {
+		cfg.FsyncEvery = DefaultFsyncEvery
+	}
+
+	var stats RecoveryStats
+	stats.SweptTmp = sweepTmpFiles(cfg.Dir)
+
+	ckpt, loaded, err := loadLatestCheckpoint(cfg.Dir)
+	if err != nil {
+		return nil, stats, err
+	}
+	sealFence := make(map[uint32]int)
+	if loaded {
+		stats.CheckpointLoaded = true
+		stats.CheckpointLSN = ckpt.LSN
+		db.restoreLedgerStates(ckpt.Ledgers)
+		aggs.restoreState(ckpt.Aggs)
+		for tpid, ts := range ckpt.Tables {
+			t := db.ensureTableNamed(tpid, ts.Name)
+			t.mu.Lock()
+			t.sealSeq = ts.SealSeq
+			t.evictedRecords = ts.EvictedRecords
+			t.evictedExtents = ts.EvictedExtents
+			t.spillErrors = ts.SpillErrors
+			t.mu.Unlock()
+			sealFence[tpid] = ts.SealSeq
+		}
+	}
+
+	if err := reopenExtents(db, sealFence, &stats); err != nil {
+		return nil, stats, err
+	}
+
+	maxLSN := stats.CheckpointLSN
+	files, err := listWALFiles(cfg.Dir)
+	if err != nil {
+		return nil, stats, err
+	}
+	for _, name := range files {
+		path := filepath.Join(cfg.Dir, name)
+		goodOff, tornErr, err := walReplayFile(path, func(e walEntry) {
+			if e.LSN <= stats.CheckpointLSN {
+				return
+			}
+			if e.LSN > maxLSN {
+				maxLSN = e.LSN
+			}
+			stats.ReplayedEntries++
+			switch e.Kind {
+			case walKindRecords:
+				st := db.AdmitBatch(e.Agent, e.Epoch, e.Seq, len(e.Records), e.TimeNs, e.Degraded)
+				if st == BatchFresh {
+					db.Insert(e.Records)
+					stats.ReplayedRecords += uint64(len(e.Records))
+				} else {
+					stats.ReplayedDup++
+				}
+			case walKindAggs:
+				st := aggs.Admit(e.Agent, e.Epoch, e.Seq, e.Scripts, e.TimeNs, e.Degraded)
+				if st == BatchFresh {
+					stats.ReplayedFrames++
+				} else {
+					stats.ReplayedDup++
+				}
+			}
+		})
+		if err != nil {
+			return nil, stats, err
+		}
+		if tornErr != nil {
+			// A torn or corrupt frame ends the usable log in this
+			// generation: truncate it away so the file replays cleanly
+			// next time, and keep going — later generations (created by
+			// a recovery after this tear) are still valid.
+			if terr := os.Truncate(path, goodOff); terr != nil {
+				return nil, stats, terr
+			}
+			stats.TornTails++
+		}
+	}
+
+	d := &Durability{db: db, aggs: aggs, dir: cfg.Dir}
+	d.wal = walWriter{
+		dir:     cfg.Dir,
+		policy:  cfg.Fsync,
+		nextLSN: maxLSN + 1,
+	}
+	d.lastCheckpointLSN = stats.CheckpointLSN
+	// Recovery resumes in a fresh generation rather than reopening the
+	// truncated tail: prior generations stay on disk (their entries are
+	// past the checkpoint and must survive another crash) until the next
+	// checkpoint retires them.
+	if err := d.wal.openGeneration(); err != nil {
+		return nil, stats, err
+	}
+	stats.NextLSN = d.wal.nextLSN
+	d.recovery = stats
+	if cfg.Fsync == FsyncInterval {
+		// Group commit off the hot path: appends only stage frames in
+		// memory, and this flusher writes+syncs each accumulated group
+		// once per period. Ingest never waits on storage; loss stays
+		// bounded to one period of acknowledged batches.
+		// Preallocate the staging buffer at the high-water mark (the
+		// flusher's spare likewise) so steady-state staging is a single
+		// memcpy — growing a multi-megabyte buffer incrementally would
+		// put realloc copies back on the ingest path. Both are
+		// pre-faulted here: a fresh large allocation is backed by
+		// untouched zero pages, and taking those page faults lazily
+		// would smear milliseconds of fault latency across the first
+		// high-water mark of ingest.
+		d.wal.buf = prefault(make([]byte, 0, walGroupHighWater))
+		spare := prefault(make([]byte, 0, walGroupHighWater))
+		d.flushStop = make(chan struct{})
+		d.flushKick = make(chan struct{}, 1)
+		d.flushWG.Add(1)
+		go d.flushLoop(cfg.FsyncEvery, spare)
+	}
+	return d, stats, nil
+}
+
+// flushLoop is the FsyncInterval group-commit flusher: once per period
+// it swaps the staged frame buffer out under the lock, then performs the
+// write+fsync OUTSIDE the lock so ingest never stalls behind storage
+// latency. If a checkpoint rotates the generation mid-flight, the
+// in-flight group either lands out of order in the retiring file (replay
+// admits out-of-order seqs like any reordered network delivery) or fails
+// against the closed file — and in both cases every staged LSN is <= the
+// checkpoint's cut, so the just-written checkpoint already covers it.
+// Flush failures surface through the same WAL error counters as append
+// failures.
+func (d *Durability) flushLoop(every time.Duration, spare []byte) {
+	defer d.flushWG.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.flushStop:
+			return
+		case <-t.C:
+		case <-d.flushKick:
+		}
+		d.wmu.Lock()
+		w := &d.wal
+		if w.f == nil || (len(w.buf) == 0 && !w.dirty) {
+			d.wmu.Unlock()
+			continue
+		}
+		buf, f := w.buf, w.f
+		w.buf = spare[:0]
+		w.dirty = false
+		w.syncs++
+		d.wmu.Unlock()
+
+		var err error
+		if len(buf) > 0 {
+			_, err = f.Write(buf)
+		}
+		if err == nil {
+			err = f.Sync()
+		}
+		d.wmu.Lock()
+		spare = buf
+		if err != nil && d.wal.f == f {
+			d.walErrors++
+			d.lastWALErr = err
+		}
+		d.wmu.Unlock()
+	}
+}
+
+// reopenExtents rescans the DB's data directory: extent files under the
+// checkpoint's seal fence are adopted back into their tables (metadata
+// rebuilt by one streaming decode; the blob stays on disk), files at or
+// past the fence are removed — their records were logged after the
+// checkpoint cut and will be re-inserted by WAL replay, which re-seals
+// and re-spills them under the same names.
+func reopenExtents(db *DB, sealFence map[uint32]int, stats *RecoveryStats) error {
+	dir := db.Config().DataDir
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	byTable := make(map[uint32][]*Extent)
+	for _, ent := range ents {
+		if ent.IsDir() {
+			continue
+		}
+		var tpid uint32
+		var seq int
+		if n, err := fmt.Sscanf(ent.Name(), "tp%08x-%06d.vnx", &tpid, &seq); n != 2 || err != nil {
+			continue
+		}
+		path := filepath.Join(dir, ent.Name())
+		if seq >= sealFence[tpid] {
+			os.Remove(path)
+			stats.DroppedExtents++
+			continue
+		}
+		ext, err := reopenExtent(path, tpid, seq)
+		if err != nil {
+			stats.CorruptExtents++
+			continue
+		}
+		byTable[tpid] = append(byTable[tpid], ext)
+	}
+	for tpid, exts := range byTable {
+		sort.Slice(exts, func(i, j int) bool { return exts[i].seq < exts[j].seq })
+		t := db.ensureTableNamed(tpid, "")
+		t.mu.Lock()
+		t.sealed = exts
+		t.sealedRecords, t.sealedBytes = 0, 0
+		for _, e := range exts {
+			t.sealedRecords += e.count
+			t.sealedBytes += int64(e.storedBytes)
+			stats.AdoptedExtents++
+			stats.AdoptedRecords += uint64(e.count)
+		}
+		if t.sealSeq < sealFence[tpid] {
+			t.sealSeq = sealFence[tpid]
+		}
+		t.mu.Unlock()
+	}
+	return nil
+}
+
+// reopenExtent rebuilds one spilled extent's resident metadata (count,
+// time range, bloom filter) with a single streaming decode; the
+// compressed blob stays on disk.
+func reopenExtent(path string, tpid uint32, seq int) (*Extent, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	d, err := newExtentDecoder(bufio.NewReaderSize(f, 32*1024))
+	if err != nil {
+		return nil, err
+	}
+	if d.tpid != tpid {
+		return nil, fmt.Errorf("tracedb: extent %s: tpid %d in blob, %d in name",
+			filepath.Base(path), d.tpid, tpid)
+	}
+	e := &Extent{seq: seq, path: path, filter: newBloom(int(d.count))}
+	for {
+		r, err := d.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if e.count == 0 {
+			e.minTimeNs, e.maxTimeNs = r.TimeNs, r.TimeNs
+		}
+		if r.TimeNs < e.minTimeNs {
+			e.minTimeNs = r.TimeNs
+		}
+		if r.TimeNs > e.maxTimeNs {
+			e.maxTimeNs = r.TimeNs
+		}
+		e.filter.add(r.TraceID)
+		e.count++
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	e.storedBytes = int(fi.Size())
+	return e, nil
+}
+
+// ensureTableNamed returns the table for tpid, creating it (with the
+// given name) if needed; a non-empty name also renames an auto-created
+// table — recovery learns pretty names from the checkpoint after extents
+// may have auto-created the table.
+func (db *DB) ensureTableNamed(tpid uint32, name string) *Table {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if t, ok := db.tables[tpid]; ok {
+		if name != "" {
+			t.Name = name
+		}
+		return t
+	}
+	if name == "" {
+		name = fmt.Sprintf("tp%d", tpid)
+	}
+	t := newTable(db, tpid, name)
+	db.tables[tpid] = t
+	return t
+}
+
+// AdmitRecordBatch is the durable form of DB.AdmitBatch + DB.Insert: it
+// classifies the batch, and — only when fresh — appends it to the WAL
+// (fsync per policy) and then inserts the records, all under the shared
+// side of the checkpoint barrier so a concurrent checkpoint never cuts
+// between admission and application. A WAL append failure does not drop
+// the batch (the records are ingested and the error is surfaced in
+// Stats); it degrades durability, not availability.
+func (d *Durability) AdmitRecordBatch(agent string, epoch, seq uint64, recs []core.Record, nowNs int64, degraded uint8) BatchStatus {
+	return d.AdmitRecordBatchRaw(agent, epoch, seq, recs, nil, nowNs, degraded)
+}
+
+// AdmitRecordBatchRaw is AdmitRecordBatch for callers that still hold the
+// records' canonical wire encoding (the transport's record section): the
+// WAL logs raw verbatim instead of re-marshalling recs, taking the encode
+// off the synchronous ingest path. raw must be len(recs)*core.RecordSize
+// bytes of core.Record wire form matching recs — anything else falls back
+// to marshalling — and must not be mutated after the call.
+func (d *Durability) AdmitRecordBatchRaw(agent string, epoch, seq uint64, recs []core.Record, raw []byte, nowNs int64, degraded uint8) BatchStatus {
+	d.barrier.RLock()
+	defer d.barrier.RUnlock()
+	st := d.db.AdmitBatch(agent, epoch, seq, len(recs), nowNs, degraded)
+	if st != BatchFresh {
+		return st
+	}
+	// An unsequenced empty batch is a bare heartbeat: nothing to replay.
+	if seq != 0 || len(recs) > 0 {
+		d.append(&walEntry{
+			Kind: walKindRecords, Agent: agent, Epoch: epoch, Seq: seq,
+			TimeNs: nowNs, Degraded: degraded, Records: recs, RawRecords: raw,
+		})
+	}
+	d.db.Insert(recs)
+	return st
+}
+
+// AdmitAggFrame is the durable form of AggStore.Admit: fresh frames are
+// WAL-logged before they merge.
+func (d *Durability) AdmitAggFrame(agent string, epoch, seq uint64, scripts []ScriptAgg, nowNs int64, degraded uint8) BatchStatus {
+	d.barrier.RLock()
+	defer d.barrier.RUnlock()
+	// Admit merges the fresh frame immediately (classification and merge
+	// are atomic under the store's mutex); the WAL append follows. The
+	// ordering is safe for the same reason admit-before-log is on the
+	// record path: losing the unlogged append also loses the merge, and
+	// the unacknowledged frame re-ships.
+	st := d.aggs.Admit(agent, epoch, seq, scripts, nowNs, degraded)
+	if st != BatchFresh {
+		return st
+	}
+	if seq != 0 || len(scripts) > 0 {
+		d.append(&walEntry{
+			Kind: walKindAggs, Agent: agent, Epoch: epoch, Seq: seq,
+			TimeNs: nowNs, Degraded: degraded, Scripts: scripts,
+		})
+	}
+	return st
+}
+
+// walGroupHighWater is the staged-group size past which an append wakes
+// the flusher early: a burst then drains at disk speed instead of
+// pooling in memory without bound. It is sized as an emergency valve —
+// in steady state the periodic tick drains long before this —
+// so ordinary ingest never pays flusher interference.
+const walGroupHighWater = 8 << 20
+
+// append logs one entry, counting rather than propagating failures.
+func (d *Durability) append(e *walEntry) {
+	d.wmu.Lock()
+	if err := d.wal.append(e); err != nil {
+		d.walErrors++
+		d.lastWALErr = err
+	}
+	kick := d.flushKick != nil && len(d.wal.buf) >= walGroupHighWater
+	d.wmu.Unlock()
+	if kick {
+		select {
+		case d.flushKick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Checkpoint cuts a durable snapshot: it seals every head segment into
+// spilled extents, snapshots the ledgers and aggregate store at the
+// current LSN, writes the checkpoint atomically, and then retires all WAL
+// generations the checkpoint covers by rotating to a fresh one. The
+// exclusive barrier guarantees no batch is between admission and
+// application at the cut. A checkpoint that cannot make the head durable
+// (extent spill failed — disk full) aborts and keeps the WAL intact.
+func (d *Durability) Checkpoint() error {
+	d.barrier.Lock()
+	defer d.barrier.Unlock()
+	err := d.checkpointLocked()
+	d.cmu.Lock()
+	if err != nil {
+		d.checkpointErrors++
+		d.lastCkptErr = err
+	} else {
+		d.checkpoints++
+	}
+	d.cmu.Unlock()
+	return err
+}
+
+func (d *Durability) checkpointLocked() error {
+	spillBefore := d.db.StorageTotals().SpillErrors
+	d.db.SealAll()
+	if after := d.db.StorageTotals().SpillErrors; after > spillBefore {
+		return fmt.Errorf("tracedb: checkpoint aborted: %d head seal(s) failed to spill (keeping WAL)", after-spillBefore)
+	}
+
+	d.wmu.Lock()
+	lastLSN := d.wal.nextLSN - 1
+	d.wmu.Unlock()
+
+	payload := &checkpointPayload{
+		LSN:     lastLSN,
+		Ledgers: d.db.exportLedgerStates(),
+		Tables:  d.db.exportTableStates(),
+		Aggs:    d.aggs.exportState(),
+	}
+	if _, err := writeCheckpoint(d.dir, payload); err != nil {
+		return err
+	}
+
+	// The checkpoint is durable: rotate to a fresh generation and retire
+	// every older one (all their entries have LSN <= lastLSN).
+	d.wmu.Lock()
+	rotErr := d.wal.openGeneration()
+	active := walFileName(d.wal.nextLSN)
+	d.wmu.Unlock()
+	if rotErr != nil {
+		return rotErr
+	}
+	if files, err := listWALFiles(d.dir); err == nil {
+		for _, name := range files {
+			if name != active {
+				os.Remove(filepath.Join(d.dir, name))
+			}
+		}
+	}
+	d.pruneCheckpoints()
+
+	d.cmu.Lock()
+	d.lastCheckpointLSN = lastLSN
+	d.cmu.Unlock()
+	return nil
+}
+
+// pruneCheckpoints deletes all but the newest checkpointsKept checkpoint
+// files.
+func (d *Durability) pruneCheckpoints() {
+	ents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return
+	}
+	type cand struct {
+		name string
+		lsn  uint64
+	}
+	var cands []cand
+	for _, ent := range ents {
+		if lsn, ok := parseCheckpointFileName(ent.Name()); ok && !ent.IsDir() {
+			cands = append(cands, cand{ent.Name(), lsn})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].lsn > cands[j].lsn })
+	for _, c := range cands[min(len(cands), checkpointsKept):] {
+		os.Remove(filepath.Join(d.dir, c.name))
+	}
+}
+
+// Sync forces any unsynced WAL frames to stable storage regardless of
+// policy.
+func (d *Durability) Sync() error {
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	return d.wal.sync()
+}
+
+// Close stops the group-commit flusher, then syncs and closes the WAL.
+// The Durability must not be used after.
+func (d *Durability) Close() error {
+	d.stopOnce.Do(func() {
+		if d.flushStop != nil {
+			close(d.flushStop)
+			d.flushWG.Wait()
+		}
+	})
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	return d.wal.close()
+}
+
+// Recovery returns what the Recover call that built this layer rebuilt.
+func (d *Durability) Recovery() RecoveryStats { return d.recovery }
+
+// Stats snapshots the durability counters.
+func (d *Durability) Stats() DurabilityStats {
+	d.wmu.Lock()
+	s := DurabilityStats{
+		Dir:        d.dir,
+		Policy:     d.wal.policy,
+		WALEntries: d.wal.entries,
+		WALBytes:   d.wal.bytes,
+		WALSyncs:   d.wal.syncs,
+		WALErrors:  d.walErrors,
+		NextLSN:    d.wal.nextLSN,
+	}
+	var lastErr error = d.lastWALErr
+	d.wmu.Unlock()
+	d.cmu.Lock()
+	s.Checkpoints = d.checkpoints
+	s.CheckpointErrors = d.checkpointErrors
+	s.LastCheckpointLSN = d.lastCheckpointLSN
+	if d.lastCkptErr != nil {
+		lastErr = d.lastCkptErr
+	}
+	d.cmu.Unlock()
+	if lastErr != nil {
+		s.LastError = lastErr.Error()
+	}
+	return s
+}
+
+// prefault touches one byte per page of b's full capacity so the pages
+// are resident before the hot path stores into them.
+func prefault(b []byte) []byte {
+	full := b[:cap(b)]
+	for i := 0; i < len(full); i += 4096 {
+		full[i] = 0
+	}
+	return b
+}
+
+// sweepTmpFiles removes orphaned *.tmp files (a crash between temp write
+// and rename leaks them) and returns how many it removed.
+func sweepTmpFiles(dir string) int {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, ent := range ents {
+		if ent.IsDir() || filepath.Ext(ent.Name()) != ".tmp" {
+			continue
+		}
+		if os.Remove(filepath.Join(dir, ent.Name())) == nil {
+			n++
+		}
+	}
+	return n
+}

@@ -45,6 +45,13 @@ type Table struct {
 	evictedRecords uint64
 	evictedExtents uint64
 
+	// spillErrors counts sealed extents that failed to spill to the data
+	// directory (disk full, bad dir). The blob stays resident so no
+	// records are lost, but the extent is not crash-durable; the counter
+	// makes that visible in StorageStats instead of silently degrading.
+	spillErrors  uint64
+	lastSpillErr error
+
 	// readErrors counts extent scans that failed mid-query (e.g. a
 	// spilled file evicted between snapshot and read). Queries skip the
 	// extent and keep going; the counter keeps the skip visible.
@@ -82,8 +89,13 @@ func (t *Table) sealLocked() {
 	t.sealSeq++
 	if dir := t.db.cfg.DataDir; dir != "" {
 		// Spill is best-effort: a failed write (disk full, bad dir) keeps
-		// the blob resident rather than losing the records.
-		ext.spill(dir, t.TPID)
+		// the blob resident rather than losing the records — but the
+		// failure is counted, because a resident-only extent is invisible
+		// to crash recovery and an operator needs to see disk trouble.
+		if err := ext.spill(dir, t.TPID); err != nil {
+			t.spillErrors++
+			t.lastSpillErr = err
+		}
 	}
 	t.sealed = append(t.sealed, ext)
 	t.sealedRecords += ext.count
@@ -349,6 +361,10 @@ func (t *Table) Storage() StorageStats {
 		EvictedRecords: t.evictedRecords,
 		EvictedExtents: t.evictedExtents,
 		ReadErrors:     t.readErrors.Load(),
+		SpillErrors:    t.spillErrors,
+	}
+	if t.lastSpillErr != nil {
+		s.LastSpillError = t.lastSpillErr.Error()
 	}
 	s.ResidentBytes = s.HeadBytes
 	for _, e := range t.sealed {

@@ -77,9 +77,16 @@ type DB struct {
 func New() *DB { return NewWith(Config{}) }
 
 // NewWith returns an empty database with the given storage configuration.
+// When the config has a data directory, orphaned *.tmp files from a crash
+// mid-spill are swept on the way in (the rename never landed, so they are
+// garbage no query or recovery will ever reference).
 func NewWith(cfg Config) *DB {
+	cfg = cfg.withDefaults()
+	if cfg.DataDir != "" {
+		sweepTmpFiles(cfg.DataDir)
+	}
 	return &DB{
-		cfg:    cfg.withDefaults(),
+		cfg:    cfg,
 		tables: make(map[uint32]*Table),
 		ledger: make(map[string]*agentLedger),
 	}
@@ -211,6 +218,14 @@ type StorageStats struct {
 	EvictedRecords uint64
 	EvictedExtents uint64
 	ReadErrors     uint64
+
+	// SpillErrors counts sealed extents that failed to write to the data
+	// directory (the blob stayed resident, so nothing was lost in memory
+	// — but the extent is not on disk and a crash would lose it).
+	// LastSpillError is the most recent failure's message, "" when none;
+	// aggregated stats keep the first non-empty one.
+	SpillErrors    uint64
+	LastSpillError string
 }
 
 // Records returns the live record count in the snapshot.
@@ -245,6 +260,10 @@ func (s *StorageStats) Add(o StorageStats) {
 	s.EvictedRecords += o.EvictedRecords
 	s.EvictedExtents += o.EvictedExtents
 	s.ReadErrors += o.ReadErrors
+	s.SpillErrors += o.SpillErrors
+	if s.LastSpillError == "" {
+		s.LastSpillError = o.LastSpillError
+	}
 }
 
 // StorageStats returns per-table segment accounting, ordered by TPID.

@@ -1,0 +1,584 @@
+// Write-ahead log for the collector's ingest path. Every admitted (fresh)
+// record batch and aggregate frame is appended here before it is applied
+// to the in-memory store, so a hard crash can replay the tail that the
+// last checkpoint does not cover. The log is a sequence of generation
+// files, each named for the first log sequence number (LSN) it holds:
+//
+//	wal-<firstLSN:%016x>.log
+//
+// A generation is an append-only stream of frames:
+//
+//	[4B big-endian payload length][4B big-endian CRC32(payload)][payload]
+//
+// and a payload is self-describing:
+//
+//	uvarint LSN | kind byte | kind-specific body
+//
+// kind 1 (record batch): uvarint agent-name length, name bytes, uvarint
+// epoch, seq, zigzag-varint agent time, degraded byte, uvarint record
+// count, then the records in their canonical 48-byte wire form
+// (core.Record.MarshalTo) concatenated — the same layout trace programs
+// emit and the batch transport carries. Records are fixed-width rather
+// than varint because this encode sits on the synchronous ingest path —
+// one bounds-checked store per field beats a byte-at-a-time varint
+// loop, and WAL bytes are short-lived (retired at the next checkpoint)
+// so the size trade is cheap.
+//
+// kind 2 (aggregate frame): the same agent/epoch/seq/time/degraded
+// prefix, then uvarint script count and per script a length-prefixed
+// name, uvarint-counted counter/cpu-hit/histogram slots, and flows
+// (uvarint 5-tuple fields + proto byte + packet/byte sums).
+//
+// Appends are group-committed: one frame write per batch (the batch is
+// the group), with fsync driven by policy — always (every append),
+// interval (a background flusher syncs at most once per configured
+// period, off the ingest path), or never (page cache only). A torn
+// final frame — short header, short payload, or CRC
+// mismatch — marks the end of the log; recovery truncates it away and
+// never panics on it.
+package tracedb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"slices"
+	"sort"
+	"strings"
+
+	"vnettracer/internal/core"
+)
+
+// FsyncPolicy selects when the WAL forces appended frames to stable
+// storage.
+type FsyncPolicy int
+
+const (
+	// FsyncNever leaves flushing to the OS page cache: survives process
+	// crashes (kill -9) but not power loss.
+	FsyncNever FsyncPolicy = iota
+	// FsyncInterval fsyncs at most once per configured interval, from a
+	// background flusher rather than the ingest path — the group-commit
+	// middle ground bounding loss to one interval of acks.
+	FsyncInterval
+	// FsyncAlways fsyncs after every appended frame.
+	FsyncAlways
+)
+
+// ParseFsyncPolicy parses the CLI spelling: "always", "interval", or
+// "never".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "never":
+		return FsyncNever, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "always":
+		return FsyncAlways, nil
+	}
+	return FsyncNever, fmt.Errorf("tracedb: unknown fsync policy %q (want always|interval|never)", s)
+}
+
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncInterval:
+		return "interval"
+	case FsyncAlways:
+		return "always"
+	}
+	return "never"
+}
+
+// WAL entry kinds.
+const (
+	walKindRecords byte = 1
+	walKindAggs    byte = 2
+)
+
+// walEntry is one logged ingest event: an admitted record batch or an
+// admitted aggregate frame, with the ledger identity (agent, epoch, seq)
+// that lets replay re-admit it through the same exactly-once front door.
+type walEntry struct {
+	LSN      uint64
+	Kind     byte
+	Agent    string
+	Epoch    uint64
+	Seq      uint64
+	TimeNs   int64
+	Degraded uint8
+	Records  []core.Record // walKindRecords payload
+	Scripts  []ScriptAgg   // walKindAggs payload
+	// RawRecords, when non-nil, is Records already in the canonical wire
+	// form (len(Records)*walRecordSize bytes): the encoder appends it
+	// verbatim instead of re-marshalling Records. Decode never sets it.
+	RawRecords []byte
+}
+
+// walFrameHeader is the fixed per-frame framing: payload length + CRC.
+const walFrameHeader = 8
+
+// walRecordSize is the encoding of one core.Record inside a kind-1
+// frame: the canonical 48-byte wire form shared with the ring buffer and
+// the batch transport.
+const walRecordSize = core.RecordSize
+
+// maxWALPayload bounds a single frame so a corrupt length field cannot
+// drive a giant allocation during recovery.
+const maxWALPayload = 64 << 20
+
+// appendWALPayload encodes the entry's payload (everything after the
+// frame header) onto dst.
+func appendWALPayload(dst []byte, e *walEntry) []byte {
+	dst = binary.AppendUvarint(dst, e.LSN)
+	dst = append(dst, e.Kind)
+	dst = binary.AppendUvarint(dst, uint64(len(e.Agent)))
+	dst = append(dst, e.Agent...)
+	dst = binary.AppendUvarint(dst, e.Epoch)
+	dst = binary.AppendUvarint(dst, e.Seq)
+	dst = binary.AppendUvarint(dst, zigzag(e.TimeNs))
+	dst = append(dst, e.Degraded)
+	switch e.Kind {
+	case walKindRecords:
+		dst = binary.AppendUvarint(dst, uint64(len(e.Records)))
+		if len(e.RawRecords) == len(e.Records)*walRecordSize && len(e.Records) > 0 {
+			// The transport's record section is the same canonical form:
+			// batches decoded off the wire log their bytes verbatim, a
+			// memcpy instead of a re-marshal on the synchronous ingest
+			// path.
+			dst = append(dst, e.RawRecords...)
+			break
+		}
+		// Extend once for the whole batch and marshal in place.
+		base := len(dst)
+		dst = slices.Grow(dst, len(e.Records)*walRecordSize)[:base+len(e.Records)*walRecordSize]
+		for i := range e.Records {
+			e.Records[i].MarshalTo(dst[base+i*walRecordSize:])
+		}
+	case walKindAggs:
+		dst = binary.AppendUvarint(dst, uint64(len(e.Scripts)))
+		for i := range e.Scripts {
+			s := &e.Scripts[i]
+			dst = binary.AppendUvarint(dst, uint64(len(s.Script)))
+			dst = append(dst, s.Script...)
+			dst = appendU64Slice(dst, s.Counters)
+			dst = appendU64Slice(dst, s.CPUHits)
+			dst = appendU64Slice(dst, s.Hist)
+			dst = binary.AppendUvarint(dst, uint64(len(s.Flows)))
+			for _, f := range s.Flows {
+				dst = binary.AppendUvarint(dst, uint64(f.SrcIP))
+				dst = binary.AppendUvarint(dst, uint64(f.DstIP))
+				dst = binary.AppendUvarint(dst, uint64(f.SrcPort))
+				dst = binary.AppendUvarint(dst, uint64(f.DstPort))
+				dst = append(dst, f.Proto)
+				dst = binary.AppendUvarint(dst, f.Packets)
+				dst = binary.AppendUvarint(dst, f.Bytes)
+			}
+		}
+	}
+	return dst
+}
+
+func appendU64Slice(dst []byte, vs []uint64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(vs)))
+	for _, v := range vs {
+		dst = binary.AppendUvarint(dst, v)
+	}
+	return dst
+}
+
+// decodeWALPayload decodes one frame payload. Like the extent decoder it
+// never allocates proportionally to a header-declared count alone — every
+// count is checked against the bytes that remain, so arbitrary (fuzzed)
+// input cannot balloon memory.
+func decodeWALPayload(b []byte) (walEntry, error) {
+	cur := &byteCursor{b: b}
+	var e walEntry
+	var err error
+	if e.LSN, err = binary.ReadUvarint(cur); err != nil {
+		return e, fmt.Errorf("tracedb: wal lsn: %w", err)
+	}
+	if e.Kind, err = cur.ReadByte(); err != nil {
+		return e, fmt.Errorf("tracedb: wal kind: %w", err)
+	}
+	if e.Kind != walKindRecords && e.Kind != walKindAggs {
+		return e, fmt.Errorf("tracedb: wal kind %d unknown", e.Kind)
+	}
+	if e.Agent, err = readWALString(cur); err != nil {
+		return e, fmt.Errorf("tracedb: wal agent: %w", err)
+	}
+	if e.Epoch, err = binary.ReadUvarint(cur); err != nil {
+		return e, fmt.Errorf("tracedb: wal epoch: %w", err)
+	}
+	if e.Seq, err = binary.ReadUvarint(cur); err != nil {
+		return e, fmt.Errorf("tracedb: wal seq: %w", err)
+	}
+	t, err := binary.ReadUvarint(cur)
+	if err != nil {
+		return e, fmt.Errorf("tracedb: wal time: %w", err)
+	}
+	e.TimeNs = unzigzag(t)
+	if e.Degraded, err = cur.ReadByte(); err != nil {
+		return e, fmt.Errorf("tracedb: wal degraded: %w", err)
+	}
+	switch e.Kind {
+	case walKindRecords:
+		n, err := binary.ReadUvarint(cur)
+		if err != nil {
+			return e, fmt.Errorf("tracedb: wal record count: %w", err)
+		}
+		// Records are fixed-width, so the count bounds-checks exactly.
+		if n > uint64(cur.remaining())/walRecordSize {
+			return e, fmt.Errorf("tracedb: wal record count %d exceeds frame size", n)
+		}
+		want := int(n) * walRecordSize
+		recs, err := core.UnmarshalRecords(cur.b[cur.off : cur.off+want])
+		if err != nil {
+			return e, fmt.Errorf("tracedb: wal records: %w", err)
+		}
+		cur.off += want
+		e.Records = recs
+	case walKindAggs:
+		n, err := binary.ReadUvarint(cur)
+		if err != nil {
+			return e, fmt.Errorf("tracedb: wal script count: %w", err)
+		}
+		if n > uint64(cur.remaining())/5+1 {
+			return e, fmt.Errorf("tracedb: wal script count %d exceeds frame size", n)
+		}
+		e.Scripts = make([]ScriptAgg, 0, n)
+		for i := uint64(0); i < n; i++ {
+			s, err := readWALScript(cur)
+			if err != nil {
+				return e, fmt.Errorf("tracedb: wal script %d: %w", i, err)
+			}
+			e.Scripts = append(e.Scripts, s)
+		}
+	}
+	if cur.remaining() != 0 {
+		return e, fmt.Errorf("tracedb: %d trailing bytes after wal payload", cur.remaining())
+	}
+	return e, nil
+}
+
+func (c *byteCursor) remaining() int { return len(c.b) - c.off }
+
+func readWALString(cur *byteCursor) (string, error) {
+	n, err := binary.ReadUvarint(cur)
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(cur.remaining()) {
+		return "", fmt.Errorf("length %d exceeds frame size", n)
+	}
+	s := string(cur.b[cur.off : cur.off+int(n)])
+	cur.off += int(n)
+	return s, nil
+}
+
+func readWALU32(cur *byteCursor) (uint32, error) {
+	v, err := binary.ReadUvarint(cur)
+	if err != nil || v > math.MaxUint32 {
+		return 0, errOrOverflow(err, v)
+	}
+	return uint32(v), nil
+}
+
+func readWALU16(cur *byteCursor) (uint16, error) {
+	v, err := binary.ReadUvarint(cur)
+	if err != nil || v > math.MaxUint16 {
+		return 0, errOrOverflow(err, v)
+	}
+	return uint16(v), nil
+}
+
+func readWALU64Slice(cur *byteCursor) ([]uint64, error) {
+	n, err := binary.ReadUvarint(cur)
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(cur.remaining()) {
+		return nil, fmt.Errorf("slot count %d exceeds frame size", n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	vs := make([]uint64, 0, n)
+	for i := uint64(0); i < n; i++ {
+		v, err := binary.ReadUvarint(cur)
+		if err != nil {
+			return nil, err
+		}
+		vs = append(vs, v)
+	}
+	return vs, nil
+}
+
+func readWALScript(cur *byteCursor) (ScriptAgg, error) {
+	var s ScriptAgg
+	var err error
+	if s.Script, err = readWALString(cur); err != nil {
+		return s, fmt.Errorf("name: %w", err)
+	}
+	if s.Counters, err = readWALU64Slice(cur); err != nil {
+		return s, fmt.Errorf("counters: %w", err)
+	}
+	if s.CPUHits, err = readWALU64Slice(cur); err != nil {
+		return s, fmt.Errorf("cpu hits: %w", err)
+	}
+	if s.Hist, err = readWALU64Slice(cur); err != nil {
+		return s, fmt.Errorf("hist: %w", err)
+	}
+	n, err := binary.ReadUvarint(cur)
+	if err != nil {
+		return s, fmt.Errorf("flow count: %w", err)
+	}
+	// A flow encodes to at least 7 bytes (6 varints + proto byte).
+	if n > uint64(cur.remaining())/7+1 {
+		return s, fmt.Errorf("flow count %d exceeds frame size", n)
+	}
+	if n > 0 {
+		s.Flows = make([]FlowAgg, 0, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		var f FlowAgg
+		if f.SrcIP, err = readWALU32(cur); err != nil {
+			return s, fmt.Errorf("flow %d srcIP: %w", i, err)
+		}
+		if f.DstIP, err = readWALU32(cur); err != nil {
+			return s, fmt.Errorf("flow %d dstIP: %w", i, err)
+		}
+		if f.SrcPort, err = readWALU16(cur); err != nil {
+			return s, fmt.Errorf("flow %d srcPort: %w", i, err)
+		}
+		if f.DstPort, err = readWALU16(cur); err != nil {
+			return s, fmt.Errorf("flow %d dstPort: %w", i, err)
+		}
+		if f.Proto, err = cur.ReadByte(); err != nil {
+			return s, fmt.Errorf("flow %d proto: %w", i, err)
+		}
+		if f.Packets, err = binary.ReadUvarint(cur); err != nil {
+			return s, fmt.Errorf("flow %d packets: %w", i, err)
+		}
+		if f.Bytes, err = binary.ReadUvarint(cur); err != nil {
+			return s, fmt.Errorf("flow %d bytes: %w", i, err)
+		}
+		s.Flows = append(s.Flows, f)
+	}
+	return s, nil
+}
+
+// walFileName returns the generation file name for a first LSN.
+func walFileName(firstLSN uint64) string {
+	return fmt.Sprintf("wal-%016x.log", firstLSN)
+}
+
+// parseWALFileName extracts the first LSN from a generation file name.
+func parseWALFileName(name string) (uint64, bool) {
+	var lsn uint64
+	if n, err := fmt.Sscanf(name, "wal-%016x.log", &lsn); n == 1 && err == nil {
+		return lsn, true
+	}
+	return 0, false
+}
+
+// listWALFiles returns the WAL generation files in dir, ascending by
+// first LSN.
+func listWALFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	type gen struct {
+		name string
+		lsn  uint64
+	}
+	var gens []gen
+	for _, ent := range ents {
+		if ent.IsDir() {
+			continue
+		}
+		if lsn, ok := parseWALFileName(ent.Name()); ok {
+			gens = append(gens, gen{ent.Name(), lsn})
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i].lsn < gens[j].lsn })
+	names := make([]string, len(gens))
+	for i, g := range gens {
+		names[i] = g.name
+	}
+	return names, nil
+}
+
+// walWriter appends frames to the active generation file. Callers
+// serialize access (the Durability layer holds its own mutex).
+type walWriter struct {
+	dir     string
+	policy  FsyncPolicy
+	f       *os.File
+	scratch []byte
+	nextLSN uint64
+	// buf holds frames group-committed under FsyncInterval: the hot path
+	// only encodes into memory, and the flusher (or sync) writes the
+	// accumulated group in one syscall. Other policies write per append.
+	buf []byte
+	// dirty reports frames written to f since the last fsync; a clean log
+	// makes sync a no-op so the flusher never issues idle fsyncs.
+	dirty bool
+
+	entries uint64
+	bytes   uint64
+	syncs   uint64
+}
+
+// openWALGeneration starts (or truncates) the generation file whose first
+// LSN is the writer's next LSN.
+func (w *walWriter) openGeneration() error {
+	if w.f != nil {
+		w.sync()
+		w.f.Close()
+		w.f = nil
+	}
+	f, err := os.OpenFile(filepath.Join(w.dir, walFileName(w.nextLSN)),
+		os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	w.f = f
+	return nil
+}
+
+// append assigns the next LSN to e, frames it, writes it, and applies the
+// fsync policy. The assigned LSN is stored into e.LSN.
+func (w *walWriter) append(e *walEntry) error {
+	if w.f == nil {
+		if err := w.openGeneration(); err != nil {
+			return err
+		}
+	}
+	e.LSN = w.nextLSN
+	var n int
+	if w.policy == FsyncInterval {
+		// Group commit: encode the frame straight into the staging
+		// buffer and return. The Durability flusher drains buf with one
+		// write+fsync per period, off the ingest path; loss stays
+		// bounded to one period of acks.
+		start := len(w.buf)
+		w.buf = appendWALFrame(w.buf, e)
+		n = len(w.buf) - start
+	} else {
+		w.scratch = appendWALFrame(w.scratch[:0], e)
+		n = len(w.scratch)
+		if _, err := w.f.Write(w.scratch); err != nil {
+			return err
+		}
+		w.dirty = true
+	}
+	w.nextLSN++
+	w.entries++
+	w.bytes += uint64(n)
+	if w.policy == FsyncAlways {
+		return w.sync()
+	}
+	return nil
+}
+
+// appendWALFrame encodes one framed entry (header + payload) onto dst.
+func appendWALFrame(dst []byte, e *walEntry) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0)
+	dst = appendWALPayload(dst, e)
+	payload := dst[start+walFrameHeader:]
+	binary.BigEndian.PutUint32(dst[start:start+4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(dst[start+4:start+8], crc32.ChecksumIEEE(payload))
+	return dst
+}
+
+// flush writes any group-committed frames to the active generation.
+func (w *walWriter) flush() error {
+	if w.f == nil || len(w.buf) == 0 {
+		return nil
+	}
+	_, err := w.f.Write(w.buf)
+	w.buf = w.buf[:0]
+	if err != nil {
+		return err
+	}
+	w.dirty = true
+	return nil
+}
+
+// sync flushes staged frames and forces the active generation to stable
+// storage; a no-op when nothing landed since the last sync.
+func (w *walWriter) sync() error {
+	if w.f == nil {
+		return nil
+	}
+	if err := w.flush(); err != nil {
+		return err
+	}
+	if !w.dirty {
+		return nil
+	}
+	w.dirty = false
+	w.syncs++
+	return w.f.Sync()
+}
+
+// close syncs and closes the active generation.
+func (w *walWriter) close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// walReplayFile streams one generation's frames into fn, in order. It
+// stops at the first torn or corrupt frame and returns the byte offset of
+// the end of the last good frame; tornErr describes why it stopped (nil
+// when the file ended cleanly). Decode errors inside a CRC-valid frame
+// are reported the same way — the frame marks the end of usable log.
+func walReplayFile(path string, fn func(walEntry)) (goodOff int64, tornErr error, err error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	off := 0
+	for {
+		if off == len(b) {
+			return int64(off), nil, nil
+		}
+		if len(b)-off < walFrameHeader {
+			return int64(off), fmt.Errorf("tracedb: wal: torn frame header (%d bytes)", len(b)-off), nil
+		}
+		plen := int(binary.BigEndian.Uint32(b[off : off+4]))
+		crc := binary.BigEndian.Uint32(b[off+4 : off+8])
+		if plen > maxWALPayload {
+			return int64(off), fmt.Errorf("tracedb: wal: frame length %d exceeds cap", plen), nil
+		}
+		if len(b)-off-walFrameHeader < plen {
+			return int64(off), fmt.Errorf("tracedb: wal: torn frame payload (%d of %d bytes)",
+				len(b)-off-walFrameHeader, plen), nil
+		}
+		payload := b[off+walFrameHeader : off+walFrameHeader+plen]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return int64(off), fmt.Errorf("tracedb: wal: frame CRC mismatch at offset %d", off), nil
+		}
+		e, derr := decodeWALPayload(payload)
+		if derr != nil {
+			return int64(off), fmt.Errorf("tracedb: wal: frame at offset %d: %w", off, derr), nil
+		}
+		fn(e)
+		off += walFrameHeader + plen
+	}
+}
